@@ -1,0 +1,244 @@
+// Command spacx-report regenerates every table and figure of the paper's
+// evaluation section (see DESIGN.md's experiment index) as text.
+//
+// Usage:
+//
+//	spacx-report                # everything
+//	spacx-report -only fig15    # one artifact
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"spacx/internal/exp"
+	"spacx/internal/report"
+)
+
+func main() {
+	only := flag.String("only", "", "render one artifact: table1, table2, table34, fig13, fig15, fig16, fig17, fig18, fig19, fig20, fig21, fig22, ablation, tradeoff, adaptive, batch, engines, area")
+	packets := flag.Int("fig16-packets", 20000, "packets per fig16 event-simulation run")
+	format := flag.String("format", "text", "output format: text or csv (csv requires -only)")
+	flag.Parse()
+
+	if err := run(strings.ToLower(*only), *packets, *format); err != nil {
+		fmt.Fprintln(os.Stderr, "spacx-report:", err)
+		os.Exit(1)
+	}
+}
+
+func run(only string, packets int, format string) error {
+	w := os.Stdout
+	if format == "csv" {
+		return runCSV(w, only, packets)
+	}
+	if format != "text" {
+		return fmt.Errorf("unknown format %q (text, csv)", format)
+	}
+	want := func(name string) bool { return only == "" || only == name }
+	sep := func() { fmt.Fprintln(w, strings.Repeat("-", 88)) }
+
+	if want("table1") {
+		rows, err := exp.Table1()
+		if err != nil {
+			return err
+		}
+		report.Table1(w, rows)
+		sep()
+	}
+	if want("table2") {
+		report.Table2(w, exp.Table2())
+		sep()
+	}
+	if want("table34") {
+		rows, err := exp.Table3And4()
+		if err != nil {
+			return err
+		}
+		report.Table3And4(w, rows)
+		sep()
+	}
+	if want("fig13") || want("fig14") {
+		rows, err := exp.Fig13And14()
+		if err != nil {
+			return err
+		}
+		report.PerLayer(w, rows)
+		sep()
+	}
+	if want("fig15") {
+		rows, err := exp.Fig15()
+		if err != nil {
+			return err
+		}
+		report.Overall(w, "Figure 15 — whole-inference execution time and energy (normalized to Simba)", rows)
+		sep()
+	}
+	if want("fig16") {
+		rows, err := exp.Fig16(packets)
+		if err != nil {
+			return err
+		}
+		report.Fig16(w, rows)
+		sep()
+	}
+	if want("fig17") {
+		rows, err := exp.Fig17()
+		if err != nil {
+			return err
+		}
+		report.Overall(w, "Figure 17 — dataflows on the SPACX architecture (normalized to WS)", rows)
+		sep()
+	}
+	if want("fig18") {
+		rows, err := exp.Fig18()
+		if err != nil {
+			return err
+		}
+		report.Overall(w, "Figure 18 — bandwidth allocation on/off (normalized to Simba)", rows)
+		sep()
+	}
+	if want("fig19") {
+		pts, err := exp.Fig19()
+		if err != nil {
+			return err
+		}
+		report.PowerSurface(w, "Figure 19 — SPACX network power, moderate parameters", pts)
+		sep()
+	}
+	if want("fig20") {
+		pts, err := exp.Fig20()
+		if err != nil {
+			return err
+		}
+		report.PowerSurface(w, "Figure 20 — SPACX network power, aggressive parameters", pts)
+		sep()
+	}
+	if want("fig21") {
+		a, err := exp.Fig21a()
+		if err != nil {
+			return err
+		}
+		b, err := exp.Fig21bBreakdown()
+		if err != nil {
+			return err
+		}
+		report.Fig21(w, a, b)
+		sep()
+	}
+	if want("fig22") {
+		rows, err := exp.Fig22()
+		if err != nil {
+			return err
+		}
+		report.Fig22(w, rows)
+		sep()
+	}
+	if want("ablation") {
+		rows, err := exp.AblationBroadcast()
+		if err != nil {
+			return err
+		}
+		report.Ablation(w, rows)
+		sep()
+	}
+	if want("tradeoff") {
+		rows, err := exp.GranularityTradeoff()
+		if err != nil {
+			return err
+		}
+		report.GranularityTradeoff(w, rows)
+		sep()
+	}
+	if want("adaptive") {
+		rows, err := exp.AdaptiveGranularity()
+		if err != nil {
+			return err
+		}
+		report.Adaptive(w, rows)
+		sep()
+	}
+	if want("batch") {
+		rows, err := exp.BatchScaling()
+		if err != nil {
+			return err
+		}
+		report.BatchScaling(w, rows)
+		sep()
+	}
+	if want("engines") {
+		rows, err := exp.EngineAgreement()
+		if err != nil {
+			return err
+		}
+		report.Engines(w, rows)
+		sep()
+	}
+	if want("area") {
+		r, err := exp.Area()
+		if err != nil {
+			return err
+		}
+		report.Area(w, r)
+		sep()
+	}
+	return nil
+}
+
+// runCSV emits a single artifact as CSV for downstream plotting.
+func runCSV(w *os.File, only string, packets int) error {
+	switch only {
+	case "fig13", "fig14":
+		rows, err := exp.Fig13And14()
+		if err != nil {
+			return err
+		}
+		return report.PerLayerCSV(w, rows)
+	case "fig15":
+		rows, err := exp.Fig15()
+		if err != nil {
+			return err
+		}
+		return report.OverallCSV(w, rows)
+	case "fig16":
+		rows, err := exp.Fig16(packets)
+		if err != nil {
+			return err
+		}
+		return report.Fig16CSV(w, rows)
+	case "fig17":
+		rows, err := exp.Fig17()
+		if err != nil {
+			return err
+		}
+		return report.OverallCSV(w, rows)
+	case "fig18":
+		rows, err := exp.Fig18()
+		if err != nil {
+			return err
+		}
+		return report.OverallCSV(w, rows)
+	case "fig19":
+		pts, err := exp.Fig19()
+		if err != nil {
+			return err
+		}
+		return report.PowerSurfaceCSV(w, pts)
+	case "fig20":
+		pts, err := exp.Fig20()
+		if err != nil {
+			return err
+		}
+		return report.PowerSurfaceCSV(w, pts)
+	case "fig22":
+		rows, err := exp.Fig22()
+		if err != nil {
+			return err
+		}
+		return report.Fig22CSV(w, rows)
+	default:
+		return fmt.Errorf("csv format supports fig13..fig20, fig22; got %q", only)
+	}
+}

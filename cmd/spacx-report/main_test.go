@@ -1,0 +1,18 @@
+package main
+
+import (
+	"os"
+	"testing"
+)
+
+func TestRunRejectsBadInputs(t *testing.T) {
+	if err := run("", 100, "nosuchformat"); err == nil {
+		t.Error("unknown format should fail")
+	}
+	if err := runCSV(os.Stdout, "", 100); err == nil {
+		t.Error("csv without -only should fail")
+	}
+	if err := runCSV(os.Stdout, "table1", 100); err == nil {
+		t.Error("csv for a text-only artifact should fail")
+	}
+}

@@ -1,0 +1,107 @@
+// Command spacx-sim runs one DNN model on one accelerator and prints the
+// per-layer execution time and energy rows.
+//
+// Usage:
+//
+//	spacx-sim -model resnet50 -accel spacx -mode whole
+//	spacx-sim -model vgg16 -accel simba -mode layer
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"spacx"
+	"spacx/internal/dataflow"
+	"spacx/internal/trace"
+)
+
+func main() {
+	model := flag.String("model", "resnet50", "DNN model: resnet50, vgg16, densenet201, efficientnetb7, alexnet, mobilenetv2")
+	accel := flag.String("accel", "spacx", "accelerator: spacx, spacx-noba, simba, popstar")
+	mode := flag.String("mode", "whole", "residency mode: whole (GB reuse) or layer (DRAM per layer)")
+	format := flag.String("format", "text", "output format: text or json")
+	batch := flag.Int("batch", 1, "batch size (samples processed together)")
+	tracePath := flag.String("trace", "", "write a chrome://tracing JSON schedule to this path")
+	explain := flag.Bool("explain", false, "print the mapping decisions per layer instead of the summary rows")
+	flag.Parse()
+
+	if err := run(*model, *accel, *mode, *format, *batch, *tracePath, *explain); err != nil {
+		fmt.Fprintln(os.Stderr, "spacx-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(modelName, accelName, modeName, format string, batch int, tracePath string, explain bool) error {
+	m, err := spacx.ModelByName(modelName)
+	if err != nil {
+		return err
+	}
+	if batch > 1 {
+		for i := range m.Layers {
+			m.Layers[i] = m.Layers[i].WithBatch(batch)
+		}
+	}
+	var acc spacx.Accelerator
+	switch accelName {
+	case "spacx":
+		acc = spacx.SPACX()
+	case "spacx-noba":
+		acc = spacx.SPACXNoBA()
+	case "simba":
+		acc = spacx.Simba()
+	case "popstar":
+		acc = spacx.POPSTAR()
+	default:
+		return fmt.Errorf("unknown accelerator %q (spacx, spacx-noba, simba, popstar)", accelName)
+	}
+	var mode spacx.Mode
+	switch modeName {
+	case "whole":
+		mode = spacx.WholeInference
+	case "layer":
+		mode = spacx.LayerByLayer
+	default:
+		return fmt.Errorf("unknown mode %q (whole, layer)", modeName)
+	}
+
+	res, err := spacx.Run(acc, m, mode)
+	if err != nil {
+		return err
+	}
+	if tracePath != "" {
+		create := func(p string) (io.WriteCloser, error) { return os.Create(p) }
+		if err := trace.ExportFile(create, tracePath, res); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "trace written to %s\n", tracePath)
+	}
+	if format == "json" {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(res)
+	}
+	if format != "text" {
+		return fmt.Errorf("unknown format %q (text, json)", format)
+	}
+	if explain {
+		for _, lr := range res.Layers {
+			fmt.Println(dataflow.Explain(lr.Profile, acc.Arch))
+		}
+		return nil
+	}
+	fmt.Printf("%s on %s (%s)\n", m.Name, acc.Name(), mode)
+	fmt.Printf("%-24s %4s %12s %12s %12s %12s\n",
+		"layer", "rep", "comp(us)", "comm(us)", "exec(us)", "energy(uJ)")
+	for _, lr := range res.Layers {
+		fmt.Printf("%-24s %4d %12.2f %12.2f %12.2f %12.1f\n",
+			lr.Layer.Name, lr.Layer.Repeat,
+			lr.ComputeSec*1e6, lr.CommSec*1e6, lr.ExecSec*1e6, lr.TotalEnergy*1e6)
+	}
+	fmt.Printf("\ntotal: exec %.4f ms (compute %.4f ms), energy %.3f mJ (network %.3f mJ)\n",
+		res.ExecSec*1e3, res.ComputeSec*1e3, res.TotalEnergy*1e3, res.NetworkEnergy*1e3)
+	return nil
+}

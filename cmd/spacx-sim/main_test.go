@@ -1,0 +1,21 @@
+package main
+
+import "testing"
+
+func TestRunRejectsBadInputs(t *testing.T) {
+	if err := run("nosuchmodel", "spacx", "whole", "text", 1, "", false); err == nil {
+		t.Error("unknown model should fail")
+	}
+	if err := run("resnet50", "nosuchaccel", "whole", "text", 1, "", false); err == nil {
+		t.Error("unknown accelerator should fail")
+	}
+	if err := run("resnet50", "spacx", "nosuchmode", "text", 1, "", false); err == nil {
+		t.Error("unknown mode should fail")
+	}
+	if err := run("resnet50", "spacx", "whole", "nosuchformat", 1, "", false); err == nil {
+		t.Error("unknown format should fail")
+	}
+	if err := run("resnet50", "spacx", "whole", "text", 1, "/no/such/dir/trace.json", false); err == nil {
+		t.Error("unwritable trace path should fail")
+	}
+}

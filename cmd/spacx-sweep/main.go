@@ -1,0 +1,64 @@
+// Command spacx-sweep runs the design-space sweeps: the broadcast
+// granularity power surfaces of Figures 19/20 and the scalability study of
+// Figure 22.
+//
+// Usage:
+//
+//	spacx-sweep -sweep power -params moderate
+//	spacx-sweep -sweep power -params aggressive -m 64 -n 64
+//	spacx-sweep -sweep scale
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"spacx"
+	"spacx/internal/exp"
+	"spacx/internal/report"
+)
+
+func main() {
+	sweep := flag.String("sweep", "power", "sweep kind: power (Figs 19/20) or scale (Fig 22)")
+	params := flag.String("params", "moderate", "photonic parameters: moderate or aggressive")
+	m := flag.Int("m", 32, "chiplet count for the power sweep")
+	n := flag.Int("n", 32, "PEs per chiplet for the power sweep")
+	flag.Parse()
+
+	if err := run(*sweep, *params, *m, *n); err != nil {
+		fmt.Fprintln(os.Stderr, "spacx-sweep:", err)
+		os.Exit(1)
+	}
+}
+
+func run(sweep, params string, m, n int) error {
+	switch sweep {
+	case "power":
+		var p spacx.PhotonicParams
+		switch params {
+		case "moderate":
+			p = spacx.ModerateParams()
+		case "aggressive":
+			p = spacx.AggressiveParams()
+		default:
+			return fmt.Errorf("unknown params %q (moderate, aggressive)", params)
+		}
+		pts, err := spacx.PowerSurface(m, n, p)
+		if err != nil {
+			return err
+		}
+		report.PowerSurface(os.Stdout,
+			fmt.Sprintf("SPACX network power surface, M=%d N=%d, %s parameters", m, n, p.Name), pts)
+		return nil
+	case "scale":
+		rows, err := exp.Fig22()
+		if err != nil {
+			return err
+		}
+		report.Fig22(os.Stdout, rows)
+		return nil
+	default:
+		return fmt.Errorf("unknown sweep %q (power, scale)", sweep)
+	}
+}

@@ -1,0 +1,15 @@
+package main
+
+import "testing"
+
+func TestRunRejectsBadInputs(t *testing.T) {
+	if err := run("nosuchsweep", "moderate", 32, 32); err == nil {
+		t.Error("unknown sweep should fail")
+	}
+	if err := run("power", "nosuchparams", 32, 32); err == nil {
+		t.Error("unknown params should fail")
+	}
+	if err := run("power", "moderate", -1, 32); err == nil {
+		t.Error("negative machine size should fail the sweep")
+	}
+}

@@ -1,0 +1,75 @@
+package spacx_test
+
+import (
+	"fmt"
+
+	"spacx"
+)
+
+// ExampleRun simulates a full ResNet-50 inference pass on the three
+// evaluation accelerators and reports who wins — the Figure 15 headline.
+func ExampleRun() {
+	model := spacx.ResNet50()
+	simba, _ := spacx.Run(spacx.Simba(), model, spacx.WholeInference)
+	popstar, _ := spacx.Run(spacx.POPSTAR(), model, spacx.WholeInference)
+	sx, _ := spacx.Run(spacx.SPACX(), model, spacx.WholeInference)
+
+	fmt.Println("SPACX faster than POPSTAR:", sx.ExecSec < popstar.ExecSec)
+	fmt.Println("POPSTAR faster than Simba:", popstar.ExecSec < simba.ExecSec)
+	fmt.Println("SPACX most energy-efficient:",
+		sx.TotalEnergy < popstar.TotalEnergy && sx.TotalEnergy < simba.TotalEnergy)
+	// Output:
+	// SPACX faster than POPSTAR: true
+	// POPSTAR faster than Simba: true
+	// SPACX most energy-efficient: true
+}
+
+// ExampleRunLayer inspects a single layer's mapping.
+func ExampleRunLayer() {
+	layer := spacx.ResNet50().Layers[2] // the first 3x3 bottleneck conv
+	r, _ := spacx.RunLayer(spacx.SPACX(), layer, spacx.WholeInference)
+	fmt.Println("layer:", layer.Name)
+	fmt.Println("active PEs:", r.Profile.ActivePEs)
+	fmt.Println("flows:", len(r.Profile.Flows))
+	// Output:
+	// layer: L3_res2_branch2b
+	// active PEs: 1024
+	// flows: 3
+}
+
+// ExamplePowerSurface locates the power minima of the broadcast-granularity
+// design space (Figures 19/20).
+func ExamplePowerSurface() {
+	pts, _ := spacx.PowerSurface(32, 32, spacx.ModerateParams())
+	var laserMin, overallMin spacx.PowerPoint
+	for _, p := range pts {
+		if p.GK < 4 || p.GEF < 4 {
+			continue
+		}
+		if laserMin.GK == 0 || p.LaserW < laserMin.LaserW {
+			laserMin = p
+		}
+		if overallMin.GK == 0 || p.OverallW() < overallMin.OverallW() {
+			overallMin = p
+		}
+	}
+	fmt.Printf("laser minimum at (k=%d, e/f=%d)\n", laserMin.GK, laserMin.GEF)
+	fmt.Printf("overall minimum at (k=%d, e/f=%d)\n", overallMin.GK, overallMin.GEF)
+	// Output:
+	// laser minimum at (k=4, e/f=4)
+	// overall minimum at (k=16, e/f=16)
+}
+
+// ExampleNewNetworkConfig reproduces the Table I topology algebra.
+func ExampleNewNetworkConfig() {
+	for _, g := range [][2]int{{8, 8}, {4, 8}, {8, 4}, {4, 4}} {
+		cfg, _ := spacx.NewNetworkConfig(8, 8, g[0], g[1], spacx.ModerateParams())
+		fmt.Printf("e/f=%d k=%d: %d waveguides, %d wavelengths, %d interface MRRs\n",
+			g[0], g[1], cfg.GlobalWaveguides(), cfg.Wavelengths(), cfg.InterfaceMRRs())
+	}
+	// Output:
+	// e/f=8 k=8: 1 waveguides, 16 wavelengths, 80 interface MRRs
+	// e/f=4 k=8: 2 waveguides, 12 wavelengths, 80 interface MRRs
+	// e/f=8 k=4: 2 waveguides, 12 wavelengths, 96 interface MRRs
+	// e/f=4 k=4: 4 waveguides, 8 wavelengths, 96 interface MRRs
+}

@@ -1,0 +1,55 @@
+// granularity explores the broadcast-granularity design space of Section V
+// and Section VIII-E1 (Figure 19): for every (k, e/f) granularity pair it
+// prints the laser, transceiver, and overall network power, and marks the
+// minima the paper identifies.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"spacx"
+)
+
+func main() {
+	pts, err := spacx.PowerSurface(32, 32, spacx.ModerateParams())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	type key struct{ gk, gef int }
+	minOf := func(metric func(spacx.PowerPoint) float64) key {
+		var best key
+		bestV := 0.0
+		for _, p := range pts {
+			if p.GK < 4 || p.GEF < 4 {
+				continue
+			}
+			if v := metric(p); best.gk == 0 || v < bestV {
+				best, bestV = key{p.GK, p.GEF}, v
+			}
+		}
+		return best
+	}
+	laserMin := minOf(func(p spacx.PowerPoint) float64 { return p.LaserW })
+	xcvrMin := minOf(func(p spacx.PowerPoint) float64 { return p.TransceiverW() })
+	overallMin := minOf(func(p spacx.PowerPoint) float64 { return p.OverallW() })
+
+	fmt.Println("SPACX photonic network power vs broadcast granularity (moderate params)")
+	fmt.Printf("%4s %4s %10s %12s %11s\n", "k", "e/f", "laser(W)", "xcvr(W)", "overall(W)")
+	for _, p := range pts {
+		if p.GK < 4 || p.GEF < 4 {
+			continue
+		}
+		mark := ""
+		if (key{p.GK, p.GEF}) == overallMin {
+			mark = "  <- overall min"
+		}
+		fmt.Printf("%4d %4d %10.3f %12.3f %11.3f%s\n",
+			p.GK, p.GEF, p.LaserW, p.TransceiverW(), p.OverallW(), mark)
+	}
+	fmt.Printf("\nlaser minimum at (k=%d, e/f=%d)        — paper: (4, 4)\n", laserMin.gk, laserMin.gef)
+	fmt.Printf("transceiver minimum at (k=%d, e/f=%d) — paper: (32, 32)\n", xcvrMin.gk, xcvrMin.gef)
+	fmt.Printf("overall minimum at (k=%d, e/f=%d)     — paper: (16, 16)\n", overallMin.gk, overallMin.gef)
+	fmt.Println("deployment choice (balanced): e/f=8, k=16 (Section VII-C)")
+}

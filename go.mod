@@ -1,0 +1,3 @@
+module spacx
+
+go 1.22

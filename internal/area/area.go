@@ -1,0 +1,61 @@
+// Package area implements the Section VIII-G area estimation: PE logic area
+// from synthesis (28 nm), transceiver peripheral circuitry per wavelength,
+// MRR area from the ring radius, and micro-bump area from the per-ring wire
+// count and bump pitch.
+package area
+
+import (
+	"fmt"
+	"math"
+)
+
+// Constants from Section VIII-G and its references.
+const (
+	// PEAreaMM2 is the synthesized SPACX PE area (excluding the transmitter
+	// and the two receivers) at 28 nm.
+	PEAreaMM2 = 0.72
+
+	// TransceiverAreaPerWavelengthMM2 is the peripheral circuit area of one
+	// transmitter or receiver per wavelength (ref [67]).
+	TransceiverAreaPerWavelengthMM2 = 0.0096
+
+	// MRRRadiusUM is the assumed ring radius (ref [68]).
+	MRRRadiusUM = 5.0
+
+	// WiresPerMRR and MicroBumpPitchUM size the micro-bump field (ref [69]).
+	WiresPerMRR      = 4
+	MicroBumpPitchUM = 36.0
+
+	// ChipletAreaMM2 is the quoted accelerator chiplet area.
+	ChipletAreaMM2 = 4.07
+)
+
+// Estimate is the Section VIII-G area inventory for one chiplet.
+type Estimate struct {
+	PEs            int
+	MRRsPerChiplet int
+
+	PELogicMM2      float64
+	TransceiverMM2  float64 // per-PE TX + 2 RX peripheral circuitry
+	MRRMM2          float64
+	MicroBumpMM2    float64
+	PeripheralShare float64 // transceiver area as a fraction of PE area
+}
+
+// PerChiplet computes the inventory for a chiplet with n PEs and the given
+// ring count underneath it (spacxnet.Config.MRRsPerChiplet for SPACX).
+func PerChiplet(nPEs, mrrs int) (Estimate, error) {
+	if nPEs <= 0 || mrrs < 0 {
+		return Estimate{}, fmt.Errorf("area: nPEs=%d mrrs=%d invalid", nPEs, mrrs)
+	}
+	e := Estimate{PEs: nPEs, MRRsPerChiplet: mrrs}
+	e.PELogicMM2 = float64(nPEs) * PEAreaMM2
+	// One transmitter and two receivers per PE, one wavelength each.
+	e.TransceiverMM2 = float64(nPEs) * 3 * TransceiverAreaPerWavelengthMM2
+	ringMM2 := math.Pi * (MRRRadiusUM / 1000) * (MRRRadiusUM / 1000)
+	e.MRRMM2 = float64(mrrs) * ringMM2
+	bumpSideMM := MicroBumpPitchUM / 1000
+	e.MicroBumpMM2 = float64(mrrs) * WiresPerMRR * bumpSideMM * bumpSideMM
+	e.PeripheralShare = e.TransceiverMM2 / e.PELogicMM2
+	return e, nil
+}

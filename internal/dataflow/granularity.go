@@ -1,0 +1,108 @@
+package dataflow
+
+import (
+	"fmt"
+
+	"spacx/internal/dnn"
+	"spacx/internal/network/spacxnet"
+	"spacx/internal/photonic"
+)
+
+// Section V: broadcast granularity exploration. Finer cross-chiplet or
+// single-chiplet granularity lets layers whose e/f plane or channel count
+// does not match the machine dimensions fill otherwise-idle PEs.
+
+// IfmapReuseChiplets is the Section VI sharing-set size: the number of
+// chiplets that reuse one input feature under the SPACX mapping,
+// min(S, F2) * min(R, E2) * K1, where (E2, F2) are the cross-group spatial
+// factors and K1 the cross-group count. It bounds the usefulness of the
+// cross-chiplet ifmap multicast of Figure 12.
+func IfmapReuseChiplets(l dnn.Layer, e2, f2, k1 int) int {
+	if e2 < 1 {
+		e2 = 1
+	}
+	if f2 < 1 {
+		f2 = 1
+	}
+	if k1 < 1 {
+		k1 = 1
+	}
+	return minInt(l.S, f2) * minInt(l.R, e2) * k1
+}
+
+// WeightReusePEs is the corresponding single-chiplet sharing set: E3*F3
+// local PEs share a weight (Section VI), where (E3, F3) are the
+// single-group spatial factors.
+func WeightReusePEs(e3, f3 int) int {
+	if e3 < 1 {
+		e3 = 1
+	}
+	if f3 < 1 {
+		f3 = 1
+	}
+	return e3 * f3
+}
+
+// GranularityPoint is one candidate configuration's outcome for a layer.
+type GranularityPoint struct {
+	GEF, GK int
+	// SpatialUtilization is active PEs over total PEs.
+	SpatialUtilization float64
+	ActivePEs          int
+}
+
+// SpatialUtilization maps the layer with the SPACX dataflow under the given
+// granularities and returns the fraction of PEs occupied.
+func SpatialUtilization(l dnn.Layer, m, n, gef, gk int) (GranularityPoint, error) {
+	cfg, err := spacxnet.New(m, n, gef, gk, photonic.Moderate())
+	if err != nil {
+		return GranularityPoint{}, err
+	}
+	arch := Arch{
+		Name: "explore", M: m, N: n,
+		VectorWidth: 1, ClockHz: 1e9,
+		PEBufBytes: 4 * 1024, GBBytes: 2 << 20,
+		GEF: gef, GK: gk,
+		Net: spacxnet.MustModel(cfg),
+	}
+	p, err := SPACX{}.Map(l, arch)
+	if err != nil {
+		return GranularityPoint{}, err
+	}
+	return GranularityPoint{
+		GEF: gef, GK: gk,
+		SpatialUtilization: float64(p.ActivePEs) / float64(m*n),
+		ActivePEs:          p.ActivePEs,
+	}, nil
+}
+
+// ExploreGranularity evaluates every power-of-two granularity pair for the
+// layer and returns all points plus the index of the best one (highest
+// spatial utilization; ties broken toward coarser granularity, which needs
+// fewer waveguides).
+func ExploreGranularity(l dnn.Layer, m, n int) ([]GranularityPoint, int, error) {
+	if err := l.Validate(); err != nil {
+		return nil, 0, err
+	}
+	var pts []GranularityPoint
+	best := -1
+	for gef := m; gef >= 1; gef /= 2 {
+		for gk := n; gk >= 1; gk /= 2 {
+			if gef+gk > photonic.MaxWavelengthsPerWaveguide {
+				continue
+			}
+			pt, err := SpatialUtilization(l, m, n, gef, gk)
+			if err != nil {
+				return nil, 0, fmt.Errorf("dataflow: explore (%d,%d): %w", gef, gk, err)
+			}
+			pts = append(pts, pt)
+			if best < 0 || pt.SpatialUtilization > pts[best].SpatialUtilization {
+				best = len(pts) - 1
+			}
+		}
+	}
+	if best < 0 {
+		return nil, 0, fmt.Errorf("dataflow: no feasible granularity for M=%d N=%d", m, n)
+	}
+	return pts, best, nil
+}

@@ -1,0 +1,189 @@
+package dataflow
+
+import (
+	"testing"
+
+	"spacx/internal/dnn"
+	"spacx/internal/network/spacxnet"
+)
+
+// The first worked example of Section V: [r s e f c k] = [2 2 2 2 3 16] on
+// the 8x8 machine. Under configuration A only 4 chiplets are utilized
+// (e*f = 4 < M = 8) while the k loop iterates (k = 16 > N = 8); splitting
+// the chiplets into two cross-chiplet broadcast groups (configuration B)
+// fills the machine.
+func TestSectionVExampleB(t *testing.T) {
+	l := dnn.NewConv("exB", 3, 3, 2, 2, 3, 16, 1, 0) // e=f=2
+	if l.E != 2 || l.F != 2 {
+		t.Fatalf("layer dims wrong: %+v", l)
+	}
+	a, err := SpatialUtilization(l, 8, 8, 8, 8) // configuration A
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SpatialUtilization(l, 8, 8, 4, 8) // configuration B
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.SpatialUtilization != 0.5 {
+		t.Errorf("config A utilization = %v, want 0.5 (4 of 8 chiplets)", a.SpatialUtilization)
+	}
+	if b.SpatialUtilization != 1.0 {
+		t.Errorf("config B utilization = %v, want 1.0", b.SpatialUtilization)
+	}
+}
+
+// The second worked example: [2 2 4 4 3 4] — only 4 PEs per chiplet are
+// utilized under configuration A (k = 4 < N = 8) while e/f iterates
+// (e*f = 16 > M = 8); two single-chiplet groups (configuration C) fill it.
+func TestSectionVExampleC(t *testing.T) {
+	l := dnn.NewConv("exC", 5, 5, 2, 2, 3, 4, 1, 0) // e=f=4
+	if l.E != 4 || l.F != 4 {
+		t.Fatalf("layer dims wrong: %+v", l)
+	}
+	a, err := SpatialUtilization(l, 8, 8, 8, 8) // configuration A
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := SpatialUtilization(l, 8, 8, 8, 4) // configuration C
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.SpatialUtilization != 0.5 {
+		t.Errorf("config A utilization = %v, want 0.5 (4 of 8 PEs per chiplet)", a.SpatialUtilization)
+	}
+	if c.SpatialUtilization != 1.0 {
+		t.Errorf("config C utilization = %v, want 1.0", c.SpatialUtilization)
+	}
+}
+
+func TestExploreGranularityPicksBest(t *testing.T) {
+	l := dnn.NewConv("exB", 3, 3, 2, 2, 3, 16, 1, 0)
+	pts, best, err := ExploreGranularity(l, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) == 0 {
+		t.Fatal("no points")
+	}
+	if pts[best].SpatialUtilization != 1.0 {
+		t.Errorf("best utilization = %v, want 1.0", pts[best].SpatialUtilization)
+	}
+	// The best configuration must not be A for this layer.
+	if pts[best].GEF == 8 && pts[best].GK == 8 {
+		t.Error("configuration A should not win the first Section V example")
+	}
+}
+
+func TestExploreGranularityRejectsInvalidLayer(t *testing.T) {
+	if _, _, err := ExploreGranularity(dnn.Layer{}, 8, 8); err == nil {
+		t.Error("invalid layer should fail")
+	}
+}
+
+func TestExploreGranularityLargeLayerSaturates(t *testing.T) {
+	// A big conv saturates the machine at any granularity; explore should
+	// report full utilization everywhere.
+	l := dnn.NewSameConv("big", 56, 3, 64, 64, 1)
+	pts, best, err := ExploreGranularity(l, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pts[best].SpatialUtilization != 1.0 {
+		t.Errorf("big layer best utilization = %v, want 1.0", pts[best].SpatialUtilization)
+	}
+}
+
+func TestIfmapReuseChiplets(t *testing.T) {
+	// Figure 12's example: a 2x2 kernel with E2=F2=2 spatial cross factors
+	// and a single cross group shares each input feature among 4 chiplets.
+	l := dnn.NewConv("f12", 5, 5, 2, 2, 3, 8, 1, 0)
+	if got := IfmapReuseChiplets(l, 2, 2, 1); got != 4 {
+		t.Errorf("reuse = %d, want 4 (min(S,F2)*min(R,E2)*K1 = 2*2*1)", got)
+	}
+	// A 1x1 kernel has no convolution reuse across spatial factors.
+	one := dnn.NewConv("p", 4, 4, 1, 1, 3, 8, 1, 0)
+	if got := IfmapReuseChiplets(one, 4, 4, 1); got != 1 {
+		t.Errorf("1x1 reuse = %d, want 1", got)
+	}
+	// K1 cross groups multiply the set.
+	if got := IfmapReuseChiplets(l, 2, 2, 3); got != 12 {
+		t.Errorf("reuse with K1=3 = %d, want 12", got)
+	}
+	// Degenerate factors clamp.
+	if got := IfmapReuseChiplets(l, 0, 0, 0); got != 1 {
+		t.Errorf("clamped reuse = %d, want 1", got)
+	}
+}
+
+func TestWeightReusePEs(t *testing.T) {
+	if WeightReusePEs(2, 3) != 6 {
+		t.Error("E3*F3 = 6 expected")
+	}
+	if WeightReusePEs(0, 0) != 1 {
+		t.Error("clamped weight reuse should be 1")
+	}
+}
+
+func TestAnalyzeReuse(t *testing.T) {
+	a := Arch{
+		Name: "SPACX", M: 32, N: 32, VectorWidth: 32, ClockHz: 1e9,
+		PEBufBytes: 4 * 1024, GBBytes: 2 << 20, GEF: 8, GK: 16,
+		Net: mustNet(t),
+	}
+	l := dnn.NewSameConv("c3", 56, 3, 64, 64, 1)
+	p, err := SPACX{}.Map(l, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := AnalyzeReuse(p)
+	// Weight broadcast width = posSlots = 16; ifmap sharing = usedK = 64.
+	if rep.Weights.SpatialReuse != 16 {
+		t.Errorf("weight spatial reuse = %d, want 16", rep.Weights.SpatialReuse)
+	}
+	if rep.Ifmaps.SpatialReuse != 64 {
+		t.Errorf("ifmap spatial reuse = %d, want 64", rep.Ifmaps.SpatialReuse)
+	}
+	// Every value fetched at least once.
+	if rep.Weights.FetchAmplification < 1 || rep.Ifmaps.FetchAmplification < 0.2 {
+		t.Errorf("implausible fetch amplification: %+v", rep)
+	}
+	if rep.Weights.TemporalReuse <= 0 || rep.Weights.TotalReuse() <= 0 {
+		t.Errorf("reuse must be positive: %+v", rep.Weights)
+	}
+	// The SPACX dataflow's whole argument: both operands enjoy multi-way
+	// spatial reuse simultaneously.
+	if rep.Weights.SpatialReuse < 2 || rep.Ifmaps.SpatialReuse < 2 {
+		t.Error("orthogonal broadcast should give both operands spatial reuse")
+	}
+}
+
+// WS on the same architecture trades one operand's spatial reuse away — the
+// Section II-B2 argument quantified.
+func TestReuseWSVsSPACX(t *testing.T) {
+	a := Arch{
+		Name: "SPACX", M: 32, N: 32, VectorWidth: 32, ClockHz: 1e9,
+		PEBufBytes: 4 * 1024, GBBytes: 2 << 20, GEF: 8, GK: 16,
+		Net: mustNet(t),
+	}
+	l := dnn.NewSameConv("c3", 56, 3, 64, 64, 1)
+	sp, err := SPACX{}.Map(l, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws, err := WS{}.Map(l, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, rw := AnalyzeReuse(sp), AnalyzeReuse(ws)
+	// SPACX gives weights strictly more spatial reuse than WS does.
+	if rs.Weights.SpatialReuse <= rw.Weights.SpatialReuse {
+		t.Errorf("SPACX weight spatial reuse %d should exceed WS %d",
+			rs.Weights.SpatialReuse, rw.Weights.SpatialReuse)
+	}
+}
+
+func mustNet(t *testing.T) *spacxnet.Model {
+	t.Helper()
+	return spacxnet.MustModel(spacxnet.Default32())
+}

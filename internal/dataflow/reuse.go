@@ -1,0 +1,63 @@
+package dataflow
+
+import "spacx/internal/network"
+
+// ReuseReport is the MAESTRO-style per-operand reuse decomposition of a
+// mapping (the quantity the paper's Section II-B2 argues over): for each
+// operand, how many endpoints consume one transmission (spatial reuse, the
+// broadcast width), how many times the fetched copies get used by MACs
+// (temporal reuse at the PE), and how much the schedule re-fetches data
+// beyond the theoretical minimum (fetch amplification).
+type ReuseReport struct {
+	Weights OperandReuse
+	Ifmaps  OperandReuse
+}
+
+// OperandReuse decomposes one operand's movement.
+type OperandReuse struct {
+	// SpatialReuse is endpoints served per transmission (broadcast width).
+	SpatialReuse int
+	// TemporalReuse is MACs performed per byte delivered into a PE buffer.
+	TemporalReuse float64
+	// FetchAmplification is bytes transmitted over the theoretical minimum
+	// (1.0 = every value fetched exactly once).
+	FetchAmplification float64
+}
+
+// AnalyzeReuse derives the reuse report from a mapping profile.
+func AnalyzeReuse(p Profile) ReuseReport {
+	var rep ReuseReport
+	macs := float64(p.MACs())
+	for _, f := range p.Flows {
+		ff := f.Normalize()
+		if ff.Dir != network.GBToPE {
+			continue
+		}
+		delivered := float64(ff.UniqueBytes) * float64(ff.DestPerDatum)
+		op := OperandReuse{SpatialReuse: ff.DestPerDatum}
+		if delivered > 0 {
+			op.TemporalReuse = macs / delivered
+		}
+		switch ff.Class {
+		case network.Weights:
+			minBytes := float64(p.Layer.WeightCount() * WeightBytes)
+			if minBytes > 0 {
+				op.FetchAmplification = float64(ff.UniqueBytes) / minBytes
+			}
+			rep.Weights = op
+		case network.Ifmaps:
+			minBytes := float64(p.Layer.IfmapCount() * IfmapBytes)
+			if minBytes > 0 {
+				op.FetchAmplification = float64(ff.UniqueBytes) / minBytes
+			}
+			rep.Ifmaps = op
+		}
+	}
+	return rep
+}
+
+// TotalReuse is the product of spatial and temporal reuse — the overall
+// MAC-per-transmitted-byte leverage of the operand.
+func (o OperandReuse) TotalReuse() float64 {
+	return float64(o.SpatialReuse) * o.TemporalReuse
+}

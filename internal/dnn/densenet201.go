@@ -1,0 +1,45 @@
+package dnn
+
+import "fmt"
+
+// DenseNet201 returns the convolution/FC layers of DenseNet-201
+// (Huang et al., CVPR 2017) for a 224x224 input, generated programmatically:
+// an initial 7x7 stem, four dense blocks of (6, 12, 48, 32) layers with
+// growth rate 32 (each dense layer = 1x1 bottleneck to 4*growth channels
+// followed by a 3x3 conv to growth channels), three 1x1 transition layers
+// that halve the channel count, and the final classifier.
+//
+// The paper does not plot DenseNet-201 per-layer "due to the large layer
+// counts"; it is used for the whole-inference figures only, so no manual
+// deduplication labels are needed — layers inside a block that share
+// parameters are still distinct here (input channel count grows each layer,
+// so almost none coincide anyway).
+func DenseNet201() Model {
+	const growth = 32
+	blocks := []int{6, 12, 48, 32}
+	spatial := []int{56, 28, 14, 7}
+
+	m := Model{Name: "DenseNet-201"}
+	m.Layers = append(m.Layers, NewConv("stem_conv7", 224, 224, 7, 7, 3, 64, 2, 3))
+
+	channels := 64
+	for b, n := range blocks {
+		h := spatial[b]
+		for i := 0; i < n; i++ {
+			m.Layers = append(m.Layers,
+				NewSameConv(fmt.Sprintf("db%d_l%d_1x1", b+1, i+1), h, 1, channels, 4*growth, 1),
+				NewSameConv(fmt.Sprintf("db%d_l%d_3x3", b+1, i+1), h, 3, 4*growth, growth, 1),
+			)
+			channels += growth
+		}
+		if b < len(blocks)-1 {
+			// Transition: 1x1 conv halving channels (pooling is a GB-side
+			// auxiliary op and not modelled).
+			m.Layers = append(m.Layers,
+				NewSameConv(fmt.Sprintf("trans%d_1x1", b+1), h, 1, channels, channels/2, 1))
+			channels /= 2
+		}
+	}
+	m.Layers = append(m.Layers, NewFC("fc1000", channels, 1000))
+	return m
+}

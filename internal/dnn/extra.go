@@ -1,0 +1,82 @@
+package dnn
+
+import "fmt"
+
+// Models beyond the paper's benchmark set, provided for library users:
+// AlexNet (the classic five-conv sanity model) and MobileNetV2 (a
+// depthwise-separable workload that stresses the grouped-convolution paths
+// far harder than EfficientNet's scaled blocks).
+
+// AlexNet returns the five convolution and three FC layers of AlexNet
+// (Krizhevsky et al., 2012) for a 227x227 input.
+func AlexNet() Model {
+	grouped := func(l Layer, g int) Layer {
+		l.Groups = g
+		return l
+	}
+	return Model{
+		Name: "AlexNet",
+		Layers: []Layer{
+			NewConv("conv1", 227, 227, 11, 11, 3, 96, 4, 0),
+			// conv2/4/5 are split across the two GPUs of the original
+			// (groups = 2).
+			grouped(NewConv("conv2", 27, 27, 5, 5, 96, 256, 1, 2), 2),
+			NewConv("conv3", 13, 13, 3, 3, 256, 384, 1, 1),
+			grouped(NewConv("conv4", 13, 13, 3, 3, 384, 384, 1, 1), 2),
+			grouped(NewConv("conv5", 13, 13, 3, 3, 384, 256, 1, 1), 2),
+			NewFC("fc6", 256*6*6, 4096),
+			NewFC("fc7", 4096, 4096),
+			NewFC("fc8", 4096, 1000),
+		},
+	}
+}
+
+// mb2Stage describes one MobileNetV2 bottleneck stage.
+type mb2Stage struct {
+	expand  int
+	outCh   int
+	repeats int
+	stride  int
+}
+
+// MobileNetV2 returns the convolution/FC layers of MobileNetV2
+// (Sandler et al., CVPR 2018) for a 224x224 input: a stem conv, 17 inverted
+// residual bottlenecks (expansion 1x1, depthwise 3x3, projection 1x1), the
+// head conv, and the classifier.
+func MobileNetV2() Model {
+	stages := []mb2Stage{
+		{1, 16, 1, 1},
+		{6, 24, 2, 2},
+		{6, 32, 3, 2},
+		{6, 64, 4, 2},
+		{6, 96, 3, 1},
+		{6, 160, 3, 2},
+		{6, 320, 1, 1},
+	}
+	m := Model{Name: "MobileNetV2"}
+	h := 224
+	m.Layers = append(m.Layers, NewSameConv("stem_conv3", h, 3, 3, 32, 2))
+	h = ceilDiv(h, 2)
+
+	in := 32
+	for si, st := range stages {
+		for r := 0; r < st.repeats; r++ {
+			stride := 1
+			if r == 0 {
+				stride = st.stride
+			}
+			name := fmt.Sprintf("b%d_%d", si+1, r+1)
+			mid := in * st.expand
+			if st.expand != 1 {
+				m.Layers = append(m.Layers, NewSameConv(name+"_expand", h, 1, in, mid, 1))
+			}
+			m.Layers = append(m.Layers, NewDepthwise(name+"_dw", h, 3, mid, stride))
+			h = ceilDiv(h, stride)
+			m.Layers = append(m.Layers, NewSameConv(name+"_project", h, 1, mid, st.outCh, 1))
+			in = st.outCh
+		}
+	}
+	m.Layers = append(m.Layers, NewSameConv("head_conv1", h, 1, in, 1280, 1))
+	m.Layers = append(m.Layers, NewFC("fc1000", 1280, 1000))
+	return m
+}

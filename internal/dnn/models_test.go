@@ -1,0 +1,259 @@
+package dnn
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestResNet50Shape(t *testing.T) {
+	m := ResNet50()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The paper: "There are 21 ... different convolution or fully connected
+	// layers in ResNet-50".
+	if len(m.Layers) != 21 {
+		t.Fatalf("ResNet-50 unique layers = %d, want 21", len(m.Layers))
+	}
+	// Instance count: conv1 + stage2(3 blocks x3 + branch1) + stage3(4x3+1)
+	// + stage4(6x3+1) + stage5(3x3+1) + fc = 1+10+13+19+10+1 = 54.
+	if got := m.LayerInstances(); got != 54 {
+		t.Errorf("ResNet-50 layer instances = %d, want 54", got)
+	}
+	// ~4.1 GMACs for one 224x224 inference (well-known figure ~3.86e9
+	// counting only convs+fc with this dedup set).
+	macs := m.TotalMACs()
+	if macs < 3.5e9 || macs > 4.5e9 {
+		t.Errorf("ResNet-50 total MACs = %d, want ~4e9", macs)
+	}
+	// ~25.5M params total; conv+fc weights alone ~25M.
+	w := m.TotalWeights()
+	if w < 20e6 || w > 30e6 {
+		t.Errorf("ResNet-50 weights = %d, want ~25e6", w)
+	}
+	// Spot-check L1 and L21.
+	if m.Layers[0].E != 112 || m.Layers[0].K != 64 {
+		t.Errorf("L1 = %+v", m.Layers[0])
+	}
+	last := m.Layers[20]
+	if last.Kind != FC || last.C != 2048 || last.K != 1000 {
+		t.Errorf("L21 = %+v", last)
+	}
+}
+
+func TestVGG16Shape(t *testing.T) {
+	m := VGG16()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Layers) != 12 {
+		t.Fatalf("VGG-16 unique layers = %d, want 12", len(m.Layers))
+	}
+	// 13 convs + 3 FCs = 16 instances.
+	if got := m.LayerInstances(); got != 16 {
+		t.Errorf("VGG-16 instances = %d, want 16", got)
+	}
+	// ~15.5 GMACs, ~138M params — the classic numbers.
+	macs := m.TotalMACs()
+	if macs < 14e9 || macs > 17e9 {
+		t.Errorf("VGG-16 MACs = %d, want ~15.5e9", macs)
+	}
+	w := m.TotalWeights()
+	if w < 130e6 || w > 145e6 {
+		t.Errorf("VGG-16 weights = %d, want ~138e6", w)
+	}
+	// FC6 dominates weights.
+	var fc6 Layer
+	for _, l := range m.Layers {
+		if strings.Contains(l.Name, "fc6") {
+			fc6 = l
+		}
+	}
+	if fc6.WeightCount() != int64(25088)*4096 {
+		t.Errorf("fc6 weights = %d, want %d", fc6.WeightCount(), int64(25088)*4096)
+	}
+}
+
+func TestDenseNet201Shape(t *testing.T) {
+	m := DenseNet201()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// stem + 2*(6+12+48+32) dense-layer convs + 3 transitions + fc = 201.
+	if got := len(m.Layers); got != 201 {
+		t.Errorf("DenseNet-201 layers = %d, want 201", got)
+	}
+	// Final FC input must be 896 + 32*32 = 1920 channels.
+	last := m.Layers[len(m.Layers)-1]
+	if last.Kind != FC || last.C != 1920 {
+		t.Errorf("final fc = %+v, want C=1920", last)
+	}
+	// ~4.3 GMACs.
+	macs := m.TotalMACs()
+	if macs < 3.5e9 || macs > 5.5e9 {
+		t.Errorf("DenseNet-201 MACs = %d, want ~4.3e9", macs)
+	}
+	// ~20M params.
+	w := m.TotalWeights()
+	if w < 15e6 || w > 25e6 {
+		t.Errorf("DenseNet-201 weights = %d, want ~20e6", w)
+	}
+}
+
+func TestEfficientNetB7Shape(t *testing.T) {
+	m := EfficientNetB7()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Width scaling: stem 32->64, head 1280->2560, final FC C=2560.
+	if m.Layers[0].K != 64 {
+		t.Errorf("stem channels = %d, want 64", m.Layers[0].K)
+	}
+	last := m.Layers[len(m.Layers)-1]
+	if last.Kind != FC || last.C != 2560 {
+		t.Errorf("final fc = %+v, want C=2560", last)
+	}
+	// Depth scaling: 4+7+7+10+10+13+4 = 55 MBConv blocks; stage 1 blocks
+	// have no expansion conv, so convs = 1 (stem) + 55*3 - 4 + 1 (head).
+	wantConvs := 1 + 55*3 - 4 + 1
+	if got := len(m.Layers) - 1; got != wantConvs {
+		t.Errorf("EfficientNet-B7 conv layers = %d, want %d", got, wantConvs)
+	}
+	// ~37-38 GMACs at 600x600 (paper-reported 37B); allow a band since we
+	// exclude squeeze-excite.
+	macs := m.TotalMACs()
+	if macs < 30e9 || macs > 45e9 {
+		t.Errorf("EfficientNet-B7 MACs = %d, want ~37e9", macs)
+	}
+	// Depthwise layers must be present and grouped.
+	dw := 0
+	for _, l := range m.Layers {
+		if l.Groups > 1 {
+			dw++
+			if l.Groups != l.C {
+				t.Errorf("depthwise %s has groups %d != C %d", l.Name, l.Groups, l.C)
+			}
+		}
+	}
+	if dw != 55 {
+		t.Errorf("depthwise layers = %d, want 55", dw)
+	}
+}
+
+func TestRoundFilters(t *testing.T) {
+	cases := []struct{ in, want int }{
+		{32, 64}, {16, 32}, {24, 48}, {40, 80},
+		{80, 160}, {112, 224}, {192, 384}, {320, 640}, {1280, 2560},
+	}
+	for _, c := range cases {
+		if got := roundFilters(c.in, 2.0, 8); got != c.want {
+			t.Errorf("roundFilters(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestRoundRepeats(t *testing.T) {
+	cases := []struct{ in, want int }{{1, 4}, {2, 7}, {3, 10}, {4, 13}}
+	for _, c := range cases {
+		if got := roundRepeats(c.in, 3.1); got != c.want {
+			t.Errorf("roundRepeats(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestBenchmarks(t *testing.T) {
+	bs := Benchmarks()
+	if len(bs) != 4 {
+		t.Fatalf("benchmarks = %d, want 4", len(bs))
+	}
+	wantOrder := []string{"ResNet-50", "VGG-16", "DenseNet-201", "EfficientNet-B7"}
+	for i, m := range bs {
+		if m.Name != wantOrder[i] {
+			t.Errorf("benchmark %d = %q, want %q", i, m.Name, wantOrder[i])
+		}
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s: %v", m.Name, err)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"ResNet-50", "resnet50", "VGG-16", "vgg16",
+		"DenseNet-201", "densenet201", "EfficientNet-B7", "efficientnetb7"} {
+		if _, err := ByName(name); err != nil {
+			t.Errorf("ByName(%q): %v", name, err)
+		}
+	}
+	if _, err := ByName("lenet"); err == nil {
+		t.Error("ByName(lenet) should fail")
+	} else if !strings.Contains(err.Error(), "unknown model") {
+		t.Errorf("unexpected error: %v", err)
+	}
+	if m, err := ByName("alexnet"); err != nil || m.Name != "AlexNet" {
+		t.Errorf("ByName(alexnet): %v %v", m.Name, err)
+	}
+	if m, err := ByName("mobilenetv2"); err != nil || m.Name != "MobileNetV2" {
+		t.Errorf("ByName(mobilenetv2): %v %v", m.Name, err)
+	}
+}
+
+func TestModelValidateEmpty(t *testing.T) {
+	if err := (Model{Name: "empty"}).Validate(); err == nil {
+		t.Error("empty model should fail validation")
+	}
+}
+
+func TestAlexNetShape(t *testing.T) {
+	m := AlexNet()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Layers) != 8 {
+		t.Fatalf("layers = %d, want 8", len(m.Layers))
+	}
+	// conv1: 227x227/4 with 11x11 kernel -> 55x55.
+	if m.Layers[0].E != 55 {
+		t.Errorf("conv1 E = %d, want 55", m.Layers[0].E)
+	}
+	// ~0.7 GMACs, ~61M params.
+	if macs := m.TotalMACs(); macs < 0.6e9 || macs > 0.85e9 {
+		t.Errorf("AlexNet MACs = %d, want ~0.7e9", macs)
+	}
+	if w := m.TotalWeights(); w < 55e6 || w > 65e6 {
+		t.Errorf("AlexNet weights = %d, want ~61e6", w)
+	}
+}
+
+func TestMobileNetV2Shape(t *testing.T) {
+	m := MobileNetV2()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// 17 bottlenecks: first has no expansion conv -> 17*3-1 = 50 block
+	// convs + stem + head + fc = 53 layers.
+	if len(m.Layers) != 53 {
+		t.Fatalf("layers = %d, want 53", len(m.Layers))
+	}
+	// ~0.3 GMACs, ~3.5M params (conv+fc).
+	if macs := m.TotalMACs(); macs < 0.25e9 || macs > 0.4e9 {
+		t.Errorf("MobileNetV2 MACs = %d, want ~0.3e9", macs)
+	}
+	if w := m.TotalWeights(); w < 2.5e6 || w > 4.5e6 {
+		t.Errorf("MobileNetV2 weights = %d, want ~3.5e6", w)
+	}
+	// Depthwise layers present.
+	dw := 0
+	for _, l := range m.Layers {
+		if l.Groups > 1 {
+			dw++
+		}
+	}
+	if dw != 17 {
+		t.Errorf("depthwise layers = %d, want 17", dw)
+	}
+	// Final spatial extent 7x7 before the head.
+	last := m.Layers[len(m.Layers)-2]
+	if last.E != 7 {
+		t.Errorf("head spatial extent = %d, want 7", last.E)
+	}
+}

@@ -1,0 +1,51 @@
+package dnn
+
+// ResNet50 returns the 21 unique convolution/FC layers of ResNet-50
+// (He et al., CVPR 2016) for a 224x224 input, deduplicated exactly as the
+// paper describes (Section VII-D): layers sharing identical parameters are
+// merged and carry a repeat count (e.g. res2a_branch1 folds into
+// res2[a-c]_branch2c). The layer order matches the L1..L21 labels of
+// Figures 13 and 14.
+func ResNet50() Model {
+	return Model{
+		Name: "ResNet-50",
+		Layers: []Layer{
+			// L1: conv1 7x7/2.
+			NewConv("L1_conv1", 224, 224, 7, 7, 3, 64, 2, 3),
+
+			// Stage 2 (56x56), 3 bottleneck blocks.
+			// L2: res2a_branch2a (only 2a has a 64-channel input).
+			NewSameConv("L2_res2a_branch2a", 56, 1, 64, 64, 1),
+			// L3: res2[a-c]_branch2b 3x3.
+			NewSameConv("L3_res2_branch2b", 56, 3, 64, 64, 1).Times(3),
+			// L4: res2[a-c]_branch2c plus res2a_branch1 (same parameters).
+			NewSameConv("L4_res2_branch2c", 56, 1, 64, 256, 1).Times(4),
+			// L5: res2[b-c]_branch2a from 256 channels.
+			NewSameConv("L5_res2bc_branch2a", 56, 1, 256, 64, 1).Times(2),
+
+			// Stage 3 (28x28), 4 blocks.
+			NewSameConv("L6_res3a_branch1", 56, 1, 256, 512, 2),
+			NewSameConv("L7_res3a_branch2a", 56, 1, 256, 128, 2),
+			NewSameConv("L8_res3bcd_branch2a", 28, 1, 512, 128, 1).Times(3),
+			NewSameConv("L9_res3_branch2b", 28, 3, 128, 128, 1).Times(4),
+			NewSameConv("L10_res3_branch2c", 28, 1, 128, 512, 1).Times(4),
+
+			// Stage 4 (14x14), 6 blocks.
+			NewSameConv("L11_res4a_branch1", 28, 1, 512, 1024, 2),
+			NewSameConv("L12_res4a_branch2a", 28, 1, 512, 256, 2),
+			NewSameConv("L13_res4bf_branch2a", 14, 1, 1024, 256, 1).Times(5),
+			NewSameConv("L14_res4_branch2b", 14, 3, 256, 256, 1).Times(6),
+			NewSameConv("L15_res4_branch2c", 14, 1, 256, 1024, 1).Times(6),
+
+			// Stage 5 (7x7), 3 blocks.
+			NewSameConv("L16_res5a_branch1", 14, 1, 1024, 2048, 2),
+			NewSameConv("L17_res5a_branch2a", 14, 1, 1024, 512, 2),
+			NewSameConv("L18_res5bc_branch2a", 7, 1, 2048, 512, 1).Times(2),
+			NewSameConv("L19_res5_branch2b", 7, 3, 512, 512, 1).Times(3),
+			NewSameConv("L20_res5_branch2c", 7, 1, 512, 2048, 1).Times(3),
+
+			// L21: the classifier.
+			NewFC("L21_fc1000", 2048, 1000),
+		},
+	}
+}

@@ -1,0 +1,26 @@
+package dnn
+
+// VGG16 returns the 12 unique convolution/FC layers of VGG-16
+// (Simonyan & Zisserman, 2014) for a 224x224 input, deduplicated per the
+// paper: conv3_2==conv3_3, conv4_2==conv4_3, conv5_1==conv5_2==conv5_3.
+// The layer order matches the L22..L33 labels of Figures 13 and 14.
+func VGG16() Model {
+	return Model{
+		Name: "VGG-16",
+		Layers: []Layer{
+			NewSameConv("L22_conv1_1", 224, 3, 3, 64, 1),
+			NewSameConv("L23_conv1_2", 224, 3, 64, 64, 1),
+			NewSameConv("L24_conv2_1", 112, 3, 64, 128, 1),
+			NewSameConv("L25_conv2_2", 112, 3, 128, 128, 1),
+			NewSameConv("L26_conv3_1", 56, 3, 128, 256, 1),
+			NewSameConv("L27_conv3_23", 56, 3, 256, 256, 1).Times(2),
+			NewSameConv("L28_conv4_1", 28, 3, 256, 512, 1),
+			NewSameConv("L29_conv4_23", 28, 3, 512, 512, 1).Times(2),
+			NewSameConv("L30_conv5_123", 14, 3, 512, 512, 1).Times(3),
+			// The three communication-intensive fully connected layers.
+			NewFC("L31_fc6", 512*7*7, 4096),
+			NewFC("L32_fc7", 4096, 4096),
+			NewFC("L33_fc8", 4096, 1000),
+		},
+	}
+}

@@ -1,0 +1,40 @@
+package dnn
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Benchmarks returns the four DNN models of the paper's evaluation in the
+// order they appear in Figures 15-18.
+func Benchmarks() []Model {
+	return []Model{ResNet50(), VGG16(), DenseNet201(), EfficientNetB7()}
+}
+
+// ByName looks a benchmark model up by its canonical name (case-sensitive,
+// e.g. "ResNet-50") or a lowercase alias ("resnet50").
+func ByName(name string) (Model, error) {
+	aliases := map[string]func() Model{
+		"ResNet-50":       ResNet50,
+		"resnet50":        ResNet50,
+		"VGG-16":          VGG16,
+		"vgg16":           VGG16,
+		"DenseNet-201":    DenseNet201,
+		"densenet201":     DenseNet201,
+		"EfficientNet-B7": EfficientNetB7,
+		"efficientnetb7":  EfficientNetB7,
+		"AlexNet":         AlexNet,
+		"alexnet":         AlexNet,
+		"MobileNetV2":     MobileNetV2,
+		"mobilenetv2":     MobileNetV2,
+	}
+	if f, ok := aliases[name]; ok {
+		return f(), nil
+	}
+	names := make([]string, 0, len(aliases))
+	for k := range aliases {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return Model{}, fmt.Errorf("dnn: unknown model %q (have %v)", name, names)
+}

@@ -1,0 +1,92 @@
+package energy
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSRAMEnergyGrowsWithCapacity(t *testing.T) {
+	e4k := SRAMReadEnergyPerByte(4 * 1024)
+	e43k := SRAMReadEnergyPerByte(43 * 1024)
+	e2m := SRAMReadEnergyPerByte(2 * 1024 * 1024)
+	if !(e4k < e43k && e43k < e2m) {
+		t.Errorf("SRAM energy not monotone: 4k=%v 43k=%v 2M=%v", e4k, e43k, e2m)
+	}
+	// Calibration bands from the doc comment.
+	if e4k < 0.4e-12 || e4k > 0.7e-12 {
+		t.Errorf("4 kB read energy = %v, want ~0.55 pJ/B", e4k)
+	}
+	if e43k < 1.2e-12 || e43k > 1.8e-12 {
+		t.Errorf("43 kB read energy = %v, want ~1.5 pJ/B", e43k)
+	}
+	if e2m < 7e-12 || e2m > 12e-12 {
+		t.Errorf("2 MB read energy = %v, want ~9 pJ/B", e2m)
+	}
+}
+
+func TestSRAMEnergyMonotoneProperty(t *testing.T) {
+	f := func(a, b uint32) bool {
+		x, y := int(a%(1<<22))+1, int(b%(1<<22))+1
+		if x > y {
+			x, y = y, x
+		}
+		return SRAMReadEnergyPerByte(x) <= SRAMReadEnergyPerByte(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSRAMWriteCostsMoreThanRead(t *testing.T) {
+	for _, cap := range []int{1024, 4096, 43 * 1024, 2 << 20} {
+		if SRAMWriteEnergyPerByte(cap) <= SRAMReadEnergyPerByte(cap) {
+			t.Errorf("write energy should exceed read at %d B", cap)
+		}
+	}
+}
+
+func TestSRAMFloorForTinyBuffers(t *testing.T) {
+	// Degenerate capacities clamp to the register-file floor instead of
+	// going to zero.
+	if SRAMReadEnergyPerByte(1) <= 0 {
+		t.Error("tiny buffer energy must stay positive")
+	}
+	if SRAMReadEnergyPerByte(1) != SRAMReadEnergyPerByte(256) {
+		t.Error("sub-floor capacities should clamp")
+	}
+}
+
+func TestComputeTotal(t *testing.T) {
+	c := Compute{
+		MACs:       1e9,
+		PEBufReads: 4e9, PEBufWrites: 1e9, PEBufBytes: 4 * 1024,
+		GBReads: 1e8, GBWrites: 1e8, GBBytes: 2 << 20,
+		DRAMBytes: 1e8,
+	}
+	total := c.Total()
+	if total <= 0 {
+		t.Fatal("total energy must be positive")
+	}
+	// MAC part alone is 0.2 mJ; total must exceed it.
+	if total < 0.2e-3 {
+		t.Errorf("total = %v J, expected > 0.2 mJ", total)
+	}
+	// Zero activity means zero energy.
+	if (Compute{PEBufBytes: 4096, GBBytes: 2 << 20}).Total() != 0 {
+		t.Error("zero-activity energy should be 0")
+	}
+}
+
+func TestComputeComponentsAdditive(t *testing.T) {
+	base := Compute{PEBufBytes: 4096, GBBytes: 2 << 20}
+	withMAC := base
+	withMAC.MACs = 1000
+	withDRAM := base
+	withDRAM.DRAMBytes = 1000
+	both := base
+	both.MACs = 1000
+	both.DRAMBytes = 1000
+	if got, want := both.Total(), withMAC.Total()+withDRAM.Total(); got != want {
+		t.Errorf("components not additive: %v != %v", got, want)
+	}
+}

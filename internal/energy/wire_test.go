@@ -1,0 +1,43 @@
+package energy
+
+import "testing"
+
+// The calibrated constants the network models use must stay within a small
+// factor of the first-principles derivations — this is the guard against
+// silent drift of the energy model.
+func TestCalibratedConstantsMatchDerivations(t *testing.T) {
+	wire := WireEnergyPerBitMM()
+	// ~0.08 pJ/b/mm expected.
+	if wire < 0.05e-12 || wire > 0.15e-12 {
+		t.Errorf("wire energy = %v J/b/mm, outside the 28 nm-class band", wire)
+	}
+
+	router := RouterEnergyPerBitDerived()
+	ratio := RouterEnergyPerBitHop / router
+	if ratio < 0.5 || ratio > 2.5 {
+		t.Errorf("calibrated router energy %v is %vx the derived %v — recalibrate",
+			RouterEnergyPerBitHop, ratio, router)
+	}
+
+	// A ~10 mm package hop under GRS signaling vs the calibrated constant.
+	link := PackageLinkEnergyPerBitDerived(10)
+	ratio = PackageLinkEnergyPerBit / link
+	if ratio < 0.5 || ratio > 2.5 {
+		t.Errorf("calibrated package link %v is %vx the derived %v — recalibrate",
+			PackageLinkEnergyPerBit, ratio, link)
+	}
+
+	// One chiplet-level hop ~= a 1 mm wire plus a light router share.
+	chipletHop := WireEnergyPerBitMM() + RouterEnergyPerBitDerived()/10
+	ratio = ChipletWireEnergyPerBitHop / chipletHop
+	if ratio < 0.3 || ratio > 3 {
+		t.Errorf("calibrated chiplet hop %v is %vx the derived %v — recalibrate",
+			ChipletWireEnergyPerBitHop, ratio, chipletHop)
+	}
+}
+
+func TestWireEnergyScalesLinearly(t *testing.T) {
+	if PackageLinkEnergyPerBitDerived(20) != 2*PackageLinkEnergyPerBitDerived(10) {
+		t.Error("link energy must scale linearly with length")
+	}
+}

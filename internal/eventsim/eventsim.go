@@ -1,0 +1,260 @@
+// Package eventsim is a discrete-event packet-level network simulator used
+// for the communication latency and throughput study of Figure 16. Packets
+// traverse a pipeline of queueing stations (GB egress ports, package links,
+// chiplet ingress channels, PE links, or photonic wavelength channels); each
+// station serializes at its line rate with FIFO queueing, then forwards
+// after a fixed propagation/conversion delay. Latency is the paper's
+// definition — "the time elapsed between generating and receiving of a data
+// packet" — and throughput is packets received per unit time.
+package eventsim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Station is one queueing service point.
+type Station struct {
+	Name         string
+	RateBytesSec float64 // serialization rate
+	Servers      int     // parallel service lanes (e.g. GB ports)
+	DelaySec     float64 // fixed post-service delay (propagation, E/O+O/E)
+
+	// run state
+	freeAt  []float64 // next-free time per server
+	busySec float64   // accumulated service time across servers
+}
+
+// NewStation builds a validated station.
+func NewStation(name string, rate float64, servers int, delay float64) (*Station, error) {
+	if rate <= 0 || servers <= 0 || delay < 0 {
+		return nil, fmt.Errorf("eventsim: bad station %q: rate=%v servers=%d delay=%v",
+			name, rate, servers, delay)
+	}
+	return &Station{Name: name, RateBytesSec: rate, Servers: servers, DelaySec: delay}, nil
+}
+
+func (s *Station) reset() {
+	s.freeAt = make([]float64, s.Servers)
+	s.busySec = 0
+}
+
+// admit schedules service for a packet arriving at t; returns departure time
+// (service completion plus fixed delay).
+func (s *Station) admit(t float64, bytes int) float64 {
+	// Pick the earliest-free server.
+	best := 0
+	for i := 1; i < len(s.freeAt); i++ {
+		if s.freeAt[i] < s.freeAt[best] {
+			best = i
+		}
+	}
+	start := t
+	if s.freeAt[best] > start {
+		start = s.freeAt[best]
+	}
+	service := float64(bytes) / s.RateBytesSec
+	done := start + service
+	s.freeAt[best] = done
+	s.busySec += service
+	return done + s.DelaySec
+}
+
+// Packet is one unit of traffic. Fanout is the number of endpoint
+// receptions one delivery produces (a photonic broadcast packet is
+// serialized once but received by every destination on the wavelength).
+type Packet struct {
+	ID         int
+	Bytes      int
+	InjectTime float64
+	Path       []*Station
+	Fanout     int
+	hop        int
+}
+
+// event is a packet arriving at its next hop.
+type event struct {
+	time float64
+	pkt  *Packet
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int            { return len(h) }
+func (h eventHeap) Less(i, j int) bool  { return h[i].time < h[j].time }
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Stats summarizes a run. Delivered counts endpoint receptions (a broadcast
+// packet counts once per destination); Injected counts transmissions.
+type Stats struct {
+	Injected        int
+	Delivered       int
+	SimTimeSec      float64
+	TotalLatencySec float64
+	MaxLatencySec   float64
+
+	latencySamples int
+}
+
+// Utilization reports each station's busy fraction over the run: busy time
+// (bytes served / rate, summed over servers) divided by servers times the
+// simulated span. Keyed by station name.
+func (s *Sim) Utilization(span float64) map[string]float64 {
+	out := make(map[string]float64, len(s.stations))
+	if span <= 0 {
+		return out
+	}
+	for name, st := range s.stations {
+		out[name] = st.busySec / (float64(st.Servers) * span)
+	}
+	return out
+}
+
+// MeanLatency is the average inject-to-receive latency (one sample per
+// transmitted packet; broadcast receptions share the sample).
+func (s Stats) MeanLatency() float64 {
+	if s.latencySamples == 0 {
+		return 0
+	}
+	return s.TotalLatencySec / float64(s.latencySamples)
+}
+
+// Throughput is delivered packets per second.
+func (s Stats) Throughput() float64 {
+	if s.SimTimeSec <= 0 {
+		return 0
+	}
+	return float64(s.Delivered) / s.SimTimeSec
+}
+
+// rng is a small deterministic linear congruential generator (math/rand is
+// stdlib, but a fixed LCG keeps runs bit-reproducible across Go versions).
+type rng struct{ state uint64 }
+
+func newRNG(seed uint64) *rng {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &rng{state: seed}
+}
+
+func (r *rng) next() uint64 {
+	r.state = r.state*6364136223846793005 + 1442695040888963407
+	return r.state
+}
+
+// float64n returns a uniform value in (0,1].
+func (r *rng) float64n() float64 {
+	return (float64(r.next()>>11) + 1) / (1 << 53)
+}
+
+// expovariate returns an exponential sample with the given mean.
+func (r *rng) expovariate(mean float64) float64 {
+	// -mean * ln(U); cheap log via math is fine.
+	return -mean * logf(r.float64n())
+}
+
+// Sim drives packets through station pipelines.
+type Sim struct {
+	stations map[string]*Station
+	events   eventHeap
+	stats    Stats
+	rng      *rng
+}
+
+// New creates an empty simulator with a deterministic seed.
+func New(seed uint64) *Sim {
+	return &Sim{stations: map[string]*Station{}, rng: newRNG(seed)}
+}
+
+// AddStation registers a station (or returns the existing one by name).
+func (s *Sim) AddStation(st *Station) *Station {
+	if existing, ok := s.stations[st.Name]; ok {
+		return existing
+	}
+	st.reset()
+	s.stations[st.Name] = st
+	return st
+}
+
+// Source describes one traffic class to inject.
+type Source struct {
+	Name        string
+	PacketBytes int
+	// RateBytesSec is the offered load of this class.
+	RateBytesSec float64
+	// Count is how many packets to inject.
+	Count int
+	// Path chooses the station pipeline for the i-th packet of this source
+	// (destination spreading is done by the caller via the index).
+	Path func(i int) []*Station
+	// Fanout is the endpoint receptions per delivered packet (broadcast
+	// width); zero means 1.
+	Fanout int
+}
+
+// Run injects all sources (Poisson arrivals per class) and processes events
+// until the network drains. It returns the aggregate statistics.
+func (s *Sim) Run(sources []Source) (Stats, error) {
+	s.stats = Stats{}
+	s.events = s.events[:0]
+	for _, st := range s.stations {
+		st.reset()
+	}
+	id := 0
+	for _, src := range sources {
+		if src.PacketBytes <= 0 || src.RateBytesSec <= 0 || src.Count < 0 || src.Path == nil {
+			return Stats{}, fmt.Errorf("eventsim: bad source %q", src.Name)
+		}
+		meanGap := float64(src.PacketBytes) / src.RateBytesSec
+		t := 0.0
+		for i := 0; i < src.Count; i++ {
+			t += s.rng.expovariate(meanGap)
+			path := src.Path(i)
+			if len(path) == 0 {
+				return Stats{}, fmt.Errorf("eventsim: source %q produced empty path", src.Name)
+			}
+			fan := src.Fanout
+			if fan < 1 {
+				fan = 1
+			}
+			p := &Packet{ID: id, Bytes: src.PacketBytes, InjectTime: t, Path: path, Fanout: fan}
+			id++
+			heap.Push(&s.events, event{time: t, pkt: p})
+			s.stats.Injected++
+		}
+	}
+	heap.Init(&s.events)
+
+	for s.events.Len() > 0 {
+		ev := heap.Pop(&s.events).(event)
+		p := ev.pkt
+		if p.hop == len(p.Path) {
+			// Delivered: one latency sample, Fanout endpoint receptions.
+			lat := ev.time - p.InjectTime
+			s.stats.Delivered += p.Fanout
+			s.stats.latencySamples++
+			s.stats.TotalLatencySec += lat
+			if lat > s.stats.MaxLatencySec {
+				s.stats.MaxLatencySec = lat
+			}
+			if ev.time > s.stats.SimTimeSec {
+				s.stats.SimTimeSec = ev.time
+			}
+			continue
+		}
+		st := p.Path[p.hop]
+		depart := st.admit(ev.time, p.Bytes)
+		p.hop++
+		heap.Push(&s.events, event{time: depart, pkt: p})
+	}
+	return s.stats, nil
+}

@@ -1,0 +1,284 @@
+package eventsim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestStationValidation(t *testing.T) {
+	if _, err := NewStation("x", 0, 1, 0); err == nil {
+		t.Error("zero rate should fail")
+	}
+	if _, err := NewStation("x", 1e9, 0, 0); err == nil {
+		t.Error("zero servers should fail")
+	}
+	if _, err := NewStation("x", 1e9, 1, -1); err == nil {
+		t.Error("negative delay should fail")
+	}
+}
+
+func TestSingleStationServiceTime(t *testing.T) {
+	s := New(1)
+	st, _ := NewStation("link", 1e9, 1, 10e-9) // 1 GB/s, 10 ns delay
+	st = s.AddStation(st)
+	stats, err := s.Run([]Source{{
+		Name: "one", PacketBytes: 1000, RateBytesSec: 1, Count: 1,
+		Path: func(int) []*Station { return []*Station{st} },
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Delivered != 1 || stats.Injected != 1 {
+		t.Fatalf("delivered %d injected %d", stats.Delivered, stats.Injected)
+	}
+	// Unloaded latency = serialization 1 us + delay 10 ns.
+	want := 1000/1e9 + 10e-9
+	if math.Abs(stats.MeanLatency()-want) > 1e-12 {
+		t.Errorf("latency = %v, want %v", stats.MeanLatency(), want)
+	}
+}
+
+func TestConservation(t *testing.T) {
+	// Property: injected == delivered for any packet count (no loss).
+	f := func(n uint8, seed uint64) bool {
+		s := New(seed)
+		st, _ := NewStation("l", 1e9, 1, 0)
+		st = s.AddStation(st)
+		count := int(n)
+		stats, err := s.Run([]Source{{
+			Name: "src", PacketBytes: 64, RateBytesSec: 1e8, Count: count,
+			Path: func(int) []*Station { return []*Station{st} },
+		}})
+		return err == nil && stats.Injected == count && stats.Delivered == count
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQueueingGrowsLatency(t *testing.T) {
+	// Driving a 1 GB/s link at 50% vs 95% load: latency must rise.
+	run := func(load float64) float64 {
+		s := New(7)
+		st, _ := NewStation("l", 1e9, 1, 0)
+		st = s.AddStation(st)
+		stats, err := s.Run([]Source{{
+			Name: "src", PacketBytes: 64, RateBytesSec: load * 1e9, Count: 20000,
+			Path: func(int) []*Station { return []*Station{st} },
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats.MeanLatency()
+	}
+	l50, l95 := run(0.5), run(0.95)
+	if l95 <= l50 {
+		t.Errorf("latency at 95%% load (%v) should exceed 50%% load (%v)", l95, l50)
+	}
+	// M/M/1-ish sanity: queueing at 95% should be several times the
+	// service time (64 ns).
+	if l95 < 3*64e-9 {
+		t.Errorf("95%% load latency = %v, implausibly low", l95)
+	}
+}
+
+func TestMultiServerFasterThanSingle(t *testing.T) {
+	run := func(servers int) float64 {
+		s := New(3)
+		st, _ := NewStation("l", 1e9, servers, 0)
+		st = s.AddStation(st)
+		stats, err := s.Run([]Source{{
+			Name: "src", PacketBytes: 64, RateBytesSec: 1.5e9, Count: 10000,
+			Path: func(int) []*Station { return []*Station{st} },
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats.MeanLatency()
+	}
+	if run(4) >= run(1) {
+		t.Error("adding servers should reduce latency under overload")
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	run := func() Stats {
+		s := New(42)
+		st, _ := NewStation("l", 1e9, 1, 0)
+		st = s.AddStation(st)
+		stats, err := s.Run([]Source{{
+			Name: "src", PacketBytes: 64, RateBytesSec: 5e8, Count: 1000,
+			Path: func(int) []*Station { return []*Station{st} },
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Errorf("same seed should reproduce identical stats: %+v vs %+v", a, b)
+	}
+}
+
+func TestBadSources(t *testing.T) {
+	s := New(1)
+	st, _ := NewStation("l", 1e9, 1, 0)
+	st = s.AddStation(st)
+	if _, err := s.Run([]Source{{Name: "x", PacketBytes: 0, RateBytesSec: 1, Count: 1,
+		Path: func(int) []*Station { return []*Station{st} }}}); err == nil {
+		t.Error("zero packet size should fail")
+	}
+	if _, err := s.Run([]Source{{Name: "x", PacketBytes: 64, RateBytesSec: 1, Count: 1,
+		Path: func(int) []*Station { return nil }}}); err == nil {
+		t.Error("empty path should fail")
+	}
+	if _, err := s.Run([]Source{{Name: "x", PacketBytes: 64, RateBytesSec: 1, Count: 1}}); err == nil {
+		t.Error("nil path func should fail")
+	}
+}
+
+func TestPipelines(t *testing.T) {
+	s := New(9)
+	simbaPath, err := BuildSimba(s, SimbaSpec{
+		M: 32, N: 32, GBPorts: 2, ChipletRateBps: 40e9, PERateBps: 2.5e9,
+		PackageHops: 5, ChipletHops: 4, PerHopDelaySec: 3e-9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(simbaPath(0)); got != 3 {
+		t.Errorf("simba path hops = %d, want 3", got)
+	}
+	// Distinct chiplets for distant PEs.
+	if simbaPath(0)[1] == simbaPath(33)[1] {
+		t.Error("PE 0 and PE 33 should be on different chiplets")
+	}
+
+	xbarPath, err := BuildCrossbar(s, CrossbarSpec{
+		M: 32, N: 32, GBBundles: 4, ChipletRateBps: 38.75e9, PERateBps: 2.5e9,
+		CrossbarDelay: 1e-9, ChipletHops: 4, PerHopDelaySec: 3e-9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(xbarPath(5)); got != 3 {
+		t.Errorf("crossbar path hops = %d, want 3", got)
+	}
+
+	spacxPath, err := BuildSPACX(s, SPACXSpec{Channels: 24, ChannelRateBps: 1.25e9, HopDelaySec: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(spacxPath(0)); got != 1 {
+		t.Errorf("SPACX path hops = %d, want 1 (one-hop property)", got)
+	}
+
+	// Negative indices must not panic.
+	_ = simbaPath(-1)
+	_ = spacxPath(-5)
+}
+
+func TestPipelineValidation(t *testing.T) {
+	s := New(1)
+	if _, err := BuildSimba(s, SimbaSpec{}); err == nil {
+		t.Error("empty Simba spec should fail")
+	}
+	if _, err := BuildCrossbar(s, CrossbarSpec{}); err == nil {
+		t.Error("empty crossbar spec should fail")
+	}
+	if _, err := BuildSPACX(s, SPACXSpec{}); err == nil {
+		t.Error("empty SPACX spec should fail")
+	}
+}
+
+func TestUnloadedLatencyOrdering(t *testing.T) {
+	// At light load, SPACX (one hop, 10 Gbps channel) must beat Simba
+	// (multi-hop, 20 Gbps final link but long pipeline) for 64 B packets —
+	// Figure 16's qualitative point at the packet level.
+	lat := func(build func(s *Sim) func(int) []*Station) float64 {
+		s := New(11)
+		path := build(s)
+		stats, err := s.Run([]Source{{
+			Name: "probe", PacketBytes: 64, RateBytesSec: 1e6, Count: 200,
+			Path: func(i int) []*Station { return path(i) },
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats.MeanLatency()
+	}
+	simba := lat(func(s *Sim) func(int) []*Station {
+		p, err := BuildSimba(s, SimbaSpec{M: 32, N: 32, GBPorts: 2,
+			ChipletRateBps: 40e9, PERateBps: 2.5e9,
+			PackageHops: 5, ChipletHops: 4, PerHopDelaySec: 3.1e-9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	})
+	spacx := lat(func(s *Sim) func(int) []*Station {
+		p, err := BuildSPACX(s, SPACXSpec{Channels: 24, ChannelRateBps: 1.25e9, HopDelaySec: 1e-9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	})
+	if spacx >= simba {
+		t.Errorf("SPACX unloaded latency %v should be < Simba %v", spacx, simba)
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	s := New(5)
+	st, _ := NewStation("l", 1e9, 1, 0)
+	st = s.AddStation(st)
+	stats, err := s.Run([]Source{{
+		Name: "src", PacketBytes: 1000, RateBytesSec: 5e8, Count: 2000,
+		Path: func(int) []*Station { return []*Station{st} },
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	util := s.Utilization(stats.SimTimeSec)
+	u := util["l"]
+	// Offered load is 50% of capacity; measured utilization should be close.
+	if u < 0.35 || u > 0.7 {
+		t.Errorf("utilization = %v, want ~0.5", u)
+	}
+	if len(s.Utilization(0)) != 0 {
+		t.Error("zero span should return empty map")
+	}
+}
+
+func TestBroadcastFanout(t *testing.T) {
+	s := New(13)
+	st, _ := NewStation("bcast", 1e9, 1, 0)
+	st = s.AddStation(st)
+	stats, err := s.Run([]Source{{
+		Name: "b", PacketBytes: 64, RateBytesSec: 1e8, Count: 100, Fanout: 16,
+		Path: func(int) []*Station { return []*Station{st} },
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 100 transmissions, 1600 receptions.
+	if stats.Injected != 100 {
+		t.Errorf("injected = %d, want 100", stats.Injected)
+	}
+	if stats.Delivered != 1600 {
+		t.Errorf("delivered = %d, want 1600 (16-way broadcast)", stats.Delivered)
+	}
+	// Latency is a per-transmission sample, unaffected by fanout.
+	uni := New(13)
+	st2, _ := NewStation("uni", 1e9, 1, 0)
+	st2 = uni.AddStation(st2)
+	us, _ := uni.Run([]Source{{
+		Name: "u", PacketBytes: 64, RateBytesSec: 1e8, Count: 100,
+		Path: func(int) []*Station { return []*Station{st2} },
+	}})
+	if stats.MeanLatency() != us.MeanLatency() {
+		t.Errorf("fanout changed latency: %v vs %v", stats.MeanLatency(), us.MeanLatency())
+	}
+}

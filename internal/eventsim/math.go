@@ -1,0 +1,6 @@
+package eventsim
+
+import "math"
+
+// logf is the natural logarithm, separated for clarity at the call site.
+func logf(x float64) float64 { return math.Log(x) }

@@ -1,0 +1,130 @@
+package eventsim
+
+import "fmt"
+
+// This file builds the three evaluation networks as station pipelines.
+// Rates follow Table II; fixed delays follow the latency models of the
+// analytical simulator (router pipelines for meshes, E/O + flight + O/E for
+// photonic hops).
+
+// SimbaSpec parameterizes the all-electrical two-level mesh.
+type SimbaSpec struct {
+	M, N           int
+	GBPorts        int
+	ChipletRateBps float64 // bytes/sec per package-level chiplet link
+	PERateBps      float64 // bytes/sec per PE link
+	PackageHops    float64
+	ChipletHops    float64
+	PerHopDelaySec float64
+}
+
+// BuildSimba registers the Simba stations on the simulator and returns a
+// path chooser keyed by destination PE id in [0, M*N).
+func BuildSimba(s *Sim, spec SimbaSpec) (func(destPE int) []*Station, error) {
+	if spec.M <= 0 || spec.N <= 0 {
+		return nil, fmt.Errorf("eventsim: bad Simba spec %+v", spec)
+	}
+	gb, err := NewStation("simba/gb", spec.ChipletRateBps, spec.GBPorts,
+		spec.PackageHops*spec.PerHopDelaySec)
+	if err != nil {
+		return nil, err
+	}
+	gb = s.AddStation(gb)
+
+	chiplets := make([]*Station, spec.M)
+	for i := range chiplets {
+		st, err := NewStation(fmt.Sprintf("simba/chiplet%d", i), spec.ChipletRateBps, 1,
+			spec.ChipletHops*spec.PerHopDelaySec)
+		if err != nil {
+			return nil, err
+		}
+		chiplets[i] = s.AddStation(st)
+	}
+	pes := make([]*Station, spec.M*spec.N)
+	for i := range pes {
+		st, err := NewStation(fmt.Sprintf("simba/pe%d", i), spec.PERateBps, 1, 0)
+		if err != nil {
+			return nil, err
+		}
+		pes[i] = s.AddStation(st)
+	}
+	return func(destPE int) []*Station {
+		d := ((destPE % len(pes)) + len(pes)) % len(pes)
+		return []*Station{gb, chiplets[d/spec.N], pes[d]}
+	}, nil
+}
+
+// CrossbarSpec parameterizes POPSTAR: a photonic crossbar hop into the
+// chiplet, then the electrical chiplet mesh.
+type CrossbarSpec struct {
+	M, N           int
+	GBBundles      int
+	ChipletRateBps float64
+	PERateBps      float64
+	CrossbarDelay  float64 // E/O + flight + O/E
+	ChipletHops    float64
+	PerHopDelaySec float64
+}
+
+// BuildCrossbar registers the POPSTAR stations and returns a path chooser.
+func BuildCrossbar(s *Sim, spec CrossbarSpec) (func(destPE int) []*Station, error) {
+	if spec.M <= 0 || spec.N <= 0 {
+		return nil, fmt.Errorf("eventsim: bad crossbar spec %+v", spec)
+	}
+	gb, err := NewStation("popstar/gb", spec.ChipletRateBps, spec.GBBundles, spec.CrossbarDelay)
+	if err != nil {
+		return nil, err
+	}
+	gb = s.AddStation(gb)
+	chiplets := make([]*Station, spec.M)
+	for i := range chiplets {
+		st, err := NewStation(fmt.Sprintf("popstar/chiplet%d", i), spec.ChipletRateBps, 1,
+			spec.ChipletHops*spec.PerHopDelaySec)
+		if err != nil {
+			return nil, err
+		}
+		chiplets[i] = s.AddStation(st)
+	}
+	pes := make([]*Station, spec.M*spec.N)
+	for i := range pes {
+		st, err := NewStation(fmt.Sprintf("popstar/pe%d", i), spec.PERateBps, 1, 0)
+		if err != nil {
+			return nil, err
+		}
+		pes[i] = s.AddStation(st)
+	}
+	return func(destPE int) []*Station {
+		d := ((destPE % len(pes)) + len(pes)) % len(pes)
+		return []*Station{gb, chiplets[d/spec.N], pes[d]}
+	}, nil
+}
+
+// SPACXSpec parameterizes the SPACX photonic network: a broadcast packet
+// occupies exactly one wavelength channel end to end (one hop from the GB
+// to the PEs), with conversion+flight as a fixed delay.
+type SPACXSpec struct {
+	Channels       int     // wavelength-waveguide pairs usable in parallel
+	ChannelRateBps float64 // 10 Gbps per wavelength
+	HopDelaySec    float64 // E/O + flight + O/E
+}
+
+// BuildSPACX registers the SPACX wavelength channels and returns a path
+// chooser keyed by channel index.
+func BuildSPACX(s *Sim, spec SPACXSpec) (func(channel int) []*Station, error) {
+	if spec.Channels <= 0 || spec.ChannelRateBps <= 0 {
+		return nil, fmt.Errorf("eventsim: bad SPACX spec %+v", spec)
+	}
+	chans := make([]*Station, spec.Channels)
+	for i := range chans {
+		st, err := NewStation(fmt.Sprintf("spacx/lambda%d", i), spec.ChannelRateBps, 1,
+			spec.HopDelaySec)
+		if err != nil {
+			return nil, err
+		}
+		chans[i] = s.AddStation(st)
+	}
+	return func(channel int) []*Station {
+		c := ((channel % len(chans)) + len(chans)) % len(chans)
+		return []*Station{chans[c]}
+	}, nil
+}

@@ -1,0 +1,79 @@
+package exp
+
+import (
+	"spacx/internal/dnn"
+	"spacx/internal/photonic"
+	"spacx/internal/sim"
+)
+
+// AdaptiveRow is one model's outcome of the adaptive-granularity extension
+// study: Section V shows finer broadcast groups recover utilization for
+// mismatched layers; here the execution controller retunes the splitters
+// between layers so every layer runs at its own best (gEF, gK), instead of
+// the fixed deployment granularity.
+type AdaptiveRow struct {
+	Model string
+
+	FixedExecSec    float64 // fixed (e/f=8, k=16)
+	AdaptiveExecSec float64 // per-layer best granularity
+	Speedup         float64 // Fixed / Adaptive
+	ReconfigCount   int     // layers whose best differs from the previous layer's
+}
+
+// adaptiveCandidates are the granularity pairs the controller may pick.
+var adaptiveCandidates = [][2]int{
+	{4, 4}, {4, 8}, {4, 16}, {4, 32},
+	{8, 4}, {8, 8}, {8, 16}, {8, 32},
+	{16, 4}, {16, 8}, {16, 16}, {16, 32},
+	{32, 4}, {32, 8}, {32, 16}, {32, 32},
+}
+
+// AdaptiveGranularity runs the study over the four benchmark models.
+func AdaptiveGranularity() ([]AdaptiveRow, error) {
+	// Pre-build one accelerator per candidate.
+	accs := make([]sim.Accelerator, len(adaptiveCandidates))
+	for i, c := range adaptiveCandidates {
+		acc, err := sim.SPACXAccelCustom(32, 32, c[0], c[1], photonic.Moderate(), true)
+		if err != nil {
+			return nil, err
+		}
+		accs[i] = acc
+	}
+	fixed := sim.SPACXAccel()
+
+	var rows []AdaptiveRow
+	for _, m := range dnn.Benchmarks() {
+		row := AdaptiveRow{Model: m.Name}
+		prevBest := -1
+		for _, l := range m.Layers {
+			fr, err := sim.RunLayer(fixed, l, sim.WholeInference)
+			if err != nil {
+				return nil, err
+			}
+			row.FixedExecSec += fr.ExecSec * float64(l.Repeat)
+
+			bestT := 0.0
+			best := -1
+			for i, acc := range accs {
+				r, err := sim.RunLayer(acc, l, sim.WholeInference)
+				if err != nil {
+					return nil, err
+				}
+				if best < 0 || r.ExecSec < bestT {
+					bestT, best = r.ExecSec, i
+				}
+			}
+			// Switching granularity between layers retunes every interface
+			// splitter; the 500 ps DAC settle is paid once per switch.
+			if best != prevBest && prevBest >= 0 {
+				row.ReconfigCount++
+				bestT += photonic.SplitterTuneDelaySeconds
+			}
+			prevBest = best
+			row.AdaptiveExecSec += bestT * float64(l.Repeat)
+		}
+		row.Speedup = row.FixedExecSec / row.AdaptiveExecSec
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

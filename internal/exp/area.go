@@ -1,0 +1,25 @@
+package exp
+
+import (
+	"spacx/internal/area"
+	"spacx/internal/network/spacxnet"
+)
+
+// AreaReport is the Section VIII-G estimate for the evaluation machine.
+type AreaReport struct {
+	area.Estimate
+	TotalChiplets int
+}
+
+// Area computes the per-chiplet area inventory of the default SPACX
+// configuration.
+func Area() (AreaReport, error) {
+	cfg := spacxnet.Default32()
+	// The paper's "132 MRRs underneath a chiplet" accounting; the area
+	// shares are computed against one synthesized PE slice as in the text.
+	est, err := area.PerChiplet(1, cfg.MRRsPerChiplet())
+	if err != nil {
+		return AreaReport{}, err
+	}
+	return AreaReport{Estimate: est, TotalChiplets: cfg.M}, nil
+}

@@ -1,0 +1,46 @@
+package exp
+
+import (
+	"spacx/internal/dnn"
+	"spacx/internal/sim"
+)
+
+// BatchRow is one point of the batch-scaling extension study: processing B
+// samples together extends the output plane, amortizing weight traffic (and
+// the weight re-broadcasts the 4 kB buffers force) across the batch.
+type BatchRow struct {
+	Accel string
+	Batch int
+
+	ExecSec          float64 // whole batch
+	ExecPerSampleSec float64
+	EnergyPerSampleJ float64
+	ThroughputIPS    float64 // inferences per second
+}
+
+// BatchScaling runs ResNet-50 at batch sizes 1..64 on Simba and SPACX.
+func BatchScaling() ([]BatchRow, error) {
+	base := dnn.ResNet50()
+	accs := []sim.Accelerator{sim.SimbaAccel(), sim.SPACXAccel()}
+	var rows []BatchRow
+	for _, b := range []int{1, 4, 16, 64} {
+		m := dnn.Model{Name: base.Name}
+		for _, l := range base.Layers {
+			m.Layers = append(m.Layers, l.WithBatch(b))
+		}
+		for _, acc := range accs {
+			r, err := sim.Run(acc, m, sim.WholeInference)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, BatchRow{
+				Accel: acc.Name(), Batch: b,
+				ExecSec:          r.ExecSec,
+				ExecPerSampleSec: r.ExecSec / float64(b),
+				EnergyPerSampleJ: r.TotalEnergy / float64(b),
+				ThroughputIPS:    float64(b) / r.ExecSec,
+			})
+		}
+	}
+	return rows, nil
+}

@@ -1,0 +1,43 @@
+package exp
+
+import (
+	"spacx/internal/dnn"
+	"spacx/internal/sim"
+)
+
+// EngineRow compares the two SPACX execution-time engines on one model: the
+// analytical aggregate-overlap engine and the epoch-pipelined detailed
+// engine. Close agreement is the cross-check that the analytical results the
+// figures are built from are not artifacts of the aggregation.
+type EngineRow struct {
+	Model         string
+	AnalyticalSec float64
+	DetailedSec   float64
+	Ratio         float64 // detailed / analytical
+}
+
+// EngineAgreement runs both engines over the four benchmarks.
+func EngineAgreement() ([]EngineRow, error) {
+	acc := sim.SPACXAccel()
+	var rows []EngineRow
+	for _, m := range dnn.Benchmarks() {
+		var analytical, detailed float64
+		for _, l := range m.Layers {
+			a, err := sim.RunLayer(acc, l, sim.WholeInference)
+			if err != nil {
+				return nil, err
+			}
+			d, err := sim.RunLayerDetailed(acc, l, sim.WholeInference)
+			if err != nil {
+				return nil, err
+			}
+			analytical += a.ExecSec * float64(l.Repeat)
+			detailed += d.ExecSec * float64(l.Repeat)
+		}
+		rows = append(rows, EngineRow{
+			Model: m.Name, AnalyticalSec: analytical, DetailedSec: detailed,
+			Ratio: detailed / analytical,
+		})
+	}
+	return rows, nil
+}

@@ -1,0 +1,54 @@
+// Package exp contains one driver per table and figure of the paper's
+// evaluation (see DESIGN.md's experiment index). Every driver returns plain
+// result structs; internal/report renders them and bench_test.go regenerates
+// them under `go test -bench`.
+package exp
+
+import (
+	"fmt"
+
+	"spacx/internal/dnn"
+	"spacx/internal/sim"
+)
+
+// AccelRow is one (model, accelerator) measurement normalized to Simba.
+type AccelRow struct {
+	Model string
+	Accel string
+
+	ExecSec    float64
+	ComputeSec float64
+	CommSec    float64
+
+	EnergyJ  float64
+	NetworkJ float64
+	OtherJ   float64
+
+	ExecNorm   float64 // normalized to the Simba row of the same model
+	EnergyNorm float64
+}
+
+// runTriple executes all three evaluation accelerators on a model.
+func runTriple(m dnn.Model, mode sim.Mode) ([]AccelRow, error) {
+	accs := sim.EvalAccelerators()
+	rows := make([]AccelRow, 0, len(accs))
+	var baseExec, baseEnergy float64
+	for i, acc := range accs {
+		r, err := sim.Run(acc, m, mode)
+		if err != nil {
+			return nil, fmt.Errorf("exp: %s on %s: %w", m.Name, acc.Name(), err)
+		}
+		row := AccelRow{
+			Model: m.Name, Accel: acc.Name(),
+			ExecSec: r.ExecSec, ComputeSec: r.ComputeSec, CommSec: r.CommSec,
+			EnergyJ: r.TotalEnergy, NetworkJ: r.NetworkEnergy, OtherJ: r.ComputeEnergy,
+		}
+		if i == 0 {
+			baseExec, baseEnergy = r.ExecSec, r.TotalEnergy
+		}
+		row.ExecNorm = row.ExecSec / baseExec
+		row.EnergyNorm = row.EnergyJ / baseEnergy
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

@@ -1,0 +1,390 @@
+package exp
+
+import (
+	"testing"
+)
+
+func TestTable1MatchesPaper(t *testing.T) {
+	rows, err := Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantWavelengths := []int{16, 12, 12, 8}
+	wantInterfaceMRRs := []int{80, 80, 96, 96}
+	for i, r := range rows {
+		if r.Wavelengths != wantWavelengths[i] {
+			t.Errorf("config %s wavelengths = %d, want %d", r.Name, r.Wavelengths, wantWavelengths[i])
+		}
+		if r.InterfaceMRRs != wantInterfaceMRRs[i] {
+			t.Errorf("config %s interface MRRs = %d, want %d", r.Name, r.InterfaceMRRs, wantInterfaceMRRs[i])
+		}
+	}
+}
+
+func TestTable2HasAllThreeAccelerators(t *testing.T) {
+	rows := Table2()
+	seen := map[string]int{}
+	for _, r := range rows {
+		seen[r.Accel]++
+	}
+	for _, a := range []string{"Simba", "POPSTAR", "SPACX"} {
+		if seen[a] != 2 {
+			t.Errorf("%s rows = %d, want 2 (chiplet + package level)", a, seen[a])
+		}
+	}
+}
+
+func TestTable3And4(t *testing.T) {
+	rows, err := Table3And4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rows))
+	}
+	if rows[1].CrossChannelMw >= rows[0].CrossChannelMw {
+		t.Errorf("aggressive channel %v mW should need less laser than moderate %v mW",
+			rows[1].CrossChannelMw, rows[0].CrossChannelMw)
+	}
+	if len(rows[0].BudgetItems) == 0 {
+		t.Error("budget itemization missing")
+	}
+}
+
+func TestFig13And14Structure(t *testing.T) {
+	rows, err := Fig13And14()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 21 ResNet + 12 VGG layers x 3 accelerators.
+	if len(rows) != 33*3 {
+		t.Fatalf("rows = %d, want 99", len(rows))
+	}
+	// Simba rows are the normalization baseline.
+	for i := 0; i < len(rows); i += 3 {
+		if rows[i].Accel != "Simba" || rows[i].ExecNorm != 1 || rows[i].EnergyNorm != 1 {
+			t.Fatalf("row %d: baseline not Simba-normalized: %+v", i, rows[i])
+		}
+	}
+	// Labels run L1..L33.
+	if rows[0].Label != "L1" || rows[len(rows)-1].Label != "L33" {
+		t.Errorf("labels wrong: %s .. %s", rows[0].Label, rows[len(rows)-1].Label)
+	}
+	// The FC layers (L21, L31-33) show SPACX communication dominated
+	// (Section VIII-A1: execution-time reduction is significant in layers
+	// with intensive data communication).
+	for _, r := range rows {
+		if r.Accel == "SPACX" && (r.Label == "L31" || r.Label == "L32") {
+			if r.CommSec < r.ComputeSec {
+				t.Errorf("%s: FC layer should be communication-bound on SPACX", r.Label)
+			}
+		}
+	}
+}
+
+func TestFig15AMRows(t *testing.T) {
+	rows, err := Fig15()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 models x 3 accelerators + 3 A.M. rows.
+	if len(rows) != 15 {
+		t.Fatalf("rows = %d, want 15", len(rows))
+	}
+	var am []AccelRow
+	for _, r := range rows {
+		if r.Model == "A.M." {
+			am = append(am, r)
+		}
+	}
+	if len(am) != 3 {
+		t.Fatalf("A.M. rows = %d, want 3", len(am))
+	}
+	// Paper: SPACX 78%/75% reduction vs Simba; require the ordering and a
+	// strong effect.
+	var spacx, popstar AccelRow
+	for _, r := range am {
+		switch r.Accel {
+		case "SPACX":
+			spacx = r
+		case "POPSTAR":
+			popstar = r
+		}
+	}
+	if !(spacx.ExecNorm < popstar.ExecNorm && popstar.ExecNorm < 1) {
+		t.Errorf("exec ordering violated: SPACX %v, POPSTAR %v", spacx.ExecNorm, popstar.ExecNorm)
+	}
+	if !(spacx.EnergyNorm < popstar.EnergyNorm && popstar.EnergyNorm < 1) {
+		t.Errorf("energy ordering violated: SPACX %v, POPSTAR %v", spacx.EnergyNorm, popstar.EnergyNorm)
+	}
+	if spacx.ExecNorm > 0.45 {
+		t.Errorf("SPACX A.M. exec norm = %v, paper reports 0.22", spacx.ExecNorm)
+	}
+}
+
+func TestFig16Orderings(t *testing.T) {
+	rows, err := Fig16(2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 12 {
+		t.Fatalf("rows = %d, want 12", len(rows))
+	}
+	// Average over models: SPACX lowest latency, highest throughput;
+	// POPSTAR in between (Figure 16).
+	avg := map[string][2]float64{}
+	for _, r := range rows {
+		v := avg[r.Accel]
+		v[0] += r.LatencyNorm / 4
+		v[1] += r.ThroughputNorm / 4
+		avg[r.Accel] = v
+	}
+	if !(avg["SPACX"][0] < avg["POPSTAR"][0] && avg["POPSTAR"][0] < avg["Simba"][0]) {
+		t.Errorf("latency ordering violated: %v", avg)
+	}
+	if !(avg["SPACX"][1] > avg["POPSTAR"][1] && avg["POPSTAR"][1] > avg["Simba"][1]) {
+		t.Errorf("throughput ordering violated: %v", avg)
+	}
+}
+
+func TestFig17And18(t *testing.T) {
+	f17, err := Fig17()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f17) != 15 {
+		t.Fatalf("fig17 rows = %d, want 15", len(f17))
+	}
+	f18, err := Fig18()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ba, noba float64
+	for _, r := range f18 {
+		if r.Model == "A.M." {
+			if r.Accel == "SPACX" {
+				ba = r.ExecNorm
+			}
+			if r.Accel == "SPACX-BA" {
+				noba = r.ExecNorm
+			}
+		}
+	}
+	if noba <= ba {
+		t.Errorf("disabling BA should increase exec: with %v, without %v", ba, noba)
+	}
+}
+
+func TestFig19Fig20(t *testing.T) {
+	p19, err := Fig19()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p20, err := Fig20()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p19) != len(p20) || len(p19) == 0 {
+		t.Fatalf("surface sizes: %d vs %d", len(p19), len(p20))
+	}
+	for i := range p19 {
+		if p20[i].OverallW() >= p19[i].OverallW() {
+			t.Errorf("aggressive overall power should be lower at (%d,%d)",
+				p19[i].GK, p19[i].GEF)
+		}
+	}
+}
+
+func TestFig21(t *testing.T) {
+	a, err := Fig21a()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 5 variants x 4 models + 5 A.M. rows.
+	if len(a) != 25 {
+		t.Fatalf("fig21a rows = %d, want 25", len(a))
+	}
+	b, err := Fig21bBreakdown()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) != 2 {
+		t.Fatalf("fig21b rows = %d, want 2", len(b))
+	}
+	// Aggressive network energy below moderate (paper: 23.9 -> 8.4 mJ).
+	if b[1].TotalJ >= b[0].TotalJ {
+		t.Errorf("aggressive %v J should be < moderate %v J", b[1].TotalJ, b[0].TotalJ)
+	}
+	// Breakdown parts sum to the total.
+	for _, r := range b {
+		sum := r.EOJ + r.OEJ + r.HeatingJ + r.LaserJ
+		if diff := sum - r.TotalJ; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("%s: parts %v != total %v", r.Params, sum, r.TotalJ)
+		}
+	}
+}
+
+func TestFig22(t *testing.T) {
+	rows, err := Fig22()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 5 sizes x 3 accelerators.
+	if len(rows) != 15 {
+		t.Fatalf("rows = %d, want 15", len(rows))
+	}
+	// SPACX at M=32 N=32 is the normalization point.
+	for _, r := range rows {
+		if r.Accel == "SPACX" && r.M == 32 && r.N == 32 {
+			if r.ExecNorm != 1 || r.EnergyNorm != 1 {
+				t.Errorf("normalization point wrong: %+v", r)
+			}
+		}
+	}
+}
+
+func TestAreaDriver(t *testing.T) {
+	r, err := Area()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.MRRsPerChiplet != 132 {
+		t.Errorf("rings per chiplet = %d, want 132", r.MRRsPerChiplet)
+	}
+	if r.TotalChiplets != 32 {
+		t.Errorf("chiplets = %d, want 32", r.TotalChiplets)
+	}
+}
+
+func TestAblationBroadcast(t *testing.T) {
+	rows, err := AblationBroadcast()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 12 {
+		t.Fatalf("rows = %d, want 12", len(rows))
+	}
+	for i := 0; i < len(rows); i += 3 {
+		full, noBcast, noBA := rows[i], rows[i+1], rows[i+2]
+		// Disabling broadcast must hurt both time and energy substantially:
+		// it is the central mechanism of the design.
+		if noBcast.ExecNorm < 1.5 {
+			t.Errorf("%s: no-broadcast exec norm = %v, expected a large slowdown",
+				full.Model, noBcast.ExecNorm)
+		}
+		if noBcast.EnergyN <= 1 {
+			t.Errorf("%s: no-broadcast energy norm = %v, expected an increase",
+				full.Model, noBcast.EnergyN)
+		}
+		// The BA ablation is a milder effect than the broadcast ablation.
+		if noBA.ExecNorm >= noBcast.ExecNorm {
+			t.Errorf("%s: BA ablation (%v) should be milder than broadcast ablation (%v)",
+				full.Model, noBA.ExecNorm, noBcast.ExecNorm)
+		}
+	}
+}
+
+func TestGranularityTradeoff(t *testing.T) {
+	rows, err := GranularityTradeoff()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 16 {
+		t.Fatalf("rows = %d, want 16", len(rows))
+	}
+	// The paper's chosen deployment point (e/f=8, k=16) should be within
+	// 25% of the best execution time in the sweep while staying below the
+	// power of the coarsest configuration.
+	var chosen GranularityTradeoffRow
+	best := rows[0].ExecSec
+	var coarsest GranularityTradeoffRow
+	for _, r := range rows {
+		if r.ExecSec < best {
+			best = r.ExecSec
+		}
+		if r.GEF == 8 && r.GK == 16 {
+			chosen = r
+		}
+		if r.GEF == 32 && r.GK == 32 {
+			coarsest = r
+		}
+	}
+	if chosen.GEF != 8 {
+		t.Fatal("chosen point missing from sweep")
+	}
+	if chosen.ExecSec > 1.25*best {
+		t.Errorf("chosen granularity exec %v too far from best %v", chosen.ExecSec, best)
+	}
+	if chosen.OverallW >= coarsest.OverallW {
+		t.Errorf("chosen granularity power %v should undercut the coarsest %v",
+			chosen.OverallW, coarsest.OverallW)
+	}
+}
+
+func TestAdaptiveGranularity(t *testing.T) {
+	rows, err := AdaptiveGranularity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(rows))
+	}
+	for _, r := range rows {
+		// Per-layer best can never lose to the fixed configuration beyond
+		// the retuning overhead.
+		if r.Speedup < 0.999 {
+			t.Errorf("%s: adaptive slower than fixed (speedup %v)", r.Model, r.Speedup)
+		}
+		if r.AdaptiveExecSec <= 0 || r.FixedExecSec <= 0 {
+			t.Errorf("%s: non-positive times %+v", r.Model, r)
+		}
+	}
+}
+
+func TestBatchScaling(t *testing.T) {
+	rows, err := BatchScaling()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("rows = %d, want 8", len(rows))
+	}
+	perAccel := map[string][]BatchRow{}
+	for _, r := range rows {
+		perAccel[r.Accel] = append(perAccel[r.Accel], r)
+	}
+	for accel, rs := range perAccel {
+		// Batching must never reduce throughput, and batch-64 must beat
+		// batch-1 per-sample time (weight amortization + utilization).
+		for i := 1; i < len(rs); i++ {
+			if rs[i].ThroughputIPS < rs[i-1].ThroughputIPS*0.98 {
+				t.Errorf("%s: throughput fell from batch %d to %d: %v -> %v",
+					accel, rs[i-1].Batch, rs[i].Batch, rs[i-1].ThroughputIPS, rs[i].ThroughputIPS)
+			}
+		}
+		if rs[len(rs)-1].ExecPerSampleSec >= rs[0].ExecPerSampleSec {
+			t.Errorf("%s: batch-64 per-sample time %v should beat batch-1 %v",
+				accel, rs[len(rs)-1].ExecPerSampleSec, rs[0].ExecPerSampleSec)
+		}
+		// Per-sample energy must not grow with batching.
+		if rs[len(rs)-1].EnergyPerSampleJ > rs[0].EnergyPerSampleJ*1.02 {
+			t.Errorf("%s: batch-64 per-sample energy %v should not exceed batch-1 %v",
+				accel, rs[len(rs)-1].EnergyPerSampleJ, rs[0].EnergyPerSampleJ)
+		}
+	}
+}
+
+func TestEngineAgreementExp(t *testing.T) {
+	rows, err := EngineAgreement()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(rows))
+	}
+	for _, r := range rows {
+		if r.Ratio < 0.8 || r.Ratio > 2.0 {
+			t.Errorf("%s: engines diverge at the model level: ratio %v", r.Model, r.Ratio)
+		}
+	}
+}

@@ -1,0 +1,172 @@
+package exp
+
+import (
+	"fmt"
+
+	"spacx/internal/dnn"
+	"spacx/internal/eventsim"
+	"spacx/internal/network"
+	"spacx/internal/sim"
+)
+
+// Fig16Row is one (model, accelerator) network measurement from the
+// packet-level simulation: mean latency and delivered throughput, each
+// normalized to Simba.
+type Fig16Row struct {
+	Model string
+	Accel string
+
+	MeanLatencySec float64
+	ThroughputPps  float64
+
+	LatencyNorm    float64
+	ThroughputNorm float64
+}
+
+const fig16PacketBytes = 64
+
+// fig16Load derives a per-class offered load from a model's traffic on an
+// accelerator: the bytes each flow class moves (duplicates included for
+// unicast networks) during the measured execution window.
+type fig16Load struct {
+	bytesPerClass map[network.Class]int64
+	execSec       float64
+	broadcast     bool
+	// receptionsPerPacket is the mean chiplet-interface receptions each
+	// transmitted packet produces: 1 on unicast networks (every duplicate
+	// is its own transmission), the broadcast chiplet span on SPACX.
+	// Throughput — "the average number of data packets received in a unit
+	// time period" — counts receptions at the chiplet interfaces.
+	receptionsPerPacket float64
+}
+
+func loadFor(acc sim.Accelerator, m dnn.Model) (fig16Load, error) {
+	out := fig16Load{bytesPerClass: map[network.Class]int64{}}
+	caps := acc.Arch.Net.Caps()
+	out.broadcast = caps.CrossChipletBroadcast || caps.SingleChipletBroadcast
+	var injected, received int64
+	for _, l := range m.Layers {
+		r, err := sim.RunLayer(acc, l, sim.WholeInference)
+		if err != nil {
+			return fig16Load{}, err
+		}
+		out.execSec += r.ExecSec * float64(l.Repeat)
+		for _, f := range r.Profile.Flows {
+			ff := f.Normalize()
+			b := ff.UniqueBytes * int64(l.Repeat)
+			if out.broadcast {
+				b *= int64(ff.TxCopies) // per-waveguide copies are packets
+				received += b * int64(ff.ChipletSpan)
+			} else {
+				b *= int64(ff.DestPerDatum) // broadcast emulated by unicasts
+				received += b
+			}
+			injected += b
+			out.bytesPerClass[ff.Class] += b
+		}
+	}
+	out.receptionsPerPacket = 1
+	if injected > 0 {
+		out.receptionsPerPacket = float64(received) / float64(injected)
+	}
+	return out, nil
+}
+
+// Fig16 runs the packet-level latency/throughput study for the four DNN
+// models on the three accelerators. Packet sources inject each accelerator's
+// own traffic volume over its own execution window (a sampled fraction, to
+// keep event counts tractable) through its station pipeline.
+func Fig16(packetsPerRun int) ([]Fig16Row, error) {
+	if packetsPerRun <= 0 {
+		packetsPerRun = 20000
+	}
+	var rows []Fig16Row
+	for _, m := range dnn.Benchmarks() {
+		var baseLat, baseTp float64
+		for i, acc := range sim.EvalAccelerators() {
+			load, err := loadFor(acc, m)
+			if err != nil {
+				return nil, err
+			}
+			var total int64
+			for _, b := range load.bytesPerClass {
+				total += b
+			}
+
+			s := eventsim.New(0xC0FFEE + uint64(i))
+			var path func(int) []*eventsim.Station
+			switch acc.Name() {
+			case "Simba":
+				path, err = eventsim.BuildSimba(s, eventsim.SimbaSpec{
+					M: acc.Arch.M, N: acc.Arch.N, GBPorts: 2,
+					ChipletRateBps: 320e9 / 8, PERateBps: 20e9 / 8,
+					PackageHops: 5, ChipletHops: 4, PerHopDelaySec: 3.1e-9,
+				})
+			case "POPSTAR":
+				path, err = eventsim.BuildCrossbar(s, eventsim.CrossbarSpec{
+					M: acc.Arch.M, N: acc.Arch.N, GBBundles: 4,
+					ChipletRateBps: 310e9 / 8, PERateBps: 20e9 / 8,
+					CrossbarDelay: 0.5e-9, ChipletHops: 4, PerHopDelaySec: 3.1e-9,
+				})
+			default: // SPACX
+				// One channel per wavelength-waveguide pair: 24 wavelengths
+				// on each of the 8 global waveguides of the default
+				// (e/f=8, k=16) configuration.
+				path, err = eventsim.BuildSPACX(s, eventsim.SPACXSpec{
+					Channels:       192,
+					ChannelRateBps: 10e9 / 8,
+					HopDelaySec:    0.5e-9,
+				})
+			}
+			if err != nil {
+				return nil, err
+			}
+			fanout := int(load.receptionsPerPacket + 0.5)
+			if fanout < 1 {
+				fanout = 1
+			}
+			// One source per traffic class, each at its own sustained rate;
+			// classes interleave on the shared stations exactly as the
+			// layer schedule mixes them.
+			var sources []eventsim.Source
+			for _, class := range []network.Class{
+				network.Weights, network.Ifmaps, network.Outputs, network.Psums,
+			} {
+				bytes := load.bytesPerClass[class]
+				if bytes <= 0 {
+					continue
+				}
+				share := float64(bytes) / float64(total)
+				count := int(share*float64(packetsPerRun) + 0.5)
+				if count == 0 {
+					continue
+				}
+				offset := int(class) * 7919 // declusters class destinations
+				sources = append(sources, eventsim.Source{
+					Name:         fmt.Sprintf("%s/%s/%s", m.Name, acc.Name(), class),
+					PacketBytes:  fig16PacketBytes,
+					RateBytesSec: float64(bytes) / load.execSec,
+					Count:        count,
+					Path:         func(i int) []*eventsim.Station { return path(i + offset) },
+					Fanout:       fanout,
+				})
+			}
+			stats, err := s.Run(sources)
+			if err != nil {
+				return nil, err
+			}
+			row := Fig16Row{
+				Model: m.Name, Accel: acc.Name(),
+				MeanLatencySec: stats.MeanLatency(),
+				ThroughputPps:  stats.Throughput(),
+			}
+			if i == 0 {
+				baseLat, baseTp = row.MeanLatencySec, row.ThroughputPps
+			}
+			row.LatencyNorm = row.MeanLatencySec / baseLat
+			row.ThroughputNorm = row.ThroughputPps / baseTp
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}

@@ -1,0 +1,65 @@
+package exp
+
+import (
+	"spacx/internal/dnn"
+	"spacx/internal/photonic"
+	"spacx/internal/sim"
+)
+
+// Fig22Row is one point of the scalability study: a (M, N) machine size and
+// the three accelerators' ResNet-50 execution time and energy, normalized to
+// each accelerator's own M=32, N=32 SPACX-relative baseline as in the figure
+// (all values normalized to the M=32 N=32 SPACX configuration).
+type Fig22Row struct {
+	M, N  int
+	Accel string
+
+	ExecSec float64
+	EnergyJ float64
+
+	ExecNorm   float64 // normalized to SPACX at M=32, N=32
+	EnergyNorm float64
+}
+
+// Fig22 sweeps the chiplet count and PE count as in the paper: M in
+// {16, 32, 64} with N=32, and N in {16, 32, 64} with M=32.
+func Fig22() ([]Fig22Row, error) {
+	res := dnn.ResNet50()
+	sizes := [][2]int{{16, 32}, {32, 32}, {64, 32}, {32, 16}, {32, 64}}
+
+	baseAcc, err := sim.SPACXAccelCustom(32, 32, 8, 16, photonic.Moderate(), true)
+	if err != nil {
+		return nil, err
+	}
+	base, err := sim.Run(baseAcc, res, sim.WholeInference)
+	if err != nil {
+		return nil, err
+	}
+
+	var rows []Fig22Row
+	for _, mn := range sizes {
+		m, n := mn[0], mn[1]
+		spx, err := sim.SPACXAccelCustom(m, n, 8, 16, photonic.Moderate(), true)
+		if err != nil {
+			return nil, err
+		}
+		accs := []sim.Accelerator{
+			sim.SimbaAccelSized(m, n),
+			sim.POPSTARAccelSized(m, n),
+			spx,
+		}
+		for _, acc := range accs {
+			r, err := sim.Run(acc, res, sim.WholeInference)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, Fig22Row{
+				M: m, N: n, Accel: acc.Name(),
+				ExecSec: r.ExecSec, EnergyJ: r.TotalEnergy,
+				ExecNorm:   r.ExecSec / base.ExecSec,
+				EnergyNorm: r.TotalEnergy / base.TotalEnergy,
+			})
+		}
+	}
+	return rows, nil
+}

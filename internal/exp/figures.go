@@ -1,0 +1,183 @@
+package exp
+
+import (
+	"fmt"
+
+	"spacx/internal/dataflow"
+	"spacx/internal/dnn"
+	"spacx/internal/network/spacxnet"
+	"spacx/internal/photonic"
+	"spacx/internal/sim"
+)
+
+// LayerRow is one bar of Figures 13/14: a (layer, accelerator) pair with
+// the stacked breakdown, normalized to the Simba bar of the same layer.
+type LayerRow struct {
+	Label string // L1..L33
+	Layer string
+	Accel string
+
+	ComputeSec float64
+	CommSec    float64
+	ExecSec    float64
+	ExecNorm   float64
+
+	NetworkJ   float64
+	OtherJ     float64
+	EnergyJ    float64
+	EnergyNorm float64
+}
+
+// Fig13And14 runs the per-layer experiment of Figures 13 and 14: every
+// unique ResNet-50 and VGG-16 layer executed layer-by-layer (data initially
+// in DRAM) on all three accelerators.
+func Fig13And14() ([]LayerRow, error) {
+	var rows []LayerRow
+	label := 0
+	for _, m := range []dnn.Model{dnn.ResNet50(), dnn.VGG16()} {
+		for _, l := range m.Layers {
+			label++
+			var baseExec, baseEnergy float64
+			for i, acc := range sim.EvalAccelerators() {
+				r, err := sim.RunLayer(acc, l, sim.LayerByLayer)
+				if err != nil {
+					return nil, fmt.Errorf("exp: fig13 %s on %s: %w", l.Name, acc.Name(), err)
+				}
+				if i == 0 {
+					baseExec, baseEnergy = r.ExecSec, r.TotalEnergy
+				}
+				rows = append(rows, LayerRow{
+					Label: fmt.Sprintf("L%d", label), Layer: l.Name, Accel: acc.Name(),
+					ComputeSec: r.ComputeSec, CommSec: r.CommSec, ExecSec: r.ExecSec,
+					ExecNorm: r.ExecSec / baseExec,
+					NetworkJ: r.NetworkEnergy, OtherJ: r.ComputeEnergy, EnergyJ: r.TotalEnergy,
+					EnergyNorm: r.TotalEnergy / baseEnergy,
+				})
+			}
+		}
+	}
+	return rows, nil
+}
+
+// Fig15 runs the whole-inference experiment (GB inter-layer reuse) for the
+// four DNN models on the three accelerators, normalized to Simba, plus the
+// arithmetic-mean rows.
+func Fig15() ([]AccelRow, error) {
+	var rows []AccelRow
+	sums := map[string]*AccelRow{}
+	order := []string{}
+	for _, m := range dnn.Benchmarks() {
+		triple, err := runTriple(m, sim.WholeInference)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, triple...)
+		for _, r := range triple {
+			s, ok := sums[r.Accel]
+			if !ok {
+				s = &AccelRow{Model: "A.M.", Accel: r.Accel}
+				sums[r.Accel] = s
+				order = append(order, r.Accel)
+			}
+			s.ExecNorm += r.ExecNorm / 4
+			s.EnergyNorm += r.EnergyNorm / 4
+			s.ExecSec += r.ExecSec
+			s.EnergyJ += r.EnergyJ
+		}
+	}
+	for _, a := range order {
+		rows = append(rows, *sums[a])
+	}
+	return rows, nil
+}
+
+// Fig17 compares the three dataflows on the SPACX architecture
+// (whole-inference), normalized to WS, with A.M. rows.
+func Fig17() ([]AccelRow, error) {
+	dfs := []dataflow.Dataflow{dataflow.WS{}, dataflow.OSEF{}, dataflow.SPACX{BandwidthAllocation: true}}
+	var rows []AccelRow
+	sums := map[string]*AccelRow{}
+	order := []string{}
+	for _, m := range dnn.Benchmarks() {
+		var baseExec, baseEnergy float64
+		for i, df := range dfs {
+			r, err := sim.Run(sim.SPACXArchWithDataflow(df), m, sim.WholeInference)
+			if err != nil {
+				return nil, err
+			}
+			if i == 0 {
+				baseExec, baseEnergy = r.ExecSec, r.TotalEnergy
+			}
+			row := AccelRow{
+				Model: m.Name, Accel: df.Name(),
+				ExecSec: r.ExecSec, EnergyJ: r.TotalEnergy,
+				NetworkJ: r.NetworkEnergy, OtherJ: r.ComputeEnergy,
+				ExecNorm: r.ExecSec / baseExec, EnergyNorm: r.TotalEnergy / baseEnergy,
+			}
+			rows = append(rows, row)
+			s, ok := sums[row.Accel]
+			if !ok {
+				s = &AccelRow{Model: "A.M.", Accel: row.Accel}
+				sums[row.Accel] = s
+				order = append(order, row.Accel)
+			}
+			s.ExecNorm += row.ExecNorm / 4
+			s.EnergyNorm += row.EnergyNorm / 4
+		}
+	}
+	for _, a := range order {
+		rows = append(rows, *sums[a])
+	}
+	return rows, nil
+}
+
+// Fig18 compares SPACX with and without the bandwidth-allocation scheme
+// (plus the Simba reference bar of the figure), normalized to Simba.
+func Fig18() ([]AccelRow, error) {
+	accs := []sim.Accelerator{sim.SimbaAccel(), sim.SPACXAccel(), sim.SPACXAccelNoBA()}
+	names := []string{"Simba", "SPACX", "SPACX-BA"}
+	var rows []AccelRow
+	sums := map[string]*AccelRow{}
+	order := []string{}
+	for _, m := range dnn.Benchmarks() {
+		var baseExec, baseEnergy float64
+		for i, acc := range accs {
+			r, err := sim.Run(acc, m, sim.WholeInference)
+			if err != nil {
+				return nil, err
+			}
+			if i == 0 {
+				baseExec, baseEnergy = r.ExecSec, r.TotalEnergy
+			}
+			row := AccelRow{
+				Model: m.Name, Accel: names[i],
+				ExecSec: r.ExecSec, ComputeSec: r.ComputeSec, CommSec: r.CommSec,
+				EnergyJ: r.TotalEnergy, NetworkJ: r.NetworkEnergy, OtherJ: r.ComputeEnergy,
+				ExecNorm: r.ExecSec / baseExec, EnergyNorm: r.TotalEnergy / baseEnergy,
+			}
+			rows = append(rows, row)
+			s, ok := sums[row.Accel]
+			if !ok {
+				s = &AccelRow{Model: "A.M.", Accel: row.Accel}
+				sums[row.Accel] = s
+				order = append(order, row.Accel)
+			}
+			s.ExecNorm += row.ExecNorm / 4
+			s.EnergyNorm += row.EnergyNorm / 4
+		}
+	}
+	for _, a := range order {
+		rows = append(rows, *sums[a])
+	}
+	return rows, nil
+}
+
+// Fig19 and Fig20 return the (gK, gEF) power surfaces.
+func Fig19() ([]spacxnet.PowerPoint, error) {
+	return spacxnet.PowerSurface(32, 32, photonic.Moderate())
+}
+
+// Fig20 is the aggressive-parameter surface.
+func Fig20() ([]spacxnet.PowerPoint, error) {
+	return spacxnet.PowerSurface(32, 32, photonic.Aggressive())
+}

@@ -1,0 +1,74 @@
+package exp
+
+import (
+	"fmt"
+
+	"spacx/internal/network/emesh"
+	"spacx/internal/network/pcrossbar"
+	"spacx/internal/network/spacxnet"
+	"spacx/internal/photonic"
+)
+
+// Table1 reproduces Table I: the four broadcast-granularity configurations
+// of the 8x8 example architecture.
+func Table1() ([]spacxnet.TableIRow, error) {
+	return spacxnet.TableI()
+}
+
+// Table2Row is one network-parameter line of Table II, derived from the
+// implemented models rather than restated.
+type Table2Row struct {
+	Accel string
+	Level string
+	Desc  string
+}
+
+// Table2 reproduces Table II from the model implementations.
+func Table2() []Table2Row {
+	simba := emesh.Default32()
+	pop := pcrossbar.Default32()
+	spx := spacxnet.MustModel(spacxnet.Default32())
+	return []Table2Row{
+		{"Simba", "Chiplet level", fmt.Sprintf("Electrical mesh, %.0f Gbps / PE read / write bandwidth", simba.PEReadGbps)},
+		{"Simba", "Package level", fmt.Sprintf("Electrical mesh, %.0f Gbps / chiplet read / write bandwidth", simba.ChipletReadGbps)},
+		{"POPSTAR", "Chiplet level", fmt.Sprintf("Electrical mesh, %.0f Gbps / PE read / write bandwidth", pop.PEReadGbps)},
+		{"POPSTAR", "Package level", fmt.Sprintf("Photonic crossbar, %.0f Gbps / chiplet read, %.0f Gbps / chiplet write, %d wavelengths, %.0f Gbps / wavelength",
+			pop.ChipletReadGbps, pop.ChipletWriteGbps, pop.WavelengthsPerBus, photonic.WavelengthGbps)},
+		{"SPACX", "Chiplet level", fmt.Sprintf("%.0f Gbps / PE read, %.0f Gbps / PE write (shared)",
+			spx.PEReadGbps(), spx.PEWriteGbps())},
+		{"SPACX", "Package level", fmt.Sprintf("%.0f Gbps / chiplet read, %.0f Gbps / chiplet write, %d wavelengths, %.0f Gbps / wavelength",
+			spx.ChipletReadGbps(), spx.ChipletWriteGbps(), spx.Config().Wavelengths(), photonic.WavelengthGbps)},
+	}
+}
+
+// Table3And4Row echoes a photonic parameter set together with the laser
+// power the loss model derives from it for the default SPACX channels —
+// the round-trip that validates the Table III/IV inputs are wired through.
+type Table3And4Row struct {
+	Params          photonic.Params
+	CrossChannelMw  float64
+	SingleChannelMw float64
+	BudgetItems     []string
+}
+
+// Table3And4 evaluates both parameter sets on the default geometry.
+func Table3And4() ([]Table3And4Row, error) {
+	var out []Table3And4Row
+	for _, p := range []photonic.Params{photonic.Moderate(), photonic.Aggressive()} {
+		cfg, err := spacxnet.New(32, 32, 8, 16, p)
+		if err != nil {
+			return nil, err
+		}
+		pw := cfg.Power()
+		_ = pw
+		cross := cfg.CrossChannelBudget()
+		single := cfg.SingleChannelBudget()
+		out = append(out, Table3And4Row{
+			Params:          p,
+			CrossChannelMw:  float64(cross.LaserPower()),
+			SingleChannelMw: float64(single.LaserPower()),
+			BudgetItems:     cross.Items(),
+		})
+	}
+	return out, nil
+}

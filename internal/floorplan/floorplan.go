@@ -1,0 +1,103 @@
+// Package floorplan places the GB die and accelerator chiplets on the
+// silicon interposer and routes the global waveguides, deriving the physical
+// path lengths the photonic loss budget depends on. The paper notes the
+// placement "is not necessarily the same as in Figure 5"; this module makes
+// one concrete: chiplets in a near-square grid around an edge-mounted GB,
+// cross-chiplet groups assigned to contiguous runs, waveguides routed as
+// Manhattan serpentines through their group's chiplets.
+package floorplan
+
+import (
+	"fmt"
+	"math"
+)
+
+// Spec describes the physical inputs.
+type Spec struct {
+	M              int     // chiplets
+	ChipletAreaMM2 float64 // per-chiplet silicon area (4.07 in Section VIII-G)
+	SpacingMM      float64 // inter-chiplet assembly gap
+	GEF            int     // chiplets per cross-chiplet broadcast group
+}
+
+// DefaultSpec is the evaluation machine's floorplan.
+func DefaultSpec() Spec {
+	return Spec{M: 32, ChipletAreaMM2: 4.07, SpacingMM: 0.5, GEF: 8}
+}
+
+// Plan is the computed placement and routing.
+type Plan struct {
+	Rows, Cols    int
+	PitchMM       float64 // center-to-center chiplet pitch
+	Positions     [][2]float64
+	GBPositionMM  [2]float64
+	GroupRouteMM  []float64 // per cross group: GB -> through its chiplets
+	LongestRouteM float64   // max route in meters (loss-budget input)
+}
+
+// Build validates the spec and computes the plan.
+func Build(s Spec) (*Plan, error) {
+	if s.M <= 0 || s.ChipletAreaMM2 <= 0 || s.SpacingMM < 0 {
+		return nil, fmt.Errorf("floorplan: invalid spec %+v", s)
+	}
+	if s.GEF <= 0 || s.M%s.GEF != 0 {
+		return nil, fmt.Errorf("floorplan: GEF=%d must divide M=%d", s.GEF, s.M)
+	}
+	side := math.Sqrt(s.ChipletAreaMM2)
+	pitch := side + s.SpacingMM
+
+	rows := int(math.Sqrt(float64(s.M)))
+	for s.M%rows != 0 {
+		rows--
+	}
+	cols := s.M / rows
+
+	p := &Plan{Rows: rows, Cols: cols, PitchMM: pitch}
+	// GB at the left edge, vertically centered.
+	p.GBPositionMM = [2]float64{-pitch, float64(rows-1) * pitch / 2}
+
+	// Chiplets in row-major order; groups are contiguous runs, which a
+	// boustrophedon (serpentine) ordering keeps physically adjacent.
+	order := make([][2]int, 0, s.M)
+	for r := 0; r < rows; r++ {
+		if r%2 == 0 {
+			for c := 0; c < cols; c++ {
+				order = append(order, [2]int{r, c})
+			}
+		} else {
+			for c := cols - 1; c >= 0; c-- {
+				order = append(order, [2]int{r, c})
+			}
+		}
+	}
+	for _, rc := range order {
+		p.Positions = append(p.Positions, [2]float64{
+			float64(rc[1]) * pitch, float64(rc[0]) * pitch,
+		})
+	}
+
+	// Route each cross group's waveguide: GB -> first chiplet, then
+	// chiplet-to-chiplet Manhattan segments through the group.
+	groups := s.M / s.GEF
+	for g := 0; g < groups; g++ {
+		length := 0.0
+		prev := p.GBPositionMM
+		for i := 0; i < s.GEF; i++ {
+			cur := p.Positions[g*s.GEF+i]
+			length += manhattan(prev, cur)
+			prev = cur
+		}
+		p.GroupRouteMM = append(p.GroupRouteMM, length)
+		if m := length / 1000; m > p.LongestRouteM {
+			p.LongestRouteM = m
+		}
+	}
+	return p, nil
+}
+
+func manhattan(a, b [2]float64) float64 {
+	return math.Abs(a[0]-b[0]) + math.Abs(a[1]-b[1])
+}
+
+// LongestRouteCM returns the loss-budget input in centimeters.
+func (p *Plan) LongestRouteCM() float64 { return p.LongestRouteM * 100 }

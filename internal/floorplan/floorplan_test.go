@@ -1,0 +1,85 @@
+package floorplan
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBuildDefault(t *testing.T) {
+	p, err := Build(DefaultSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Rows*p.Cols != 32 {
+		t.Errorf("grid %dx%d does not hold 32 chiplets", p.Rows, p.Cols)
+	}
+	if len(p.Positions) != 32 {
+		t.Fatalf("positions = %d", len(p.Positions))
+	}
+	if len(p.GroupRouteMM) != 4 {
+		t.Fatalf("group routes = %d, want 4 (32/8)", len(p.GroupRouteMM))
+	}
+	for g, l := range p.GroupRouteMM {
+		if l <= 0 {
+			t.Errorf("group %d route %v must be positive", g, l)
+		}
+	}
+	// A 4x8 grid of ~2.5 mm pitch: routes are a few centimeters.
+	if p.LongestRouteCM() < 1 || p.LongestRouteCM() > 12 {
+		t.Errorf("longest route = %v cm, expected O(few cm)", p.LongestRouteCM())
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build(Spec{}); err == nil {
+		t.Error("empty spec should fail")
+	}
+	s := DefaultSpec()
+	s.GEF = 7
+	if _, err := Build(s); err == nil {
+		t.Error("non-dividing GEF should fail")
+	}
+}
+
+func TestSerpentineKeepsGroupsContiguous(t *testing.T) {
+	p, err := Build(DefaultSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Consecutive chiplets in a group are at most one pitch apart
+	// (the boustrophedon ordering's purpose).
+	for i := 1; i < len(p.Positions); i++ {
+		d := manhattan(p.Positions[i-1], p.Positions[i])
+		if d > p.PitchMM+1e-9 {
+			t.Errorf("chiplets %d-%d are %v mm apart, want <= pitch %v", i-1, i, d, p.PitchMM)
+		}
+	}
+}
+
+// The calibrated effective length per chiplet in the loss budget
+// (spacxnet's ChipletPitchCM) must stay within an order of magnitude of the
+// physical route divided by the group size — it is an effective worst-case
+// parameter, not a free constant.
+func TestRouteConsistentWithLossBudgetGeometry(t *testing.T) {
+	p, err := Build(DefaultSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	perChipletCM := p.LongestRouteCM() / 8
+	const budgetPitchCM = 0.02 // spacxnet default ChipletPitchCM
+	ratio := perChipletCM / budgetPitchCM
+	// The budget's effective pitch is deliberately optimistic (propagation
+	// loss is a minor term next to the splitting losses it is calibrated
+	// around); the physical serpentine is longer, but the gap must stay
+	// bounded — at 1 dB/cm, the extra loss it represents must remain under
+	// ~0.6 dB per chiplet or the loss budget would be materially wrong.
+	if ratio < 1 || ratio > 30 {
+		t.Errorf("physical per-chiplet route %v cm vs budget %v cm (ratio %v) — revisit geometry",
+			perChipletCM, budgetPitchCM, ratio)
+	}
+	extraDBPerChiplet := perChipletCM - budgetPitchCM // at 1 dB/cm
+	if extraDBPerChiplet > 0.6 {
+		t.Errorf("budget under-weights propagation by %v dB per chiplet", extraDBPerChiplet)
+	}
+	_ = math.Pi
+}

@@ -1,0 +1,82 @@
+// Package gbuf models the 2 MB global buffer as a banked SRAM serving the
+// network transmitters. The analytical simulator assumes the GB can always
+// feed every active wavelength channel; this package makes that assumption
+// checkable: it computes the banked structure's peak and contention-degraded
+// effective bandwidth so configurations whose transmitter demand exceeds the
+// GB's ability to serve it are rejected rather than silently mis-simulated.
+package gbuf
+
+import (
+	"fmt"
+	"math"
+)
+
+// Config describes the banked SRAM macro.
+type Config struct {
+	CapacityBytes  int
+	Banks          int
+	PortWidthBytes int     // bytes per bank per cycle
+	ClockHz        float64 // SRAM clock
+}
+
+// Default2MB is the evaluation GB (Section VII-C): 2 MB, 16 banks, 32 B
+// ports at 1 GHz.
+func Default2MB() Config {
+	return Config{
+		CapacityBytes:  2 << 20,
+		Banks:          16,
+		PortWidthBytes: 32,
+		ClockHz:        1e9,
+	}
+}
+
+// Validate checks the macro parameters.
+func (c Config) Validate() error {
+	if c.CapacityBytes <= 0 || c.Banks <= 0 || c.PortWidthBytes <= 0 || c.ClockHz <= 0 {
+		return fmt.Errorf("gbuf: invalid config %+v", c)
+	}
+	if c.CapacityBytes%c.Banks != 0 {
+		return fmt.Errorf("gbuf: capacity %d not divisible by %d banks", c.CapacityBytes, c.Banks)
+	}
+	return nil
+}
+
+// PeakBandwidth is all banks streaming: Banks * PortWidth * Clock.
+func (c Config) PeakBandwidth() float64 {
+	return float64(c.Banks) * float64(c.PortWidthBytes) * c.ClockHz
+}
+
+// EffectiveBandwidth under s independent reader streams with random bank
+// access: the expected number of distinct banks hit per cycle is
+// B * (1 - (1 - 1/B)^s), which bounds the deliverable bytes per cycle.
+func (c Config) EffectiveBandwidth(streams int) float64 {
+	if streams <= 0 {
+		return 0
+	}
+	b := float64(c.Banks)
+	busy := b * (1 - math.Pow(1-1/b, float64(streams)))
+	perCycle := busy * float64(c.PortWidthBytes)
+	// Never below one stream's worth, never above peak.
+	if one := float64(c.PortWidthBytes); perCycle < one {
+		perCycle = one
+	}
+	return perCycle * c.ClockHz
+}
+
+// CanSustain reports whether the GB can feed the given aggregate transmitter
+// demand (bytes/sec) across the given stream count, with headroom for the
+// write-back (ingress) traffic fraction.
+func (c Config) CanSustain(demandBytesPerSec float64, streams int, ingressFraction float64) error {
+	if err := c.Validate(); err != nil {
+		return err
+	}
+	if ingressFraction < 0 || ingressFraction >= 1 {
+		return fmt.Errorf("gbuf: ingress fraction %v out of [0,1)", ingressFraction)
+	}
+	eff := c.EffectiveBandwidth(streams) * (1 - ingressFraction)
+	if demandBytesPerSec > eff {
+		return fmt.Errorf("gbuf: demand %.1f GB/s exceeds effective bandwidth %.1f GB/s (%d streams)",
+			demandBytesPerSec/1e9, eff/1e9, streams)
+	}
+	return nil
+}

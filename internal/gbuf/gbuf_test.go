@@ -1,0 +1,80 @@
+package gbuf
+
+import (
+	"testing"
+	"testing/quick"
+
+	"spacx/internal/network/spacxnet"
+	"spacx/internal/photonic"
+)
+
+func TestValidate(t *testing.T) {
+	if err := Default2MB().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := Default2MB()
+	bad.Banks = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero banks should fail")
+	}
+	bad = Default2MB()
+	bad.Banks = 7 // does not divide 2 MB
+	if err := bad.Validate(); err == nil {
+		t.Error("non-dividing banks should fail")
+	}
+}
+
+func TestPeakBandwidth(t *testing.T) {
+	// 16 banks x 32 B x 1 GHz = 512 GB/s.
+	if got := Default2MB().PeakBandwidth(); got != 512e9 {
+		t.Errorf("peak = %v, want 512e9", got)
+	}
+}
+
+func TestEffectiveBandwidthMonotone(t *testing.T) {
+	c := Default2MB()
+	f := func(raw uint8) bool {
+		s := int(raw%100) + 1
+		return c.EffectiveBandwidth(s+1) >= c.EffectiveBandwidth(s)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if c.EffectiveBandwidth(0) != 0 {
+		t.Error("zero streams should give zero bandwidth")
+	}
+	// Many streams approach peak.
+	if got := c.EffectiveBandwidth(1000); got < 0.95*c.PeakBandwidth() {
+		t.Errorf("1000 streams = %v, want near peak %v", got, c.PeakBandwidth())
+	}
+	// One stream gets exactly one port.
+	if got := c.EffectiveBandwidth(1); got != 32e9 {
+		t.Errorf("one stream = %v, want 32e9", got)
+	}
+}
+
+// The load-bearing validation: the default SPACX configuration's worst-case
+// transmitter demand (every wavelength on every waveguide streaming at line
+// rate) must be sustainable by the 2 MB GB macro.
+func TestDefaultSPACXDemandSustainable(t *testing.T) {
+	cfg, err := spacxnet.New(32, 32, 8, 16, photonic.Moderate())
+	if err != nil {
+		t.Fatal(err)
+	}
+	channels := cfg.GlobalWaveguides() * cfg.Wavelengths()
+	demand := float64(channels) * photonic.WavelengthGbps * 1e9 / 8
+	gb := Default2MB()
+	if err := gb.CanSustain(demand, channels, 0.1); err != nil {
+		t.Errorf("default SPACX GB demand unsustainable: %v", err)
+	}
+}
+
+func TestCanSustainRejectsOverload(t *testing.T) {
+	gb := Default2MB()
+	if err := gb.CanSustain(600e9, 64, 0.1); err == nil {
+		t.Error("600 GB/s should exceed the 512 GB/s macro")
+	}
+	if err := gb.CanSustain(1e9, 4, 1.5); err == nil {
+		t.Error("bad ingress fraction should fail")
+	}
+}

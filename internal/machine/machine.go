@@ -1,0 +1,118 @@
+// Package machine is a functional (value-level) model of the SPACX
+// accelerator: it executes a convolution or FC layer through the actual
+// broadcast schedule of the Figure 9 dataflow — cross-chiplet weight
+// broadcasts on group X wavelengths, single-chiplet ifmap broadcasts on
+// group Y wavelengths, local MAC accumulation, and token-ring output drain —
+// and produces the numeric output feature map.
+//
+// It exists to prove the dataflow's index algebra (the k/e/f decompositions
+// of Figure 9 lines 16-18 and the wavelength-to-PE assignment of Section
+// III-B) correct: tests compare its output against a direct reference
+// convolution, element by element.
+package machine
+
+import (
+	"fmt"
+
+	"spacx/internal/dnn"
+)
+
+// Tensor3 is a dense [C][H][W] activation tensor.
+type Tensor3 struct {
+	C, H, W int
+	Data    []int32
+}
+
+// NewTensor3 allocates a zeroed tensor.
+func NewTensor3(c, h, w int) *Tensor3 {
+	return &Tensor3{C: c, H: h, W: w, Data: make([]int32, c*h*w)}
+}
+
+// At returns the value at (c, y, x); out-of-bounds coordinates read as zero
+// (implicit padding).
+func (t *Tensor3) At(c, y, x int) int32 {
+	if c < 0 || c >= t.C || y < 0 || y >= t.H || x < 0 || x >= t.W {
+		return 0
+	}
+	return t.Data[(c*t.H+y)*t.W+x]
+}
+
+// Set writes the value at (c, y, x); it panics on out-of-bounds writes
+// (writes, unlike reads, are never implicitly padded).
+func (t *Tensor3) Set(c, y, x int, v int32) {
+	if c < 0 || c >= t.C || y < 0 || y >= t.H || x < 0 || x >= t.W {
+		panic(fmt.Sprintf("machine: Set(%d,%d,%d) out of bounds %dx%dx%d", c, y, x, t.C, t.H, t.W))
+	}
+	t.Data[(c*t.H+y)*t.W+x] = v
+}
+
+// Weights is a dense [K][C][R][S] kernel tensor.
+type Weights struct {
+	K, C, R, S int
+	Data       []int32
+}
+
+// NewWeights allocates a zeroed kernel tensor.
+func NewWeights(k, c, r, s int) *Weights {
+	return &Weights{K: k, C: c, R: r, S: s, Data: make([]int32, k*c*r*s)}
+}
+
+// At returns W[k][c][r][s].
+func (w *Weights) At(k, c, r, s int) int32 {
+	return w.Data[((k*w.C+c)*w.R+r)*w.S+s]
+}
+
+// Set writes W[k][c][r][s].
+func (w *Weights) Set(k, c, r, s int, v int32) {
+	w.Data[((k*w.C+c)*w.R+r)*w.S+s] = v
+}
+
+// Reference computes the layer directly from the Figure 4 nested loop
+// (with stride and padding): the golden model.
+func Reference(l dnn.Layer, ifmap *Tensor3, weights *Weights) (*Tensor3, error) {
+	if err := checkShapes(l, ifmap, weights); err != nil {
+		return nil, err
+	}
+	out := NewTensor3(l.K, l.E, l.F)
+	cPerGroup := l.C / l.Groups
+	kPerGroup := l.K / l.Groups
+	for k := 0; k < l.K; k++ {
+		g := k / kPerGroup // channel group of this output channel
+		for e := 0; e < l.E; e++ {
+			for f := 0; f < l.F; f++ {
+				var acc int32
+				for cc := 0; cc < cPerGroup; cc++ {
+					c := g*cPerGroup + cc
+					for r := 0; r < l.R; r++ {
+						for s := 0; s < l.S; s++ {
+							h := e*l.Stride + r - l.Pad
+							w := f*l.Stride + s - l.Pad
+							acc += weights.At(k, cc, r, s) * ifmap.At(c, h, w)
+						}
+					}
+				}
+				out.Set(k, e, f, acc)
+			}
+		}
+	}
+	return out, nil
+}
+
+func checkShapes(l dnn.Layer, ifmap *Tensor3, weights *Weights) error {
+	if err := l.Validate(); err != nil {
+		return err
+	}
+	if l.Batch > 1 {
+		return fmt.Errorf("machine: batched layers are not supported (batch=%d)", l.Batch)
+	}
+	if ifmap.C != l.C || ifmap.H != l.H || ifmap.W != l.W {
+		return fmt.Errorf("machine: ifmap %dx%dx%d does not match layer %dx%dx%d",
+			ifmap.C, ifmap.H, ifmap.W, l.C, l.H, l.W)
+	}
+	cPerGroup := l.C / l.Groups
+	if weights.K != l.K || weights.C != cPerGroup || weights.R != l.R || weights.S != l.S {
+		return fmt.Errorf("machine: weights %dx%dx%dx%d do not match layer K%d C/g%d R%d S%d",
+			weights.K, weights.C, weights.R, weights.S, l.K, cPerGroup, l.R, l.S)
+	}
+	return nil
+}

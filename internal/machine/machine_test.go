@@ -1,0 +1,399 @@
+package machine
+
+import (
+	"testing"
+	"testing/quick"
+
+	"spacx/internal/dnn"
+	"spacx/internal/network/spacxnet"
+	"spacx/internal/photonic"
+)
+
+// lcg is a tiny deterministic generator for test data.
+type lcg uint64
+
+func (r *lcg) next() int32 {
+	*r = *r*6364136223846793005 + 1442695040888963407
+	return int32(uint64(*r)>>40)%17 - 8 // small signed values, no overflow
+}
+
+func fillRandom(l dnn.Layer, seed uint64) (*Tensor3, *Weights) {
+	r := lcg(seed)
+	ifmap := NewTensor3(l.C, l.H, l.W)
+	for i := range ifmap.Data {
+		ifmap.Data[i] = r.next()
+	}
+	w := NewWeights(l.K, l.C/l.Groups, l.R, l.S)
+	for i := range w.Data {
+		w.Data[i] = r.next()
+	}
+	return ifmap, w
+}
+
+func mustMachine(t *testing.T, m, n, gef, gk int) *SPACXMachine {
+	t.Helper()
+	cfg, err := spacxnet.New(m, n, gef, gk, photonic.Moderate())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mach, err := NewSPACX(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mach
+}
+
+func assertEqual(t *testing.T, name string, got, want *Tensor3) {
+	t.Helper()
+	if got.C != want.C || got.H != want.H || got.W != want.W {
+		t.Fatalf("%s: shape %dx%dx%d, want %dx%dx%d",
+			name, got.C, got.H, got.W, want.C, want.H, want.W)
+	}
+	for i := range want.Data {
+		if got.Data[i] != want.Data[i] {
+			t.Fatalf("%s: output[%d] = %d, want %d", name, i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+func TestTensorAccessors(t *testing.T) {
+	x := NewTensor3(2, 3, 4)
+	x.Set(1, 2, 3, 42)
+	if x.At(1, 2, 3) != 42 {
+		t.Error("Set/At roundtrip failed")
+	}
+	// Implicit zero padding on reads.
+	if x.At(-1, 0, 0) != 0 || x.At(0, 3, 0) != 0 || x.At(0, 0, 4) != 0 {
+		t.Error("out-of-bounds reads should be zero")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-bounds Set should panic")
+		}
+	}()
+	x.Set(2, 0, 0, 1)
+}
+
+func TestReferenceIdentityConv(t *testing.T) {
+	// A 1x1 identity kernel copies the ifmap per output channel.
+	l := dnn.NewConv("id", 3, 3, 1, 1, 1, 1, 1, 0)
+	ifmap := NewTensor3(1, 3, 3)
+	for i := range ifmap.Data {
+		ifmap.Data[i] = int32(i + 1)
+	}
+	w := NewWeights(1, 1, 1, 1)
+	w.Set(0, 0, 0, 0, 1)
+	out, err := Reference(l, ifmap, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertEqual(t, "identity", out, ifmap)
+}
+
+func TestReferenceShapeChecks(t *testing.T) {
+	l := dnn.NewConv("c", 4, 4, 3, 3, 2, 2, 1, 1)
+	if _, err := Reference(l, NewTensor3(1, 4, 4), NewWeights(2, 2, 3, 3)); err == nil {
+		t.Error("mismatched ifmap should fail")
+	}
+	if _, err := Reference(l, NewTensor3(2, 4, 4), NewWeights(2, 2, 2, 3)); err == nil {
+		t.Error("mismatched weights should fail")
+	}
+}
+
+// The Figure 8 worked example: [r s e f c k] = [2 2 4 4 3 8] on the
+// 8-chiplet, 8-PE configuration-A machine.
+func TestSPACXMachineFig8(t *testing.T) {
+	l := dnn.NewConv("fig8", 5, 5, 2, 2, 3, 8, 1, 0)
+	mach := mustMachine(t, 8, 8, 8, 8)
+	ifmap, w := fillRandom(l, 1)
+
+	got, err := mach.Run(l, ifmap, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Reference(l, ifmap, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertEqual(t, "fig8", got, want)
+
+	// Every output drained exactly once.
+	if mach.Stats.OutputsDrained != l.OfmapCount() {
+		t.Errorf("outputs drained = %d, want %d", mach.Stats.OutputsDrained, l.OfmapCount())
+	}
+	// MAC conservation: the machine performs exactly the layer's MACs.
+	if mach.Stats.MACs != l.MACs() {
+		t.Errorf("MACs = %d, want %d", mach.Stats.MACs, l.MACs())
+	}
+	// Broadcast efficiency: each weight value modulated once per
+	// (k2, single-group) epoch — far fewer sends than deliveries.
+	if mach.Stats.ValuesDelivered <= mach.Stats.WeightValuesSent+mach.Stats.IfmapValuesSent {
+		t.Errorf("broadcast should amplify deliveries: sent %d+%d, delivered %d",
+			mach.Stats.WeightValuesSent, mach.Stats.IfmapValuesSent, mach.Stats.ValuesDelivered)
+	}
+}
+
+func TestSPACXMachineStride2Padded(t *testing.T) {
+	l := dnn.NewSameConv("s2", 9, 3, 4, 8, 2)
+	mach := mustMachine(t, 4, 8, 2, 4)
+	ifmap, w := fillRandom(l, 7)
+	got, err := mach.Run(l, ifmap, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := Reference(l, ifmap, w)
+	assertEqual(t, "stride2", got, want)
+}
+
+func TestSPACXMachineFC(t *testing.T) {
+	l := dnn.NewFC("fc", 12, 30)
+	mach := mustMachine(t, 4, 4, 2, 2)
+	ifmap, w := fillRandom(l, 3)
+	got, err := mach.Run(l, ifmap, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := Reference(l, ifmap, w)
+	assertEqual(t, "fc", got, want)
+	// A single output position: most position slots idle.
+	if mach.Stats.IdlePEIterations == 0 {
+		t.Error("FC should leave position slots idle")
+	}
+}
+
+func TestSPACXMachineGroupedConv(t *testing.T) {
+	// Depthwise 3x3 over 8 channels.
+	l := dnn.NewDepthwise("dw", 6, 3, 8, 1)
+	mach := mustMachine(t, 4, 4, 4, 2)
+	ifmap, w := fillRandom(l, 11)
+	got, err := mach.Run(l, ifmap, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := Reference(l, ifmap, w)
+	assertEqual(t, "depthwise", got, want)
+}
+
+// Property: for random small layers and random granularities, the broadcast
+// schedule computes exactly the reference convolution.
+func TestSPACXMachineMatchesReferenceProperty(t *testing.T) {
+	f := func(seed uint64, a, b, c, d uint8) bool {
+		dims := []int{1, 2, 4, 8}
+		gef := dims[a%4]
+		gk := dims[b%4]
+		k := int(c%12) + 1
+		ch := int(d%6) + 1
+		l := dnn.NewConv("q", 6, 6, 2, 2, ch, k, 1, 0)
+		cfg, err := spacxnet.New(8, 8, gef, gk, photonic.Moderate())
+		if err != nil {
+			return false
+		}
+		mach, err := NewSPACX(cfg)
+		if err != nil {
+			return false
+		}
+		ifmap, w := fillRandom(l, seed)
+		got, err := mach.Run(l, ifmap, w)
+		if err != nil {
+			return false
+		}
+		want, err := Reference(l, ifmap, w)
+		if err != nil {
+			return false
+		}
+		for i := range want.Data {
+			if got.Data[i] != want.Data[i] {
+				return false
+			}
+		}
+		return mach.Stats.MACs == l.MACs()
+	}
+	cfg := &quick.Config{MaxCount: 40}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSPACXMachineRejectsBadShapes(t *testing.T) {
+	l := dnn.NewConv("c", 4, 4, 3, 3, 2, 2, 1, 1)
+	mach := mustMachine(t, 4, 4, 4, 4)
+	if _, err := mach.Run(l, NewTensor3(9, 9, 9), NewWeights(2, 2, 3, 3)); err == nil {
+		t.Error("bad ifmap shape should fail")
+	}
+}
+
+func TestTokenRingDrainOrder(t *testing.T) {
+	// Token passes per (chiplet, single-group, k2, efIter) epoch equal GK.
+	l := dnn.NewConv("c", 3, 3, 1, 1, 1, 4, 1, 0)
+	mach := mustMachine(t, 2, 4, 2, 4)
+	ifmap, w := fillRandom(l, 5)
+	if _, err := mach.Run(l, ifmap, w); err != nil {
+		t.Fatal(err)
+	}
+	if mach.Stats.TokenPasses%int64(4) != 0 {
+		t.Errorf("token passes %d not a multiple of ring size", mach.Stats.TokenPasses)
+	}
+}
+
+func TestWSMachineMatchesReference(t *testing.T) {
+	l := dnn.NewSameConv("c", 8, 3, 12, 6, 1)
+	mach, err := NewWS(8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ifmap, w := fillRandom(l, 21)
+	got, err := mach.Run(l, ifmap, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := Reference(l, ifmap, w)
+	assertEqual(t, "ws", got, want)
+	if mach.Stats.MACs != l.MACs() {
+		t.Errorf("WS MACs = %d, want %d", mach.Stats.MACs, l.MACs())
+	}
+	// Psum reduction: (cPE-1) transfers per output with cPE = min(N, C) = 8.
+	wantPsum := l.OfmapCount() * int64(8-1)
+	if mach.Stats.PsumTransfers != wantPsum {
+		t.Errorf("psum transfers = %d, want %d", mach.Stats.PsumTransfers, wantPsum)
+	}
+	if mach.Stats.OutputsProduced != l.OfmapCount() {
+		t.Errorf("outputs = %d, want %d", mach.Stats.OutputsProduced, l.OfmapCount())
+	}
+}
+
+func TestWSMachineRejects(t *testing.T) {
+	if _, err := NewWS(0, 8); err == nil {
+		t.Error("zero chiplets should fail")
+	}
+	mach, _ := NewWS(4, 4)
+	dw := dnn.NewDepthwise("dw", 6, 3, 8, 1)
+	ifmap, w := fillRandom(dw, 1)
+	if _, err := mach.Run(dw, ifmap, w); err == nil {
+		t.Error("grouped conv should be rejected by the WS baseline")
+	}
+}
+
+// Property: WS and SPACX machines agree with each other (and the reference)
+// on random dense layers — two independent schedules, one function.
+func TestWSAndSPACXAgreeProperty(t *testing.T) {
+	f := func(seed uint64, kRaw, cRaw uint8) bool {
+		k := int(kRaw%10) + 1
+		c := int(cRaw%6) + 1
+		l := dnn.NewConv("q", 5, 5, 2, 2, c, k, 1, 0)
+		ifmap, w := fillRandom(l, seed)
+		ws, err := NewWS(8, 8)
+		if err != nil {
+			return false
+		}
+		a, err := ws.Run(l, ifmap, w)
+		if err != nil {
+			return false
+		}
+		mach := mustMachineQuick(8, 8, 4, 4)
+		if mach == nil {
+			return false
+		}
+		b, err := mach.Run(l, ifmap, w)
+		if err != nil {
+			return false
+		}
+		for i := range a.Data {
+			if a.Data[i] != b.Data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func mustMachineQuick(m, n, gef, gk int) *SPACXMachine {
+	cfg, err := spacxnet.New(m, n, gef, gk, photonic.Moderate())
+	if err != nil {
+		return nil
+	}
+	mach, err := NewSPACX(cfg)
+	if err != nil {
+		return nil
+	}
+	return mach
+}
+
+func TestOSEFMachineMatchesReference(t *testing.T) {
+	l := dnn.NewSameConv("c", 10, 3, 6, 9, 1)
+	mach, err := NewOSEF(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ifmap, w := fillRandom(l, 31)
+	got, err := mach.Run(l, ifmap, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := Reference(l, ifmap, w)
+	assertEqual(t, "osef", got, want)
+	if mach.Stats.MACs != l.MACs() {
+		t.Errorf("OS(e/f) MACs = %d, want %d", mach.Stats.MACs, l.MACs())
+	}
+	// 100 positions over 16 slots = 7 e/f iterations x 9 kernels.
+	if mach.Stats.WeightBroadcasts != 7*9 {
+		t.Errorf("weight broadcasts = %d, want 63", mach.Stats.WeightBroadcasts)
+	}
+	if mach.Stats.OutputsProduced != l.OfmapCount() {
+		t.Errorf("outputs = %d, want %d", mach.Stats.OutputsProduced, l.OfmapCount())
+	}
+}
+
+func TestOSEFMachineRejects(t *testing.T) {
+	if _, err := NewOSEF(0, 4); err == nil {
+		t.Error("zero chiplets should fail")
+	}
+	mach, _ := NewOSEF(4, 4)
+	dw := dnn.NewDepthwise("dw", 6, 3, 8, 1)
+	ifmap, w := fillRandom(dw, 1)
+	if _, err := mach.Run(dw, ifmap, w); err == nil {
+		t.Error("grouped conv should be rejected")
+	}
+}
+
+// Property: all three machines agree on random dense layers.
+func TestAllThreeMachinesAgreeProperty(t *testing.T) {
+	f := func(seed uint64, kRaw, cRaw, eRaw uint8) bool {
+		k := int(kRaw%8) + 1
+		c := int(cRaw%5) + 1
+		h := int(eRaw%5) + 4
+		l := dnn.NewConv("q", h, h, 2, 2, c, k, 1, 0)
+		ifmap, w := fillRandom(l, seed)
+		ref, err := Reference(l, ifmap, w)
+		if err != nil {
+			return false
+		}
+		ws, _ := NewWS(4, 4)
+		osef, _ := NewOSEF(4, 4)
+		spx := mustMachineQuick(4, 4, 2, 2)
+		if spx == nil {
+			return false
+		}
+		for _, run := range []func() (*Tensor3, error){
+			func() (*Tensor3, error) { return ws.Run(l, ifmap, w) },
+			func() (*Tensor3, error) { return osef.Run(l, ifmap, w) },
+			func() (*Tensor3, error) { return spx.Run(l, ifmap, w) },
+		} {
+			got, err := run()
+			if err != nil {
+				return false
+			}
+			for i := range ref.Data {
+				if got.Data[i] != ref.Data[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,79 @@
+package machine
+
+import (
+	"fmt"
+
+	"spacx/internal/dnn"
+)
+
+// OSEFMachine is the functional model of the OS(e/f) dataflow (ShiDianNao
+// [36] as characterized in Section VIII-C): every PE in the system owns one
+// output position, the k loop runs temporally with each kernel broadcast to
+// all PEs, and outputs drain per kernel. It verifies the position-linearized
+// assignment and the all-PE weight sharing the analytical OS(e/f) mapper
+// charges for.
+type OSEFMachine struct {
+	M, N int
+
+	Stats OSEFStats
+}
+
+// OSEFStats counts OS(e/f)-specific events.
+type OSEFStats struct {
+	MACs             int64
+	WeightBroadcasts int64 // one per (kernel, e/f iteration)
+	WeightValuesSent int64
+	WindowDeliveries int64 // per-PE receptive-field deliveries
+	OutputsProduced  int64
+}
+
+// NewOSEF builds a machine with M chiplets of N PEs.
+func NewOSEF(m, n int) (*OSEFMachine, error) {
+	if m <= 0 || n <= 0 {
+		return nil, fmt.Errorf("machine: OS(e/f) needs positive M, N; got %d, %d", m, n)
+	}
+	return &OSEFMachine{M: m, N: n}, nil
+}
+
+// Run executes one dense layer and returns the ofmap.
+func (o *OSEFMachine) Run(l dnn.Layer, ifmap *Tensor3, weights *Weights) (*Tensor3, error) {
+	if err := checkShapes(l, ifmap, weights); err != nil {
+		return nil, err
+	}
+	if l.Groups != 1 {
+		return nil, fmt.Errorf("machine: OS(e/f) baseline does not support grouped conv (groups=%d)", l.Groups)
+	}
+	out := NewTensor3(l.K, l.E, l.F)
+	ef := l.E * l.F
+	slots := o.M * o.N
+
+	for base := 0; base < ef; base += slots {
+		// Each PE pins its position's receptive field for the k loop.
+		active := ef - base
+		if active > slots {
+			active = slots
+		}
+		windows := make([][]int32, active)
+		for s := 0; s < active; s++ {
+			p := base + s
+			windows[s] = windowVector(l, ifmap, p/l.F, p%l.F, 0, l.C)
+			o.Stats.WindowDeliveries++
+		}
+		for k := 0; k < l.K; k++ {
+			vec := weightVector(weights, k)
+			o.Stats.WeightBroadcasts++
+			o.Stats.WeightValuesSent += int64(len(vec))
+			for s := 0; s < active; s++ {
+				var acc int32
+				for t := range vec {
+					acc += vec[t] * windows[s][t]
+					o.Stats.MACs++
+				}
+				p := base + s
+				out.Set(k, p/l.F, p%l.F, acc)
+				o.Stats.OutputsProduced++
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,109 @@
+package machine
+
+import (
+	"fmt"
+
+	"spacx/internal/dnn"
+)
+
+// WSMachine is the functional model of the weight-stationary dataflow
+// (Simba [13] as characterized in Section VIII-C): output channels map
+// across chiplets (plus spare PEs), input channels map across the PEs of a
+// chiplet, weights stay pinned per PE, and partial sums are spatially
+// reduced across the channel-parallel PEs before leaving for the GB. It
+// verifies the psum reduction algebra the analytical WS mapper charges for.
+type WSMachine struct {
+	M, N int
+
+	Stats WSStats
+}
+
+// WSStats counts WS-specific events.
+type WSStats struct {
+	MACs            int64
+	PsumTransfers   int64 // inter-PE partial-sum hops (the reduction tree)
+	WeightLoads     int64 // weight values pinned into PE stores
+	IfmapDeliveries int64 // ifmap values delivered (duplicated per k-chiplet)
+	OutputsProduced int64
+}
+
+// NewWS builds a machine with M chiplets of N PEs.
+func NewWS(m, n int) (*WSMachine, error) {
+	if m <= 0 || n <= 0 {
+		return nil, fmt.Errorf("machine: WS needs positive M, N; got %d, %d", m, n)
+	}
+	return &WSMachine{M: m, N: n}, nil
+}
+
+// Run executes one (dense) layer and returns the ofmap. Grouped
+// convolutions are not supported by this baseline machine (Simba's WS
+// mapping predates them); it returns an error for Groups > 1.
+func (w *WSMachine) Run(l dnn.Layer, ifmap *Tensor3, weights *Weights) (*Tensor3, error) {
+	if err := checkShapes(l, ifmap, weights); err != nil {
+		return nil, err
+	}
+	if l.Groups != 1 {
+		return nil, fmt.Errorf("machine: WS baseline does not support grouped conv (groups=%d)", l.Groups)
+	}
+	out := NewTensor3(l.K, l.E, l.F)
+
+	// Spatial mapping: k across chiplets (and spare PEs), c across PEs.
+	kC := l.K
+	if kC > w.M {
+		kC = w.M
+	}
+	cPE := l.C
+	if cPE > w.N {
+		cPE = w.N
+	}
+	kPE := w.N / cPE
+	if kPE < 1 {
+		kPE = 1
+	}
+
+	// Weight pinning: each (chipletK, peC, peK) holds its weight slice.
+	w.Stats.WeightLoads += int64(l.K) * int64(l.C) * int64(l.R) * int64(l.S)
+
+	// Channel ranges per PE column.
+	cBounds := make([]int, cPE+1)
+	for i := 0; i <= cPE; i++ {
+		cBounds[i] = i * l.C / cPE
+	}
+
+	for k := 0; k < l.K; k++ {
+		// Ifmaps delivered to the chiplet that owns k (duplication across
+		// k-chiplets is what the mapper charges the network for).
+		w.Stats.IfmapDeliveries += int64(l.C) * int64(l.H) * int64(l.W)
+		for e := 0; e < l.E; e++ {
+			for f := 0; f < l.F; f++ {
+				// Each channel-parallel PE computes a partial sum over its
+				// channel block...
+				partials := make([]int32, cPE)
+				for pc := 0; pc < cPE; pc++ {
+					var acc int32
+					for c := cBounds[pc]; c < cBounds[pc+1]; c++ {
+						for r := 0; r < l.R; r++ {
+							for s := 0; s < l.S; s++ {
+								h := e*l.Stride + r - l.Pad
+								x := f*l.Stride + s - l.Pad
+								acc += weights.At(k, c, r, s) * ifmap.At(c, h, x)
+								w.Stats.MACs++
+							}
+						}
+					}
+					partials[pc] = acc
+				}
+				// ...then the partials reduce across the PE column: a
+				// linear neighbour chain, cPE-1 transfers per output.
+				total := partials[0]
+				for pc := 1; pc < cPE; pc++ {
+					total += partials[pc]
+					w.Stats.PsumTransfers++
+				}
+				out.Set(k, e, f, total)
+				w.Stats.OutputsProduced++
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,43 @@
+package network
+
+// NoBroadcast wraps a network model with its broadcast capability disabled:
+// a datum needed by d endpoints costs d serialized transmissions and d
+// transmitter conversions, exactly like the prior photonic designs the paper
+// contrasts with (Section II-A3). It is the ablation that isolates how much
+// of SPACX's win comes from broadcast itself rather than from photonics.
+type NoBroadcast struct {
+	Inner Model
+}
+
+// Name implements Model.
+func (n NoBroadcast) Name() string { return n.Inner.Name() + "-nobcast" }
+
+// Caps implements Model: broadcast disabled.
+func (n NoBroadcast) Caps() Caps { return Caps{} }
+
+// TransferTime multiplies the serialized payload by the destination count
+// before delegating (the inner model no longer sees any sharing).
+func (n NoBroadcast) TransferTime(f Flow) float64 {
+	f = f.Normalize()
+	f.UniqueBytes *= int64(f.DestPerDatum)
+	f.DestPerDatum = 1
+	return n.Inner.TransferTime(f)
+}
+
+// DynamicEnergy charges one conversion pair per duplicated byte.
+func (n NoBroadcast) DynamicEnergy(f Flow) EnergyParts {
+	f = f.Normalize()
+	f.UniqueBytes *= int64(f.DestPerDatum)
+	f.TxCopies = 1
+	f.DestPerDatum = 1
+	return n.Inner.DynamicEnergy(f)
+}
+
+// StaticPower delegates unchanged (the hardware is the same; only its use
+// differs).
+func (n NoBroadcast) StaticPower() StaticParts { return n.Inner.StaticPower() }
+
+// PacketLatency delegates unchanged.
+func (n NoBroadcast) PacketLatency(f Flow) float64 { return n.Inner.PacketLatency(f) }
+
+var _ Model = NoBroadcast{}

@@ -1,0 +1,187 @@
+// Package emesh models Simba's all-electrical interconnect (Table II):
+// a package-level 2D mesh connecting the GB die and the chiplets over
+// ground-referenced-signaling links (320 Gbps per chiplet), and a
+// chiplet-level 2D mesh connecting PEs (20 Gbps per PE). Broadcast is not
+// supported natively: a datum needed by d destinations is emulated by d
+// unicasts (Section II-B3), which multiplies both serialization time at the
+// GB side and link energy.
+package emesh
+
+import (
+	"fmt"
+	"math"
+
+	"spacx/internal/energy"
+	"spacx/internal/network"
+)
+
+// Config holds the Simba network parameters.
+type Config struct {
+	M int // chiplets
+	N int // PEs per chiplet
+
+	ChipletReadGbps  float64 // package-level per-chiplet bandwidth
+	ChipletWriteGbps float64
+	PEReadGbps       float64 // chiplet-level per-PE bandwidth
+	PEWriteGbps      float64
+
+	// GBPorts is how many package-mesh links the GB die injects on; GB
+	// egress = GBPorts * ChipletReadGbps. This is the GB-side contention
+	// point that broadcast emulation stresses.
+	GBPorts int
+
+	ClockHz      float64 // mesh router clock
+	RouterCycles int     // pipeline depth per hop
+	LinkDelaySec float64 // per-hop wire delay
+	PacketBytes  int
+}
+
+// Default32 is the Table II Simba configuration at M=32, N=32.
+func Default32() Config {
+	return Config{
+		M: 32, N: 32,
+		ChipletReadGbps: 320, ChipletWriteGbps: 320,
+		PEReadGbps: 20, PEWriteGbps: 20,
+		GBPorts:      2,
+		ClockHz:      1e9,
+		RouterCycles: 3,
+		LinkDelaySec: 100e-12,
+		PacketBytes:  64,
+	}
+}
+
+// Model implements network.Model for the electrical mesh.
+type Model struct {
+	cfg Config
+}
+
+// New validates and wraps a config.
+func New(cfg Config) (*Model, error) {
+	if cfg.M <= 0 || cfg.N <= 0 {
+		return nil, fmt.Errorf("emesh: M=%d N=%d must be positive", cfg.M, cfg.N)
+	}
+	if cfg.GBPorts <= 0 || cfg.ChipletReadGbps <= 0 || cfg.PEReadGbps <= 0 {
+		return nil, fmt.Errorf("emesh: bandwidths and GB ports must be positive: %+v", cfg)
+	}
+	return &Model{cfg: cfg}, nil
+}
+
+// MustNew wraps a config known to be valid.
+func MustNew(cfg Config) *Model {
+	m, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+func (m *Model) Name() string { return "Simba" }
+
+// Caps: no native broadcast at either level.
+func (m *Model) Caps() network.Caps { return network.Caps{} }
+
+// Config returns the underlying configuration.
+func (m *Model) Config() Config { return m.cfg }
+
+// meshDims returns the near-square factorization used for hop counting.
+func meshDims(n int) (rows, cols int) {
+	rows = int(math.Sqrt(float64(n)))
+	for n%rows != 0 {
+		rows--
+	}
+	return rows, n / rows
+}
+
+// avgPackageHops is the mean Manhattan distance from the GB (attached at an
+// edge-center port of the package mesh) to a chiplet.
+func (m *Model) avgPackageHops() float64 {
+	r, c := meshDims(m.cfg.M)
+	// Edge-center attachment: average row distance r/2, column distance c/4.
+	return float64(r)/2 + float64(c)/4 + 1
+}
+
+// avgChipletHops is the mean hop count from a chiplet's interface to a PE on
+// its internal mesh.
+func (m *Model) avgChipletHops() float64 {
+	r, c := meshDims(m.cfg.N)
+	return float64(r)/2 + float64(c)/4 + 1
+}
+
+const bitsPerByte = 8
+
+// TransferTime accounts for broadcast-by-unicast: every datum is serialized
+// once per destination at the GB side, then the per-chiplet and per-PE links
+// bound the parallel delivery.
+func (m *Model) TransferTime(f network.Flow) float64 {
+	f = f.Normalize()
+	if f.UniqueBytes == 0 {
+		return 0
+	}
+	bytes := float64(f.UniqueBytes)
+	dup := float64(f.DestPerDatum)
+
+	switch f.Dir {
+	case network.GBToPE:
+		gbEgress := float64(m.cfg.GBPorts) * m.cfg.ChipletReadGbps * 1e9 / bitsPerByte
+		perChiplet := m.cfg.ChipletReadGbps * 1e9 / bitsPerByte
+		perPE := m.cfg.PEReadGbps * 1e9 / bitsPerByte
+
+		tGB := bytes * dup / gbEgress
+		tChiplet := bytes * dup / (perChiplet * float64(f.ChipletSpan))
+		tPE := bytes * dup / (perPE * float64(f.ChipletSpan*f.PESpan))
+		return math.Max(tGB, math.Max(tChiplet, tPE))
+
+	case network.PEToGB:
+		gbIngress := float64(m.cfg.GBPorts) * m.cfg.ChipletWriteGbps * 1e9 / bitsPerByte
+		perChiplet := m.cfg.ChipletWriteGbps * 1e9 / bitsPerByte
+		perPE := m.cfg.PEWriteGbps * 1e9 / bitsPerByte
+		tGB := bytes / gbIngress
+		tChiplet := bytes / (perChiplet * float64(f.ChipletSpan))
+		tPE := bytes / (perPE * float64(f.ChipletSpan*f.PESpan))
+		return math.Max(tGB, math.Max(tChiplet, tPE))
+
+	case network.PEToPE:
+		// Neighbor exchange on the chiplet meshes, fully parallel across
+		// chiplets; bounded by per-PE link bandwidth.
+		perPE := m.cfg.PEWriteGbps * 1e9 / bitsPerByte
+		lanes := float64(f.ChipletSpan * f.PESpan)
+		if lanes < 1 {
+			lanes = 1
+		}
+		return bytes / (perPE * lanes)
+	}
+	return 0
+}
+
+// DynamicEnergy charges the package link + routers for every hop of every
+// duplicated byte, and the chiplet-level wires likewise.
+func (m *Model) DynamicEnergy(f network.Flow) network.EnergyParts {
+	f = f.Normalize()
+	bits := float64(f.UniqueBytes) * bitsPerByte * float64(f.DestPerDatum)
+	var e float64
+	switch f.Dir {
+	case network.GBToPE, network.PEToGB:
+		e = bits * (energy.PackageLinkEnergyPerBit +
+			energy.RouterEnergyPerBitHop*m.avgPackageHops())
+		e += bits * energy.ChipletWireEnergyPerBitHop * m.avgChipletHops()
+	case network.PEToPE:
+		// One-hop neighbor traffic on the chiplet mesh.
+		e = bits * energy.ChipletWireEnergyPerBitHop
+	}
+	return network.EnergyParts{Electrical: e}
+}
+
+// StaticPower: all-electrical networks idle at (approximately) zero in this
+// model; leakage is folded into the per-bit numbers as in DSENT runs.
+func (m *Model) StaticPower() network.StaticParts { return network.StaticParts{} }
+
+// PacketLatency: per-hop router pipeline plus wire delay across both mesh
+// levels, plus serialization at the narrowest (PE-level) link.
+func (m *Model) PacketLatency(f network.Flow) float64 {
+	hops := m.avgPackageHops() + m.avgChipletHops()
+	perHop := float64(m.cfg.RouterCycles)/m.cfg.ClockHz + m.cfg.LinkDelaySec
+	serialize := float64(m.cfg.PacketBytes) / (m.cfg.PEReadGbps * 1e9 / bitsPerByte)
+	return hops*perHop + serialize
+}
+
+var _ network.Model = (*Model)(nil)

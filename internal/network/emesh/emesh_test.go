@@ -1,0 +1,135 @@
+package emesh
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"spacx/internal/network"
+)
+
+func TestValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("zero config should fail")
+	}
+	cfg := Default32()
+	cfg.GBPorts = 0
+	if _, err := New(cfg); err == nil {
+		t.Error("zero GB ports should fail")
+	}
+	if _, err := New(Default32()); err != nil {
+		t.Errorf("default config should validate: %v", err)
+	}
+}
+
+func TestCapsNoBroadcast(t *testing.T) {
+	m := MustNew(Default32())
+	if caps := m.Caps(); caps.CrossChipletBroadcast || caps.SingleChipletBroadcast {
+		t.Errorf("electrical mesh should not support broadcast: %+v", caps)
+	}
+	if m.Name() != "Simba" {
+		t.Errorf("name = %q", m.Name())
+	}
+}
+
+func TestMeshDims(t *testing.T) {
+	cases := []struct{ n, r, c int }{
+		{32, 4, 8}, {16, 4, 4}, {64, 8, 8}, {8, 2, 4}, {1, 1, 1}, {6, 2, 3},
+	}
+	for _, tc := range cases {
+		r, c := meshDims(tc.n)
+		if r != tc.r || c != tc.c {
+			t.Errorf("meshDims(%d) = (%d,%d), want (%d,%d)", tc.n, r, c, tc.r, tc.c)
+		}
+	}
+}
+
+func TestBroadcastEmulationMultipliesTime(t *testing.T) {
+	m := MustNew(Default32())
+	uni := network.Flow{Dir: network.GBToPE, UniqueBytes: 1e6, DestPerDatum: 1, ChipletSpan: 1, PESpan: 1}
+	bc := uni
+	bc.DestPerDatum = 32
+	tUni, tBc := m.TransferTime(uni), m.TransferTime(bc)
+	if tBc < 8*tUni {
+		// The GB egress is the shared bottleneck; 32x duplication must cost
+		// close to 32x once egress-bound (the chiplet-side gets parallel).
+		t.Errorf("broadcast emulation too cheap: %v vs %v", tBc, tUni)
+	}
+}
+
+func TestTransferTimeBottlenecks(t *testing.T) {
+	m := MustNew(Default32())
+	// Spread over all chiplets and PEs: GB egress (2x320 Gbps = 80 GB/s)
+	// dominates for a large unique payload.
+	f := network.Flow{Dir: network.GBToPE, UniqueBytes: 80e9, DestPerDatum: 1,
+		ChipletSpan: 32, PESpan: 32}
+	want := 1.0 // 80 GB / 80 GB/s
+	if got := m.TransferTime(f); math.Abs(got-want) > 1e-9 {
+		t.Errorf("egress-bound transfer = %v s, want 1", got)
+	}
+	// Single-PE destination: the 20 Gbps PE link dominates.
+	f = network.Flow{Dir: network.GBToPE, UniqueBytes: 2.5e9, DestPerDatum: 1,
+		ChipletSpan: 1, PESpan: 1}
+	want = 1.0 // 2.5 GB / 2.5 GB/s
+	if got := m.TransferTime(f); math.Abs(got-want) > 1e-9 {
+		t.Errorf("PE-bound transfer = %v s, want 1", got)
+	}
+	if m.TransferTime(network.Flow{}) != 0 {
+		t.Error("empty flow should be free")
+	}
+}
+
+func TestPEToGBUsesWritePath(t *testing.T) {
+	m := MustNew(Default32())
+	f := network.Flow{Dir: network.PEToGB, UniqueBytes: 80e9, ChipletSpan: 32, PESpan: 32}
+	if got := m.TransferTime(f); math.Abs(got-1.0) > 1e-9 {
+		t.Errorf("ingress-bound write = %v s, want 1", got)
+	}
+}
+
+func TestDynamicEnergyElectricalOnly(t *testing.T) {
+	m := MustNew(Default32())
+	e := m.DynamicEnergy(network.Flow{Dir: network.GBToPE, UniqueBytes: 1e6, DestPerDatum: 4})
+	if e.EO != 0 || e.OE != 0 {
+		t.Error("electrical mesh must have no E/O / O/E energy")
+	}
+	if e.Electrical <= 0 {
+		t.Error("electrical energy must be positive")
+	}
+	// Duplication scales energy linearly.
+	e1 := m.DynamicEnergy(network.Flow{Dir: network.GBToPE, UniqueBytes: 1e6, DestPerDatum: 1})
+	if math.Abs(e.Electrical-4*e1.Electrical) > 1e-12 {
+		t.Errorf("4x duplication should cost 4x energy: %v vs %v", e.Electrical, e1.Electrical)
+	}
+}
+
+func TestStaticPowerZero(t *testing.T) {
+	m := MustNew(Default32())
+	if sp := m.StaticPower(); sp.Total() != 0 {
+		t.Errorf("electrical static power should be 0, got %+v", sp)
+	}
+}
+
+func TestPacketLatencyHigherThanPhotonicScale(t *testing.T) {
+	m := MustNew(Default32())
+	lat := m.PacketLatency(network.Flow{ChipletSpan: 32, PESpan: 32})
+	// Multi-hop electrical: tens of ns at minimum (serialization at 20 Gbps
+	// alone is 25.6 ns), plus ~10 router hops.
+	if lat < 30e-9 {
+		t.Errorf("mesh latency = %v, implausibly low", lat)
+	}
+}
+
+func TestPEToPEParallelLanes(t *testing.T) {
+	m := MustNew(Default32())
+	f := func(kb uint16, lanes uint8) bool {
+		l := int(lanes%64) + 1
+		b := int64(kb) + 1
+		t1 := m.TransferTime(network.Flow{Dir: network.PEToPE, UniqueBytes: b, ChipletSpan: l, PESpan: 1})
+		t2 := m.TransferTime(network.Flow{Dir: network.PEToPE, UniqueBytes: b, ChipletSpan: 2 * l, PESpan: 1})
+		return t2 < t1 || b == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,135 @@
+package network
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestClassStrings(t *testing.T) {
+	cases := map[Class]string{
+		Weights: "weights", Ifmaps: "ifmaps", Outputs: "outputs", Psums: "psums",
+	}
+	for c, want := range cases {
+		if c.String() != want {
+			t.Errorf("%d.String() = %q, want %q", c, c.String(), want)
+		}
+	}
+	if Class(99).String() != "Class(99)" {
+		t.Errorf("unknown class: %s", Class(99))
+	}
+}
+
+func TestDirectionStrings(t *testing.T) {
+	cases := map[Direction]string{
+		GBToPE: "gb->pe", PEToGB: "pe->gb", PEToPE: "pe->pe",
+	}
+	for d, want := range cases {
+		if d.String() != want {
+			t.Errorf("%d.String() = %q, want %q", d, d.String(), want)
+		}
+	}
+	if Direction(99).String() != "Direction(99)" {
+		t.Errorf("unknown direction: %s", Direction(99))
+	}
+}
+
+func TestFlowNormalize(t *testing.T) {
+	f := Flow{UniqueBytes: 10}.Normalize()
+	if f.Streams != 1 || f.DestPerDatum != 1 || f.TxCopies != 1 ||
+		f.ChipletSpan != 1 || f.PESpan != 1 {
+		t.Errorf("normalize left zero fields: %+v", f)
+	}
+	g := Flow{UniqueBytes: 10, Streams: 4, DestPerDatum: 8, TxCopies: 2,
+		ChipletSpan: 3, PESpan: 5}.Normalize()
+	if g.Streams != 4 || g.DestPerDatum != 8 || g.TxCopies != 2 {
+		t.Errorf("normalize clobbered set fields: %+v", g)
+	}
+}
+
+func TestFlowValidate(t *testing.T) {
+	if err := (Flow{UniqueBytes: -1}).Validate(); err == nil {
+		t.Error("negative bytes should fail")
+	}
+	if err := (Flow{Streams: -1}).Validate(); err == nil {
+		t.Error("negative streams should fail")
+	}
+	if err := (Flow{UniqueBytes: 100, Streams: 4}).Validate(); err != nil {
+		t.Errorf("valid flow rejected: %v", err)
+	}
+}
+
+func TestEnergyPartsArithmetic(t *testing.T) {
+	a := EnergyParts{EO: 1, OE: 2, Electrical: 3}
+	b := EnergyParts{EO: 10, OE: 20, Electrical: 30}
+	sum := a.Add(b)
+	if sum.EO != 11 || sum.OE != 22 || sum.Electrical != 33 {
+		t.Errorf("Add = %+v", sum)
+	}
+	if sum.Total() != 66 {
+		t.Errorf("Total = %v, want 66", sum.Total())
+	}
+	if (StaticParts{Laser: 2, Heating: 3}).Total() != 5 {
+		t.Error("StaticParts.Total wrong")
+	}
+}
+
+func TestNormalizeIdempotent(t *testing.T) {
+	f := func(b int64, s, d, tx uint8) bool {
+		by := b
+		if by < 0 {
+			by = -by
+		}
+		if by < 0 {
+			by = 0 // math.MinInt64
+		}
+		fl := Flow{UniqueBytes: by, Streams: int(s), DestPerDatum: int(d), TxCopies: int(tx)}
+		once := fl.Normalize()
+		twice := once.Normalize()
+		return once == twice
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNoBroadcastWrapper(t *testing.T) {
+	inner := fakeModel{}
+	nb := NoBroadcast{Inner: inner}
+	if nb.Name() != "fake-nobcast" {
+		t.Errorf("name = %q", nb.Name())
+	}
+	if caps := nb.Caps(); caps.CrossChipletBroadcast || caps.SingleChipletBroadcast {
+		t.Error("wrapper must disable broadcast")
+	}
+	f := Flow{UniqueBytes: 100, DestPerDatum: 8, Streams: 2}
+	// Time and energy scale with the destination count.
+	if got, want := nb.TransferTime(f), inner.TransferTime(Flow{UniqueBytes: 800, Streams: 2}); got != want {
+		t.Errorf("transfer time = %v, want %v", got, want)
+	}
+	e := nb.DynamicEnergy(f)
+	if e.EO != 800 {
+		t.Errorf("EO = %v, want 800 (one conversion per duplicated byte)", e.EO)
+	}
+	if nb.StaticPower() != inner.StaticPower() {
+		t.Error("static power should delegate")
+	}
+	if nb.PacketLatency(f) != inner.PacketLatency(f) {
+		t.Error("latency should delegate")
+	}
+}
+
+// fakeModel is a trivial Model for wrapper tests.
+type fakeModel struct{}
+
+func (fakeModel) Name() string { return "fake" }
+func (fakeModel) Caps() Caps   { return Caps{CrossChipletBroadcast: true} }
+func (fakeModel) TransferTime(f Flow) float64 {
+	f = f.Normalize()
+	return float64(f.UniqueBytes) / float64(f.Streams)
+}
+func (fakeModel) DynamicEnergy(f Flow) EnergyParts {
+	f = f.Normalize()
+	return EnergyParts{EO: float64(f.UniqueBytes) * float64(f.TxCopies)}
+}
+func (fakeModel) StaticPower() StaticParts     { return StaticParts{Laser: 1} }
+func (fakeModel) PacketLatency(f Flow) float64 { return 42e-9 }

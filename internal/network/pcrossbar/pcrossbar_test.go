@@ -1,0 +1,153 @@
+package pcrossbar
+
+import (
+	"math"
+	"testing"
+
+	"spacx/internal/network"
+)
+
+func TestValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("zero config should fail")
+	}
+	cfg := Default32()
+	cfg.GBBundles = 0
+	if _, err := New(cfg); err == nil {
+		t.Error("zero bundles should fail")
+	}
+	if _, err := New(Default32()); err != nil {
+		t.Errorf("default config should validate: %v", err)
+	}
+}
+
+func TestCapsBroadcastDisabled(t *testing.T) {
+	m := MustNew(Default32())
+	if caps := m.Caps(); caps.CrossChipletBroadcast || caps.SingleChipletBroadcast {
+		t.Errorf("POPSTAR broadcast is intentionally disabled: %+v", caps)
+	}
+	if m.Name() != "POPSTAR" {
+		t.Errorf("name = %q", m.Name())
+	}
+}
+
+func TestTransferTimeDuplication(t *testing.T) {
+	m := MustNew(Default32())
+	uni := network.Flow{Dir: network.GBToPE, UniqueBytes: 1e9, DestPerDatum: 1, ChipletSpan: 1, PESpan: 32}
+	dup := uni
+	dup.DestPerDatum = 32
+	dup.ChipletSpan = 32
+	// 32 destinations through a 3-bundle egress: must cost substantially
+	// more than the unicast even with 32 parallel chiplet channels.
+	if m.TransferTime(dup) < 3*m.TransferTime(uni) {
+		t.Errorf("crossbar duplication too cheap: %v vs %v",
+			m.TransferTime(dup), m.TransferTime(uni))
+	}
+}
+
+func TestConversionEnergyPerDuplicate(t *testing.T) {
+	m := MustNew(Default32())
+	e1 := m.DynamicEnergy(network.Flow{Dir: network.GBToPE, UniqueBytes: 1e6, DestPerDatum: 1})
+	e8 := m.DynamicEnergy(network.Flow{Dir: network.GBToPE, UniqueBytes: 1e6, DestPerDatum: 8})
+	// Unlike SPACX, E/O scales with destinations too (one modulation per
+	// unicast copy) — the "more frequent E/O and O/E signal conversions"
+	// of Section VIII-A2.
+	if math.Abs(e8.EO-8*e1.EO) > 1e-15 {
+		t.Errorf("E/O should scale with duplication: %v vs 8*%v", e8.EO, e1.EO)
+	}
+	if math.Abs(e8.OE-8*e1.OE) > 1e-15 {
+		t.Errorf("O/E should scale with duplication: %v vs 8*%v", e8.OE, e1.OE)
+	}
+	if e1.Electrical <= 0 {
+		t.Error("chiplet-mesh hop energy must be positive")
+	}
+}
+
+func TestRingCountQuadratic(t *testing.T) {
+	small := Default32()
+	small.M = 16
+	big := Default32()
+	big.M = 32
+	rSmall := MustNew(small).RingCount()
+	rBig := MustNew(big).RingCount()
+	// Doubling node count should more than double ring count — the reader
+	// banks grow with the peers a node must listen to (Section VIII-F: the
+	// gap grows with scale).
+	if rBig <= 2*rSmall {
+		t.Errorf("ring count not superlinear: M=16 -> %d, M=32 -> %d", rSmall, rBig)
+	}
+}
+
+func TestStaticPowerGrowsSuperlinearly(t *testing.T) {
+	m := MustNew(Default32())
+	sp := m.StaticPower()
+	if sp.Laser <= 0 || sp.Heating <= 0 {
+		t.Errorf("static parts must be positive: %+v", sp)
+	}
+	// Laser power grows exponentially with the through-ring count along the
+	// bus, so doubling the node count should far more than double it.
+	big := Default32()
+	big.M = 64
+	spBig := MustNew(big).StaticPower()
+	if spBig.Laser < 3*sp.Laser {
+		t.Errorf("crossbar laser should grow superlinearly: M=32 %v W, M=64 %v W",
+			sp.Laser, spBig.Laser)
+	}
+}
+
+func TestPacketLatencyBetweenSimbaAndSPACX(t *testing.T) {
+	m := MustNew(Default32())
+	lat := m.PacketLatency(network.Flow{ChipletSpan: 32, PESpan: 32})
+	// One fast crossbar hop + a chiplet mesh: tens of ns dominated by the
+	// 20 Gbps PE-level serialization.
+	if lat < 25e-9 || lat > 200e-9 {
+		t.Errorf("latency = %v s, want tens of ns", lat)
+	}
+}
+
+func TestPEToGBIndependentOfDup(t *testing.T) {
+	m := MustNew(Default32())
+	f := network.Flow{Dir: network.PEToGB, UniqueBytes: 12.5e6, ChipletSpan: 1, PESpan: 1}
+	// Bound by the 20 Gbps PE write link: 12.5 MB / 2.5 GB/s = 5 ms.
+	if got := m.TransferTime(f); math.Abs(got-5e-3) > 1e-9 {
+		t.Errorf("PE->GB = %v s, want 5e-3", got)
+	}
+}
+
+func TestConfigAccessorAndEdgeFlows(t *testing.T) {
+	m := MustNew(Default32())
+	if m.Config().M != 32 {
+		t.Error("Config accessor wrong")
+	}
+	// Empty flow is free.
+	if m.TransferTime(network.Flow{}) != 0 {
+		t.Error("empty flow should take no time")
+	}
+	// PE-to-PE psum traffic uses the chiplet mesh lanes.
+	f := network.Flow{Dir: network.PEToPE, UniqueBytes: 2.5e9, ChipletSpan: 1, PESpan: 1}
+	if got := m.TransferTime(f); math.Abs(got-1.0) > 1e-9 {
+		t.Errorf("pe->pe = %v s, want 1 (2.5 GB at 20 Gbps)", got)
+	}
+	fz := network.Flow{Dir: network.PEToPE, UniqueBytes: 100}
+	if m.TransferTime(fz) <= 0 {
+		t.Error("normalized lanes should still serialize")
+	}
+	e := m.DynamicEnergy(fz)
+	if e.EO != 0 || e.OE != 0 || e.Electrical <= 0 {
+		t.Errorf("pe->pe energy should be electrical only: %+v", e)
+	}
+	// Unknown direction yields zero cost (defensive default).
+	odd := network.Flow{Dir: network.Direction(99), UniqueBytes: 100}
+	if m.TransferTime(odd) != 0 || m.DynamicEnergy(odd).Total() != 0 {
+		t.Error("unknown direction should cost nothing")
+	}
+}
+
+func TestMustNewPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNew should panic on invalid config")
+		}
+	}()
+	MustNew(Config{})
+}

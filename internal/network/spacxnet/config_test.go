@@ -1,0 +1,131 @@
+package spacxnet
+
+import (
+	"testing"
+	"testing/quick"
+
+	"spacx/internal/photonic"
+)
+
+func TestTableI(t *testing.T) {
+	// The exact published Table I.
+	want := []TableIRow{
+		{"A", 1, 1, 16, 64, 80},
+		{"B", 2, 1, 12, 32, 80},
+		{"C", 2, 2, 12, 32, 96},
+		{"D", 4, 2, 8, 16, 96},
+	}
+	rows, err := TableI()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(want) {
+		t.Fatalf("rows = %d, want %d", len(rows), len(want))
+	}
+	for i, w := range want {
+		if rows[i] != w {
+			t.Errorf("config %s: got %+v, want %+v", w.Name, rows[i], w)
+		}
+	}
+}
+
+func TestConfigDMRRsPerInterface(t *testing.T) {
+	// Section V: in configuration D "the number of MRRs on each interposer
+	// interface decreases to 6 (4 optical tunable splitters and 2 optical
+	// filters)".
+	c, err := New(8, 8, 4, 4, photonic.Moderate())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.InterfaceMRRsPerInterface(); got != 6 {
+		t.Errorf("config D interface MRRs = %d, want 6", got)
+	}
+}
+
+func TestSectionVIIIGInventory(t *testing.T) {
+	// Section VIII-G: "There are 132 MRRs underneath a chiplet" for the
+	// default M=32, N=32, e/f=8, k=16 evaluation configuration.
+	c := Default32()
+	if got := c.MRRsPerChiplet(); got != 132 {
+		t.Errorf("MRRs per chiplet = %d, want 132", got)
+	}
+}
+
+func TestDefault32TableII(t *testing.T) {
+	c := Default32()
+	// Table II: 24 wavelengths.
+	if got := c.Wavelengths(); got != 24 {
+		t.Errorf("wavelengths = %d, want 24", got)
+	}
+	m := MustModel(c)
+	// 340 Gbps chiplet read, 20 Gbps chiplet write, 20/10 Gbps PE r/w.
+	if got := m.ChipletReadGbps(); got != 340 {
+		t.Errorf("chiplet read = %v Gbps, want 340", got)
+	}
+	if got := m.ChipletWriteGbps(); got != 20 {
+		t.Errorf("chiplet write = %v Gbps, want 20", got)
+	}
+	if got := m.PEReadGbps(); got != 20 {
+		t.Errorf("PE read = %v Gbps, want 20", got)
+	}
+	if got := m.PEWriteGbps(); got != 10 {
+		t.Errorf("PE write = %v Gbps, want 10", got)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	p := photonic.Moderate()
+	if _, err := New(0, 8, 1, 1, p); err == nil {
+		t.Error("M=0 should fail")
+	}
+	if _, err := New(8, 8, 3, 8, p); err == nil {
+		t.Error("GEF=3 does not divide M=8, should fail")
+	}
+	if _, err := New(8, 8, 8, 5, p); err == nil {
+		t.Error("GK=5 does not divide N=8, should fail")
+	}
+	if _, err := New(64, 64, 64, 64, p); err == nil {
+		t.Error("128 wavelengths should exceed the WDM bound")
+	}
+	if _, err := New(8, 8, -1, 8, p); err == nil {
+		t.Error("negative granularity should fail")
+	}
+}
+
+// Property: for any valid config, total PE coverage is exact — every PE is
+// on exactly one local waveguide, and waveguide/wavelength counts are
+// consistent with the closed-form Table I algebra.
+func TestTopologyConservation(t *testing.T) {
+	p := photonic.Moderate()
+	f := func(a, b, c, d uint8) bool {
+		m := 1 << (a % 6)   // 1..32
+		n := 1 << (b % 6)   // 1..32
+		gef := 1 << (c % 6) // filtered below
+		gk := 1 << (d % 6)
+		if gef > m || gk > n {
+			return true
+		}
+		cfg, err := New(m, n, gef, gk, p)
+		if err != nil {
+			// Only the WDM bound may reject power-of-two divisors.
+			return cfg.GK+cfg.GEF > photonic.MaxWavelengthsPerWaveguide ||
+				gk+gef > photonic.MaxWavelengthsPerWaveguide
+		}
+		peCoverage := cfg.GlobalWaveguides() * cfg.PEsPerWaveguide()
+		if peCoverage != m*n {
+			return false
+		}
+		localWaveguides := cfg.M * cfg.LocalWaveguidesPerChiplet()
+		return localWaveguides*cfg.GK == m*n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringer(t *testing.T) {
+	s := Default32().String()
+	if s == "" {
+		t.Error("empty config string")
+	}
+}

@@ -1,0 +1,106 @@
+package spacxnet
+
+import (
+	"testing"
+	"testing/quick"
+
+	"spacx/internal/network"
+)
+
+func TestModelCaps(t *testing.T) {
+	m := MustModel(Default32())
+	caps := m.Caps()
+	if !caps.CrossChipletBroadcast || !caps.SingleChipletBroadcast {
+		t.Errorf("SPACX must support orthogonal broadcast, got %+v", caps)
+	}
+	if m.Name() != "SPACX" {
+		t.Errorf("name = %q", m.Name())
+	}
+}
+
+func TestTransferTime(t *testing.T) {
+	m := MustModel(Default32())
+	// 1.25 GB over one 10 Gbps wavelength = 1 second.
+	f := network.Flow{UniqueBytes: 1.25e9, Streams: 1}
+	if got := m.TransferTime(f); !almost(got, 1, 1e-9) {
+		t.Errorf("transfer time = %v s, want 1", got)
+	}
+	// 32 parallel streams cut it 32x.
+	f.Streams = 32
+	if got := m.TransferTime(f); !almost(got, 1.0/32, 1e-9) {
+		t.Errorf("32-stream transfer = %v s, want 1/32", got)
+	}
+	// Broadcast width must not change transfer time.
+	f.DestPerDatum = 256
+	if got := m.TransferTime(f); !almost(got, 1.0/32, 1e-9) {
+		t.Errorf("broadcast width changed transfer time: %v", got)
+	}
+	if m.TransferTime(network.Flow{}) != 0 {
+		t.Error("empty flow should take no time")
+	}
+}
+
+func TestDynamicEnergyBroadcastAsymmetry(t *testing.T) {
+	m := MustModel(Default32())
+	uni := m.DynamicEnergy(network.Flow{UniqueBytes: 1e6, DestPerDatum: 1})
+	bc := m.DynamicEnergy(network.Flow{UniqueBytes: 1e6, DestPerDatum: 32})
+	// E/O charged once either way; O/E scales with receivers.
+	if !almost(uni.EO, bc.EO, 1e-18) {
+		t.Errorf("E/O should not depend on broadcast width: %v vs %v", uni.EO, bc.EO)
+	}
+	if !almost(bc.OE, 32*uni.OE, 1e-15) {
+		t.Errorf("O/E should scale with receivers: %v vs 32*%v", bc.OE, uni.OE)
+	}
+	if uni.Electrical != 0 {
+		t.Error("SPACX flows have no electrical hop energy")
+	}
+}
+
+func TestStaticPowerPositive(t *testing.T) {
+	m := MustModel(Default32())
+	sp := m.StaticPower()
+	if sp.Laser <= 0 || sp.Heating <= 0 {
+		t.Errorf("static power parts must be positive: %+v", sp)
+	}
+	// Sanity bands: watts, not milliwatts or kilowatts, for the 32x32
+	// evaluation machine.
+	if sp.Total() < 0.5 || sp.Total() > 100 {
+		t.Errorf("static power = %v W, expected O(1..100) W", sp.Total())
+	}
+}
+
+func TestPacketLatencyOneHop(t *testing.T) {
+	m := MustModel(Default32())
+	lat := m.PacketLatency(network.Flow{ChipletSpan: 32})
+	// Dominated by 64 B serialization at 10 Gbps = 51.2 ns.
+	if lat < 50e-9 || lat > 100e-9 {
+		t.Errorf("packet latency = %v s, want ~52-60 ns", lat)
+	}
+	// Distance independence: span of 1 chiplet vs 32 chiplets is the same
+	// worst-case path (the property Section II-A claims).
+	if near := m.PacketLatency(network.Flow{ChipletSpan: 1}); near != lat {
+		t.Errorf("latency should be placement-independent: %v vs %v", near, lat)
+	}
+}
+
+func TestTransferTimeLinearInBytes(t *testing.T) {
+	m := MustModel(Default32())
+	f := func(kb uint16, streams uint8) bool {
+		s := int(streams%32) + 1
+		b := int64(kb) + 1
+		t1 := m.TransferTime(network.Flow{UniqueBytes: b, Streams: s})
+		t2 := m.TransferTime(network.Flow{UniqueBytes: 2 * b, Streams: s})
+		return almost(t2, 2*t1, 1e-15)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func almost(a, b, eps float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= eps
+}

@@ -1,0 +1,130 @@
+package spacxnet
+
+import (
+	"testing"
+
+	"spacx/internal/photonic"
+)
+
+// surfaceMin locates the granularity minimizing the given metric over the
+// Figure 19/20 sweep (power-of-two granularities from 4 to 32, matching the
+// plotted range).
+func surfaceMin(t *testing.T, params photonic.Params, metric func(PowerPoint) float64) (int, int) {
+	t.Helper()
+	pts, err := PowerSurface(32, 32, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bestGK, bestGEF, best := 0, 0, 0.0
+	for _, p := range pts {
+		if p.GK < 4 || p.GEF < 4 {
+			continue // the paper's plotted range starts at 4
+		}
+		if v := metric(p); bestGK == 0 || v < best {
+			best, bestGK, bestGEF = v, p.GK, p.GEF
+		}
+	}
+	return bestGK, bestGEF
+}
+
+func TestFig19MinimaModerate(t *testing.T) {
+	// Section VIII-E1: "the minimal laser power is achieved when both ...
+	// granularities are at 4"; "the minimal transceiver power ... at 32";
+	// "the aggregated overall power reaches minimal value ... at 16".
+	gk, gef := surfaceMin(t, photonic.Moderate(), func(p PowerPoint) float64 { return p.LaserW })
+	if gk != 4 || gef != 4 {
+		t.Errorf("laser minimum at (k=%d, e/f=%d), want (4,4)", gk, gef)
+	}
+	gk, gef = surfaceMin(t, photonic.Moderate(), func(p PowerPoint) float64 { return p.TransceiverW() })
+	if gk != 32 || gef != 32 {
+		t.Errorf("transceiver minimum at (k=%d, e/f=%d), want (32,32)", gk, gef)
+	}
+	gk, gef = surfaceMin(t, photonic.Moderate(), func(p PowerPoint) float64 { return p.OverallW() })
+	if gk != 16 || gef != 16 {
+		t.Errorf("overall minimum at (k=%d, e/f=%d), want (16,16)", gk, gef)
+	}
+}
+
+func TestFig20MinimaAggressive(t *testing.T) {
+	gk, gef := surfaceMin(t, photonic.Aggressive(), func(p PowerPoint) float64 { return p.LaserW })
+	if gk != 4 || gef != 4 {
+		t.Errorf("aggressive laser minimum at (k=%d, e/f=%d), want (4,4)", gk, gef)
+	}
+	gk, gef = surfaceMin(t, photonic.Aggressive(), func(p PowerPoint) float64 { return p.TransceiverW() })
+	if gk != 32 || gef != 32 {
+		t.Errorf("aggressive transceiver minimum at (k=%d, e/f=%d), want (32,32)", gk, gef)
+	}
+}
+
+func TestAggressiveLowerThanModerate(t *testing.T) {
+	// Figures 19 vs 20: "significant decrease in overall power, laser
+	// power, and transceiver power when aggressive parameters are assumed".
+	mod, err := New(32, 32, 8, 16, photonic.Moderate())
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg, err := New(32, 32, 8, 16, photonic.Aggressive())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm, pa := mod.Power(), agg.Power()
+	if pa.LaserW >= pm.LaserW {
+		t.Errorf("aggressive laser %v W should be < moderate %v W", pa.LaserW, pm.LaserW)
+	}
+	if pa.TransceiverW() >= pm.TransceiverW() {
+		t.Errorf("aggressive transceiver %v W should be < moderate %v W",
+			pa.TransceiverW(), pm.TransceiverW())
+	}
+	if pa.OverallW() >= pm.OverallW() {
+		t.Errorf("aggressive overall %v W should be < moderate %v W",
+			pa.OverallW(), pm.OverallW())
+	}
+}
+
+func TestLaserExponentialInGranularity(t *testing.T) {
+	// Linear dB growth means super-linear (exponential) laser growth:
+	// doubling both granularities from the sweet spot more than doubles
+	// per-channel laser power.
+	at := func(gk, gef int) float64 {
+		c, err := New(32, 32, gef, gk, photonic.Moderate())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return float64(c.crossChannelBudget().LaserPower())
+	}
+	p4, p8, p16, p32 := at(4, 4), at(8, 8), at(16, 16), at(32, 32)
+	if !(p4 < p8 && p8 < p16 && p16 < p32) {
+		t.Fatalf("per-channel laser power not monotone: %v %v %v %v", p4, p8, p16, p32)
+	}
+	if (p32/p16) <= (p16/p8) || (p16/p8) <= (p8/p4) {
+		t.Errorf("laser growth should accelerate (exponential in granularity): ratios %v %v %v",
+			p8/p4, p16/p8, p32/p16)
+	}
+}
+
+func TestPowerSurfaceCoverage(t *testing.T) {
+	pts, err := PowerSurface(32, 32, photonic.Moderate())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Power-of-two granularities 1..32 in both axes: 6x6 = 36 points.
+	if len(pts) != 36 {
+		t.Errorf("surface points = %d, want 36", len(pts))
+	}
+	for _, p := range pts {
+		if p.LaserW <= 0 || p.TransceiverW() <= 0 {
+			t.Errorf("non-positive power at (%d,%d): %+v", p.GK, p.GEF, p.PowerBreakdown)
+		}
+	}
+}
+
+func TestReturnChannelCheaperThanBroadcast(t *testing.T) {
+	// A unicast return channel has no split loss, so it must need less
+	// laser power than the single-chiplet broadcast on the same geometry.
+	c := Default32()
+	ret := c.returnChannelBudget().LaserPower()
+	single := c.singleChannelBudget().LaserPower()
+	if ret >= single {
+		t.Errorf("return channel %v mW should be < broadcast channel %v mW", ret, single)
+	}
+}

@@ -1,0 +1,66 @@
+package spacxnet
+
+import "fmt"
+
+// TokenRing models the single-bit electrical token propagation network of
+// Section III-E that arbitrates the shared PE-to-GB wavelength on one local
+// waveguide. The token starts at PE0 after reset and moves to the adjacent
+// downstream PE when the holder finishes its transmission; because all PEs
+// run aligned computation, each holder always has output ready, so the ring
+// degenerates to fixed equal-duration time slots.
+type TokenRing struct {
+	n      int
+	holder int
+	passes int64
+}
+
+// NewTokenRing creates a ring over n PEs with the token at PE0.
+func NewTokenRing(n int) (*TokenRing, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("spacxnet: token ring needs at least one PE, got %d", n)
+	}
+	return &TokenRing{n: n}, nil
+}
+
+// Holder returns the PE index currently allowed to modulate the shared
+// wavelength.
+func (t *TokenRing) Holder() int { return t.holder }
+
+// Pass releases the token to the adjacent downstream PE and returns the new
+// holder.
+func (t *TokenRing) Pass() int {
+	t.holder = (t.holder + 1) % t.n
+	t.passes++
+	return t.holder
+}
+
+// Passes returns how many times the token has moved.
+func (t *TokenRing) Passes() int64 { return t.passes }
+
+// Reset returns the token to PE0 (Section III-E: "originally held by PE0 on
+// each chiplet after reset").
+func (t *TokenRing) Reset() {
+	t.holder = 0
+	t.passes = 0
+}
+
+// SlotSchedule returns the transmission order for one full rotation starting
+// from the current holder — the equal-duration time-slot schedule the paper
+// derives from uniform computation across PEs.
+func (t *TokenRing) SlotSchedule() []int {
+	out := make([]int, t.n)
+	for i := range out {
+		out[i] = (t.holder + i) % t.n
+	}
+	return out
+}
+
+// DrainTime returns the seconds needed for all n PEs to send their
+// per-rotation payload over the shared channel at the given rate: the ring
+// serializes, so it is simply the sum of the slots.
+func (t *TokenRing) DrainTime(bytesPerPE int64, bytesPerSec float64) float64 {
+	if bytesPerSec <= 0 {
+		return 0
+	}
+	return float64(bytesPerPE) * float64(t.n) / bytesPerSec
+}

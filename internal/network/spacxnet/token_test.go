@@ -1,0 +1,98 @@
+package spacxnet
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTokenRingStartsAtPE0(t *testing.T) {
+	r, err := NewTokenRing(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Holder() != 0 {
+		t.Errorf("initial holder = %d, want 0 (PE0 after reset)", r.Holder())
+	}
+}
+
+func TestTokenRingRotation(t *testing.T) {
+	r, _ := NewTokenRing(4)
+	want := []int{1, 2, 3, 0, 1}
+	for i, w := range want {
+		if got := r.Pass(); got != w {
+			t.Errorf("pass %d: holder = %d, want %d", i, got, w)
+		}
+	}
+	if r.Passes() != 5 {
+		t.Errorf("passes = %d, want 5", r.Passes())
+	}
+	r.Reset()
+	if r.Holder() != 0 || r.Passes() != 0 {
+		t.Error("reset should return token to PE0 and clear counters")
+	}
+}
+
+func TestTokenRingRejectsEmpty(t *testing.T) {
+	if _, err := NewTokenRing(0); err == nil {
+		t.Error("empty ring should be rejected")
+	}
+	if _, err := NewTokenRing(-3); err == nil {
+		t.Error("negative ring should be rejected")
+	}
+}
+
+func TestSlotSchedule(t *testing.T) {
+	r, _ := NewTokenRing(4)
+	r.Pass() // holder = 1
+	got := r.SlotSchedule()
+	want := []int{1, 2, 3, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("schedule = %v, want %v", got, want)
+		}
+	}
+}
+
+// Property: one full rotation visits every PE exactly once (equal-duration
+// time slots, Section III-E).
+func TestTokenRingFairness(t *testing.T) {
+	f := func(raw uint8, start uint8) bool {
+		n := int(raw%16) + 1
+		r, err := NewTokenRing(n)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < int(start); i++ {
+			r.Pass()
+		}
+		seen := make(map[int]int)
+		for _, pe := range r.SlotSchedule() {
+			seen[pe]++
+		}
+		if len(seen) != n {
+			return false
+		}
+		for _, c := range seen {
+			if c != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDrainTime(t *testing.T) {
+	r, _ := NewTokenRing(16)
+	// 16 PEs x 1000 B each at 1.25e9 B/s.
+	got := r.DrainTime(1000, 1.25e9)
+	want := 16.0 * 1000 / 1.25e9
+	if !almost(got, want, 1e-15) {
+		t.Errorf("drain time = %v, want %v", got, want)
+	}
+	if r.DrainTime(1000, 0) != 0 {
+		t.Error("zero bandwidth should yield zero (guarded) drain time")
+	}
+}

@@ -1,0 +1,273 @@
+package spacxnet
+
+import (
+	"fmt"
+	"math"
+
+	"spacx/internal/photonic"
+)
+
+// Topology materializes a Config into the physical object graph of Figure 5:
+// global waveguides, interposer/chiplet interfaces with their tunable
+// splitters and filters (Figure 6), local waveguides, and per-PE
+// transceivers (Figure 7). Splitter bias settings follow the equal-power
+// progression of Section III-D (1/7, 1/6, ..., 1/0 for an 8-way broadcast).
+type Topology struct {
+	Config Config
+
+	Waveguides []GlobalWaveguide
+}
+
+// GlobalWaveguide is one physical interposer waveguide serving one
+// (cross group, single group) pair.
+type GlobalWaveguide struct {
+	CrossGroup  int
+	SingleGroup int
+
+	Interfaces []Interface
+}
+
+// Interface is one interposer+chiplet interface (Figure 6).
+type Interface struct {
+	Chiplet int // global chiplet id
+
+	// CrossSplitters are the GK tunable splitters forwarding a fraction of
+	// each cross-chiplet wavelength onto the local waveguide.
+	CrossSplitters []photonic.MRR
+	// SingleFilter drops the chiplet's single-chiplet wavelength fully.
+	SingleFilter photonic.MRR
+	// ReturnFilter forwards the modulated PE-to-GB wavelength back out.
+	ReturnFilter photonic.MRR
+
+	Local LocalWaveguide
+}
+
+// LocalWaveguide serves the GK PEs of one single-chiplet group.
+type LocalWaveguide struct {
+	PEs []PENode
+}
+
+// PENode is the per-PE photonic equipment of Figure 7.
+type PENode struct {
+	PE int // index within the chiplet
+
+	Receiver0 photonic.MRR // tunable splitter on the single-chiplet wavelength
+	Receiver1 photonic.MRR // filter on the PE position's cross-chiplet wavelength
+	Transmit  photonic.MRR // modulator on the shared return wavelength
+}
+
+// BuildTopology expands a config into the full object graph.
+func BuildTopology(cfg Config) (*Topology, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	topo := &Topology{Config: cfg}
+	interfaceAlphas := photonic.EqualBroadcastAlphas(cfg.GEF)
+	peAlphas := photonic.EqualBroadcastAlphas(cfg.GK)
+
+	for g := 0; g < cfg.CrossGroups(); g++ {
+		for sg := 0; sg < cfg.SingleGroupsPerChiplet(); sg++ {
+			wg := GlobalWaveguide{CrossGroup: g, SingleGroup: sg}
+			for ci := 0; ci < cfg.GEF; ci++ {
+				chiplet := g*cfg.GEF + ci
+				iface := Interface{Chiplet: chiplet}
+				for j := 0; j < cfg.GK; j++ {
+					iface.CrossSplitters = append(iface.CrossSplitters, photonic.MRR{
+						Role:       photonic.RoleSplitter,
+						Wavelength: j,
+						Alpha:      interfaceAlphas[ci],
+					})
+				}
+				// The single-chiplet wavelength index within group Y is the
+				// chiplet's position in its cross group.
+				iface.SingleFilter = photonic.MRR{
+					Role:       photonic.RoleFilter,
+					Wavelength: cfg.GK + ci,
+				}
+				iface.ReturnFilter = photonic.MRR{
+					Role:       photonic.RoleFilter,
+					Wavelength: cfg.GK + ci,
+				}
+				for j := 0; j < cfg.GK; j++ {
+					iface.Local.PEs = append(iface.Local.PEs, PENode{
+						PE: sg*cfg.GK + j,
+						Receiver0: photonic.MRR{
+							Role:       photonic.RoleSplitter,
+							Wavelength: cfg.GK + ci,
+							Alpha:      peAlphas[j],
+						},
+						Receiver1: photonic.MRR{Role: photonic.RoleFilter, Wavelength: j},
+						Transmit:  photonic.MRR{Role: photonic.RoleModulator, Wavelength: cfg.GK + ci},
+					})
+				}
+				wg.Interfaces = append(wg.Interfaces, iface)
+			}
+			topo.Waveguides = append(topo.Waveguides, wg)
+		}
+	}
+	return topo, nil
+}
+
+// RingCount verifies the closed-form MRR algebra against the materialized
+// graph (excluding GB-side rings, which live on the GB die).
+func (t *Topology) RingCount() int {
+	n := 0
+	for _, wg := range t.Waveguides {
+		for _, iface := range wg.Interfaces {
+			n += len(iface.CrossSplitters) + 2
+			n += len(iface.Local.PEs) * 3
+		}
+	}
+	return n
+}
+
+// CrossDeliveredFractions traces one cross-chiplet wavelength down a global
+// waveguide and returns the optical power fraction delivered to each of the
+// GEF receiving chiplets (before fixed losses): the split-ratio settings
+// must deliver an equal share to every chiplet (Section III-D).
+func (t *Topology) CrossDeliveredFractions(waveguide, lambda int) ([]float64, error) {
+	if waveguide < 0 || waveguide >= len(t.Waveguides) {
+		return nil, fmt.Errorf("spacxnet: waveguide %d out of range", waveguide)
+	}
+	if lambda < 0 || lambda >= t.Config.GK {
+		return nil, fmt.Errorf("spacxnet: cross wavelength %d out of range [0,%d)", lambda, t.Config.GK)
+	}
+	wg := t.Waveguides[waveguide]
+	remaining := 1.0
+	out := make([]float64, 0, len(wg.Interfaces))
+	for _, iface := range wg.Interfaces {
+		alpha := iface.CrossSplitters[lambda].Alpha
+		out = append(out, remaining*alpha)
+		remaining *= 1 - alpha
+	}
+	return out, nil
+}
+
+// SingleDeliveredFractions traces one single-chiplet wavelength onto its
+// target chiplet's local waveguide and returns the fraction delivered to
+// each of the GK PEs of the group.
+func (t *Topology) SingleDeliveredFractions(waveguide, chipletInGroup int) ([]float64, error) {
+	if waveguide < 0 || waveguide >= len(t.Waveguides) {
+		return nil, fmt.Errorf("spacxnet: waveguide %d out of range", waveguide)
+	}
+	wg := t.Waveguides[waveguide]
+	if chipletInGroup < 0 || chipletInGroup >= len(wg.Interfaces) {
+		return nil, fmt.Errorf("spacxnet: chiplet %d out of range", chipletInGroup)
+	}
+	// The interface filter drops the whole wavelength onto the local
+	// waveguide; the PE splitters then divide it.
+	remaining := 1.0
+	local := wg.Interfaces[chipletInGroup].Local
+	out := make([]float64, 0, len(local.PEs))
+	for _, pe := range local.PEs {
+		alpha := pe.Receiver0.Alpha
+		out = append(out, remaining*alpha)
+		remaining *= 1 - alpha
+	}
+	return out, nil
+}
+
+// EqualWithin reports whether all fractions are equal to within tol of
+// their mean (used by the power-equality checks).
+func EqualWithin(fracs []float64, tol float64) bool {
+	if len(fracs) == 0 {
+		return false
+	}
+	mean := 0.0
+	for _, f := range fracs {
+		mean += f
+	}
+	mean /= float64(len(fracs))
+	for _, f := range fracs {
+		if math.Abs(f-mean) > tol*mean {
+			return false
+		}
+	}
+	return true
+}
+
+// CheckWavelengthAssignment validates the WDM discipline of the topology:
+// on every waveguide, the cross-chiplet wavelengths occupy indices
+// [0, GK) and never collide with the single-chiplet/return wavelengths
+// [GK, GK+GEF); each chiplet on a waveguide owns a distinct single-chiplet
+// wavelength; and each PE position owns a distinct cross wavelength within
+// its group.
+func (t *Topology) CheckWavelengthAssignment() error {
+	cfg := t.Config
+	for wi, wg := range t.Waveguides {
+		singleSeen := map[int]int{} // wavelength -> chiplet
+		for ci, iface := range wg.Interfaces {
+			for j, sp := range iface.CrossSplitters {
+				if sp.Wavelength != j {
+					return fmt.Errorf("spacxnet: waveguide %d chiplet %d: cross splitter %d tuned to lambda %d",
+						wi, ci, j, sp.Wavelength)
+				}
+				if sp.Wavelength >= cfg.GK {
+					return fmt.Errorf("spacxnet: cross wavelength %d overlaps group Y", sp.Wavelength)
+				}
+			}
+			sf := iface.SingleFilter.Wavelength
+			if sf < cfg.GK || sf >= cfg.GK+cfg.GEF {
+				return fmt.Errorf("spacxnet: single wavelength %d outside group Y", sf)
+			}
+			if other, dup := singleSeen[sf]; dup {
+				return fmt.Errorf("spacxnet: waveguide %d: chiplets %d and %d share single wavelength %d",
+					wi, other, ci, sf)
+			}
+			singleSeen[sf] = ci
+			if iface.ReturnFilter.Wavelength != sf {
+				return fmt.Errorf("spacxnet: return filter wavelength %d != single %d",
+					iface.ReturnFilter.Wavelength, sf)
+			}
+			for j, pe := range iface.Local.PEs {
+				if pe.Receiver1.Wavelength != j {
+					return fmt.Errorf("spacxnet: PE %d cross receiver on lambda %d", j, pe.Receiver1.Wavelength)
+				}
+				if pe.Receiver0.Wavelength != sf || pe.Transmit.Wavelength != sf {
+					return fmt.Errorf("spacxnet: PE %d single-wavelength rings mistuned", j)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// MulticastSubset returns the splitter activation pattern for a
+// cross-chiplet multicast on a cross wavelength (the bandwidth-allocation
+// feature of Figure 12): splitters at interfaces outside the member set are
+// biased off-resonance; those inside are retuned to equal-split across the
+// members. Members are chiplet-in-group indices along the waveguide.
+func (t *Topology) MulticastSubset(waveguide, lambda int, members []int) ([]photonic.MRR, error) {
+	if waveguide < 0 || waveguide >= len(t.Waveguides) {
+		return nil, fmt.Errorf("spacxnet: waveguide %d out of range", waveguide)
+	}
+	if lambda < 0 || lambda >= t.Config.GK {
+		return nil, fmt.Errorf("spacxnet: cross wavelength %d out of range", lambda)
+	}
+	wg := t.Waveguides[waveguide]
+	inSet := map[int]bool{}
+	for _, m := range members {
+		if m < 0 || m >= len(wg.Interfaces) {
+			return nil, fmt.Errorf("spacxnet: member chiplet %d out of range", m)
+		}
+		if inSet[m] {
+			return nil, fmt.Errorf("spacxnet: duplicate member %d", m)
+		}
+		inSet[m] = true
+	}
+	if len(members) == 0 {
+		return nil, fmt.Errorf("spacxnet: empty multicast set")
+	}
+	alphas := photonic.EqualBroadcastAlphas(len(members))
+	out := make([]photonic.MRR, len(wg.Interfaces))
+	seen := 0
+	for i := range wg.Interfaces {
+		m := photonic.MRR{Role: photonic.RoleSplitter, Wavelength: lambda}
+		if inSet[i] {
+			m.Alpha = alphas[seen]
+			seen++
+		}
+		out[i] = m
+	}
+	return out, nil
+}

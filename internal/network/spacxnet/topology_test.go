@@ -1,0 +1,231 @@
+package spacxnet
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"spacx/internal/photonic"
+)
+
+func TestBuildTopologyCounts(t *testing.T) {
+	cfg := Default32()
+	topo, err := BuildTopology(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(topo.Waveguides); got != cfg.GlobalWaveguides() {
+		t.Errorf("waveguides = %d, want %d", got, cfg.GlobalWaveguides())
+	}
+	for _, wg := range topo.Waveguides {
+		if len(wg.Interfaces) != cfg.GEF {
+			t.Fatalf("interfaces on waveguide = %d, want %d", len(wg.Interfaces), cfg.GEF)
+		}
+		for _, iface := range wg.Interfaces {
+			if len(iface.CrossSplitters) != cfg.GK {
+				t.Fatalf("cross splitters = %d, want %d", len(iface.CrossSplitters), cfg.GK)
+			}
+			if len(iface.Local.PEs) != cfg.GK {
+				t.Fatalf("local PEs = %d, want %d", len(iface.Local.PEs), cfg.GK)
+			}
+		}
+	}
+	// The materialized graph matches the closed-form ring algebra
+	// (interfaces + PE rings; GB rings are off-graph).
+	want := cfg.InterfaceMRRs() + cfg.PEMRRs()
+	if got := topo.RingCount(); got != want {
+		t.Errorf("ring count = %d, want %d", got, want)
+	}
+}
+
+func TestBuildTopologyRejectsInvalid(t *testing.T) {
+	bad := Default32()
+	bad.GEF = 7
+	if _, err := BuildTopology(bad); err == nil {
+		t.Error("invalid config should fail")
+	}
+}
+
+func TestCrossEqualPowerDelivery(t *testing.T) {
+	// Section III-D: split ratios 1/7, 1/6, ..., 1/0 deliver "an equal
+	// fraction of power of wavelength lambda0 to each chiplet".
+	topo, err := BuildTopology(Default32())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fracs, err := topo.CrossDeliveredFractions(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fracs) != 8 {
+		t.Fatalf("fractions = %d, want GEF=8", len(fracs))
+	}
+	if !EqualWithin(fracs, 1e-9) {
+		t.Errorf("cross delivery not equal-power: %v", fracs)
+	}
+	if math.Abs(fracs[0]-1.0/8) > 1e-12 {
+		t.Errorf("each chiplet should receive 1/8 of the power, got %v", fracs[0])
+	}
+}
+
+func TestSingleEqualPowerDelivery(t *testing.T) {
+	topo, err := BuildTopology(Default32())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fracs, err := topo.SingleDeliveredFractions(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fracs) != 16 {
+		t.Fatalf("fractions = %d, want GK=16", len(fracs))
+	}
+	if !EqualWithin(fracs, 1e-9) {
+		t.Errorf("single-chiplet delivery not equal-power: %v", fracs)
+	}
+}
+
+// Property: equal power delivery holds for every waveguide, wavelength, and
+// granularity.
+func TestEqualPowerDeliveryProperty(t *testing.T) {
+	f := func(a, b, wgSel, lSel uint8) bool {
+		dims := []int{1, 2, 4, 8, 16, 32}
+		gef := dims[a%6]
+		gk := dims[b%6]
+		cfg, err := New(32, 32, gef, gk, photonic.Moderate())
+		if err != nil {
+			return true // WDM bound; not under test
+		}
+		topo, err := BuildTopology(cfg)
+		if err != nil {
+			return false
+		}
+		wg := int(wgSel) % len(topo.Waveguides)
+		lambda := int(lSel) % cfg.GK
+		fr, err := topo.CrossDeliveredFractions(wg, lambda)
+		if err != nil || !EqualWithin(fr, 1e-9) {
+			return false
+		}
+		ci := int(wgSel) % gef
+		fr, err = topo.SingleDeliveredFractions(wg, ci)
+		return err == nil && EqualWithin(fr, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOutOfRangeTraces(t *testing.T) {
+	topo, _ := BuildTopology(Default32())
+	if _, err := topo.CrossDeliveredFractions(-1, 0); err == nil {
+		t.Error("negative waveguide should fail")
+	}
+	if _, err := topo.CrossDeliveredFractions(0, 99); err == nil {
+		t.Error("out-of-range wavelength should fail")
+	}
+	if _, err := topo.SingleDeliveredFractions(0, 99); err == nil {
+		t.Error("out-of-range chiplet should fail")
+	}
+}
+
+func TestMulticastSubset(t *testing.T) {
+	// Figure 12: cross-chiplet multicast of an input feature to the subset
+	// of chiplets that reuse it; splitters outside the set biased off.
+	topo, err := BuildTopology(Default32())
+	if err != nil {
+		t.Fatal(err)
+	}
+	members := []int{0, 1, 3, 4}
+	rings, err := topo.MulticastSubset(0, 2, members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rings) != 8 {
+		t.Fatalf("rings = %d, want GEF=8", len(rings))
+	}
+	// Off-set interfaces are off-resonance; member interfaces split evenly.
+	remaining := 1.0
+	var delivered []float64
+	for i, r := range rings {
+		isMember := i == 0 || i == 1 || i == 3 || i == 4
+		if r.On() != isMember {
+			t.Errorf("ring %d on=%v, want %v", i, r.On(), isMember)
+		}
+		if r.On() {
+			delivered = append(delivered, remaining*r.Alpha)
+			remaining *= 1 - r.Alpha
+		}
+	}
+	if len(delivered) != 4 || !EqualWithin(delivered, 1e-9) {
+		t.Errorf("multicast delivery not equal-power: %v", delivered)
+	}
+	if math.Abs(delivered[0]-0.25) > 1e-12 {
+		t.Errorf("each member should get 1/4 power, got %v", delivered[0])
+	}
+}
+
+func TestMulticastSubsetValidation(t *testing.T) {
+	topo, _ := BuildTopology(Default32())
+	if _, err := topo.MulticastSubset(0, 0, nil); err == nil {
+		t.Error("empty set should fail")
+	}
+	if _, err := topo.MulticastSubset(0, 0, []int{1, 1}); err == nil {
+		t.Error("duplicate member should fail")
+	}
+	if _, err := topo.MulticastSubset(0, 0, []int{99}); err == nil {
+		t.Error("out-of-range member should fail")
+	}
+	if _, err := topo.MulticastSubset(0, 99, []int{0}); err == nil {
+		t.Error("bad wavelength should fail")
+	}
+}
+
+func TestEqualWithin(t *testing.T) {
+	if !EqualWithin([]float64{1, 1, 1}, 1e-12) {
+		t.Error("identical values should be equal")
+	}
+	if EqualWithin([]float64{1, 2}, 0.1) {
+		t.Error("2x spread should not be equal at 10% tolerance")
+	}
+	if EqualWithin(nil, 1) {
+		t.Error("empty slice should be false")
+	}
+}
+
+func TestWavelengthAssignmentValid(t *testing.T) {
+	for _, g := range [][2]int{{8, 16}, {32, 32}, {4, 4}, {16, 8}} {
+		cfg, err := New(32, 32, g[0], g[1], photonic.Moderate())
+		if err != nil {
+			t.Fatal(err)
+		}
+		topo, err := BuildTopology(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := topo.CheckWavelengthAssignment(); err != nil {
+			t.Errorf("(gef=%d,gk=%d): %v", g[0], g[1], err)
+		}
+	}
+}
+
+func TestWavelengthAssignmentDetectsCorruption(t *testing.T) {
+	topo, _ := BuildTopology(Default32())
+	// Corrupt a cross splitter's tuning.
+	topo.Waveguides[0].Interfaces[0].CrossSplitters[0].Wavelength = 99
+	if err := topo.CheckWavelengthAssignment(); err == nil {
+		t.Error("corrupted splitter tuning should be detected")
+	}
+	topo, _ = BuildTopology(Default32())
+	// Collide two chiplets' single wavelengths.
+	topo.Waveguides[0].Interfaces[1].SingleFilter.Wavelength =
+		topo.Waveguides[0].Interfaces[0].SingleFilter.Wavelength
+	if err := topo.CheckWavelengthAssignment(); err == nil {
+		t.Error("single-wavelength collision should be detected")
+	}
+	topo, _ = BuildTopology(Default32())
+	// Mistune a PE receiver.
+	topo.Waveguides[0].Interfaces[0].Local.PEs[3].Receiver0.Wavelength = 0
+	if err := topo.CheckWavelengthAssignment(); err == nil {
+		t.Error("mistuned PE receiver should be detected")
+	}
+}

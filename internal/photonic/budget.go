@@ -1,0 +1,120 @@
+package photonic
+
+import "fmt"
+
+// PathBudget accumulates the worst-case insertion loss seen by one wavelength
+// from the laser to the least-favoured photodetector. The required laser
+// power for the channel follows Equation (2):
+//
+//	Plaser = Prs + Closs + Pextinction + Msystem   (all in dB / dBm)
+type PathBudget struct {
+	params Params
+	loss   DB
+	items  []budgetItem
+}
+
+type budgetItem struct {
+	label string
+	loss  DB
+}
+
+// NewPathBudget starts a budget that already includes the laser-source and
+// coupler losses every channel pays once.
+func NewPathBudget(p Params) *PathBudget {
+	b := &PathBudget{params: p}
+	b.add("laser source", p.LaserSource)
+	b.add("coupler", p.Coupler)
+	return b
+}
+
+func (b *PathBudget) add(label string, l DB) {
+	if l == 0 {
+		return
+	}
+	b.loss += l
+	b.items = append(b.items, budgetItem{label, l})
+}
+
+// Waveguide adds propagation loss for cm centimeters of waveguide.
+func (b *PathBudget) Waveguide(cm float64) *PathBudget {
+	b.add(fmt.Sprintf("waveguide %.1fcm", cm), DB(float64(b.params.WaveguidePerCM)*cm))
+	return b
+}
+
+// Bends adds n waveguide bends.
+func (b *PathBudget) Bends(n int) *PathBudget {
+	b.add(fmt.Sprintf("%d bends", n), DB(float64(b.params.WaveguideBend)*float64(n)))
+	return b
+}
+
+// Crossovers adds n waveguide crossings.
+func (b *PathBudget) Crossovers(n int) *PathBudget {
+	b.add(fmt.Sprintf("%d crossovers", n), DB(float64(b.params.WaveguideCrossover)*float64(n)))
+	return b
+}
+
+// ThroughRings adds the off-resonance pass-by loss of n rings the wavelength
+// traverses without interacting.
+func (b *PathBudget) ThroughRings(n int) *PathBudget {
+	b.add(fmt.Sprintf("%d through rings", n), DB(float64(b.params.RingThrough)*float64(n)))
+	return b
+}
+
+// Split adds the loss of an equal broadcast to n destinations as seen by the
+// worst-case (last) receiver: the inherent power-division loss 10*log10(n),
+// the pass-by loss of the n-1 partially-resonant splitter stages traversed
+// on the through path, and the drop-path excess of its own splitter. The
+// pass-by term grows linearly with broadcast width — the "linear increase in
+// insertion loss" of Section VIII-E1.
+func (b *PathBudget) Split(n int) *PathBudget {
+	if n <= 1 {
+		return b
+	}
+	b.add(fmt.Sprintf("split x%d", n), SplitLoss(n))
+	b.add(fmt.Sprintf("splitter pass-by x%d", n-1),
+		DB(float64(b.params.SplitterPassBy)*float64(n-1)))
+	b.add("splitter excess", b.params.SplitterExcess)
+	return b
+}
+
+// IntermediateDrops adds n on-resonance ring drops along the path that are
+// not the final receiver drop (e.g. the interface filter that forwards a
+// single-chiplet wavelength from the global to the local waveguide).
+func (b *PathBudget) IntermediateDrops(n int) *PathBudget {
+	if n > 0 {
+		b.add(fmt.Sprintf("%d intermediate drops", n), DB(float64(b.params.RingDrop)*float64(n)))
+	}
+	return b
+}
+
+// Drop adds the final on-resonance drop into the receiver, the
+// waveguide-to-receiver coupling, and the photodetector loss.
+func (b *PathBudget) Drop() *PathBudget {
+	b.add("ring drop", b.params.RingDrop)
+	b.add("waveguide to receiver", b.params.WaveguideToRx)
+	b.add("photodetector", b.params.Photodetector)
+	return b
+}
+
+// Loss returns the accumulated insertion loss.
+func (b *PathBudget) Loss() DB { return b.loss }
+
+// LaserPower returns the wall-plug laser power in milliwatts required for
+// this channel per Equation (2): the receiver sensitivity raised by the total
+// loss, the extinction-ratio penalty, and the system margin.
+func (b *PathBudget) LaserPower() Milliwatt {
+	level := b.params.ReceiverSensitivity.
+		Add(b.loss).
+		Add(b.params.ExtinctionPenalty).
+		Add(b.params.SystemMargin)
+	return level.Mw()
+}
+
+// Items returns a copy of the itemized budget for reporting.
+func (b *PathBudget) Items() []string {
+	out := make([]string, 0, len(b.items))
+	for _, it := range b.items {
+		out = append(out, fmt.Sprintf("%-24s %6.2f dB", it.label, float64(it.loss)))
+	}
+	return out
+}

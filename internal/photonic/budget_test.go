@@ -1,0 +1,92 @@
+package photonic
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestPathBudgetBase(t *testing.T) {
+	b := NewPathBudget(Moderate())
+	// Laser source 5 + coupler 1.
+	if got := float64(b.Loss()); !almostEqual(got, 6, 1e-12) {
+		t.Errorf("base loss = %v dB, want 6", got)
+	}
+}
+
+func TestPathBudgetFullPath(t *testing.T) {
+	p := Moderate()
+	b := NewPathBudget(p).
+		Waveguide(2).     // 2 dB
+		Bends(1).         // 1 dB
+		ThroughRings(50). // 1 dB
+		Split(8).         // 9.03 split + 7 pass-bys + 0.2 drop excess
+		Drop()            // 1 + 0.5 + 0.1
+	want := 6 + 2 + 1 + 1 + float64(SplitLoss(8)) + 7*float64(p.SplitterPassBy) + 0.2 + 1.6
+	if got := float64(b.Loss()); !almostEqual(got, want, 1e-9) {
+		t.Errorf("loss = %v, want %v", got, want)
+	}
+	// Laser power = -20 + loss + 2 + 4 dBm, converted to mW.
+	wantMw := DBm(-20 + want + 2 + 4).Mw()
+	if got := b.LaserPower(); !almostEqual(float64(got), float64(wantMw), 1e-9) {
+		t.Errorf("laser power = %v, want %v", got, wantMw)
+	}
+}
+
+func TestPathBudgetSplitOfOneIsFree(t *testing.T) {
+	p := Moderate()
+	a := NewPathBudget(p).Split(1).Loss()
+	b := NewPathBudget(p).Loss()
+	if a != b {
+		t.Errorf("Split(1) added loss: %v vs %v", a, b)
+	}
+}
+
+func TestLaserPowerMonotonicInSplit(t *testing.T) {
+	p := Moderate()
+	f := func(raw uint8) bool {
+		n := int(raw%30) + 1
+		a := NewPathBudget(p).Split(n).LaserPower()
+		b := NewPathBudget(p).Split(n + 1).LaserPower()
+		return b > a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAggressiveNeedsLessLaser(t *testing.T) {
+	// Same topology under aggressive parameters must need less laser power:
+	// better sensitivity (-26 vs -20 dBm) dominates.
+	path := func(p Params) Milliwatt {
+		return NewPathBudget(p).Waveguide(3).Bends(2).ThroughRings(100).Split(16).Drop().LaserPower()
+	}
+	if m, a := path(Moderate()), path(Aggressive()); a >= m {
+		t.Errorf("aggressive laser %v mW should be < moderate %v mW", a, m)
+	}
+}
+
+func TestBudgetItems(t *testing.T) {
+	b := NewPathBudget(Moderate()).Waveguide(1).Drop()
+	items := b.Items()
+	if len(items) < 4 {
+		t.Fatalf("expected itemized budget, got %d items", len(items))
+	}
+	joined := strings.Join(items, "\n")
+	for _, want := range []string{"laser source", "coupler", "waveguide", "ring drop", "photodetector"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("itemized budget missing %q:\n%s", want, joined)
+		}
+	}
+}
+
+func TestConversionEnergies(t *testing.T) {
+	p := Moderate()
+	// 2.9 mW at 10 Gbps = 0.29 pJ/bit.
+	if got := p.EOEnergyPerBit(); !almostEqual(got, 0.29e-12, 1e-18) {
+		t.Errorf("E/O = %v J/bit, want 0.29 pJ", got)
+	}
+	if got := p.OEEnergyPerBit(); !almostEqual(got, 0.26e-12, 1e-18) {
+		t.Errorf("O/E = %v J/bit, want 0.26 pJ", got)
+	}
+}

@@ -1,0 +1,84 @@
+package photonic
+
+import (
+	"fmt"
+	"math"
+)
+
+// Inter-channel crosstalk model for dense WDM. Each micro-ring filter
+// passes a small fraction of its neighbours' power into its drop port; the
+// aggregate coherent crosstalk erodes the receiver eye and is budgeted as a
+// power penalty (refs [62] and the Section II-A1 claim that "as many as 64
+// wavelengths can be multiplexed within a single waveguide").
+//
+// The per-neighbour suppression of a second-order ring filter rolls off with
+// channel separation; summing the leakage of all other channels on the
+// waveguide gives the signal-to-crosstalk ratio, and the power penalty
+// follows the standard incoherent-crosstalk formula
+// P = -10*log10(1 - X) with X the crosstalk-to-signal ratio.
+
+// FSRnm is the free spectral range the channels share, and ringFWHMnm the
+// filter linewidth; together they set adjacent-channel suppression.
+const (
+	FSRnm      = 51.2 // free spectral range of the ring filters
+	ringFWHMnm = 0.16 // filter 3-dB linewidth
+)
+
+// ChannelSpacingNm returns the spacing when n channels share the FSR.
+func ChannelSpacingNm(n int) float64 {
+	if n <= 0 {
+		return math.Inf(1)
+	}
+	return FSRnm / float64(n)
+}
+
+// neighborLeakage is the power fraction a ring filter leaks from a channel
+// detuned by delta nm (Lorentzian second-order roll-off).
+func neighborLeakage(deltaNm float64) float64 {
+	x := 2 * deltaNm / ringFWHMnm
+	return 1 / (1 + x*x) / (1 + x*x)
+}
+
+// CrosstalkRatio returns the aggregate crosstalk-to-signal power ratio seen
+// by one receiver when n wavelengths share the waveguide at equal power.
+func CrosstalkRatio(n int) float64 {
+	if n <= 1 {
+		return 0
+	}
+	spacing := ChannelSpacingNm(n)
+	x := 0.0
+	for i := 1; i < n; i++ {
+		// Distance to the i-th neighbour, wrapped around the FSR.
+		d := float64(i) * spacing
+		if wrap := FSRnm - d; wrap < d {
+			d = wrap
+		}
+		x += neighborLeakage(d)
+	}
+	return x
+}
+
+// CrosstalkPenalty returns the crosstalk power penalty in dB for n
+// wavelengths per waveguide. It returns an error when the crosstalk closes
+// the eye entirely (ratio >= 1).
+func CrosstalkPenalty(n int) (DB, error) {
+	x := CrosstalkRatio(n)
+	if x >= 1 {
+		return 0, fmt.Errorf("photonic: %d channels close the eye (crosstalk ratio %.3f)", n, x)
+	}
+	return DB(-10 * math.Log10(1-x)), nil
+}
+
+// MaxChannels returns the largest channel count whose crosstalk penalty
+// stays at or below the given budget.
+func MaxChannels(budgetDB DB) int {
+	best := 1
+	for n := 2; n <= 512; n++ {
+		p, err := CrosstalkPenalty(n)
+		if err != nil || p > budgetDB {
+			break
+		}
+		best = n
+	}
+	return best
+}

@@ -1,0 +1,71 @@
+package photonic
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestChannelSpacing(t *testing.T) {
+	if got := ChannelSpacingNm(64); !almostEqual(got, 0.8, 1e-12) {
+		t.Errorf("64-channel spacing = %v nm, want 0.8", got)
+	}
+	if ChannelSpacingNm(0) != ChannelSpacingNm(-1) {
+		t.Error("non-positive n should return +Inf consistently")
+	}
+}
+
+func TestCrosstalkMonotone(t *testing.T) {
+	f := func(raw uint8) bool {
+		n := int(raw%120) + 1
+		return CrosstalkRatio(n+1) >= CrosstalkRatio(n)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if CrosstalkRatio(1) != 0 {
+		t.Error("single channel has no crosstalk")
+	}
+}
+
+func TestSixtyFourChannelsViable(t *testing.T) {
+	// Section II-A1: "as many as 64 wavelengths can be multiplexed within a
+	// single waveguide". The penalty at 64 channels must be modest (well
+	// under 1 dB) and must blow up at much denser packing.
+	p64, err := CrosstalkPenalty(64)
+	if err != nil {
+		t.Fatalf("64 channels should be viable: %v", err)
+	}
+	if p64 > 1 {
+		t.Errorf("64-channel penalty = %v dB, want < 1 dB", p64)
+	}
+	p256, err := CrosstalkPenalty(256)
+	if err == nil && p256 < 3*p64 {
+		t.Errorf("256-channel penalty = %v dB, should far exceed 64-channel %v dB", p256, p64)
+	}
+}
+
+func TestMaxChannels(t *testing.T) {
+	// With a 1 dB crosstalk budget the waveguide supports at least the
+	// paper's 64 channels.
+	if got := MaxChannels(1); got < 64 {
+		t.Errorf("MaxChannels(1 dB) = %d, want >= 64", got)
+	}
+	// Tiny budgets admit fewer channels.
+	tight := MaxChannels(0.001)
+	loose := MaxChannels(2)
+	if tight >= loose {
+		t.Errorf("tighter budget should admit fewer channels: %d vs %d", tight, loose)
+	}
+}
+
+func TestCrosstalkPenaltyPositive(t *testing.T) {
+	for _, n := range []int{2, 8, 24, 64} {
+		p, err := CrosstalkPenalty(n)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if p < 0 {
+			t.Errorf("penalty must be non-negative, got %v at n=%d", p, n)
+		}
+	}
+}

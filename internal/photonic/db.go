@@ -1,0 +1,60 @@
+// Package photonic models the silicon-photonic substrate of the SPACX
+// architecture: decibel arithmetic, micro-ring resonators (MRRs), optical
+// tunable splitters, WDM links, insertion-loss budgets, and the laser and
+// transceiver power models of Section VII-B of the paper (Equations 1 and 2,
+// Tables III and IV).
+package photonic
+
+import "math"
+
+// DB is a power ratio expressed in decibels. Losses are positive values
+// (a 3 dB loss halves optical power).
+type DB float64
+
+// DBm is an absolute power level in decibel-milliwatts.
+type DBm float64
+
+// Milliwatt is an absolute power in milliwatts.
+type Milliwatt float64
+
+// Ratio converts a decibel value to a linear power ratio.
+func (d DB) Ratio() float64 { return math.Pow(10, float64(d)/10) }
+
+// RatioToDB converts a linear power ratio to decibels.
+// Ratios <= 0 are invalid; RatioToDB returns -Inf for them so that callers
+// performing budget arithmetic fail loudly rather than silently.
+func RatioToDB(r float64) DB {
+	if r <= 0 {
+		return DB(math.Inf(-1))
+	}
+	return DB(10 * math.Log10(r))
+}
+
+// SplitLoss is the inherent power division loss of broadcasting one optical
+// signal to n equal-power destinations: 10*log10(n) dB. A single destination
+// incurs no split loss.
+func SplitLoss(n int) DB {
+	if n <= 1 {
+		return 0
+	}
+	return RatioToDB(float64(n))
+}
+
+// Mw converts an absolute dBm level to milliwatts.
+func (p DBm) Mw() Milliwatt { return Milliwatt(math.Pow(10, float64(p)/10)) }
+
+// ToDBm converts milliwatts to dBm. Non-positive power maps to -Inf dBm.
+func (m Milliwatt) ToDBm() DBm {
+	if m <= 0 {
+		return DBm(math.Inf(-1))
+	}
+	return DBm(10 * math.Log10(float64(m)))
+}
+
+// Watts converts milliwatts to watts.
+func (m Milliwatt) Watts() float64 { return float64(m) / 1000 }
+
+// Add accumulates a loss on top of an absolute power level: the result is the
+// level required at the source so that p remains after the loss, i.e.
+// source = p + loss.
+func (p DBm) Add(loss DB) DBm { return DBm(float64(p) + float64(loss)) }

@@ -1,0 +1,108 @@
+package photonic
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestDBRatio(t *testing.T) {
+	cases := []struct {
+		db    DB
+		ratio float64
+	}{
+		{0, 1},
+		{3, 1.9953},
+		{10, 10},
+		{20, 100},
+		{-10, 0.1},
+	}
+	for _, c := range cases {
+		if got := c.db.Ratio(); !almostEqual(got, c.ratio, 1e-3) {
+			t.Errorf("DB(%v).Ratio() = %v, want %v", c.db, got, c.ratio)
+		}
+	}
+}
+
+func TestRatioToDBRoundTrip(t *testing.T) {
+	f := func(x float64) bool {
+		r := math.Abs(x)
+		if r < 1e-9 || r > 1e9 || math.IsNaN(r) || math.IsInf(r, 0) {
+			return true // outside the domain we care about
+		}
+		back := RatioToDB(r).Ratio()
+		return almostEqual(back/r, 1, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRatioToDBInvalid(t *testing.T) {
+	if !math.IsInf(float64(RatioToDB(0)), -1) {
+		t.Error("RatioToDB(0) should be -Inf")
+	}
+	if !math.IsInf(float64(RatioToDB(-5)), -1) {
+		t.Error("RatioToDB(-5) should be -Inf")
+	}
+}
+
+func TestSplitLoss(t *testing.T) {
+	if SplitLoss(1) != 0 {
+		t.Errorf("SplitLoss(1) = %v, want 0", SplitLoss(1))
+	}
+	if SplitLoss(0) != 0 {
+		t.Errorf("SplitLoss(0) = %v, want 0", SplitLoss(0))
+	}
+	if got := float64(SplitLoss(2)); !almostEqual(got, 3.0103, 1e-3) {
+		t.Errorf("SplitLoss(2) = %v, want ~3.01", got)
+	}
+	if got := float64(SplitLoss(8)); !almostEqual(got, 9.0309, 1e-3) {
+		t.Errorf("SplitLoss(8) = %v, want ~9.03", got)
+	}
+}
+
+func TestSplitLossMonotonic(t *testing.T) {
+	f := func(n uint8) bool {
+		a := int(n%62) + 1
+		return SplitLoss(a+1) > SplitLoss(a) || a == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDBmMwRoundTrip(t *testing.T) {
+	for _, p := range []DBm{-30, -20, -3, 0, 3, 10, 17} {
+		mw := p.Mw()
+		back := mw.ToDBm()
+		if !almostEqual(float64(back), float64(p), 1e-9) {
+			t.Errorf("round trip %v dBm -> %v mW -> %v dBm", p, mw, back)
+		}
+	}
+	if got := DBm(0).Mw(); !almostEqual(float64(got), 1, 1e-12) {
+		t.Errorf("0 dBm = %v mW, want 1", got)
+	}
+	if got := DBm(10).Mw(); !almostEqual(float64(got), 10, 1e-9) {
+		t.Errorf("10 dBm = %v mW, want 10", got)
+	}
+}
+
+func TestMilliwattWatts(t *testing.T) {
+	if got := Milliwatt(2500).Watts(); !almostEqual(got, 2.5, 1e-12) {
+		t.Errorf("2500 mW = %v W, want 2.5", got)
+	}
+}
+
+func TestDBmAdd(t *testing.T) {
+	// A -20 dBm receiver behind 26 dB of loss needs a +6 dBm source.
+	src := DBm(-20).Add(26)
+	if !almostEqual(float64(src), 6, 1e-12) {
+		t.Errorf("-20 dBm + 26 dB = %v, want 6", src)
+	}
+	if got := src.Mw(); !almostEqual(float64(got), 3.981, 1e-3) {
+		t.Errorf("6 dBm = %v mW, want ~3.98", got)
+	}
+}

@@ -1,0 +1,115 @@
+package photonic
+
+import "fmt"
+
+// RingRole distinguishes the three jobs an MRR performs in the SPACX network
+// (Section II-A): modulating a wavelength at a transmitter, filtering a
+// wavelength into a receiver, or splitting a fraction of power while passing
+// the rest (the optical tunable splitter of Figure 2).
+type RingRole int
+
+const (
+	RoleModulator RingRole = iota
+	RoleFilter
+	RoleSplitter
+)
+
+func (r RingRole) String() string {
+	switch r {
+	case RoleModulator:
+		return "modulator"
+	case RoleFilter:
+		return "filter"
+	case RoleSplitter:
+		return "splitter"
+	default:
+		return fmt.Sprintf("RingRole(%d)", int(r))
+	}
+}
+
+// SplitterTuneDelaySeconds is the DAC settling delay when re-tuning an
+// optical tunable splitter's bias voltage (500 ps, ref [47] in the paper).
+// Expressed in seconds because it is below time.Duration's resolution.
+const SplitterTuneDelaySeconds = 500e-12
+
+// Splitter ratio bounds achievable by a single tunable splitter's bias
+// voltage sweep (ref [47]): alpha/(1-alpha) in [0.4, 1.8].
+const (
+	MinSplitRatio = 0.4
+	MaxSplitRatio = 1.8
+)
+
+// MRR is one micro-ring resonator bound to a wavelength channel.
+type MRR struct {
+	Role       RingRole
+	Wavelength int     // index of the wavelength this ring is tuned near
+	Alpha      float64 // splitters only: fraction dropped, in (0,1); 0 = off-resonance
+}
+
+// On reports whether the ring is interacting with its wavelength at all.
+// A splitter with Alpha==0 is biased off-resonance and is optically inert
+// (light passes to the through port, Figure 2a).
+func (m MRR) On() bool {
+	if m.Role == RoleSplitter {
+		return m.Alpha > 0
+	}
+	return true
+}
+
+// SplitRatio returns alpha/(1-alpha) for a splitter, the quantity bounded by
+// [MinSplitRatio, MaxSplitRatio] for a single ring.
+func (m MRR) SplitRatio() float64 {
+	if m.Alpha <= 0 || m.Alpha >= 1 {
+		return 0
+	}
+	return m.Alpha / (1 - m.Alpha)
+}
+
+// CascadeDepth returns how many cascaded tunable splitters are required to
+// realize dropping fraction alpha of the incident power, given the per-ring
+// split-ratio bounds (Section II-A2: "Multiple optical tunable splitters can
+// be cascaded ... when a split ratio outside the range ... is required").
+//
+// A chain of d rings each at the extreme ratio r drops at most
+// 1-(1/(1+r))^d... in practice the useful bound is on *small* alphas: the
+// smallest single-ring drop fraction is MinSplitRatio/(1+MinSplitRatio).
+// Equal-power broadcast to n destinations needs per-stage alphas of
+// 1/n, 1/(n-1), ..., 1/2, 1; stages whose alpha falls below the single-ring
+// minimum need no extra hardware (the ring is simply biased nearer to
+// off-resonance), but alphas above the single-ring maximum
+// MaxSplitRatio/(1+MaxSplitRatio) ~= 0.643 (other than the final full drop,
+// realized by an on-resonance filter) require cascading.
+func CascadeDepth(alpha float64) int {
+	if alpha <= 0 {
+		return 0
+	}
+	if alpha >= 1 {
+		return 1 // realized as an on-resonance filter
+	}
+	maxAlpha := MaxSplitRatio / (1 + MaxSplitRatio)
+	depth := 1
+	remaining := alpha
+	for remaining > maxAlpha {
+		// One ring drops maxAlpha of the incident power; the rest of the
+		// target must come from further rings on the through path.
+		remaining = (remaining - maxAlpha) / (1 - maxAlpha)
+		depth++
+	}
+	return depth
+}
+
+// EqualBroadcastAlphas returns the per-stage drop fractions that give each of
+// n cascaded receivers an equal share of the incident power: the i-th
+// (0-based) stage drops 1/(n-i) of what reaches it. The final stage drops
+// everything (alpha 1), matching Section III-D's "1/7 split ratio for PE0,
+// 1/6 for PE1, ..., 1/0 for PE7" progression (ratios there are drop:through).
+func EqualBroadcastAlphas(n int) []float64 {
+	if n <= 0 {
+		return nil
+	}
+	alphas := make([]float64, n)
+	for i := 0; i < n; i++ {
+		alphas[i] = 1 / float64(n-i)
+	}
+	return alphas
+}

@@ -1,0 +1,125 @@
+package photonic
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRingRoleString(t *testing.T) {
+	if RoleModulator.String() != "modulator" ||
+		RoleFilter.String() != "filter" ||
+		RoleSplitter.String() != "splitter" {
+		t.Error("unexpected RingRole strings")
+	}
+	if RingRole(42).String() != "RingRole(42)" {
+		t.Errorf("unknown role string: %s", RingRole(42))
+	}
+}
+
+func TestMRROn(t *testing.T) {
+	if !(MRR{Role: RoleModulator}).On() {
+		t.Error("modulator should be on")
+	}
+	if !(MRR{Role: RoleFilter}).On() {
+		t.Error("filter should be on")
+	}
+	if (MRR{Role: RoleSplitter, Alpha: 0}).On() {
+		t.Error("off-resonance splitter should be off")
+	}
+	if !(MRR{Role: RoleSplitter, Alpha: 0.25}).On() {
+		t.Error("biased splitter should be on")
+	}
+}
+
+func TestSplitRatio(t *testing.T) {
+	m := MRR{Role: RoleSplitter, Alpha: 0.5}
+	if got := m.SplitRatio(); !almostEqual(got, 1, 1e-12) {
+		t.Errorf("alpha 0.5 ratio = %v, want 1", got)
+	}
+	m.Alpha = 1.0 / 8
+	if got := m.SplitRatio(); !almostEqual(got, 1.0/7, 1e-12) {
+		t.Errorf("alpha 1/8 ratio = %v, want 1/7", got)
+	}
+	m.Alpha = 0
+	if m.SplitRatio() != 0 {
+		t.Error("alpha 0 should have ratio 0")
+	}
+}
+
+func TestEqualBroadcastAlphas(t *testing.T) {
+	// The paper's 8-PE example: split ratios 1/7, 1/6, ..., 1/1, 1/0.
+	alphas := EqualBroadcastAlphas(8)
+	if len(alphas) != 8 {
+		t.Fatalf("len = %d, want 8", len(alphas))
+	}
+	if !almostEqual(alphas[0], 1.0/8, 1e-12) {
+		t.Errorf("first alpha = %v, want 1/8 (ratio 1/7)", alphas[0])
+	}
+	if !almostEqual(alphas[7], 1, 1e-12) {
+		t.Errorf("last alpha = %v, want 1 (full drop)", alphas[7])
+	}
+	// Ratio of the first stage matches Section III-D: 1/7.
+	r := alphas[0] / (1 - alphas[0])
+	if !almostEqual(r, 1.0/7, 1e-12) {
+		t.Errorf("first stage split ratio = %v, want 1/7", r)
+	}
+	if EqualBroadcastAlphas(0) != nil {
+		t.Error("n=0 should return nil")
+	}
+}
+
+// Property: for any n, the cascade of EqualBroadcastAlphas delivers exactly
+// 1/n of the incident power to every destination.
+func TestEqualBroadcastAlphasEqualPower(t *testing.T) {
+	f := func(raw uint8) bool {
+		n := int(raw%63) + 1
+		alphas := EqualBroadcastAlphas(n)
+		remaining := 1.0
+		for _, a := range alphas {
+			delivered := remaining * a
+			if math.Abs(delivered-1/float64(n)) > 1e-9 {
+				return false
+			}
+			remaining *= 1 - a
+		}
+		return math.Abs(remaining) < 1e-9 // all power consumed
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCascadeDepth(t *testing.T) {
+	if CascadeDepth(0) != 0 {
+		t.Error("alpha 0 needs no splitters")
+	}
+	if CascadeDepth(1) != 1 {
+		t.Error("full drop is a single on-resonance filter")
+	}
+	// Small alphas within the single-ring range.
+	if d := CascadeDepth(0.125); d != 1 {
+		t.Errorf("alpha 1/8 depth = %d, want 1", d)
+	}
+	// MaxSplitRatio 1.8 -> max single-ring alpha ~0.643. Anything above
+	// (but below 1) needs a cascade.
+	if d := CascadeDepth(0.9); d < 2 {
+		t.Errorf("alpha 0.9 depth = %d, want >= 2", d)
+	}
+}
+
+func TestCascadeDepthMonotonic(t *testing.T) {
+	f := func(a, b float64) bool {
+		x, y := math.Abs(math.Mod(a, 1)), math.Abs(math.Mod(b, 1))
+		if x > y {
+			x, y = y, x
+		}
+		if y >= 1 || math.IsNaN(x) || math.IsNaN(y) {
+			return true
+		}
+		return CascadeDepth(x) <= CascadeDepth(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,113 @@
+package photonic
+
+// Params captures one column of Table III (moderate) or Table IV (aggressive):
+// the per-component insertion losses and electrical overheads from which a
+// photonic link's laser power is derived.
+type Params struct {
+	Name string
+
+	// Insertion losses along the optical path.
+	LaserSource        DB // laser wall-plug inefficiency budgeted as a loss
+	Coupler            DB // fiber/off-chip coupler into the waveguide
+	SplitterExcess     DB // excess loss on a tunable splitter's drop path (beyond split ratio)
+	SplitterPassBy     DB // loss passing a biased (partially resonant) splitter on the through path
+	WaveguidePerCM     DB // propagation loss per centimeter
+	WaveguideBend      DB
+	WaveguideCrossover DB
+	RingDrop           DB // on-resonance drop into a receiver
+	RingThrough        DB // off-resonance pass-by loss per ring
+	Photodetector      DB
+	WaveguideToRx      DB
+
+	// Receiver and penalties.
+	ReceiverSensitivity DBm // minimum detectable power
+	ExtinctionPenalty   DB  // modulator extinction-ratio power penalty
+	SystemMargin        DB  // lifetime margin
+
+	// Electrical circuit power of one transmitter / receiver at 10 Gbps,
+	// including the MRR thermal heater share accounted to that side.
+	TxPower Milliwatt
+	RxPower Milliwatt
+	// Standalone ring heater power, used for rings that belong to neither a
+	// transmitter nor a receiver (interface splitters and filters).
+	RingHeating Milliwatt
+
+	// LaserOverheadPerWaveguide is the fixed source overhead each physical
+	// waveguide costs (threshold/bias of its off-chip laser), independent of
+	// how many wavelengths it carries. It is what makes extreme waveguide
+	// duplication costly at very fine broadcast granularity.
+	LaserOverheadPerWaveguide Milliwatt
+}
+
+// Moderate returns the Table III parameter set; it is the default for all
+// power and energy estimates in the paper.
+func Moderate() Params {
+	return Params{
+		Name:                      "moderate",
+		LaserSource:               5,
+		Coupler:                   1,
+		SplitterExcess:            0.2,
+		SplitterPassBy:            0.08,
+		WaveguidePerCM:            1,
+		WaveguideBend:             1,
+		WaveguideCrossover:        0.05,
+		RingDrop:                  1,
+		RingThrough:               0.02,
+		Photodetector:             0.1,
+		WaveguideToRx:             0.5,
+		ReceiverSensitivity:       -20,
+		ExtinctionPenalty:         2,
+		SystemMargin:              4,
+		TxPower:                   2.9,
+		RxPower:                   2.6,
+		RingHeating:               2,
+		LaserOverheadPerWaveguide: 1.0,
+	}
+}
+
+// Aggressive returns the Table IV parameter set representing projected
+// advances in photonic components.
+func Aggressive() Params {
+	return Params{
+		Name:                "aggressive",
+		LaserSource:         5,
+		Coupler:             1,
+		SplitterExcess:      0.2,
+		SplitterPassBy:      0.05,
+		WaveguidePerCM:      1,
+		WaveguideBend:       0.01,
+		WaveguideCrossover:  0.05,
+		RingDrop:            0.7,
+		RingThrough:         0.01,
+		Photodetector:       0.1,
+		WaveguideToRx:       0.5,
+		ReceiverSensitivity: -26,
+		ExtinctionPenalty:   2,
+		SystemMargin:        4,
+		// TX circuit power shrinks with the heater share: the aggressive
+		// column assumes 320 uW heaters instead of 2 mW.
+		TxPower:                   1.74, // 2.9 - (2 - 0.32)*0.69 split of heater share
+		RxPower:                   1.56,
+		RingHeating:               0.32,
+		LaserOverheadPerWaveguide: 0.15,
+	}
+}
+
+// WavelengthGbps is the per-wavelength data rate assumed throughout the paper
+// (Section II-A1, Table II): 10 Gbps.
+const WavelengthGbps = 10.0
+
+// MaxWavelengthsPerWaveguide is the WDM density bound cited in Section II-A1.
+const MaxWavelengthsPerWaveguide = 64
+
+// EOEnergyPerBit returns the electrical-to-optical conversion energy per bit
+// for one transmitter: circuit power divided by line rate.
+func (p Params) EOEnergyPerBit() float64 {
+	return p.TxPower.Watts() / (WavelengthGbps * 1e9)
+}
+
+// OEEnergyPerBit returns the optical-to-electrical conversion energy per bit
+// for one receiver.
+func (p Params) OEEnergyPerBit() float64 {
+	return p.RxPower.Watts() / (WavelengthGbps * 1e9)
+}

@@ -1,0 +1,75 @@
+package photonic
+
+import (
+	"fmt"
+	"math"
+)
+
+// Thermal tuning model (Section II-A1: an MRR "is tuned by a resistive
+// heater controlled by a thermal tuning unit to mitigate thermal and process
+// variations"). The heater must pull the ring's resonance back onto its
+// wavelength against die-temperature drift and fabrication variation; this
+// model derives the expected heater power from those physical quantities so
+// the Table III/IV heater constants (2 mW moderate, 320 uW aggressive) can
+// be cross-checked rather than taken on faith.
+
+const (
+	// ResonanceDriftNmPerK is the silicon ring resonance drift per kelvin
+	// (~0.08-0.11 nm/K; thermo-optic coefficient of Si).
+	ResonanceDriftNmPerK = 0.1
+
+	// HeaterTuningNmPerMw is the resonance shift one milliwatt of heater
+	// power buys for a conventional (un-trenched) micro-heater.
+	HeaterTuningNmPerMw = 0.25
+
+	// InsulatedTuningNmPerMw is the same for a thermally isolated
+	// (undercut/trench) heater — the aggressive assumption.
+	InsulatedTuningNmPerMw = 1.6
+)
+
+// TuningSpec describes the variation a ring population must absorb.
+type TuningSpec struct {
+	// TemperatureSpreadK is the worst-case die temperature excursion the
+	// rings must track (heaters can only heat, so rings are fabricated
+	// red-shifted and trimmed down; the spread sets the mean trim).
+	TemperatureSpreadK float64
+	// ProcessSigmaNm is the fabrication-induced resonance sigma.
+	ProcessSigmaNm float64
+	// TuningNmPerMw is the heater efficiency.
+	TuningNmPerMw float64
+}
+
+// ModerateTuning mirrors the Table III operating point.
+func ModerateTuning() TuningSpec {
+	return TuningSpec{TemperatureSpreadK: 4, ProcessSigmaNm: 0.3, TuningNmPerMw: HeaterTuningNmPerMw}
+}
+
+// AggressiveTuning mirrors Table IV (isolated heaters, tighter process).
+func AggressiveTuning() TuningSpec {
+	return TuningSpec{TemperatureSpreadK: 2, ProcessSigmaNm: 0.2, TuningNmPerMw: InsulatedTuningNmPerMw}
+}
+
+// MeanHeaterPower returns the expected per-ring heater power: the mean
+// resonance offset a ring must trim is half the thermal excursion plus the
+// folded-normal mean of the process variation (sigma * sqrt(2/pi)).
+func (s TuningSpec) MeanHeaterPower() (Milliwatt, error) {
+	if s.TuningNmPerMw <= 0 {
+		return 0, fmt.Errorf("photonic: non-positive tuning efficiency %v", s.TuningNmPerMw)
+	}
+	if s.TemperatureSpreadK < 0 || s.ProcessSigmaNm < 0 {
+		return 0, fmt.Errorf("photonic: negative variation spec %+v", s)
+	}
+	meanOffsetNm := s.TemperatureSpreadK*ResonanceDriftNmPerK/2 +
+		s.ProcessSigmaNm*math.Sqrt(2/math.Pi)
+	return Milliwatt(meanOffsetNm / s.TuningNmPerMw), nil
+}
+
+// WorstCaseHeaterPower budgets three sigma of process variation on top of
+// the full thermal excursion — the provisioning point for the tuning DAC.
+func (s TuningSpec) WorstCaseHeaterPower() (Milliwatt, error) {
+	if s.TuningNmPerMw <= 0 {
+		return 0, fmt.Errorf("photonic: non-positive tuning efficiency %v", s.TuningNmPerMw)
+	}
+	worstNm := s.TemperatureSpreadK*ResonanceDriftNmPerK + 3*s.ProcessSigmaNm
+	return Milliwatt(worstNm / s.TuningNmPerMw), nil
+}

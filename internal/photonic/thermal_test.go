@@ -1,0 +1,71 @@
+package photonic
+
+import "testing"
+
+// The Table III/IV heater constants should be consistent with the physical
+// tuning model within a factor of ~2 — this pins the constants to physics
+// rather than leaving them free calibration knobs.
+func TestHeaterConstantsConsistent(t *testing.T) {
+	mod, err := ModerateTuning().MeanHeaterPower()
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := Moderate().RingHeating // 2 mW
+	if ratio := float64(table) / float64(mod); ratio < 0.5 || ratio > 3 {
+		t.Errorf("moderate heater: table %v mW vs derived %v mW (ratio %v)", table, mod, ratio)
+	}
+
+	agg, err := AggressiveTuning().MeanHeaterPower()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tableAgg := Aggressive().RingHeating // 0.32 mW
+	if ratio := float64(tableAgg) / float64(agg); ratio < 0.4 || ratio > 3 {
+		t.Errorf("aggressive heater: table %v mW vs derived %v mW (ratio %v)", tableAgg, agg, ratio)
+	}
+
+	// The aggressive point must be a large improvement.
+	if float64(agg) > 0.5*float64(mod) {
+		t.Errorf("isolated heaters should cut power substantially: %v vs %v", agg, mod)
+	}
+}
+
+func TestWorstCaseAboveMean(t *testing.T) {
+	for _, s := range []TuningSpec{ModerateTuning(), AggressiveTuning()} {
+		mean, err := s.MeanHeaterPower()
+		if err != nil {
+			t.Fatal(err)
+		}
+		worst, err := s.WorstCaseHeaterPower()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if worst <= mean {
+			t.Errorf("worst case %v must exceed mean %v", worst, mean)
+		}
+	}
+}
+
+func TestTuningSpecValidation(t *testing.T) {
+	bad := TuningSpec{TuningNmPerMw: 0}
+	if _, err := bad.MeanHeaterPower(); err == nil {
+		t.Error("zero efficiency should fail")
+	}
+	if _, err := bad.WorstCaseHeaterPower(); err == nil {
+		t.Error("zero efficiency should fail (worst case)")
+	}
+	bad = TuningSpec{TuningNmPerMw: 1, TemperatureSpreadK: -1}
+	if _, err := bad.MeanHeaterPower(); err == nil {
+		t.Error("negative spread should fail")
+	}
+}
+
+func TestHeaterPowerScalesWithVariation(t *testing.T) {
+	small := TuningSpec{TemperatureSpreadK: 1, ProcessSigmaNm: 0.1, TuningNmPerMw: 0.25}
+	big := TuningSpec{TemperatureSpreadK: 10, ProcessSigmaNm: 0.5, TuningNmPerMw: 0.25}
+	ps, _ := small.MeanHeaterPower()
+	pb, _ := big.MeanHeaterPower()
+	if pb <= ps {
+		t.Errorf("more variation should need more heater power: %v vs %v", pb, ps)
+	}
+}

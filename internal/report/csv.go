@@ -1,0 +1,121 @@
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+
+	"spacx/internal/exp"
+	"spacx/internal/network/spacxnet"
+)
+
+// CSV emitters for the main result sets, for downstream plotting.
+
+// OverallCSV writes AccelRow results (Figures 15/17/18 style).
+func OverallCSV(w io.Writer, rows []exp.AccelRow) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"model", "accel", "exec_sec", "exec_norm",
+		"energy_j", "energy_norm", "network_j", "other_j"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{
+			r.Model, r.Accel,
+			fmt.Sprintf("%g", r.ExecSec), fmt.Sprintf("%g", r.ExecNorm),
+			fmt.Sprintf("%g", r.EnergyJ), fmt.Sprintf("%g", r.EnergyNorm),
+			fmt.Sprintf("%g", r.NetworkJ), fmt.Sprintf("%g", r.OtherJ),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// PerLayerCSV writes the Figures 13/14 rows.
+func PerLayerCSV(w io.Writer, rows []exp.LayerRow) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"bar", "layer", "accel", "compute_sec",
+		"comm_sec", "exec_norm", "network_j", "other_j", "energy_norm"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{
+			r.Label, r.Layer, r.Accel,
+			fmt.Sprintf("%g", r.ComputeSec), fmt.Sprintf("%g", r.CommSec),
+			fmt.Sprintf("%g", r.ExecNorm),
+			fmt.Sprintf("%g", r.NetworkJ), fmt.Sprintf("%g", r.OtherJ),
+			fmt.Sprintf("%g", r.EnergyNorm),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// PowerSurfaceCSV writes the Figures 19/20 sweep.
+func PowerSurfaceCSV(w io.Writer, pts []spacxnet.PowerPoint) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"k", "ef", "laser_w", "tx_w", "rx_w",
+		"interface_heat_w", "transceiver_w", "overall_w"}); err != nil {
+		return err
+	}
+	for _, p := range pts {
+		rec := []string{
+			fmt.Sprintf("%d", p.GK), fmt.Sprintf("%d", p.GEF),
+			fmt.Sprintf("%g", p.LaserW), fmt.Sprintf("%g", p.TxCircuitW),
+			fmt.Sprintf("%g", p.RxCircuitW), fmt.Sprintf("%g", p.InterfaceHtW),
+			fmt.Sprintf("%g", p.TransceiverW()), fmt.Sprintf("%g", p.OverallW()),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Fig16CSV writes the latency/throughput rows.
+func Fig16CSV(w io.Writer, rows []exp.Fig16Row) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"model", "accel", "latency_sec",
+		"latency_norm", "throughput_pps", "throughput_norm"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{
+			r.Model, r.Accel,
+			fmt.Sprintf("%g", r.MeanLatencySec), fmt.Sprintf("%g", r.LatencyNorm),
+			fmt.Sprintf("%g", r.ThroughputPps), fmt.Sprintf("%g", r.ThroughputNorm),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Fig22CSV writes the scalability rows.
+func Fig22CSV(w io.Writer, rows []exp.Fig22Row) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"m", "n", "accel", "exec_sec", "exec_norm",
+		"energy_j", "energy_norm"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{
+			fmt.Sprintf("%d", r.M), fmt.Sprintf("%d", r.N), r.Accel,
+			fmt.Sprintf("%g", r.ExecSec), fmt.Sprintf("%g", r.ExecNorm),
+			fmt.Sprintf("%g", r.EnergyJ), fmt.Sprintf("%g", r.EnergyNorm),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

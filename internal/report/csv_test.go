@@ -1,0 +1,83 @@
+package report
+
+import (
+	"encoding/csv"
+	"strings"
+	"testing"
+
+	"spacx/internal/exp"
+	"spacx/internal/network/spacxnet"
+)
+
+func parseCSV(t *testing.T, s string) [][]string {
+	t.Helper()
+	recs, err := csv.NewReader(strings.NewReader(s)).ReadAll()
+	if err != nil {
+		t.Fatalf("invalid CSV: %v\n%s", err, s)
+	}
+	return recs
+}
+
+func TestOverallCSV(t *testing.T) {
+	rows := []exp.AccelRow{
+		{Model: "ResNet-50", Accel: "SPACX", ExecSec: 1e-3, ExecNorm: 0.2,
+			EnergyJ: 2e-3, EnergyNorm: 0.3, NetworkJ: 1e-3, OtherJ: 1e-3},
+		{Model: "VGG-16", Accel: "Simba", ExecSec: 2e-3, ExecNorm: 1},
+	}
+	var b strings.Builder
+	if err := OverallCSV(&b, rows); err != nil {
+		t.Fatal(err)
+	}
+	recs := parseCSV(t, b.String())
+	if len(recs) != 3 {
+		t.Fatalf("records = %d, want header + 2", len(recs))
+	}
+	if recs[0][0] != "model" || recs[1][1] != "SPACX" || recs[2][0] != "VGG-16" {
+		t.Errorf("unexpected records: %v", recs)
+	}
+}
+
+func TestPerLayerCSV(t *testing.T) {
+	rows := []exp.LayerRow{{Label: "L1", Layer: "conv1", Accel: "Simba",
+		ComputeSec: 1e-6, CommSec: 2e-6, ExecNorm: 1, EnergyNorm: 1}}
+	var b strings.Builder
+	if err := PerLayerCSV(&b, rows); err != nil {
+		t.Fatal(err)
+	}
+	recs := parseCSV(t, b.String())
+	if len(recs) != 2 || recs[1][0] != "L1" {
+		t.Errorf("unexpected records: %v", recs)
+	}
+}
+
+func TestPowerSurfaceCSV(t *testing.T) {
+	pts := []spacxnet.PowerPoint{{GK: 4, GEF: 8}}
+	var b strings.Builder
+	if err := PowerSurfaceCSV(&b, pts); err != nil {
+		t.Fatal(err)
+	}
+	recs := parseCSV(t, b.String())
+	if len(recs) != 2 || recs[1][0] != "4" || recs[1][1] != "8" {
+		t.Errorf("unexpected records: %v", recs)
+	}
+}
+
+func TestFig16AndFig22CSV(t *testing.T) {
+	var b strings.Builder
+	if err := Fig16CSV(&b, []exp.Fig16Row{{Model: "m", Accel: "a",
+		MeanLatencySec: 1e-7, LatencyNorm: 0.5, ThroughputPps: 1e6, ThroughputNorm: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if recs := parseCSV(t, b.String()); len(recs) != 2 || recs[1][3] != "0.5" {
+		t.Errorf("fig16 csv wrong: %v", recs)
+	}
+
+	b.Reset()
+	if err := Fig22CSV(&b, []exp.Fig22Row{{M: 64, N: 32, Accel: "Simba",
+		ExecSec: 1e-3, ExecNorm: 9.9, EnergyJ: 1e-3, EnergyNorm: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if recs := parseCSV(t, b.String()); len(recs) != 2 || recs[1][0] != "64" {
+		t.Errorf("fig22 csv wrong: %v", recs)
+	}
+}

@@ -1,0 +1,204 @@
+// Package report renders the experiment results of internal/exp as aligned
+// text tables (and CSV), mirroring the rows and series of the paper's
+// tables and figures.
+package report
+
+import (
+	"fmt"
+	"io"
+
+	"spacx/internal/exp"
+	"spacx/internal/network/spacxnet"
+)
+
+// Table1 renders the Table I reproduction.
+func Table1(w io.Writer, rows []spacxnet.TableIRow) {
+	fmt.Fprintln(w, "Table I — SPACX configurations (8 chiplets x 8 PEs example)")
+	fmt.Fprintf(w, "%-28s %6s %6s %6s %6s\n", "", "A", "B", "C", "D")
+	get := func(f func(spacxnet.TableIRow) int) []int {
+		out := make([]int, len(rows))
+		for i, r := range rows {
+			out[i] = f(r)
+		}
+		return out
+	}
+	line := func(name string, vals []int) {
+		fmt.Fprintf(w, "%-28s", name)
+		for _, v := range vals {
+			fmt.Fprintf(w, " %6d", v)
+		}
+		fmt.Fprintln(w)
+	}
+	line("Global waveguides", get(func(r spacxnet.TableIRow) int { return r.GlobalWaveguides }))
+	line("Local waveguides / chiplet", get(func(r spacxnet.TableIRow) int { return r.LocalPerChiplet }))
+	line("Wavelengths", get(func(r spacxnet.TableIRow) int { return r.Wavelengths }))
+	line("PEs per waveguide", get(func(r spacxnet.TableIRow) int { return r.PEsPerWaveguide }))
+	line("MRRs in interfaces", get(func(r spacxnet.TableIRow) int { return r.InterfaceMRRs }))
+}
+
+// Table2 renders the network-parameter table.
+func Table2(w io.Writer, rows []exp.Table2Row) {
+	fmt.Fprintln(w, "Table II — network parameters (derived from the models)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-8s %-14s %s\n", r.Accel, r.Level, r.Desc)
+	}
+}
+
+// Table3And4 renders the photonic parameter sets and derived channel powers.
+func Table3And4(w io.Writer, rows []exp.Table3And4Row) {
+	fmt.Fprintln(w, "Tables III/IV — photonic parameters and derived laser power")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s parameters:\n", r.Params.Name)
+		fmt.Fprintf(w, "  cross-chiplet channel: %8.3f mW   single-chiplet channel: %8.3f mW\n",
+			r.CrossChannelMw, r.SingleChannelMw)
+		fmt.Fprintln(w, "  worst-case cross-channel loss budget:")
+		for _, it := range r.BudgetItems {
+			fmt.Fprintf(w, "    %s\n", it)
+		}
+	}
+}
+
+// PerLayer renders Figures 13 and 14 (per-layer execution time and energy,
+// normalized to Simba).
+func PerLayer(w io.Writer, rows []exp.LayerRow) {
+	fmt.Fprintln(w, "Figures 13/14 — per-layer execution time and energy (normalized to Simba)")
+	fmt.Fprintf(w, "%-5s %-22s %-8s %10s %10s %8s | %10s %10s %8s\n",
+		"bar", "layer", "accel", "comp(us)", "comm(us)", "t/simba", "other(uJ)", "net(uJ)", "E/simba")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-5s %-22s %-8s %10.2f %10.2f %8.3f | %10.1f %10.1f %8.3f\n",
+			r.Label, r.Layer, r.Accel,
+			r.ComputeSec*1e6, r.CommSec*1e6, r.ExecNorm,
+			r.OtherJ*1e6, r.NetworkJ*1e6, r.EnergyNorm)
+	}
+}
+
+// Overall renders Figure 15-style (model, accel) tables.
+func Overall(w io.Writer, title string, rows []exp.AccelRow) {
+	fmt.Fprintln(w, title)
+	fmt.Fprintf(w, "%-16s %-10s %10s %8s | %10s %8s\n",
+		"model", "accel", "exec(ms)", "norm", "energy(mJ)", "norm")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-16s %-10s %10.4f %8.3f | %10.3f %8.3f\n",
+			r.Model, r.Accel, r.ExecSec*1e3, r.ExecNorm, r.EnergyJ*1e3, r.EnergyNorm)
+	}
+}
+
+// Fig16 renders the latency/throughput study.
+func Fig16(w io.Writer, rows []exp.Fig16Row) {
+	fmt.Fprintln(w, "Figure 16 — network latency and throughput (normalized to Simba)")
+	fmt.Fprintf(w, "%-16s %-8s %12s %8s | %14s %8s\n",
+		"model", "accel", "latency(ns)", "norm", "thruput(Mpps)", "norm")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-16s %-8s %12.1f %8.3f | %14.2f %8.3f\n",
+			r.Model, r.Accel, r.MeanLatencySec*1e9, r.LatencyNorm,
+			r.ThroughputPps/1e6, r.ThroughputNorm)
+	}
+}
+
+// PowerSurface renders Figures 19/20.
+func PowerSurface(w io.Writer, title string, pts []spacxnet.PowerPoint) {
+	fmt.Fprintln(w, title)
+	fmt.Fprintf(w, "%4s %4s %10s %12s %10s\n", "k", "e/f", "laser(W)", "xcvr(W)", "overall(W)")
+	for _, p := range pts {
+		if p.GK < 4 || p.GEF < 4 {
+			continue // the paper plots 4..32
+		}
+		fmt.Fprintf(w, "%4d %4d %10.3f %12.3f %10.3f\n",
+			p.GK, p.GEF, p.LaserW, p.TransceiverW(), p.OverallW())
+	}
+}
+
+// Fig21 renders the energy-breakdown study.
+func Fig21(w io.Writer, a []exp.Fig21aRow, b []exp.Fig21b) {
+	fmt.Fprintln(w, "Figure 21(a) — energy breakdown across accelerators (normalized to Simba)")
+	fmt.Fprintf(w, "%-16s %-22s %10s %10s %8s\n", "model", "accel", "other(mJ)", "net(mJ)", "norm")
+	for _, r := range a {
+		fmt.Fprintf(w, "%-16s %-22s %10.3f %10.3f %8.3f\n",
+			r.Model, r.Accel, r.OtherJ*1e3, r.NetworkJ*1e3, r.EnergyNorm)
+	}
+	fmt.Fprintln(w, "Figure 21(b) — SPACX photonic network energy, ResNet-50 pass")
+	fmt.Fprintf(w, "%-12s %9s %9s %9s %9s %9s\n", "params", "E/O(mJ)", "O/E(mJ)", "heat(mJ)", "laser(mJ)", "total(mJ)")
+	for _, r := range b {
+		fmt.Fprintf(w, "%-12s %9.2f %9.2f %9.2f %9.2f %9.2f\n",
+			r.Params, r.EOJ*1e3, r.OEJ*1e3, r.HeatingJ*1e3, r.LaserJ*1e3, r.TotalJ*1e3)
+	}
+}
+
+// Fig22 renders the scalability sweep.
+func Fig22(w io.Writer, rows []exp.Fig22Row) {
+	fmt.Fprintln(w, "Figure 22 — scalability (ResNet-50; normalized to SPACX M=32 N=32)")
+	fmt.Fprintf(w, "%4s %4s %-8s %10s %8s | %10s %8s\n",
+		"M", "N", "accel", "exec(ms)", "norm", "energy(mJ)", "norm")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%4d %4d %-8s %10.4f %8.3f | %10.3f %8.3f\n",
+			r.M, r.N, r.Accel, r.ExecSec*1e3, r.ExecNorm, r.EnergyJ*1e3, r.EnergyNorm)
+	}
+}
+
+// Area renders the Section VIII-G estimate.
+func Area(w io.Writer, r exp.AreaReport) {
+	fmt.Fprintln(w, "Section VIII-G — area estimation (per chiplet)")
+	fmt.Fprintf(w, "PE logic:             %8.3f mm^2\n", r.PELogicMM2)
+	fmt.Fprintf(w, "Transceiver circuits: %8.4f mm^2 (%.1f%% of PE area)\n",
+		r.TransceiverMM2, 100*r.PeripheralShare)
+	fmt.Fprintf(w, "MRRs (%d rings):     %8.4f mm^2\n", r.MRRsPerChiplet, r.MRRMM2)
+	fmt.Fprintf(w, "Micro-bumps:          %8.3f mm^2\n", r.MicroBumpMM2)
+}
+
+// Ablation renders the design-choice ablation study.
+func Ablation(w io.Writer, rows []exp.AblationRow) {
+	fmt.Fprintln(w, "Ablation — SPACX design choices (normalized to the full design)")
+	fmt.Fprintf(w, "%-16s %-26s %10s %8s | %10s %8s\n",
+		"model", "variant", "exec(ms)", "norm", "energy(mJ)", "norm")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-16s %-26s %10.4f %8.3f | %10.3f %8.3f\n",
+			r.Model, r.Variant, r.ExecSec*1e3, r.ExecNorm, r.EnergyJ*1e3, r.EnergyN)
+	}
+}
+
+// GranularityTradeoff renders the deployment-choice study.
+func GranularityTradeoff(w io.Writer, rows []exp.GranularityTradeoffRow) {
+	fmt.Fprintln(w, "Granularity trade-off — ResNet-50 vs network power (Section VIII-E1 closing choice)")
+	fmt.Fprintf(w, "%4s %4s %10s %12s %12s\n", "e/f", "k", "exec(ms)", "energy(mJ)", "power(W)")
+	for _, r := range rows {
+		mark := ""
+		if r.GEF == 8 && r.GK == 16 {
+			mark = "  <- paper's deployment choice"
+		}
+		fmt.Fprintf(w, "%4d %4d %10.4f %12.3f %12.3f%s\n",
+			r.GEF, r.GK, r.ExecSec*1e3, r.EnergyJ*1e3, r.OverallW, mark)
+	}
+}
+
+// Adaptive renders the adaptive-granularity extension study.
+func Adaptive(w io.Writer, rows []exp.AdaptiveRow) {
+	fmt.Fprintln(w, "Extension — per-layer adaptive broadcast granularity (Section V taken per layer)")
+	fmt.Fprintf(w, "%-16s %12s %14s %9s %10s\n",
+		"model", "fixed(ms)", "adaptive(ms)", "speedup", "reconfigs")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-16s %12.4f %14.4f %9.3f %10d\n",
+			r.Model, r.FixedExecSec*1e3, r.AdaptiveExecSec*1e3, r.Speedup, r.ReconfigCount)
+	}
+}
+
+// BatchScaling renders the batch-size extension study.
+func BatchScaling(w io.Writer, rows []exp.BatchRow) {
+	fmt.Fprintln(w, "Extension — batch scaling on ResNet-50 (weights amortize across samples)")
+	fmt.Fprintf(w, "%-8s %6s %12s %16s %16s %14s\n",
+		"accel", "batch", "exec(ms)", "per-sample(ms)", "energy/s.(mJ)", "thruput(inf/s)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-8s %6d %12.4f %16.4f %16.3f %14.1f\n",
+			r.Accel, r.Batch, r.ExecSec*1e3, r.ExecPerSampleSec*1e3,
+			r.EnergyPerSampleJ*1e3, r.ThroughputIPS)
+	}
+}
+
+// Engines renders the engine-agreement cross-check.
+func Engines(w io.Writer, rows []exp.EngineRow) {
+	fmt.Fprintln(w, "Validation — analytical vs epoch-pipelined engine (SPACX, whole inference)")
+	fmt.Fprintf(w, "%-16s %16s %14s %8s\n", "model", "analytical(ms)", "detailed(ms)", "ratio")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-16s %16.4f %14.4f %8.3f\n",
+			r.Model, r.AnalyticalSec*1e3, r.DetailedSec*1e3, r.Ratio)
+	}
+}

@@ -1,0 +1,147 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"spacx/internal/exp"
+	"spacx/internal/network/spacxnet"
+)
+
+func TestTable1Render(t *testing.T) {
+	rows, err := exp.Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	Table1(&b, rows)
+	out := b.String()
+	for _, want := range []string{"Table I", "Wavelengths", "MRRs in interfaces", "16", "80", "96"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table1 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable2Render(t *testing.T) {
+	var b strings.Builder
+	Table2(&b, exp.Table2())
+	out := b.String()
+	for _, want := range []string{"Simba", "POPSTAR", "SPACX", "340 Gbps", "24 wavelengths"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table2 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable3And4Render(t *testing.T) {
+	rows, err := exp.Table3And4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	Table3And4(&b, rows)
+	out := b.String()
+	for _, want := range []string{"moderate", "aggressive", "laser source", "split"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table3And4 output missing %q", want)
+		}
+	}
+}
+
+func TestOverallRender(t *testing.T) {
+	rows := []exp.AccelRow{{Model: "ResNet-50", Accel: "SPACX", ExecSec: 1e-3, EnergyJ: 2e-3, ExecNorm: 0.2, EnergyNorm: 0.3}}
+	var b strings.Builder
+	Overall(&b, "title", rows)
+	out := b.String()
+	if !strings.Contains(out, "title") || !strings.Contains(out, "SPACX") ||
+		!strings.Contains(out, "0.200") {
+		t.Errorf("Overall render wrong:\n%s", out)
+	}
+}
+
+func TestPowerSurfaceRenderSkipsFineGranularity(t *testing.T) {
+	pts := []spacxnet.PowerPoint{
+		{GK: 1, GEF: 1}, {GK: 4, GEF: 4}, {GK: 32, GEF: 32},
+	}
+	var b strings.Builder
+	PowerSurface(&b, "surface", pts)
+	out := b.String()
+	if strings.Count(out, "\n") != 4 { // title + header + two plotted rows
+		t.Errorf("expected the (1,1) point to be skipped:\n%s", out)
+	}
+}
+
+func TestFig16Render(t *testing.T) {
+	rows := []exp.Fig16Row{{Model: "VGG-16", Accel: "POPSTAR",
+		MeanLatencySec: 100e-9, ThroughputPps: 2e9, LatencyNorm: 0.5, ThroughputNorm: 1.4}}
+	var b strings.Builder
+	Fig16(&b, rows)
+	if !strings.Contains(b.String(), "POPSTAR") || !strings.Contains(b.String(), "100.0") {
+		t.Errorf("Fig16 render wrong:\n%s", b.String())
+	}
+}
+
+func TestFig21AndFig22AndAreaRender(t *testing.T) {
+	var b strings.Builder
+	Fig21(&b,
+		[]exp.Fig21aRow{{Model: "ResNet-50", Accel: "SPACX (moderate)", EnergyNorm: 0.25}},
+		[]exp.Fig21b{{Params: "moderate", EOJ: 1e-3, OEJ: 10e-3, HeatingJ: 7e-3, LaserJ: 4e-3, TotalJ: 22e-3}})
+	if !strings.Contains(b.String(), "SPACX (moderate)") || !strings.Contains(b.String(), "O/E") {
+		t.Errorf("Fig21 render wrong:\n%s", b.String())
+	}
+
+	b.Reset()
+	Fig22(&b, []exp.Fig22Row{{M: 64, N: 32, Accel: "Simba", ExecSec: 1e-3, ExecNorm: 9.9}})
+	if !strings.Contains(b.String(), "64") || !strings.Contains(b.String(), "9.900") {
+		t.Errorf("Fig22 render wrong:\n%s", b.String())
+	}
+
+	b.Reset()
+	r, err := exp.Area()
+	if err != nil {
+		t.Fatal(err)
+	}
+	Area(&b, r)
+	if !strings.Contains(b.String(), "132 rings") && !strings.Contains(b.String(), "132") {
+		t.Errorf("Area render wrong:\n%s", b.String())
+	}
+}
+
+func TestPerLayerRender(t *testing.T) {
+	rows := []exp.LayerRow{{Label: "L1", Layer: "conv1", Accel: "Simba",
+		ComputeSec: 1e-6, CommSec: 2e-6, ExecNorm: 1, EnergyNorm: 1}}
+	var b strings.Builder
+	PerLayer(&b, rows)
+	if !strings.Contains(b.String(), "L1") || !strings.Contains(b.String(), "conv1") {
+		t.Errorf("PerLayer render wrong:\n%s", b.String())
+	}
+}
+
+func TestNewStudyRenders(t *testing.T) {
+	var b strings.Builder
+	Ablation(&b, []exp.AblationRow{{Model: "m", Variant: "no-broadcast", ExecNorm: 40}})
+	if !strings.Contains(b.String(), "no-broadcast") {
+		t.Error("ablation render missing variant")
+	}
+	b.Reset()
+	GranularityTradeoff(&b, []exp.GranularityTradeoffRow{{GEF: 8, GK: 16, ExecSec: 1e-3}})
+	if !strings.Contains(b.String(), "deployment choice") {
+		t.Error("tradeoff render missing marker")
+	}
+	b.Reset()
+	Adaptive(&b, []exp.AdaptiveRow{{Model: "m", Speedup: 2.1, ReconfigCount: 3}})
+	if !strings.Contains(b.String(), "2.100") {
+		t.Error("adaptive render missing speedup")
+	}
+	b.Reset()
+	BatchScaling(&b, []exp.BatchRow{{Accel: "SPACX", Batch: 16, ThroughputIPS: 900}})
+	if !strings.Contains(b.String(), "900.0") {
+		t.Error("batch render missing throughput")
+	}
+	b.Reset()
+	Engines(&b, []exp.EngineRow{{Model: "m", AnalyticalSec: 1e-3, DetailedSec: 1.1e-3, Ratio: 1.1}})
+	if !strings.Contains(b.String(), "1.100") {
+		t.Error("engines render missing ratio")
+	}
+}

@@ -1,0 +1,117 @@
+package sim
+
+import (
+	"fmt"
+
+	"spacx/internal/dataflow"
+	"spacx/internal/dnn"
+	"spacx/internal/network"
+	"spacx/internal/photonic"
+)
+
+// RunLayerDetailed is a second, independent execution-time engine for the
+// SPACX accelerator: instead of aggregating each flow into one serialization
+// term and overlapping pools with max() (RunLayer), it walks the layer's
+// epoch schedule — one epoch per (e/f iteration, k2 iteration) pair — with
+// double-buffered operand delivery: epoch n's broadcasts stream while epoch
+// n-1 computes, and the token-ring drain of an epoch overlaps the next
+// epoch's compute. Agreement between the two engines (tested in
+// detailed_test.go) is the cross-check that the analytical aggregation is
+// not hiding scheduling artifacts.
+//
+// It returns the detailed execution time alongside the analytical result's
+// components. Energy is schedule-independent and reuses the analytical
+// accounting.
+func RunLayerDetailed(acc Accelerator, l dnn.Layer, mode Mode) (LayerResult, error) {
+	if _, ok := acc.Flow.(dataflow.SPACX); !ok {
+		return LayerResult{}, fmt.Errorf("sim: detailed engine models the SPACX dataflow, not %s",
+			acc.Flow.Name())
+	}
+	base, err := RunLayer(acc, l, mode)
+	if err != nil {
+		return LayerResult{}, err
+	}
+	p := base.Profile
+
+	gef, gk := acc.Arch.GEF, acc.Arch.GK
+	if gef == 0 {
+		gef = acc.Arch.M
+	}
+	if gk == 0 {
+		gk = acc.Arch.N
+	}
+	posSlots := gef * (acc.Arch.N / gk)
+	kSlots := gk * (acc.Arch.M / gef)
+	efIters := (int(l.OutputPositions()) + posSlots - 1) / posSlots
+	kIters := (l.K + kSlots - 1) / kSlots
+	epochs := efIters * kIters
+	if epochs <= 0 {
+		return LayerResult{}, fmt.Errorf("sim: degenerate epoch count for %s", l.Name)
+	}
+
+	// Per-epoch compute: one output per PE per epoch.
+	cPerGroup := l.C / l.Groups
+	perOutputSteps := int64(l.R) * int64(l.S) *
+		ceilI64(int64(cPerGroup), int64(acc.Arch.VectorWidth))
+	epochCompute := float64(perOutputSteps) / acc.Arch.ClockHz
+
+	// Per-epoch delivery on the orthogonal wavelength groups: each flow's
+	// serialization divides evenly across the epochs that need it.
+	var epochW, epochI, epochOut float64
+	for _, f := range p.Flows {
+		t := acc.Arch.Net.TransferTime(f) / float64(epochs)
+		switch {
+		case f.Dir == network.GBToPE && f.Class == network.Weights:
+			epochW = t
+		case f.Dir == network.GBToPE && f.Class == network.Ifmaps:
+			epochI = t
+		case f.Dir == network.PEToGB:
+			epochOut = t
+		}
+	}
+	epochIn := epochW
+	if epochI > epochIn {
+		epochIn = epochI
+	}
+
+	// Pipeline: fill with epoch 0's delivery, then each epoch's span is the
+	// max of its compute, the next epoch's delivery, and the previous
+	// epoch's output drain; finally drain the last epoch's outputs.
+	exec := epochIn // fill
+	span := epochCompute
+	if epochIn > span {
+		span = epochIn
+	}
+	if epochOut > span {
+		span = epochOut
+	}
+	exec += float64(epochs) * span
+	exec += epochOut // final drain
+
+	// Serial overheads shared with the analytical engine.
+	exec += float64(p.RetuneEpochs) * photonic.SplitterTuneDelaySeconds
+	if len(p.Flows) > 0 {
+		exec += 2 * acc.Arch.Net.PacketLatency(p.Flows[0])
+	}
+	// DRAM, overlapped as in the analytical engine.
+	if base.DRAMSec > exec {
+		exec = base.DRAMSec
+	}
+
+	out := base
+	out.ExecSec = exec
+	out.CommSec = exec - out.ComputeSec
+	// Static network energy integrates over the detailed time.
+	sp := acc.Arch.Net.StaticPower()
+	out.NetStaticJ = network.StaticParts{Laser: sp.Laser * exec, Heating: sp.Heating * exec}
+	out.NetworkEnergy = out.NetDynamic.Total() + out.NetStaticJ.Total()
+	out.TotalEnergy = out.ComputeEnergy + out.NetworkEnergy
+	return out, nil
+}
+
+func ceilI64(a, b int64) int64 {
+	if b <= 0 {
+		return 0
+	}
+	return (a + b - 1) / b
+}

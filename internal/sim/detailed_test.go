@@ -1,0 +1,69 @@
+package sim
+
+import (
+	"testing"
+
+	"spacx/internal/dnn"
+)
+
+// The two engines — aggregate-overlap (RunLayer) and epoch-pipelined
+// (RunLayerDetailed) — must agree on every benchmark layer within a small
+// factor: the detailed engine can only add pipeline fill/drain, never remove
+// work.
+func TestEnginesAgree(t *testing.T) {
+	acc := SPACXAccel()
+	for _, m := range dnn.Benchmarks() {
+		for _, l := range m.Layers {
+			a, err := RunLayer(acc, l, WholeInference)
+			if err != nil {
+				t.Fatalf("%s: %v", l.Name, err)
+			}
+			d, err := RunLayerDetailed(acc, l, WholeInference)
+			if err != nil {
+				t.Fatalf("%s: %v", l.Name, err)
+			}
+			ratio := d.ExecSec / a.ExecSec
+			if ratio < 0.8 || ratio > 2.5 {
+				t.Errorf("%s/%s: engines diverge: analytical %v, detailed %v (ratio %v)",
+					m.Name, l.Name, a.ExecSec, d.ExecSec, ratio)
+			}
+			// The detailed schedule cannot beat the per-pool lower bounds.
+			if d.ExecSec < a.ComputeSec {
+				t.Errorf("%s: detailed %v below compute bound %v", l.Name, d.ExecSec, a.ComputeSec)
+			}
+			if d.ExecSec < a.InputSec*0.99 {
+				t.Errorf("%s: detailed %v below input bound %v", l.Name, d.ExecSec, a.InputSec)
+			}
+			if d.TotalEnergy <= 0 {
+				t.Errorf("%s: bad detailed energy", l.Name)
+			}
+		}
+	}
+}
+
+func TestDetailedRejectsOtherDataflows(t *testing.T) {
+	if _, err := RunLayerDetailed(SimbaAccel(), dnn.NewFC("f", 64, 64), WholeInference); err == nil {
+		t.Error("detailed engine should reject non-SPACX dataflows")
+	}
+}
+
+func TestDetailedWholeModelOrdering(t *testing.T) {
+	// Summed over ResNet-50, the detailed engine must preserve the headline:
+	// SPACX (detailed) still far below Simba (analytical).
+	acc := SPACXAccel()
+	var detailed float64
+	for _, l := range dnn.ResNet50().Layers {
+		d, err := RunLayerDetailed(acc, l, WholeInference)
+		if err != nil {
+			t.Fatal(err)
+		}
+		detailed += d.ExecSec * float64(l.Repeat)
+	}
+	simba, err := Run(SimbaAccel(), dnn.ResNet50(), WholeInference)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if detailed >= 0.5*simba.ExecSec {
+		t.Errorf("detailed SPACX %v should stay well below Simba %v", detailed, simba.ExecSec)
+	}
+}

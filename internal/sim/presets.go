@@ -1,0 +1,133 @@
+package sim
+
+import (
+	"fmt"
+
+	"spacx/internal/dataflow"
+	"spacx/internal/network/emesh"
+	"spacx/internal/network/pcrossbar"
+	"spacx/internal/network/spacxnet"
+	"spacx/internal/photonic"
+)
+
+// Evaluation constants of Section VII-C: all three accelerators have M=32
+// chiplets and N=32 PEs per chiplet, equal PE compute capability (32
+// MACs/cycle), a 2 MB GB, and a 1 GHz clock. SPACX trades buffer capacity
+// for broadcast bandwidth: 4 kB PE buffers vs 43 kB for Simba and POPSTAR.
+const (
+	EvalM           = 32
+	EvalN           = 32
+	EvalVectorWidth = 32
+	EvalClockHz     = 1e9
+	EvalGBBytes     = 2 << 20
+
+	SPACXPEBufBytes    = 4 * 1024
+	BaselinePEBufBytes = 43 * 1024
+
+	EvalGEF = 8  // e/f broadcast granularity
+	EvalGK  = 16 // k broadcast granularity
+)
+
+// SimbaAccel builds the Simba baseline: electrical meshes at both levels,
+// weight-stationary dataflow.
+func SimbaAccel() Accelerator {
+	return SimbaAccelSized(EvalM, EvalN)
+}
+
+// SimbaAccelSized builds Simba at an arbitrary scale (Figure 22).
+func SimbaAccelSized(m, n int) Accelerator {
+	cfg := emesh.Default32()
+	cfg.M, cfg.N = m, n
+	return Accelerator{
+		Arch: dataflow.Arch{
+			Name: "Simba", M: m, N: n,
+			VectorWidth: EvalVectorWidth, ClockHz: EvalClockHz,
+			PEBufBytes: BaselinePEBufBytes, GBBytes: EvalGBBytes,
+			Net: emesh.MustNew(cfg),
+		},
+		Flow: dataflow.WS{},
+	}
+}
+
+// POPSTARAccel builds the POPSTAR baseline: photonic package crossbar,
+// electrical chiplet meshes, weight-stationary dataflow.
+func POPSTARAccel() Accelerator {
+	return POPSTARAccelSized(EvalM, EvalN)
+}
+
+// POPSTARAccelSized builds POPSTAR at an arbitrary scale.
+func POPSTARAccelSized(m, n int) Accelerator {
+	cfg := pcrossbar.Default32()
+	cfg.M, cfg.N = m, n
+	return Accelerator{
+		Arch: dataflow.Arch{
+			Name: "POPSTAR", M: m, N: n,
+			VectorWidth: EvalVectorWidth, ClockHz: EvalClockHz,
+			PEBufBytes: BaselinePEBufBytes, GBBytes: EvalGBBytes,
+			Net: pcrossbar.MustNew(cfg),
+		},
+		Flow: dataflow.WS{},
+	}
+}
+
+// POPSTARAccelParams builds POPSTAR with a chosen photonic parameter set
+// (Figure 21a compares moderate vs aggressive).
+func POPSTARAccelParams(p photonic.Params) Accelerator {
+	acc := POPSTARAccel()
+	cfg := pcrossbar.Default32()
+	cfg.Params = p
+	acc.Arch.Net = pcrossbar.MustNew(cfg)
+	return acc
+}
+
+// SPACXAccel builds the proposed accelerator with its dataflow and the
+// default granularities.
+func SPACXAccel() Accelerator {
+	acc, err := SPACXAccelCustom(EvalM, EvalN, EvalGEF, EvalGK, photonic.Moderate(), true)
+	if err != nil {
+		panic(err) // unreachable: constants are valid
+	}
+	return acc
+}
+
+// SPACXAccelNoBA is SPACX with the bandwidth-allocation scheme disabled
+// (labeled SPACX-BA in Figure 18).
+func SPACXAccelNoBA() Accelerator {
+	acc, err := SPACXAccelCustom(EvalM, EvalN, EvalGEF, EvalGK, photonic.Moderate(), false)
+	if err != nil {
+		panic(err)
+	}
+	return acc
+}
+
+// SPACXAccelCustom builds SPACX at arbitrary scale, granularity, photonic
+// parameters, and bandwidth-allocation setting.
+func SPACXAccelCustom(m, n, gef, gk int, p photonic.Params, ba bool) (Accelerator, error) {
+	cfg, err := spacxnet.New(m, n, gef, gk, p)
+	if err != nil {
+		return Accelerator{}, fmt.Errorf("sim: %w", err)
+	}
+	return Accelerator{
+		Arch: dataflow.Arch{
+			Name: "SPACX", M: m, N: n,
+			VectorWidth: EvalVectorWidth, ClockHz: EvalClockHz,
+			PEBufBytes: SPACXPEBufBytes, GBBytes: EvalGBBytes,
+			GEF: gef, GK: gk,
+			Net: spacxnet.MustModel(cfg),
+		},
+		Flow: dataflow.SPACX{BandwidthAllocation: ba},
+	}, nil
+}
+
+// SPACXArchWithDataflow swaps the dataflow on the SPACX architecture
+// (Figure 17: WS and OS(e/f) on the SPACX photonic network).
+func SPACXArchWithDataflow(df dataflow.Dataflow) Accelerator {
+	acc := SPACXAccel()
+	acc.Flow = df
+	return acc
+}
+
+// EvalAccelerators returns the three evaluation machines in paper order.
+func EvalAccelerators() []Accelerator {
+	return []Accelerator{SimbaAccel(), POPSTARAccel(), SPACXAccel()}
+}

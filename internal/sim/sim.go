@@ -1,0 +1,215 @@
+// Package sim is the analytical performance and energy simulator of
+// Section VII-A — the role MAESTRO (extended with the hierarchical network
+// model) plays in the paper. It combines a dataflow mapping's compute
+// schedule and network flows with an interconnect model and the memory
+// energy models, under the paper's assumptions: execution time is
+// computation time plus communication time, with communication maximally
+// overlapped by computation; splitter retuning costs 500 ps per epoch.
+package sim
+
+import (
+	"fmt"
+
+	"spacx/internal/dataflow"
+	"spacx/internal/dnn"
+	"spacx/internal/energy"
+	"spacx/internal/network"
+	"spacx/internal/photonic"
+)
+
+// Mode selects data residency (Section VII-D).
+type Mode int
+
+const (
+	// LayerByLayer executes each layer separately with all data initially
+	// in off-chip DRAM (the Figure 13/14 setup).
+	LayerByLayer Mode = iota
+	// WholeInference exploits inter-layer data reuse in the GB: a layer's
+	// ofmap stays on-package for the next layer when it fits (the Figure
+	// 15+ setup). Weights always stream from DRAM.
+	WholeInference
+)
+
+func (m Mode) String() string {
+	if m == LayerByLayer {
+		return "layer-by-layer"
+	}
+	return "whole-inference"
+}
+
+// Accelerator pairs an architecture with its dataflow.
+type Accelerator struct {
+	Arch dataflow.Arch
+	Flow dataflow.Dataflow
+}
+
+// Name returns the architecture name.
+func (a Accelerator) Name() string { return a.Arch.Name }
+
+// LayerResult holds one layer's simulation outcome (single instance; the
+// Repeat multiplier is applied at aggregation).
+type LayerResult struct {
+	Layer   dnn.Layer
+	Profile dataflow.Profile
+
+	// Time in seconds.
+	ComputeSec float64 // serial vector-MAC schedule
+	InputSec   float64 // GB->PE delivery (overlappable)
+	OutputSec  float64 // PE->GB drain plus psum relays (overlappable)
+	DRAMSec    float64 // off-chip transfers (overlappable)
+	ExecSec    float64 // max of the above plus serial overheads
+	CommSec    float64 // ExecSec - ComputeSec: the exposed communication
+
+	// Energy in joules.
+	ComputeEnergy float64 // MACs + buffers + GB + DRAM ("Other" in Fig 14)
+	NetDynamic    network.EnergyParts
+	NetStaticJ    network.StaticParts // laser/heating integrated over ExecSec
+	NetworkEnergy float64
+	TotalEnergy   float64
+
+	DRAMBytes int64
+}
+
+// ModelResult aggregates a full DNN (repeats included).
+type ModelResult struct {
+	Model string
+	Accel string
+	Mode  Mode
+
+	Layers []LayerResult
+
+	ExecSec       float64
+	ComputeSec    float64
+	CommSec       float64
+	ComputeEnergy float64
+	NetworkEnergy float64
+	TotalEnergy   float64
+	NetDynamic    network.EnergyParts
+	NetStaticJ    network.StaticParts
+}
+
+// RunLayer simulates one layer instance on the accelerator.
+func RunLayer(acc Accelerator, l dnn.Layer, mode Mode) (LayerResult, error) {
+	p, err := acc.Flow.Map(l, acc.Arch)
+	if err != nil {
+		return LayerResult{}, fmt.Errorf("sim: mapping %s on %s: %w", l.Name, acc.Name(), err)
+	}
+	net := acc.Arch.Net
+
+	r := LayerResult{Layer: l, Profile: p}
+	r.ComputeSec = float64(p.VectorSteps) / acc.Arch.ClockHz
+
+	// Split flows into the overlappable pools. On a broadcast-capable
+	// photonic network the input classes ride orthogonal wavelength groups
+	// (max); on a shared-medium network they serialize (sum).
+	orthogonal := net.Caps().CrossChipletBroadcast || net.Caps().SingleChipletBroadcast
+	for _, f := range p.Flows {
+		t := net.TransferTime(f)
+		switch f.Dir {
+		case network.GBToPE:
+			if orthogonal {
+				if t > r.InputSec {
+					r.InputSec = t
+				}
+			} else {
+				r.InputSec += t
+			}
+		case network.PEToGB, network.PEToPE:
+			r.OutputSec += t
+		}
+		r.NetDynamic = r.NetDynamic.Add(net.DynamicEnergy(f))
+	}
+
+	// DRAM traffic per residency mode.
+	r.DRAMBytes = dramBytes(l, acc.Arch, mode)
+	r.DRAMSec = float64(r.DRAMBytes) / energy.DRAMBandwidthBytesPerSec
+
+	// Serial overheads: optical retuning and first/last packet flight.
+	overhead := float64(p.RetuneEpochs) * photonic.SplitterTuneDelaySeconds
+	if len(p.Flows) > 0 {
+		overhead += 2 * net.PacketLatency(p.Flows[0])
+	}
+
+	exec := r.ComputeSec
+	for _, t := range []float64{r.InputSec, r.OutputSec, r.DRAMSec} {
+		if t > exec {
+			exec = t
+		}
+	}
+	r.ExecSec = exec + overhead
+	r.CommSec = r.ExecSec - r.ComputeSec
+
+	// Energy.
+	comp := energy.Compute{
+		MACs:        p.MACs(),
+		PEBufReads:  p.PEBufReadBytes,
+		PEBufWrites: p.PEBufWriteBytes,
+		PEBufBytes:  acc.Arch.PEBufBytes,
+		GBReads:     p.GBReadBytes,
+		GBWrites:    p.GBWriteBytes,
+		GBBytes:     acc.Arch.GBBytes,
+		DRAMBytes:   r.DRAMBytes,
+	}
+	r.ComputeEnergy = comp.Total()
+	sp := net.StaticPower()
+	r.NetStaticJ = network.StaticParts{
+		Laser:   sp.Laser * r.ExecSec,
+		Heating: sp.Heating * r.ExecSec,
+	}
+	r.NetworkEnergy = r.NetDynamic.Total() + r.NetStaticJ.Total()
+	r.TotalEnergy = r.ComputeEnergy + r.NetworkEnergy
+	return r, nil
+}
+
+// dramBytes computes the off-chip traffic of one layer instance.
+func dramBytes(l dnn.Layer, a dataflow.Arch, mode Mode) int64 {
+	weights := l.WeightCount() * dataflow.WeightBytes
+	ifmaps := l.IfmapCount() * dataflow.IfmapBytes
+	ofmaps := l.OfmapCount() * dataflow.OutputBytes
+	switch mode {
+	case LayerByLayer:
+		return weights + ifmaps + ofmaps
+	case WholeInference:
+		b := weights
+		if ifmaps > int64(a.GBBytes) {
+			b += ifmaps // previous ofmap spilled
+		}
+		if ofmaps > int64(a.GBBytes) {
+			b += ofmaps
+		}
+		return b
+	}
+	return 0
+}
+
+// Run simulates a full model (all layer instances).
+func Run(acc Accelerator, m dnn.Model, mode Mode) (ModelResult, error) {
+	if err := m.Validate(); err != nil {
+		return ModelResult{}, err
+	}
+	res := ModelResult{Model: m.Name, Accel: acc.Name(), Mode: mode}
+	for _, l := range m.Layers {
+		lr, err := RunLayer(acc, l, mode)
+		if err != nil {
+			return ModelResult{}, err
+		}
+		res.Layers = append(res.Layers, lr)
+		rep := float64(l.Repeat)
+		res.ExecSec += lr.ExecSec * rep
+		res.ComputeSec += lr.ComputeSec * rep
+		res.CommSec += lr.CommSec * rep
+		res.ComputeEnergy += lr.ComputeEnergy * rep
+		res.NetworkEnergy += lr.NetworkEnergy * rep
+		res.TotalEnergy += lr.TotalEnergy * rep
+		res.NetDynamic = res.NetDynamic.Add(network.EnergyParts{
+			EO:         lr.NetDynamic.EO * rep,
+			OE:         lr.NetDynamic.OE * rep,
+			Electrical: lr.NetDynamic.Electrical * rep,
+		})
+		res.NetStaticJ = network.StaticParts{
+			Laser:   res.NetStaticJ.Laser + lr.NetStaticJ.Laser*rep,
+			Heating: res.NetStaticJ.Heating + lr.NetStaticJ.Heating*rep,
+		}
+	}
+	return res, nil
+}

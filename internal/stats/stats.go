@@ -1,0 +1,46 @@
+// Package stats provides the small aggregation helpers the evaluation
+// figures use: normalization to a baseline and arithmetic means (the
+// paper's "A.M." columns).
+package stats
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Normalize divides every value by the baseline, reproducing the paper's
+// "normalized to Simba" / "normalized to WS" presentation.
+func Normalize(values []float64, baseline float64) ([]float64, error) {
+	if baseline == 0 {
+		return nil, errors.New("stats: zero baseline")
+	}
+	out := make([]float64, len(values))
+	for i, v := range values {
+		out[i] = v / baseline
+	}
+	return out, nil
+}
+
+// Mean is the arithmetic mean; it errors on empty input.
+func Mean(values []float64) (float64, error) {
+	if len(values) == 0 {
+		return 0, errors.New("stats: mean of empty slice")
+	}
+	sum := 0.0
+	for _, v := range values {
+		sum += v
+	}
+	return sum / float64(len(values)), nil
+}
+
+// Reduction returns the fractional reduction of v versus baseline (0.78 for
+// "78% reduction"); it errors on a zero baseline.
+func Reduction(v, baseline float64) (float64, error) {
+	if baseline == 0 {
+		return 0, errors.New("stats: zero baseline")
+	}
+	return 1 - v/baseline, nil
+}
+
+// Pct formats a fraction as a percentage string.
+func Pct(f float64) string { return fmt.Sprintf("%.0f%%", 100*f) }

@@ -1,0 +1,79 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNormalize(t *testing.T) {
+	out, err := Normalize([]float64{2, 4, 8}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0.5, 1, 2}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Errorf("Normalize[%d] = %v, want %v", i, out[i], want[i])
+		}
+	}
+	if _, err := Normalize([]float64{1}, 0); err == nil {
+		t.Error("zero baseline should fail")
+	}
+}
+
+func TestMean(t *testing.T) {
+	m, err := Mean([]float64{1, 2, 3, 4})
+	if err != nil || m != 2.5 {
+		t.Errorf("Mean = %v, %v; want 2.5", m, err)
+	}
+	if _, err := Mean(nil); err == nil {
+		t.Error("empty mean should fail")
+	}
+}
+
+func TestReduction(t *testing.T) {
+	r, err := Reduction(22, 100)
+	if err != nil || math.Abs(r-0.78) > 1e-12 {
+		t.Errorf("Reduction = %v, %v; want 0.78", r, err)
+	}
+	if _, err := Reduction(1, 0); err == nil {
+		t.Error("zero baseline should fail")
+	}
+}
+
+func TestPct(t *testing.T) {
+	if Pct(0.78) != "78%" {
+		t.Errorf("Pct(0.78) = %q", Pct(0.78))
+	}
+}
+
+func TestNormalizeMeanProperty(t *testing.T) {
+	// Mean(Normalize(xs, b)) == Mean(xs)/b.
+	f := func(raw []float64, braw float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		b := math.Abs(braw) + 1
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e100 {
+				return true
+			}
+			xs = append(xs, v)
+		}
+		norm, err := Normalize(xs, b)
+		if err != nil {
+			return false
+		}
+		m1, err1 := Mean(norm)
+		m2, err2 := Mean(xs)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return math.Abs(m1-m2/b) <= 1e-9*(1+math.Abs(m1))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,103 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+
+	"spacx/internal/dnn"
+	"spacx/internal/sim"
+)
+
+func runSmall(t *testing.T) sim.ModelResult {
+	t.Helper()
+	m := dnn.Model{Name: "tiny", Layers: []dnn.Layer{
+		dnn.NewSameConv("a", 28, 3, 64, 64, 1).Times(2),
+		dnn.NewFC("b", 256, 100),
+	}}
+	res, err := sim.Run(sim.SPACXAccel(), m, sim.WholeInference)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestExportValidJSON(t *testing.T) {
+	res := runSmall(t)
+	var buf bytes.Buffer
+	if err := Export(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	var tf struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+		OtherData   map[string]any   `json:"otherData"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &tf); err != nil {
+		t.Fatalf("invalid trace JSON: %v", err)
+	}
+	if len(tf.TraceEvents) == 0 {
+		t.Fatal("no trace events")
+	}
+	if tf.OtherData["model"] != "tiny" || tf.OtherData["accelerator"] != "SPACX" {
+		t.Errorf("metadata wrong: %v", tf.OtherData)
+	}
+	// Compute events for both instances of layer "a" plus layer "b".
+	computes := 0
+	for _, e := range tf.TraceEvents {
+		if name, _ := e["name"].(string); strings.HasSuffix(name, "/compute") {
+			computes++
+		}
+	}
+	if computes != 3 {
+		t.Errorf("compute events = %d, want 3 (2 repeats + 1)", computes)
+	}
+	// Events are ordered and non-overlapping across layer spans: each
+	// compute event's ts must be non-decreasing.
+	last := -1.0
+	for _, e := range tf.TraceEvents {
+		if name, _ := e["name"].(string); strings.HasSuffix(name, "/compute") {
+			ts := e["ts"].(float64)
+			if ts < last {
+				t.Errorf("compute events out of order: %v after %v", ts, last)
+			}
+			last = ts
+		}
+	}
+}
+
+func TestExportRowNames(t *testing.T) {
+	res := runSmall(t)
+	var buf bytes.Buffer
+	if err := Export(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	for _, want := range []string{"weight broadcast", "ifmap broadcast", "outputs/psums", "DRAM"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("trace missing row name %q", want)
+		}
+	}
+}
+
+type nopCloser struct{ io.Writer }
+
+func (nopCloser) Close() error { return nil }
+
+func TestExportFile(t *testing.T) {
+	res := runSmall(t)
+	var buf bytes.Buffer
+	create := func(string) (io.WriteCloser, error) { return nopCloser{&buf}, nil }
+	if err := ExportFile(create, "x.json", res); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Error("nothing written")
+	}
+	failing := func(string) (io.WriteCloser, error) { return nil, errors.New("nope") }
+	if err := ExportFile(failing, "x.json", res); err == nil {
+		t.Error("create failure should propagate")
+	}
+}

@@ -1,0 +1,147 @@
+// Package spacx is a simulation library reproducing "SPACX: Silicon
+// Photonics-based Scalable Chiplet Accelerator for DNN Inference"
+// (Li, Louri, Karanth — HPCA 2022).
+//
+// It models, from first principles, the three chiplet-based DNN
+// accelerators of the paper's evaluation — SPACX (hierarchical photonic
+// network + broadcast-enabled output-stationary dataflow), Simba
+// (all-electrical meshes + weight-stationary dataflow), and POPSTAR
+// (photonic package crossbar + electrical chiplet meshes) — together with
+// the photonic device/power substrate (insertion-loss budgets, laser and
+// transceiver power), the DNN benchmark models, an analytical performance
+// and energy simulator, and a packet-level network simulator.
+//
+// Quick start:
+//
+//	acc := spacx.SPACX()
+//	res, err := spacx.Run(acc, spacx.ResNet50(), spacx.WholeInference)
+//	if err != nil { ... }
+//	fmt.Println(res.ExecSec, res.TotalEnergy)
+//
+// The internal/exp package (exercised by the benchmarks in bench_test.go
+// and the cmd/spacx-report binary) regenerates every table and figure of
+// the paper; see DESIGN.md and EXPERIMENTS.md.
+package spacx
+
+import (
+	"spacx/internal/dataflow"
+	"spacx/internal/dnn"
+	"spacx/internal/network/spacxnet"
+	"spacx/internal/photonic"
+	"spacx/internal/sim"
+)
+
+// Re-exported core types. The aliases keep one canonical definition in the
+// internal packages while giving library users a single import.
+type (
+	// Accelerator pairs an architecture with its dataflow.
+	Accelerator = sim.Accelerator
+	// Mode selects data residency (LayerByLayer or WholeInference).
+	Mode = sim.Mode
+	// LayerResult is one layer's simulation outcome.
+	LayerResult = sim.LayerResult
+	// ModelResult aggregates a full DNN.
+	ModelResult = sim.ModelResult
+	// Model is a DNN model: an ordered list of deduplicated layers.
+	Model = dnn.Model
+	// Layer holds the nested-loop dimensions of one conv/FC layer.
+	Layer = dnn.Layer
+	// Arch describes an accelerator architecture.
+	Arch = dataflow.Arch
+	// Dataflow maps layers onto architectures.
+	Dataflow = dataflow.Dataflow
+	// PhotonicParams is a Table III/IV photonic parameter set.
+	PhotonicParams = photonic.Params
+	// NetworkConfig is a SPACX photonic network configuration.
+	NetworkConfig = spacxnet.Config
+	// PowerPoint is one sample of the granularity power sweep.
+	PowerPoint = spacxnet.PowerPoint
+)
+
+// Residency modes (Section VII-D).
+const (
+	// LayerByLayer executes each layer with all data initially in DRAM.
+	LayerByLayer = sim.LayerByLayer
+	// WholeInference exploits inter-layer data reuse in the global buffer.
+	WholeInference = sim.WholeInference
+)
+
+// Benchmark models of the evaluation (Section VII-D), plus AlexNet and
+// MobileNetV2 for library users.
+var (
+	ResNet50       = dnn.ResNet50
+	VGG16          = dnn.VGG16
+	DenseNet201    = dnn.DenseNet201
+	EfficientNetB7 = dnn.EfficientNetB7
+	AlexNet        = dnn.AlexNet
+	MobileNetV2    = dnn.MobileNetV2
+	Benchmarks     = dnn.Benchmarks
+	ModelByName    = dnn.ByName
+)
+
+// Accelerator presets of Section VII-C.
+var (
+	// SPACX is the proposed accelerator (M=32, N=32, e/f=8, k=16,
+	// moderate photonics, bandwidth allocation on).
+	SPACX = sim.SPACXAccel
+	// SPACXNoBA disables the flexible bandwidth-allocation scheme.
+	SPACXNoBA = sim.SPACXAccelNoBA
+	// SPACXCustom builds SPACX at arbitrary scale/granularity/parameters.
+	SPACXCustom = sim.SPACXAccelCustom
+	// Simba is the all-electrical baseline.
+	Simba = sim.SimbaAccel
+	// POPSTAR is the photonic-crossbar baseline.
+	POPSTAR = sim.POPSTARAccel
+)
+
+// Photonic parameter sets (Tables III and IV).
+var (
+	ModerateParams   = photonic.Moderate
+	AggressiveParams = photonic.Aggressive
+)
+
+// Dataflows (Figure 17's comparison set).
+var (
+	// SPACXDataflow is the broadcast-enabled output-stationary dataflow.
+	SPACXDataflow = func() Dataflow { return dataflow.SPACX{BandwidthAllocation: true} }
+	// WeightStationary is Simba's WS dataflow.
+	WeightStationary = func() Dataflow { return dataflow.WS{} }
+	// OutputStationaryEF is ShiDianNao's OS(e/f) dataflow.
+	OutputStationaryEF = func() Dataflow { return dataflow.OSEF{} }
+)
+
+// Run simulates a full model on an accelerator.
+func Run(acc Accelerator, m Model, mode Mode) (ModelResult, error) {
+	return sim.Run(acc, m, mode)
+}
+
+// RunLayer simulates a single layer instance.
+func RunLayer(acc Accelerator, l Layer, mode Mode) (LayerResult, error) {
+	return sim.RunLayer(acc, l, mode)
+}
+
+// PowerSurface sweeps the broadcast granularities (Figures 19/20).
+func PowerSurface(m, n int, p PhotonicParams) ([]PowerPoint, error) {
+	return spacxnet.PowerSurface(m, n, p)
+}
+
+// NewNetworkConfig builds a validated SPACX photonic network configuration.
+func NewNetworkConfig(m, n, gef, gk int, p PhotonicParams) (NetworkConfig, error) {
+	return spacxnet.New(m, n, gef, gk, p)
+}
+
+// ExploreGranularity evaluates every power-of-two broadcast-granularity pair
+// for a layer on an M x N machine and returns all points plus the index of
+// the best (Section V's fine-grained-mapping exploration).
+func ExploreGranularity(l Layer, m, n int) ([]GranularityPoint, int, error) {
+	return dataflow.ExploreGranularity(l, m, n)
+}
+
+// GranularityPoint is one candidate configuration's spatial utilization.
+type GranularityPoint = dataflow.GranularityPoint
+
+// ExplainMapping renders a layer's mapping decisions (spatial occupancy,
+// loop structure, flow broadcast widths, memory traffic) as text.
+func ExplainMapping(r LayerResult, acc Accelerator) string {
+	return dataflow.Explain(r.Profile, acc.Arch)
+}
