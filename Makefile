@@ -1,0 +1,23 @@
+# Convenience targets mirroring .github/workflows/ci.yml.
+
+.PHONY: ci fmt vet build test bench
+
+ci: fmt vet build test bench
+
+fmt:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "files need gofmt:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	go vet ./...
+
+build:
+	go build ./...
+
+test:
+	go test -race ./...
+
+bench:
+	go test -run=NONE -bench=. -benchtime=1x ./...

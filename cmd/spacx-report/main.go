@@ -5,6 +5,12 @@
 //
 //	spacx-report                # everything
 //	spacx-report -only fig15    # one artifact
+//	spacx-report -only fig16 -v -metrics /tmp/report.prom
+//
+// Observability: -v logs a structured progress line per experiment point to
+// stderr; -metrics writes the accumulated counters and histograms (Prometheus
+// text format, or JSON when the path ends in .json); -cpuprofile and
+// -memprofile write runtime/pprof profiles.
 package main
 
 import (
@@ -14,29 +20,109 @@ import (
 	"strings"
 
 	"spacx/internal/exp"
+	"spacx/internal/obs"
 	"spacx/internal/report"
 )
 
-func main() {
-	only := flag.String("only", "", "render one artifact: table1, table2, table34, fig13, fig15, fig16, fig17, fig18, fig19, fig20, fig21, fig22, ablation, tradeoff, adaptive, batch, engines, area")
-	packets := flag.Int("fig16-packets", 20000, "packets per fig16 event-simulation run")
-	format := flag.String("format", "text", "output format: text or csv (csv requires -only)")
-	flag.Parse()
+type options struct {
+	only    string
+	packets int
+	format  string
 
-	if err := run(strings.ToLower(*only), *packets, *format); err != nil {
+	metrics    string
+	cpuProfile string
+	memProfile string
+	verbose    bool
+}
+
+// artifacts is the set of -only values, in render order.
+var artifacts = []string{
+	"table1", "table2", "table34",
+	"fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20",
+	"fig21", "fig22",
+	"ablation", "tradeoff", "adaptive", "batch", "engines", "area",
+}
+
+func main() {
+	var o options
+	flag.StringVar(&o.only, "only", "", "render one artifact: "+strings.Join(artifacts, ", "))
+	flag.IntVar(&o.packets, "fig16-packets", 20000, "packets per fig16 event-simulation run")
+	flag.StringVar(&o.format, "format", "text", "output format: text or csv (csv requires -only)")
+	flag.StringVar(&o.metrics, "metrics", "", "write a metrics snapshot to this path (Prometheus text format; .json extension switches to JSON)")
+	flag.StringVar(&o.cpuProfile, "cpuprofile", "", "write a CPU profile to this path")
+	flag.StringVar(&o.memProfile, "memprofile", "", "write a heap profile to this path on exit")
+	flag.BoolVar(&o.verbose, "v", false, "log structured per-point progress to stderr")
+	flag.Parse()
+	o.only = strings.ToLower(o.only)
+
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "spacx-report:", err)
 		os.Exit(1)
 	}
 }
 
-func run(only string, packets int, format string) error {
-	w := os.Stdout
-	if format == "csv" {
-		return runCSV(w, only, packets)
+func validOnly(only string) bool {
+	if only == "" {
+		return true
 	}
-	if format != "text" {
-		return fmt.Errorf("unknown format %q (text, csv)", format)
+	for _, a := range artifacts {
+		if only == a {
+			return true
+		}
 	}
+	return false
+}
+
+func run(o options) error {
+	// Validate every enum flag before running any experiment so a typo
+	// fails fast instead of after minutes of simulation.
+	if o.format != "text" && o.format != "csv" {
+		return fmt.Errorf("unknown format %q (text, csv)", o.format)
+	}
+	if !validOnly(o.only) {
+		return fmt.Errorf("unknown artifact %q (%s)", o.only, strings.Join(artifacts, ", "))
+	}
+	if o.packets < 1 {
+		return fmt.Errorf("fig16-packets must be >= 1, got %d", o.packets)
+	}
+
+	stopProfiles, err := obs.StartProfiles(o.cpuProfile, o.memProfile)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err := stopProfiles(); err != nil {
+			fmt.Fprintln(os.Stderr, "spacx-report:", err)
+		}
+	}()
+
+	var reg *obs.Registry
+	if o.metrics != "" || o.verbose {
+		reg = obs.NewRegistry(obs.NewLogger(os.Stderr, o.verbose))
+		exp.SetRecorder(reg)
+		defer exp.SetRecorder(nil)
+	}
+
+	var renderErr error
+	if o.format == "csv" {
+		renderErr = runCSV(os.Stdout, o.only, o.packets)
+	} else {
+		renderErr = runText(os.Stdout, o.only, o.packets)
+	}
+	if renderErr != nil {
+		return renderErr
+	}
+
+	if o.metrics != "" {
+		if err := reg.WriteFile(o.metrics); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "metrics written to %s\n", o.metrics)
+	}
+	return nil
+}
+
+func runText(w *os.File, only string, packets int) error {
 	want := func(name string) bool { return only == "" || only == name }
 	sep := func() { fmt.Fprintln(w, strings.Repeat("-", 88)) }
 

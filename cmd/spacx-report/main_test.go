@@ -2,17 +2,65 @@ package main
 
 import (
 	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 )
 
 func TestRunRejectsBadInputs(t *testing.T) {
-	if err := run("", 100, "nosuchformat"); err == nil {
+	if err := run(options{only: "", packets: 100, format: "nosuchformat"}); err == nil {
 		t.Error("unknown format should fail")
+	}
+	if err := run(options{only: "nosuchartifact", packets: 100, format: "text"}); err == nil {
+		t.Error("unknown artifact should fail")
+	}
+	if err := run(options{only: "fig16", packets: 0, format: "text"}); err == nil {
+		t.Error("non-positive packet count should fail")
 	}
 	if err := runCSV(os.Stdout, "", 100); err == nil {
 		t.Error("csv without -only should fail")
 	}
 	if err := runCSV(os.Stdout, "table1", 100); err == nil {
 		t.Error("csv for a text-only artifact should fail")
+	}
+}
+
+func TestBadArtifactFailsBeforeSideEffects(t *testing.T) {
+	dir := t.TempDir()
+	o := options{only: "nosuchartifact", packets: 100, format: "text",
+		metrics: filepath.Join(dir, "m.prom")}
+	if err := run(o); err == nil {
+		t.Fatal("unknown artifact should fail")
+	}
+	if _, err := os.Stat(o.metrics); err == nil {
+		t.Error("metrics file was written despite the invalid -only")
+	}
+}
+
+func TestFig19MetricsSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	o := options{only: "fig19", packets: 100, format: "text",
+		metrics: filepath.Join(dir, "m.prom")}
+
+	stdout := os.Stdout
+	null, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = null
+	defer func() {
+		os.Stdout = stdout
+		null.Close()
+	}()
+
+	if err := run(o); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(o.metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `spacx_exp_points_total{sweep="power-point"}`) {
+		t.Error("metrics snapshot missing the power sweep per-point counter")
 	}
 }

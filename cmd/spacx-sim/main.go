@@ -5,6 +5,13 @@
 //
 //	spacx-sim -model resnet50 -accel spacx -mode whole
 //	spacx-sim -model vgg16 -accel simba -mode layer
+//	spacx-sim -model resnet50 -accel spacx -metrics /tmp/m.prom -v
+//
+// Observability: -metrics writes a metrics snapshot (Prometheus text format,
+// or JSON when the path ends in .json) covering per-layer mapping timers,
+// flow bytes by class/direction, overlap accounting, and a packet-latency
+// histogram from a packet-level probe of the model's traffic; -cpuprofile
+// and -memprofile write runtime/pprof profiles; -v logs progress to stderr.
 package main
 
 import (
@@ -16,78 +23,153 @@ import (
 
 	"spacx"
 	"spacx/internal/dataflow"
+	"spacx/internal/exp"
+	"spacx/internal/obs"
+	"spacx/internal/sim"
 	"spacx/internal/trace"
 )
 
+type options struct {
+	model   string
+	accel   string
+	mode    string
+	format  string
+	batch   int
+	trace   string
+	explain bool
+
+	metrics      string
+	probePackets int
+	cpuProfile   string
+	memProfile   string
+	verbose      bool
+}
+
 func main() {
-	model := flag.String("model", "resnet50", "DNN model: resnet50, vgg16, densenet201, efficientnetb7, alexnet, mobilenetv2")
-	accel := flag.String("accel", "spacx", "accelerator: spacx, spacx-noba, simba, popstar")
-	mode := flag.String("mode", "whole", "residency mode: whole (GB reuse) or layer (DRAM per layer)")
-	format := flag.String("format", "text", "output format: text or json")
-	batch := flag.Int("batch", 1, "batch size (samples processed together)")
-	tracePath := flag.String("trace", "", "write a chrome://tracing JSON schedule to this path")
-	explain := flag.Bool("explain", false, "print the mapping decisions per layer instead of the summary rows")
+	var o options
+	flag.StringVar(&o.model, "model", "resnet50", "DNN model: resnet50, vgg16, densenet201, efficientnetb7, alexnet, mobilenetv2")
+	flag.StringVar(&o.accel, "accel", "spacx", "accelerator: spacx, spacx-noba, simba, popstar")
+	flag.StringVar(&o.mode, "mode", "whole", "residency mode: whole (GB reuse) or layer (DRAM per layer)")
+	flag.StringVar(&o.format, "format", "text", "output format: text or json")
+	flag.IntVar(&o.batch, "batch", 1, "batch size (samples processed together)")
+	flag.StringVar(&o.trace, "trace", "", "write a chrome://tracing JSON schedule to this path")
+	flag.BoolVar(&o.explain, "explain", false, "print the mapping decisions per layer instead of the summary rows")
+	flag.StringVar(&o.metrics, "metrics", "", "write a metrics snapshot to this path (Prometheus text format; .json extension switches to JSON)")
+	flag.IntVar(&o.probePackets, "probe-packets", 20000, "packets for the -metrics packet-level network probe")
+	flag.StringVar(&o.cpuProfile, "cpuprofile", "", "write a CPU profile to this path")
+	flag.StringVar(&o.memProfile, "memprofile", "", "write a heap profile to this path on exit")
+	flag.BoolVar(&o.verbose, "v", false, "log structured progress to stderr")
 	flag.Parse()
 
-	if err := run(*model, *accel, *mode, *format, *batch, *tracePath, *explain); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "spacx-sim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(modelName, accelName, modeName, format string, batch int, tracePath string, explain bool) error {
-	m, err := spacx.ModelByName(modelName)
+// parseAccel resolves the -accel enum.
+func parseAccel(name string) (spacx.Accelerator, error) {
+	switch name {
+	case "spacx":
+		return spacx.SPACX(), nil
+	case "spacx-noba":
+		return spacx.SPACXNoBA(), nil
+	case "simba":
+		return spacx.Simba(), nil
+	case "popstar":
+		return spacx.POPSTAR(), nil
+	default:
+		return spacx.Accelerator{}, fmt.Errorf("unknown accelerator %q (spacx, spacx-noba, simba, popstar)", name)
+	}
+}
+
+// parseMode resolves the -mode enum.
+func parseMode(name string) (spacx.Mode, error) {
+	switch name {
+	case "whole":
+		return spacx.WholeInference, nil
+	case "layer":
+		return spacx.LayerByLayer, nil
+	default:
+		return 0, fmt.Errorf("unknown mode %q (whole, layer)", name)
+	}
+}
+
+func run(o options) error {
+	// Validate every enum flag before simulating so a typo fails fast
+	// instead of after a full run.
+	m, err := spacx.ModelByName(o.model)
 	if err != nil {
 		return err
 	}
-	if batch > 1 {
-		for i := range m.Layers {
-			m.Layers[i] = m.Layers[i].WithBatch(batch)
-		}
+	acc, err := parseAccel(o.accel)
+	if err != nil {
+		return err
 	}
-	var acc spacx.Accelerator
-	switch accelName {
-	case "spacx":
-		acc = spacx.SPACX()
-	case "spacx-noba":
-		acc = spacx.SPACXNoBA()
-	case "simba":
-		acc = spacx.Simba()
-	case "popstar":
-		acc = spacx.POPSTAR()
-	default:
-		return fmt.Errorf("unknown accelerator %q (spacx, spacx-noba, simba, popstar)", accelName)
+	mode, err := parseMode(o.mode)
+	if err != nil {
+		return err
 	}
-	var mode spacx.Mode
-	switch modeName {
-	case "whole":
-		mode = spacx.WholeInference
-	case "layer":
-		mode = spacx.LayerByLayer
-	default:
-		return fmt.Errorf("unknown mode %q (whole, layer)", modeName)
+	if o.format != "text" && o.format != "json" {
+		return fmt.Errorf("unknown format %q (text, json)", o.format)
+	}
+	if o.batch < 1 {
+		return fmt.Errorf("batch must be >= 1, got %d", o.batch)
 	}
 
-	res, err := spacx.Run(acc, m, mode)
+	stopProfiles, err := obs.StartProfiles(o.cpuProfile, o.memProfile)
 	if err != nil {
 		return err
 	}
-	if tracePath != "" {
+	defer func() {
+		if err := stopProfiles(); err != nil {
+			fmt.Fprintln(os.Stderr, "spacx-sim:", err)
+		}
+	}()
+
+	rec := obs.Recorder(obs.Nop())
+	var reg *obs.Registry
+	if o.metrics != "" || o.verbose {
+		reg = obs.NewRegistry(obs.NewLogger(os.Stderr, o.verbose))
+		rec = reg
+		exp.SetRecorder(rec)
+	}
+
+	if o.batch > 1 {
+		for i := range m.Layers {
+			m.Layers[i] = m.Layers[i].WithBatch(o.batch)
+		}
+	}
+
+	res, err := sim.RunObserved(acc, m, mode, rec)
+	if err != nil {
+		return err
+	}
+	if o.trace != "" {
 		create := func(p string) (io.WriteCloser, error) { return os.Create(p) }
-		if err := trace.ExportFile(create, tracePath, res); err != nil {
+		if err := trace.ExportFile(create, o.trace, res); err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "trace written to %s\n", tracePath)
+		fmt.Fprintf(os.Stderr, "trace written to %s\n", o.trace)
 	}
-	if format == "json" {
+	if o.metrics != "" {
+		// Packet-level probe so the snapshot includes eventsim latency and
+		// utilization data for this model's traffic.
+		if _, err := exp.NetworkProbe(acc, m, o.probePackets, rec); err != nil {
+			return err
+		}
+		if err := reg.WriteFile(o.metrics); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "metrics written to %s\n", o.metrics)
+	}
+
+	if o.format == "json" {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		return enc.Encode(res)
 	}
-	if format != "text" {
-		return fmt.Errorf("unknown format %q (text, json)", format)
-	}
-	if explain {
+	if o.explain {
 		for _, lr := range res.Layers {
 			fmt.Println(dataflow.Explain(lr.Profile, acc.Arch))
 		}

@@ -1,21 +1,129 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func opts(model, accel, mode, format string) options {
+	return options{model: model, accel: accel, mode: mode, format: format, batch: 1}
+}
+
+// silencing run's stdout keeps `go test` output readable.
+func runQuiet(t *testing.T, o options) error {
+	t.Helper()
+	stdout := os.Stdout
+	null, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = null
+	defer func() {
+		os.Stdout = stdout
+		null.Close()
+	}()
+	return run(o)
+}
 
 func TestRunRejectsBadInputs(t *testing.T) {
-	if err := run("nosuchmodel", "spacx", "whole", "text", 1, "", false); err == nil {
+	if err := run(opts("nosuchmodel", "spacx", "whole", "text")); err == nil {
 		t.Error("unknown model should fail")
 	}
-	if err := run("resnet50", "nosuchaccel", "whole", "text", 1, "", false); err == nil {
+	if err := run(opts("resnet50", "nosuchaccel", "whole", "text")); err == nil {
 		t.Error("unknown accelerator should fail")
 	}
-	if err := run("resnet50", "spacx", "nosuchmode", "text", 1, "", false); err == nil {
+	if err := run(opts("resnet50", "spacx", "nosuchmode", "text")); err == nil {
 		t.Error("unknown mode should fail")
 	}
-	if err := run("resnet50", "spacx", "whole", "nosuchformat", 1, "", false); err == nil {
+	if err := run(opts("resnet50", "spacx", "whole", "nosuchformat")); err == nil {
 		t.Error("unknown format should fail")
 	}
-	if err := run("resnet50", "spacx", "whole", "text", 1, "/no/such/dir/trace.json", false); err == nil {
+	o := opts("resnet50", "spacx", "whole", "text")
+	o.batch = 0
+	if err := run(o); err == nil {
+		t.Error("non-positive batch should fail")
+	}
+	o = opts("resnet50", "spacx", "whole", "text")
+	o.trace = "/no/such/dir/trace.json"
+	if err := runQuiet(t, o); err == nil {
 		t.Error("unwritable trace path should fail")
+	}
+}
+
+func TestBadFormatFailsBeforeSideEffects(t *testing.T) {
+	// A -format typo must fail before the simulation runs and before any
+	// trace/metrics file is written.
+	dir := t.TempDir()
+	o := opts("resnet50", "spacx", "whole", "nosuchformat")
+	o.trace = filepath.Join(dir, "trace.json")
+	o.metrics = filepath.Join(dir, "m.prom")
+	if err := run(o); err == nil {
+		t.Fatal("unknown format should fail")
+	}
+	for _, p := range []string{o.trace, o.metrics} {
+		if _, err := os.Stat(p); err == nil {
+			t.Errorf("%s was written despite the invalid -format", p)
+		}
+	}
+}
+
+func TestMetricsSnapshotWritten(t *testing.T) {
+	dir := t.TempDir()
+	promPath := filepath.Join(dir, "m.prom")
+	o := opts("alexnet", "spacx", "whole", "text")
+	o.metrics = promPath
+	o.probePackets = 500
+	if err := runQuiet(t, o); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(promPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(b)
+	for _, want := range []string{
+		"# TYPE spacx_sim_flow_bytes_total counter",
+		`spacx_sim_flow_bytes_total{class="weights",dir="gb_to_pe"}`,
+		"# TYPE spacx_sim_layer_mapping_seconds histogram",
+		"spacx_sim_layer_mapping_seconds_count",
+		"# TYPE spacx_eventsim_packet_latency_seconds histogram",
+		"spacx_eventsim_packet_latency_seconds_bucket",
+		"# TYPE spacx_dataflow_broadcast_width histogram",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics snapshot missing %q", want)
+		}
+	}
+
+	// The same data must be exportable as JSON.
+	jsonPath := filepath.Join(dir, "m.json")
+	o.metrics = jsonPath
+	if err := runQuiet(t, o); err != nil {
+		t.Fatal(err)
+	}
+	jb, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(jb) {
+		t.Fatalf("metrics JSON invalid: %.200s", jb)
+	}
+}
+
+func TestProfilesWritten(t *testing.T) {
+	dir := t.TempDir()
+	o := opts("alexnet", "spacx", "whole", "text")
+	o.cpuProfile = filepath.Join(dir, "cpu.prof")
+	o.memProfile = filepath.Join(dir, "mem.prof")
+	if err := runQuiet(t, o); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{o.cpuProfile, o.memProfile} {
+		if fi, err := os.Stat(p); err != nil || fi.Size() == 0 {
+			t.Errorf("profile %s missing or empty (err=%v)", p, err)
+		}
 	}
 }

@@ -6,7 +6,12 @@
 //
 //	spacx-sweep -sweep power -params moderate
 //	spacx-sweep -sweep power -params aggressive -m 64 -n 64
-//	spacx-sweep -sweep scale
+//	spacx-sweep -sweep scale -v -metrics /tmp/sweep.prom
+//
+// Observability: -v logs a structured progress line per sweep point to
+// stderr; -metrics writes per-point counters and duration histograms
+// (Prometheus text format, or JSON when the path ends in .json);
+// -cpuprofile/-memprofile write runtime/pprof profiles.
 package main
 
 import (
@@ -16,49 +21,95 @@ import (
 
 	"spacx"
 	"spacx/internal/exp"
+	"spacx/internal/obs"
 	"spacx/internal/report"
 )
 
+type options struct {
+	sweep  string
+	params string
+	m, n   int
+
+	metrics    string
+	cpuProfile string
+	memProfile string
+	verbose    bool
+}
+
 func main() {
-	sweep := flag.String("sweep", "power", "sweep kind: power (Figs 19/20) or scale (Fig 22)")
-	params := flag.String("params", "moderate", "photonic parameters: moderate or aggressive")
-	m := flag.Int("m", 32, "chiplet count for the power sweep")
-	n := flag.Int("n", 32, "PEs per chiplet for the power sweep")
+	var o options
+	flag.StringVar(&o.sweep, "sweep", "power", "sweep kind: power (Figs 19/20) or scale (Fig 22)")
+	flag.StringVar(&o.params, "params", "moderate", "photonic parameters: moderate or aggressive")
+	flag.IntVar(&o.m, "m", 32, "chiplet count for the power sweep")
+	flag.IntVar(&o.n, "n", 32, "PEs per chiplet for the power sweep")
+	flag.StringVar(&o.metrics, "metrics", "", "write a metrics snapshot to this path (Prometheus text format; .json extension switches to JSON)")
+	flag.StringVar(&o.cpuProfile, "cpuprofile", "", "write a CPU profile to this path")
+	flag.StringVar(&o.memProfile, "memprofile", "", "write a heap profile to this path on exit")
+	flag.BoolVar(&o.verbose, "v", false, "log structured per-point progress to stderr")
 	flag.Parse()
 
-	if err := run(*sweep, *params, *m, *n); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "spacx-sweep:", err)
 		os.Exit(1)
 	}
 }
 
-func run(sweep, params string, m, n int) error {
-	switch sweep {
-	case "power":
-		var p spacx.PhotonicParams
-		switch params {
-		case "moderate":
-			p = spacx.ModerateParams()
-		case "aggressive":
-			p = spacx.AggressiveParams()
-		default:
-			return fmt.Errorf("unknown params %q (moderate, aggressive)", params)
+func run(o options) error {
+	// Validate every enum flag before sweeping so a typo fails fast.
+	if o.sweep != "power" && o.sweep != "scale" {
+		return fmt.Errorf("unknown sweep %q (power, scale)", o.sweep)
+	}
+	var p spacx.PhotonicParams
+	switch o.params {
+	case "moderate":
+		p = spacx.ModerateParams()
+	case "aggressive":
+		p = spacx.AggressiveParams()
+	default:
+		return fmt.Errorf("unknown params %q (moderate, aggressive)", o.params)
+	}
+	if o.sweep == "power" && (o.m < 1 || o.n < 1) {
+		return fmt.Errorf("machine size must be positive, got M=%d N=%d", o.m, o.n)
+	}
+
+	stopProfiles, err := obs.StartProfiles(o.cpuProfile, o.memProfile)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err := stopProfiles(); err != nil {
+			fmt.Fprintln(os.Stderr, "spacx-sweep:", err)
 		}
-		pts, err := spacx.PowerSurface(m, n, p)
+	}()
+
+	var reg *obs.Registry
+	if o.metrics != "" || o.verbose {
+		reg = obs.NewRegistry(obs.NewLogger(os.Stderr, o.verbose))
+		exp.SetRecorder(reg)
+		defer exp.SetRecorder(nil)
+	}
+
+	switch o.sweep {
+	case "power":
+		pts, err := exp.PowerSweep(o.m, o.n, p)
 		if err != nil {
 			return err
 		}
 		report.PowerSurface(os.Stdout,
-			fmt.Sprintf("SPACX network power surface, M=%d N=%d, %s parameters", m, n, p.Name), pts)
-		return nil
+			fmt.Sprintf("SPACX network power surface, M=%d N=%d, %s parameters", o.m, o.n, p.Name), pts)
 	case "scale":
 		rows, err := exp.Fig22()
 		if err != nil {
 			return err
 		}
 		report.Fig22(os.Stdout, rows)
-		return nil
-	default:
-		return fmt.Errorf("unknown sweep %q (power, scale)", sweep)
 	}
+
+	if o.metrics != "" {
+		if err := reg.WriteFile(o.metrics); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "metrics written to %s\n", o.metrics)
+	}
+	return nil
 }

@@ -1,15 +1,71 @@
 package main
 
-import "testing"
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func opts(sweep, params string, m, n int) options {
+	return options{sweep: sweep, params: params, m: m, n: n}
+}
 
 func TestRunRejectsBadInputs(t *testing.T) {
-	if err := run("nosuchsweep", "moderate", 32, 32); err == nil {
+	if err := run(opts("nosuchsweep", "moderate", 32, 32)); err == nil {
 		t.Error("unknown sweep should fail")
 	}
-	if err := run("power", "nosuchparams", 32, 32); err == nil {
+	if err := run(opts("power", "nosuchparams", 32, 32)); err == nil {
 		t.Error("unknown params should fail")
 	}
-	if err := run("power", "moderate", -1, 32); err == nil {
+	if err := run(opts("power", "moderate", -1, 32)); err == nil {
 		t.Error("negative machine size should fail the sweep")
+	}
+}
+
+func TestBadSweepFailsBeforeSideEffects(t *testing.T) {
+	dir := t.TempDir()
+	o := opts("nosuchsweep", "moderate", 32, 32)
+	o.metrics = filepath.Join(dir, "m.prom")
+	if err := run(o); err == nil {
+		t.Fatal("unknown sweep should fail")
+	}
+	if _, err := os.Stat(o.metrics); err == nil {
+		t.Error("metrics file was written despite the invalid -sweep")
+	}
+}
+
+func TestPowerSweepWritesMetrics(t *testing.T) {
+	dir := t.TempDir()
+	o := opts("power", "moderate", 8, 8)
+	o.metrics = filepath.Join(dir, "m.prom")
+
+	// Silence the report table.
+	stdout := os.Stdout
+	null, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = null
+	defer func() {
+		os.Stdout = stdout
+		null.Close()
+	}()
+
+	if err := run(o); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(o.metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(b)
+	for _, want := range []string{
+		`spacx_exp_points_total{sweep="power-point"}`,
+		"# TYPE spacx_exp_point_seconds histogram",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics snapshot missing %q", want)
+		}
 	}
 }

@@ -1,0 +1,44 @@
+package dataflow
+
+import (
+	"spacx/internal/network"
+	"spacx/internal/obs"
+)
+
+// RecordProfile publishes a mapping's decisions — spatial occupancy, PE
+// utilization, per-class broadcast widths and stream counts, retune epochs —
+// to an observability recorder. The simulator calls it after Map when
+// observability is enabled; with the no-op recorder it returns immediately.
+func RecordProfile(rec obs.Recorder, p Profile, a Arch) {
+	if !rec.Enabled() {
+		return
+	}
+	rec.Count("spacx_dataflow_mappings_total", 1, obs.Label{Key: "arch", Value: a.Name})
+	rec.Observe("spacx_dataflow_active_pes", float64(p.ActivePEs))
+	rec.Observe("spacx_dataflow_active_chiplets", float64(p.ActiveChiplets))
+	rec.Observe("spacx_dataflow_pe_utilization_ratio", p.Utilization(a))
+	if p.RetuneEpochs > 0 {
+		rec.Observe("spacx_dataflow_retune_epochs", float64(p.RetuneEpochs))
+	}
+	for _, f := range p.Flows {
+		ff := f.Normalize()
+		cls := obs.Label{Key: "class", Value: ff.Class.String()}
+		rec.Observe("spacx_dataflow_broadcast_width", float64(ff.DestPerDatum), cls)
+		rec.Observe("spacx_dataflow_streams", float64(ff.Streams), cls)
+	}
+}
+
+// DirLabel renders a flow direction as a metrics-friendly label value
+// ("gb_to_pe" rather than the display form "gb->pe").
+func DirLabel(d network.Direction) string {
+	switch d {
+	case network.GBToPE:
+		return "gb_to_pe"
+	case network.PEToGB:
+		return "pe_to_gb"
+	case network.PEToPE:
+		return "pe_to_pe"
+	default:
+		return "unknown"
+	}
+}

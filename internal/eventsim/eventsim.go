@@ -11,6 +11,9 @@ package eventsim
 import (
 	"container/heap"
 	"fmt"
+	"strings"
+
+	"spacx/internal/obs"
 )
 
 // Station is one queueing service point.
@@ -39,9 +42,10 @@ func (s *Station) reset() {
 	s.busySec = 0
 }
 
-// admit schedules service for a packet arriving at t; returns departure time
-// (service completion plus fixed delay).
-func (s *Station) admit(t float64, bytes int) float64 {
+// admit schedules service for a packet arriving at t; returns the departure
+// time (service completion plus fixed delay) and the queueing wait the
+// packet endured before a server freed up.
+func (s *Station) admit(t float64, bytes int) (depart, wait float64) {
 	// Pick the earliest-free server.
 	best := 0
 	for i := 1; i < len(s.freeAt); i++ {
@@ -57,7 +61,7 @@ func (s *Station) admit(t float64, bytes int) float64 {
 	done := start + service
 	s.freeAt[best] = done
 	s.busySec += service
-	return done + s.DelaySec
+	return done + s.DelaySec, start - t
 }
 
 // Packet is one unit of traffic. Fanout is the number of endpoint
@@ -168,11 +172,29 @@ type Sim struct {
 	events   eventHeap
 	stats    Stats
 	rng      *rng
+	rec      obs.Recorder
 }
 
 // New creates an empty simulator with a deterministic seed.
 func New(seed uint64) *Sim {
-	return &Sim{stations: map[string]*Station{}, rng: newRNG(seed)}
+	return &Sim{stations: map[string]*Station{}, rng: newRNG(seed), rec: obs.Nop()}
+}
+
+// SetRecorder attaches an observability recorder: per-packet end-to-end
+// latency and per-hop queue-wait histograms during Run, packet counters and
+// station-utilization gauges at drain. A nil recorder restores the no-op.
+func (s *Sim) SetRecorder(rec obs.Recorder) {
+	if rec == nil {
+		rec = obs.Nop()
+	}
+	s.rec = rec
+}
+
+// stationGroup collapses numbered station names into their family
+// ("simba/pe12" -> "simba/pe") so utilization gauges stay at a readable
+// cardinality on machines with thousands of PE stations.
+func stationGroup(name string) string {
+	return strings.TrimRight(name, "0123456789")
 }
 
 // AddStation registers a station (or returns the existing one by name).
@@ -234,6 +256,7 @@ func (s *Sim) Run(sources []Source) (Stats, error) {
 	}
 	heap.Init(&s.events)
 
+	enabled := s.rec.Enabled()
 	for s.events.Len() > 0 {
 		ev := heap.Pop(&s.events).(event)
 		p := ev.pkt
@@ -249,12 +272,53 @@ func (s *Sim) Run(sources []Source) (Stats, error) {
 			if ev.time > s.stats.SimTimeSec {
 				s.stats.SimTimeSec = ev.time
 			}
+			if enabled {
+				s.rec.Observe("spacx_eventsim_packet_latency_seconds", lat)
+			}
 			continue
 		}
 		st := p.Path[p.hop]
-		depart := st.admit(ev.time, p.Bytes)
+		depart, wait := st.admit(ev.time, p.Bytes)
+		if enabled {
+			s.rec.Observe("spacx_eventsim_queue_wait_seconds", wait,
+				obs.Label{Key: "station", Value: stationGroup(st.Name)})
+		}
 		p.hop++
 		heap.Push(&s.events, event{time: depart, pkt: p})
 	}
+	if enabled {
+		s.recordRunStats()
+	}
 	return s.stats, nil
+}
+
+// recordRunStats publishes drain-time aggregates: packet counters, the
+// simulated span, and mean station utilization per station family.
+func (s *Sim) recordRunStats() {
+	s.rec.Count("spacx_eventsim_packets_injected_total", float64(s.stats.Injected))
+	s.rec.Count("spacx_eventsim_packets_delivered_total", float64(s.stats.Delivered))
+	s.rec.Gauge("spacx_eventsim_sim_seconds", s.stats.SimTimeSec)
+	span := s.stats.SimTimeSec
+	if span <= 0 {
+		return
+	}
+	type groupAcc struct {
+		busy    float64
+		servers float64
+	}
+	groups := map[string]*groupAcc{}
+	for name, st := range s.stations {
+		g := stationGroup(name)
+		acc, ok := groups[g]
+		if !ok {
+			acc = &groupAcc{}
+			groups[g] = acc
+		}
+		acc.busy += st.busySec
+		acc.servers += float64(st.Servers)
+	}
+	for g, acc := range groups {
+		s.rec.Gauge("spacx_eventsim_station_utilization_ratio",
+			acc.busy/(acc.servers*span), obs.Label{Key: "station", Value: g})
+	}
 }

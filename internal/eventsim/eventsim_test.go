@@ -4,6 +4,8 @@ import (
 	"math"
 	"testing"
 	"testing/quick"
+
+	"spacx/internal/obs"
 )
 
 func TestStationValidation(t *testing.T) {
@@ -280,5 +282,59 @@ func TestBroadcastFanout(t *testing.T) {
 	}})
 	if stats.MeanLatency() != us.MeanLatency() {
 		t.Errorf("fanout changed latency: %v vs %v", stats.MeanLatency(), us.MeanLatency())
+	}
+}
+
+func TestRecorderObservesRun(t *testing.T) {
+	reg := obs.NewRegistry(nil)
+	s := New(1)
+	s.SetRecorder(reg)
+	st, err := NewStation("grp7", 1e9, 1, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st = s.AddStation(st)
+	stats, err := s.Run([]Source{{
+		Name: "src", PacketBytes: 64, RateBytesSec: 1e8, Count: 100,
+		Path: func(int) []*Station { return []*Station{st} },
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.HistogramCount("spacx_eventsim_packet_latency_seconds"); got != 100 {
+		t.Errorf("latency samples = %d, want 100", got)
+	}
+	if got := reg.HistogramCount("spacx_eventsim_queue_wait_seconds",
+		obs.Label{Key: "station", Value: "grp"}); got != 100 {
+		t.Errorf("queue-wait samples under trimmed station name = %d, want 100", got)
+	}
+	if got := reg.Counter("spacx_eventsim_packets_delivered_total"); got != float64(stats.Delivered) {
+		t.Errorf("delivered counter = %v, want %d", got, stats.Delivered)
+	}
+	// Recorder must not change the simulation itself.
+	s2 := New(1)
+	st2, _ := NewStation("grp7", 1e9, 1, 1e-9)
+	st2 = s2.AddStation(st2)
+	plain, err := s2.Run([]Source{{
+		Name: "src", PacketBytes: 64, RateBytesSec: 1e8, Count: 100,
+		Path: func(int) []*Station { return []*Station{st2} },
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain != stats {
+		t.Errorf("recorder perturbed results: %+v vs %+v", stats, plain)
+	}
+}
+
+func TestStationGroup(t *testing.T) {
+	for in, want := range map[string]string{
+		"simba/pe12":   "simba/pe",
+		"spacx/lambda": "spacx/lambda",
+		"popstar/gb":   "popstar/gb",
+	} {
+		if got := stationGroup(in); got != want {
+			t.Errorf("stationGroup(%q) = %q, want %q", in, got, want)
+		}
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"spacx/internal/dnn"
 	"spacx/internal/eventsim"
 	"spacx/internal/network"
+	"spacx/internal/obs"
 	"spacx/internal/sim"
 )
 
@@ -72,6 +73,107 @@ func loadFor(acc sim.Accelerator, m dnn.Model) (fig16Load, error) {
 	return out, nil
 }
 
+// buildNetwork registers the accelerator's station pipeline (Table II
+// parameters) on the event simulator and returns its path chooser.
+func buildNetwork(s *eventsim.Sim, acc sim.Accelerator) (func(int) []*eventsim.Station, error) {
+	switch acc.Name() {
+	case "Simba":
+		return eventsim.BuildSimba(s, eventsim.SimbaSpec{
+			M: acc.Arch.M, N: acc.Arch.N, GBPorts: 2,
+			ChipletRateBps: 320e9 / 8, PERateBps: 20e9 / 8,
+			PackageHops: 5, ChipletHops: 4, PerHopDelaySec: 3.1e-9,
+		})
+	case "POPSTAR":
+		return eventsim.BuildCrossbar(s, eventsim.CrossbarSpec{
+			M: acc.Arch.M, N: acc.Arch.N, GBBundles: 4,
+			ChipletRateBps: 310e9 / 8, PERateBps: 20e9 / 8,
+			CrossbarDelay: 0.5e-9, ChipletHops: 4, PerHopDelaySec: 3.1e-9,
+		})
+	default: // SPACX
+		// One channel per wavelength-waveguide pair: 24 wavelengths
+		// on each of the 8 global waveguides of the default
+		// (e/f=8, k=16) configuration.
+		return eventsim.BuildSPACX(s, eventsim.SPACXSpec{
+			Channels:       192,
+			ChannelRateBps: 10e9 / 8,
+			HopDelaySec:    0.5e-9,
+		})
+	}
+}
+
+// packetRun injects the model's own traffic volume over its own execution
+// window through the accelerator's station pipeline and returns the drained
+// statistics; rec observes per-packet latency and station utilization.
+func packetRun(acc sim.Accelerator, m dnn.Model, packets int, seed uint64, rec obs.Recorder) (eventsim.Stats, error) {
+	load, err := loadFor(acc, m)
+	if err != nil {
+		return eventsim.Stats{}, err
+	}
+	var total int64
+	for _, b := range load.bytesPerClass {
+		total += b
+	}
+
+	s := eventsim.New(seed)
+	s.SetRecorder(rec)
+	path, err := buildNetwork(s, acc)
+	if err != nil {
+		return eventsim.Stats{}, err
+	}
+	fanout := int(load.receptionsPerPacket + 0.5)
+	if fanout < 1 {
+		fanout = 1
+	}
+	// One source per traffic class, each at its own sustained rate;
+	// classes interleave on the shared stations exactly as the
+	// layer schedule mixes them.
+	var sources []eventsim.Source
+	for _, class := range []network.Class{
+		network.Weights, network.Ifmaps, network.Outputs, network.Psums,
+	} {
+		bytes := load.bytesPerClass[class]
+		if bytes <= 0 {
+			continue
+		}
+		share := float64(bytes) / float64(total)
+		count := int(share*float64(packets) + 0.5)
+		if count == 0 {
+			continue
+		}
+		offset := int(class) * 7919 // declusters class destinations
+		sources = append(sources, eventsim.Source{
+			Name:         fmt.Sprintf("%s/%s/%s", m.Name, acc.Name(), class),
+			PacketBytes:  fig16PacketBytes,
+			RateBytesSec: float64(bytes) / load.execSec,
+			Count:        count,
+			Path:         func(i int) []*eventsim.Station { return path(i + offset) },
+			Fanout:       fanout,
+		})
+	}
+	return s.Run(sources)
+}
+
+// NetworkProbe runs the packet-level simulator once with the model's own
+// traffic on the accelerator's network (the Figure 16 methodology for a
+// single accelerator), populating packet-latency and queue-wait histograms
+// plus station-utilization gauges through rec. The CLIs use it to include
+// event-simulation data in a -metrics snapshot.
+func NetworkProbe(acc sim.Accelerator, m dnn.Model, packets int, rec obs.Recorder) (eventsim.Stats, error) {
+	if packets <= 0 {
+		packets = 20000
+	}
+	if rec == nil {
+		rec = obs.Nop()
+	}
+	var stats eventsim.Stats
+	err := point("network-probe", func() error {
+		var err error
+		stats, err = packetRun(acc, m, packets, 0xC0FFEE, rec)
+		return err
+	}, "model", m.Name, "accel", acc.Name(), "packets", packets)
+	return stats, err
+}
+
 // Fig16 runs the packet-level latency/throughput study for the four DNN
 // models on the three accelerators. Packet sources inject each accelerator's
 // own traffic volume over its own execution window (a sampled fraction, to
@@ -84,74 +186,12 @@ func Fig16(packetsPerRun int) ([]Fig16Row, error) {
 	for _, m := range dnn.Benchmarks() {
 		var baseLat, baseTp float64
 		for i, acc := range sim.EvalAccelerators() {
-			load, err := loadFor(acc, m)
-			if err != nil {
-				return nil, err
-			}
-			var total int64
-			for _, b := range load.bytesPerClass {
-				total += b
-			}
-
-			s := eventsim.New(0xC0FFEE + uint64(i))
-			var path func(int) []*eventsim.Station
-			switch acc.Name() {
-			case "Simba":
-				path, err = eventsim.BuildSimba(s, eventsim.SimbaSpec{
-					M: acc.Arch.M, N: acc.Arch.N, GBPorts: 2,
-					ChipletRateBps: 320e9 / 8, PERateBps: 20e9 / 8,
-					PackageHops: 5, ChipletHops: 4, PerHopDelaySec: 3.1e-9,
-				})
-			case "POPSTAR":
-				path, err = eventsim.BuildCrossbar(s, eventsim.CrossbarSpec{
-					M: acc.Arch.M, N: acc.Arch.N, GBBundles: 4,
-					ChipletRateBps: 310e9 / 8, PERateBps: 20e9 / 8,
-					CrossbarDelay: 0.5e-9, ChipletHops: 4, PerHopDelaySec: 3.1e-9,
-				})
-			default: // SPACX
-				// One channel per wavelength-waveguide pair: 24 wavelengths
-				// on each of the 8 global waveguides of the default
-				// (e/f=8, k=16) configuration.
-				path, err = eventsim.BuildSPACX(s, eventsim.SPACXSpec{
-					Channels:       192,
-					ChannelRateBps: 10e9 / 8,
-					HopDelaySec:    0.5e-9,
-				})
-			}
-			if err != nil {
-				return nil, err
-			}
-			fanout := int(load.receptionsPerPacket + 0.5)
-			if fanout < 1 {
-				fanout = 1
-			}
-			// One source per traffic class, each at its own sustained rate;
-			// classes interleave on the shared stations exactly as the
-			// layer schedule mixes them.
-			var sources []eventsim.Source
-			for _, class := range []network.Class{
-				network.Weights, network.Ifmaps, network.Outputs, network.Psums,
-			} {
-				bytes := load.bytesPerClass[class]
-				if bytes <= 0 {
-					continue
-				}
-				share := float64(bytes) / float64(total)
-				count := int(share*float64(packetsPerRun) + 0.5)
-				if count == 0 {
-					continue
-				}
-				offset := int(class) * 7919 // declusters class destinations
-				sources = append(sources, eventsim.Source{
-					Name:         fmt.Sprintf("%s/%s/%s", m.Name, acc.Name(), class),
-					PacketBytes:  fig16PacketBytes,
-					RateBytesSec: float64(bytes) / load.execSec,
-					Count:        count,
-					Path:         func(i int) []*eventsim.Station { return path(i + offset) },
-					Fanout:       fanout,
-				})
-			}
-			stats, err := s.Run(sources)
+			var stats eventsim.Stats
+			err := point("fig16", func() error {
+				var err error
+				stats, err = packetRun(acc, m, packetsPerRun, 0xC0FFEE+uint64(i), recorder)
+				return err
+			}, "model", m.Name, "accel", acc.Name())
 			if err != nil {
 				return nil, err
 			}

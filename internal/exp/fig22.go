@@ -49,7 +49,12 @@ func Fig22() ([]Fig22Row, error) {
 			spx,
 		}
 		for _, acc := range accs {
-			r, err := sim.Run(acc, res, sim.WholeInference)
+			var r sim.ModelResult
+			err := point("fig22", func() error {
+				var err error
+				r, err = sim.RunObserved(acc, res, sim.WholeInference, recorder)
+				return err
+			}, "m", m, "n", n, "accel", acc.Name())
 			if err != nil {
 				return nil, err
 			}

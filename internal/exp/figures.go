@@ -6,6 +6,7 @@ import (
 	"spacx/internal/dataflow"
 	"spacx/internal/dnn"
 	"spacx/internal/network/spacxnet"
+	"spacx/internal/obs"
 	"spacx/internal/photonic"
 	"spacx/internal/sim"
 )
@@ -174,10 +175,27 @@ func Fig18() ([]AccelRow, error) {
 
 // Fig19 and Fig20 return the (gK, gEF) power surfaces.
 func Fig19() ([]spacxnet.PowerPoint, error) {
-	return spacxnet.PowerSurface(32, 32, photonic.Moderate())
+	return PowerSweep(32, 32, photonic.Moderate())
 }
 
 // Fig20 is the aggressive-parameter surface.
 func Fig20() ([]spacxnet.PowerPoint, error) {
-	return spacxnet.PowerSurface(32, 32, photonic.Aggressive())
+	return PowerSweep(32, 32, photonic.Aggressive())
+}
+
+// PowerSweep is the Figures 19/20 broadcast-granularity power sweep at
+// arbitrary scale, reporting per-point progress and the sweep duration
+// through the package recorder (cmd/spacx-sweep's -v and -metrics).
+func PowerSweep(m, n int, p photonic.Params) ([]spacxnet.PowerPoint, error) {
+	var pts []spacxnet.PowerPoint
+	err := point("power", func() error {
+		var err error
+		pts, err = spacxnet.PowerSurfaceFunc(m, n, p, func(pt spacxnet.PowerPoint) {
+			recorder.Count("spacx_exp_points_total", 1, obs.Label{Key: "sweep", Value: "power-point"})
+			recorder.Logger().Debug("power point",
+				"gk", pt.GK, "gef", pt.GEF, "overallW", pt.OverallW())
+		})
+		return err
+	}, "m", m, "n", n, "params", p.Name)
+	return pts, err
 }

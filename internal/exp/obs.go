@@ -1,0 +1,33 @@
+package exp
+
+import "spacx/internal/obs"
+
+// recorder is the package-wide observability sink. Experiment drivers log
+// sweep progress and record per-point durations through it; the default
+// no-op keeps the drivers silent and allocation-free in benchmarks.
+var recorder obs.Recorder = obs.Nop()
+
+// SetRecorder installs the recorder used by every driver in this package
+// (nil restores the no-op). It is not safe to call concurrently with a
+// running driver; CLIs set it once at startup.
+func SetRecorder(rec obs.Recorder) {
+	if rec == nil {
+		rec = obs.Nop()
+	}
+	recorder = rec
+}
+
+// point wraps one sweep point: it logs progress, counts the point, and
+// times it into the spacx_exp_point_seconds histogram.
+func point(sweep string, fn func() error, logArgs ...any) error {
+	stop := recorder.Time("spacx_exp_point_seconds", obs.Label{Key: "sweep", Value: sweep})
+	err := fn()
+	stop()
+	recorder.Count("spacx_exp_points_total", 1, obs.Label{Key: "sweep", Value: sweep})
+	if err != nil {
+		recorder.Logger().Error(sweep+" point failed", append(logArgs, "err", err)...)
+		return err
+	}
+	recorder.Logger().Info(sweep+" point", logArgs...)
+	return nil
+}

@@ -1,0 +1,63 @@
+package exp
+
+import (
+	"testing"
+
+	"spacx/internal/dnn"
+	"spacx/internal/obs"
+	"spacx/internal/photonic"
+	"spacx/internal/sim"
+)
+
+func TestNetworkProbePopulatesEventsimMetrics(t *testing.T) {
+	reg := obs.NewRegistry(nil)
+	m := dnn.Model{Name: "tiny", Layers: []dnn.Layer{
+		dnn.NewSameConv("a", 28, 3, 64, 64, 1),
+	}}
+	stats, err := NetworkProbe(sim.SPACXAccel(), m, 500, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Injected == 0 || stats.Delivered == 0 {
+		t.Fatalf("probe moved no packets: %+v", stats)
+	}
+	if got := reg.HistogramCount("spacx_eventsim_packet_latency_seconds"); got == 0 {
+		t.Error("packet latency histogram is empty")
+	}
+	if got := reg.Counter("spacx_eventsim_packets_injected_total"); got != float64(stats.Injected) {
+		t.Errorf("injected counter = %v, want %v", got, stats.Injected)
+	}
+	snap := reg.Snapshot()
+	foundUtil := false
+	for _, g := range snap.Gauges {
+		if g.Name == "spacx_eventsim_station_utilization_ratio" {
+			foundUtil = true
+			if g.Value < 0 || g.Value > 1 {
+				t.Errorf("utilization out of range: %+v", g)
+			}
+		}
+	}
+	if !foundUtil {
+		t.Error("no station utilization gauges recorded")
+	}
+}
+
+func TestPowerSweepReportsProgress(t *testing.T) {
+	reg := obs.NewRegistry(nil)
+	SetRecorder(reg)
+	defer SetRecorder(nil)
+	pts, err := PowerSweep(8, 8, photonic.Moderate())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) == 0 {
+		t.Fatal("no power points")
+	}
+	perPoint := reg.Counter("spacx_exp_points_total", obs.Label{Key: "sweep", Value: "power-point"})
+	if perPoint != float64(len(pts)) {
+		t.Errorf("per-point counter = %v, want %d", perPoint, len(pts))
+	}
+	if got := reg.HistogramCount("spacx_exp_point_seconds", obs.Label{Key: "sweep", Value: "power"}); got != 1 {
+		t.Errorf("sweep duration histogram count = %d, want 1", got)
+	}
+}

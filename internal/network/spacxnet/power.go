@@ -147,6 +147,12 @@ type PowerPoint struct {
 // PowerSurface evaluates the Figure 19/20 sweep: every power-of-two
 // (gK, gEF) granularity pair dividing (N, M), in row-major gK order.
 func PowerSurface(m, n int, params photonic.Params) ([]PowerPoint, error) {
+	return PowerSurfaceFunc(m, n, params, nil)
+}
+
+// PowerSurfaceFunc is PowerSurface with a per-point visit callback (nil to
+// disable), letting sweep drivers report progress as points complete.
+func PowerSurfaceFunc(m, n int, params photonic.Params, visit func(PowerPoint)) ([]PowerPoint, error) {
 	if m <= 0 || n <= 0 {
 		return nil, fmt.Errorf("spacxnet: power surface needs positive M, N; got %d, %d", m, n)
 	}
@@ -163,7 +169,11 @@ func PowerSurface(m, n int, params photonic.Params) ([]PowerPoint, error) {
 			if err != nil {
 				return nil, err
 			}
-			pts = append(pts, PowerPoint{GK: gk, GEF: gef, PowerBreakdown: c.Power()})
+			pt := PowerPoint{GK: gk, GEF: gef, PowerBreakdown: c.Power()}
+			pts = append(pts, pt)
+			if visit != nil {
+				visit(pt)
+			}
 		}
 	}
 	return pts, nil

@@ -1,0 +1,49 @@
+package sim
+
+import (
+	"testing"
+
+	"spacx/internal/dnn"
+	"spacx/internal/obs"
+)
+
+// The no-op recorder must keep the analytical hot path free of
+// instrumentation overhead; compare with an attached registry:
+//
+//	go test -bench BenchmarkRunLayer ./internal/sim
+func BenchmarkRunLayerNop(b *testing.B) {
+	acc := SPACXAccel()
+	l := dnn.NewSameConv("conv", 56, 64, 64, 3, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunLayerObserved(acc, l, WholeInference, obs.Nop()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRunLayerObserved(b *testing.B) {
+	acc := SPACXAccel()
+	l := dnn.NewSameConv("conv", 56, 64, 64, 3, 1)
+	reg := obs.NewRegistry(nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunLayerObserved(acc, l, WholeInference, reg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRunModelNop(b *testing.B) {
+	acc := SPACXAccel()
+	m := dnn.AlexNet()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunObserved(acc, m, WholeInference, obs.Nop()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

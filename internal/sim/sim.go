@@ -9,11 +9,13 @@ package sim
 
 import (
 	"fmt"
+	"time"
 
 	"spacx/internal/dataflow"
 	"spacx/internal/dnn"
 	"spacx/internal/energy"
 	"spacx/internal/network"
+	"spacx/internal/obs"
 	"spacx/internal/photonic"
 )
 
@@ -68,6 +70,11 @@ type LayerResult struct {
 	TotalEnergy   float64
 
 	DRAMBytes int64
+
+	// FlowSecs[i] is the isolated network transfer time of Profile.Flows[i]
+	// under the accelerator's own network model (net.TransferTime); the
+	// trace exporter uses it to draw per-flow spans.
+	FlowSecs []float64
 }
 
 // ModelResult aggregates a full DNN (repeats included).
@@ -86,13 +93,35 @@ type ModelResult struct {
 	TotalEnergy   float64
 	NetDynamic    network.EnergyParts
 	NetStaticJ    network.StaticParts
+
+	// Metrics is the observability snapshot of the run; nil unless the
+	// model was simulated via RunObserved with a snapshot-capable recorder
+	// (an *obs.Registry).
+	Metrics *obs.Snapshot `json:"Metrics,omitempty"`
 }
 
 // RunLayer simulates one layer instance on the accelerator.
 func RunLayer(acc Accelerator, l dnn.Layer, mode Mode) (LayerResult, error) {
+	return RunLayerObserved(acc, l, mode, obs.Nop())
+}
+
+// RunLayerObserved is RunLayer with observability: mapping time, flow
+// bytes/counts by class and direction, retune epochs, DRAM traffic, and
+// overlap/stall accounting flow into rec. With the no-op recorder every
+// instrumentation block is skipped, keeping the hot path unchanged.
+func RunLayerObserved(acc Accelerator, l dnn.Layer, mode Mode, rec obs.Recorder) (LayerResult, error) {
+	enabled := rec.Enabled()
+	var mapStart time.Time
+	if enabled {
+		mapStart = time.Now()
+	}
 	p, err := acc.Flow.Map(l, acc.Arch)
 	if err != nil {
 		return LayerResult{}, fmt.Errorf("sim: mapping %s on %s: %w", l.Name, acc.Name(), err)
+	}
+	if enabled {
+		rec.Observe("spacx_sim_layer_mapping_seconds", time.Since(mapStart).Seconds())
+		dataflow.RecordProfile(rec, p, acc.Arch)
 	}
 	net := acc.Arch.Net
 
@@ -103,8 +132,10 @@ func RunLayer(acc Accelerator, l dnn.Layer, mode Mode) (LayerResult, error) {
 	// photonic network the input classes ride orthogonal wavelength groups
 	// (max); on a shared-medium network they serialize (sum).
 	orthogonal := net.Caps().CrossChipletBroadcast || net.Caps().SingleChipletBroadcast
-	for _, f := range p.Flows {
+	r.FlowSecs = make([]float64, len(p.Flows))
+	for i, f := range p.Flows {
 		t := net.TransferTime(f)
+		r.FlowSecs[i] = t
 		switch f.Dir {
 		case network.GBToPE:
 			if orthogonal {
@@ -118,6 +149,13 @@ func RunLayer(acc Accelerator, l dnn.Layer, mode Mode) (LayerResult, error) {
 			r.OutputSec += t
 		}
 		r.NetDynamic = r.NetDynamic.Add(net.DynamicEnergy(f))
+		if enabled {
+			cls := obs.Label{Key: "class", Value: f.Class.String()}
+			dir := obs.Label{Key: "dir", Value: dataflow.DirLabel(f.Dir)}
+			rec.Count("spacx_sim_flow_bytes_total", float64(f.Normalize().UniqueBytes), cls, dir)
+			rec.Count("spacx_sim_flows_total", 1, cls, dir)
+			rec.Count("spacx_sim_flow_transfer_seconds_total", t, cls, dir)
+		}
 	}
 
 	// DRAM traffic per residency mode.
@@ -138,6 +176,25 @@ func RunLayer(acc Accelerator, l dnn.Layer, mode Mode) (LayerResult, error) {
 	}
 	r.ExecSec = exec + overhead
 	r.CommSec = r.ExecSec - r.ComputeSec
+
+	if enabled {
+		rec.Count("spacx_sim_layers_total", 1)
+		rec.Count("spacx_sim_retune_epochs_total", float64(p.RetuneEpochs))
+		rec.Count("spacx_sim_dram_bytes_total", float64(r.DRAMBytes))
+		rec.Count("spacx_sim_pool_seconds_total", r.ComputeSec, obs.Label{Key: "pool", Value: "compute"})
+		rec.Count("spacx_sim_pool_seconds_total", r.InputSec, obs.Label{Key: "pool", Value: "input"})
+		rec.Count("spacx_sim_pool_seconds_total", r.OutputSec, obs.Label{Key: "pool", Value: "output"})
+		rec.Count("spacx_sim_pool_seconds_total", r.DRAMSec, obs.Label{Key: "pool", Value: "dram"})
+		rec.Count("spacx_sim_pool_seconds_total", overhead, obs.Label{Key: "pool", Value: "overhead"})
+		rec.Count("spacx_sim_exec_seconds_total", r.ExecSec)
+		// Overlap/stall accounting: exposed is communication that extended
+		// the critical path beyond compute; overlapped is the remaining
+		// pool time hidden under it (the paper's maximal-overlap claim).
+		exposed := exec - r.ComputeSec
+		rec.Count("spacx_sim_exposed_comm_seconds_total", exposed)
+		rec.Count("spacx_sim_overlapped_comm_seconds_total", r.InputSec+r.OutputSec+r.DRAMSec-exposed)
+		rec.Observe("spacx_sim_layer_exec_seconds", r.ExecSec)
+	}
 
 	// Energy.
 	comp := energy.Compute{
@@ -184,12 +241,24 @@ func dramBytes(l dnn.Layer, a dataflow.Arch, mode Mode) int64 {
 
 // Run simulates a full model (all layer instances).
 func Run(acc Accelerator, m dnn.Model, mode Mode) (ModelResult, error) {
+	return RunObserved(acc, m, mode, obs.Nop())
+}
+
+// RunObserved is Run with observability threaded through every layer; when
+// rec can snapshot its state (an *obs.Registry), the snapshot is attached to
+// the result's Metrics field.
+func RunObserved(acc Accelerator, m dnn.Model, mode Mode, rec obs.Recorder) (ModelResult, error) {
 	if err := m.Validate(); err != nil {
 		return ModelResult{}, err
 	}
+	enabled := rec.Enabled()
+	if enabled {
+		rec.Logger().Debug("sim: run start",
+			"model", m.Name, "accel", acc.Name(), "mode", mode.String(), "layers", len(m.Layers))
+	}
 	res := ModelResult{Model: m.Name, Accel: acc.Name(), Mode: mode}
 	for _, l := range m.Layers {
-		lr, err := RunLayer(acc, l, mode)
+		lr, err := RunLayerObserved(acc, l, mode, rec)
 		if err != nil {
 			return ModelResult{}, err
 		}
@@ -209,6 +278,16 @@ func Run(acc Accelerator, m dnn.Model, mode Mode) (ModelResult, error) {
 		res.NetStaticJ = network.StaticParts{
 			Laser:   res.NetStaticJ.Laser + lr.NetStaticJ.Laser*rep,
 			Heating: res.NetStaticJ.Heating + lr.NetStaticJ.Heating*rep,
+		}
+	}
+	if enabled {
+		rec.Logger().Debug("sim: run done",
+			"model", m.Name, "accel", acc.Name(),
+			"execSec", res.ExecSec, "computeSec", res.ComputeSec,
+			"totalJ", res.TotalEnergy, "networkJ", res.NetworkEnergy)
+		if sn, ok := rec.(obs.Snapshotter); ok {
+			s := sn.Snapshot()
+			res.Metrics = &s
 		}
 	}
 	return res, nil

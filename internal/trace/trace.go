@@ -71,8 +71,13 @@ func Export(w io.Writer, res sim.ModelResult) error {
 				"activePEs": lr.Profile.ActivePEs,
 				"macs":      lr.Profile.MACs(),
 			})
-			for _, f := range lr.Profile.Flows {
-				dur := flowDur(res, f)
+			for i, f := range lr.Profile.Flows {
+				// The simulator records each flow's modeled transfer time
+				// alongside the profile (sim.LayerResult.FlowSecs).
+				var dur float64
+				if i < len(lr.FlowSecs) {
+					dur = lr.FlowSecs[i]
+				}
 				switch {
 				case f.Dir == network.GBToPE && f.Class == network.Weights:
 					add(rowWeights, lr.Layer.Name+"/weights", dur, flowArgs(f))
@@ -102,16 +107,6 @@ func Export(w io.Writer, res sim.ModelResult) error {
 
 	enc := json.NewEncoder(w)
 	return enc.Encode(tf)
-}
-
-// flowDur recomputes a flow's serialization time; the LayerResult stores
-// only the aggregated pools, so the per-flow duration comes from the model's
-// own pricing via the profile (approximated by unique bytes over one
-// 10 Gbps-class stream when streams are unknown at export time).
-func flowDur(res sim.ModelResult, f network.Flow) float64 {
-	ff := f.Normalize()
-	const streamBps = 1.25e9
-	return float64(ff.UniqueBytes) / float64(ff.Streams) / streamBps
 }
 
 func flowArgs(f network.Flow) map[string]any {

@@ -82,6 +82,120 @@ func TestExportRowNames(t *testing.T) {
 	}
 }
 
+// TestExportWellFormed decodes the export for a small model on both SPACX
+// and Simba and checks structural invariants of the event stream.
+func TestExportWellFormed(t *testing.T) {
+	m := dnn.Model{Name: "tiny", Layers: []dnn.Layer{
+		dnn.NewSameConv("a", 28, 3, 64, 64, 1).Times(2),
+		dnn.NewFC("b", 256, 100),
+	}}
+	for _, acc := range []sim.Accelerator{sim.SPACXAccel(), sim.SimbaAccel()} {
+		t.Run(acc.Name(), func(t *testing.T) {
+			res, err := sim.Run(acc, m, sim.WholeInference)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			if err := Export(&buf, res); err != nil {
+				t.Fatal(err)
+			}
+			var tf struct {
+				TraceEvents []struct {
+					Name  string         `json:"name"`
+					Phase string         `json:"ph"`
+					TS    float64        `json:"ts"`
+					Dur   float64        `json:"dur"`
+					TID   int            `json:"tid"`
+					Args  map[string]any `json:"args"`
+				} `json:"traceEvents"`
+			}
+			if err := json.Unmarshal(buf.Bytes(), &tf); err != nil {
+				t.Fatalf("invalid trace JSON: %v", err)
+			}
+
+			rowNames := map[string]bool{}
+			lastComputeEnd := 0.0
+			for _, e := range tf.TraceEvents {
+				switch e.Phase {
+				case "M":
+					if e.Name != "thread_name" {
+						t.Errorf("unexpected metadata event %q", e.Name)
+					}
+					name, _ := e.Args["name"].(string)
+					rowNames[name] = true
+				case "X":
+					if e.TS < 0 || e.Dur <= 0 {
+						t.Errorf("event %q has non-positive span: ts=%v dur=%v", e.Name, e.TS, e.Dur)
+					}
+					if strings.HasSuffix(e.Name, "/compute") {
+						// Compute slices of successive layer instances must
+						// not overlap: each starts at the layer cursor, which
+						// advances by the full ExecSec.
+						if e.TS < lastComputeEnd-1e-9 {
+							t.Errorf("compute %q at ts=%v overlaps previous end %v", e.Name, e.TS, lastComputeEnd)
+						}
+						lastComputeEnd = e.TS + e.Dur
+					}
+				default:
+					t.Errorf("unexpected event phase %q", e.Phase)
+				}
+			}
+			for _, want := range []string{"compute", "weight broadcast", "ifmap broadcast", "outputs/psums", "DRAM"} {
+				if !rowNames[want] {
+					t.Errorf("missing thread_name row %q (have %v)", want, rowNames)
+				}
+			}
+		})
+	}
+}
+
+// TestExportUsesFlowSecs checks flow-event durations come from the
+// simulator's own per-flow transfer times, not a fixed-bandwidth
+// approximation.
+func TestExportUsesFlowSecs(t *testing.T) {
+	res := runSmall(t)
+	want := map[string]float64{} // name -> duration in us
+	for _, lr := range res.Layers {
+		if len(lr.FlowSecs) != len(lr.Profile.Flows) {
+			t.Fatalf("layer %s: %d FlowSecs for %d flows", lr.Layer.Name, len(lr.FlowSecs), len(lr.Profile.Flows))
+		}
+		for i, f := range lr.Profile.Flows {
+			want[lr.Layer.Name+"/"+f.Class.String()] = lr.FlowSecs[i] * 1e6
+		}
+	}
+	var buf bytes.Buffer
+	if err := Export(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	var tf struct {
+		TraceEvents []struct {
+			Name  string  `json:"name"`
+			Phase string  `json:"ph"`
+			Dur   float64 `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &tf); err != nil {
+		t.Fatal(err)
+	}
+	checked := 0
+	for _, e := range tf.TraceEvents {
+		if e.Phase != "X" {
+			continue
+		}
+		w, ok := want[e.Name]
+		if !ok {
+			continue
+		}
+		checked++
+		if diff := e.Dur - w; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("flow event %q dur = %v us, want FlowSecs value %v us", e.Name, e.Dur, w)
+		}
+	}
+	if checked == 0 {
+		t.Error("no flow events matched the simulator's FlowSecs table")
+	}
+}
+
 type nopCloser struct{ io.Writer }
 
 func (nopCloser) Close() error { return nil }
