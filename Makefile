@@ -1,8 +1,8 @@
 # Convenience targets mirroring .github/workflows/ci.yml.
 
-.PHONY: ci fmt vet build test bench
+.PHONY: ci fmt vet build test exp-race cover fuzz bench golden
 
-ci: fmt vet build test bench
+ci: fmt vet build test exp-race cover fuzz bench
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -19,5 +19,21 @@ build:
 test:
 	go test -race ./...
 
+exp-race:
+	go test -race -count=1 ./internal/exp/...
+
+cover:
+	@go test -coverprofile=cover.out ./... > /dev/null; \
+	total=$$(go tool cover -func=cover.out | tail -1 | awk '{print $$3}' | tr -d '%'); \
+	echo "total coverage: $$total% (baseline 80.0%)"; \
+	awk -v t="$$total" 'BEGIN { if (t + 0 < 80.0) { print "coverage below baseline"; exit 1 } }'
+
+fuzz:
+	go test ./internal/dataflow -run '^$$' -fuzz FuzzTiling -fuzztime=10s
+
 bench:
 	go test -run=NONE -bench=. -benchtime=1x ./...
+
+# Regenerate the golden experiment snapshots after a deliberate change.
+golden:
+	go test ./internal/exp -run TestGolden -update

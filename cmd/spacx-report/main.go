@@ -6,6 +6,11 @@
 //	spacx-report                # everything
 //	spacx-report -only fig15    # one artifact
 //	spacx-report -only fig16 -v -metrics /tmp/report.prom
+//	spacx-report -j 1           # force sequential evaluation
+//
+// Parallelism: -j N sets the worker count for the experiment engine's fan-out
+// over independent simulation points (default: all CPUs). Results are
+// bit-for-bit identical at any worker count.
 //
 // Observability: -v logs a structured progress line per experiment point to
 // stderr; -metrics writes the accumulated counters and histograms (Prometheus
@@ -17,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"spacx/internal/exp"
@@ -28,6 +34,7 @@ type options struct {
 	only    string
 	packets int
 	format  string
+	jobs    int
 
 	metrics    string
 	cpuProfile string
@@ -48,6 +55,7 @@ func main() {
 	flag.StringVar(&o.only, "only", "", "render one artifact: "+strings.Join(artifacts, ", "))
 	flag.IntVar(&o.packets, "fig16-packets", 20000, "packets per fig16 event-simulation run")
 	flag.StringVar(&o.format, "format", "text", "output format: text or csv (csv requires -only)")
+	flag.IntVar(&o.jobs, "j", runtime.NumCPU(), "number of parallel simulation workers")
 	flag.StringVar(&o.metrics, "metrics", "", "write a metrics snapshot to this path (Prometheus text format; .json extension switches to JSON)")
 	flag.StringVar(&o.cpuProfile, "cpuprofile", "", "write a CPU profile to this path")
 	flag.StringVar(&o.memProfile, "memprofile", "", "write a heap profile to this path on exit")
@@ -85,6 +93,10 @@ func run(o options) error {
 	if o.packets < 1 {
 		return fmt.Errorf("fig16-packets must be >= 1, got %d", o.packets)
 	}
+	if o.jobs < 1 {
+		return fmt.Errorf("-j must be >= 1, got %d", o.jobs)
+	}
+	exp.SetParallelism(o.jobs)
 
 	stopProfiles, err := obs.StartProfiles(o.cpuProfile, o.memProfile)
 	if err != nil {

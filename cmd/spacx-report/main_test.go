@@ -8,14 +8,17 @@ import (
 )
 
 func TestRunRejectsBadInputs(t *testing.T) {
-	if err := run(options{only: "", packets: 100, format: "nosuchformat"}); err == nil {
+	if err := run(options{only: "", packets: 100, format: "nosuchformat", jobs: 1}); err == nil {
 		t.Error("unknown format should fail")
 	}
-	if err := run(options{only: "nosuchartifact", packets: 100, format: "text"}); err == nil {
+	if err := run(options{only: "nosuchartifact", packets: 100, format: "text", jobs: 1}); err == nil {
 		t.Error("unknown artifact should fail")
 	}
-	if err := run(options{only: "fig16", packets: 0, format: "text"}); err == nil {
+	if err := run(options{only: "fig16", packets: 0, format: "text", jobs: 1}); err == nil {
 		t.Error("non-positive packet count should fail")
+	}
+	if err := run(options{only: "fig19", packets: 100, format: "text", jobs: 0}); err == nil {
+		t.Error("non-positive -j should fail")
 	}
 	if err := runCSV(os.Stdout, "", 100); err == nil {
 		t.Error("csv without -only should fail")
@@ -27,7 +30,7 @@ func TestRunRejectsBadInputs(t *testing.T) {
 
 func TestBadArtifactFailsBeforeSideEffects(t *testing.T) {
 	dir := t.TempDir()
-	o := options{only: "nosuchartifact", packets: 100, format: "text",
+	o := options{only: "nosuchartifact", packets: 100, format: "text", jobs: 1,
 		metrics: filepath.Join(dir, "m.prom")}
 	if err := run(o); err == nil {
 		t.Fatal("unknown artifact should fail")
@@ -39,7 +42,7 @@ func TestBadArtifactFailsBeforeSideEffects(t *testing.T) {
 
 func TestFig19MetricsSnapshot(t *testing.T) {
 	dir := t.TempDir()
-	o := options{only: "fig19", packets: 100, format: "text",
+	o := options{only: "fig19", packets: 100, format: "text", jobs: 1,
 		metrics: filepath.Join(dir, "m.prom")}
 
 	stdout := os.Stdout

@@ -7,6 +7,11 @@
 //	spacx-sweep -sweep power -params moderate
 //	spacx-sweep -sweep power -params aggressive -m 64 -n 64
 //	spacx-sweep -sweep scale -v -metrics /tmp/sweep.prom
+//	spacx-sweep -sweep scale -j 1
+//
+// Parallelism: -j N sets the worker count for the experiment engine's fan-out
+// over independent sweep points (default: all CPUs). Results are bit-for-bit
+// identical at any worker count.
 //
 // Observability: -v logs a structured progress line per sweep point to
 // stderr; -metrics writes per-point counters and duration histograms
@@ -18,6 +23,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"spacx"
 	"spacx/internal/exp"
@@ -29,6 +35,7 @@ type options struct {
 	sweep  string
 	params string
 	m, n   int
+	jobs   int
 
 	metrics    string
 	cpuProfile string
@@ -42,6 +49,7 @@ func main() {
 	flag.StringVar(&o.params, "params", "moderate", "photonic parameters: moderate or aggressive")
 	flag.IntVar(&o.m, "m", 32, "chiplet count for the power sweep")
 	flag.IntVar(&o.n, "n", 32, "PEs per chiplet for the power sweep")
+	flag.IntVar(&o.jobs, "j", runtime.NumCPU(), "number of parallel simulation workers")
 	flag.StringVar(&o.metrics, "metrics", "", "write a metrics snapshot to this path (Prometheus text format; .json extension switches to JSON)")
 	flag.StringVar(&o.cpuProfile, "cpuprofile", "", "write a CPU profile to this path")
 	flag.StringVar(&o.memProfile, "memprofile", "", "write a heap profile to this path on exit")
@@ -71,6 +79,10 @@ func run(o options) error {
 	if o.sweep == "power" && (o.m < 1 || o.n < 1) {
 		return fmt.Errorf("machine size must be positive, got M=%d N=%d", o.m, o.n)
 	}
+	if o.jobs < 1 {
+		return fmt.Errorf("-j must be >= 1, got %d", o.jobs)
+	}
+	exp.SetParallelism(o.jobs)
 
 	stopProfiles, err := obs.StartProfiles(o.cpuProfile, o.memProfile)
 	if err != nil {

@@ -8,7 +8,7 @@ import (
 )
 
 func opts(sweep, params string, m, n int) options {
-	return options{sweep: sweep, params: params, m: m, n: n}
+	return options{sweep: sweep, params: params, m: m, n: n, jobs: 1}
 }
 
 func TestRunRejectsBadInputs(t *testing.T) {
@@ -20,6 +20,11 @@ func TestRunRejectsBadInputs(t *testing.T) {
 	}
 	if err := run(opts("power", "moderate", -1, 32)); err == nil {
 		t.Error("negative machine size should fail the sweep")
+	}
+	bad := opts("power", "moderate", 32, 32)
+	bad.jobs = 0
+	if err := run(bad); err == nil {
+		t.Error("non-positive -j should fail")
 	}
 }
 

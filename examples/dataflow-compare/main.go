@@ -6,21 +6,29 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"spacx"
 	"spacx/internal/sim"
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer) error {
 	dataflows := []spacx.Dataflow{
 		spacx.WeightStationary(),
 		spacx.OutputStationaryEF(),
 		spacx.SPACXDataflow(),
 	}
 
-	fmt.Println("Dataflow ablation on the SPACX architecture (normalized to WS)")
-	fmt.Printf("%-16s %-10s %12s %8s %12s %8s\n",
+	fmt.Fprintln(w, "Dataflow ablation on the SPACX architecture (normalized to WS)")
+	fmt.Fprintf(w, "%-16s %-10s %12s %8s %12s %8s\n",
 		"model", "dataflow", "exec(ms)", "t/WS", "energy(mJ)", "E/WS")
 	for _, m := range spacx.Benchmarks() {
 		var baseT, baseE float64
@@ -28,16 +36,17 @@ func main() {
 			acc := sim.SPACXArchWithDataflow(df)
 			res, err := spacx.Run(acc, m, spacx.WholeInference)
 			if err != nil {
-				log.Fatal(err)
+				return err
 			}
 			if i == 0 {
 				baseT, baseE = res.ExecSec, res.TotalEnergy
 			}
-			fmt.Printf("%-16s %-10s %12.4f %8.3f %12.3f %8.3f\n",
+			fmt.Fprintf(w, "%-16s %-10s %12.4f %8.3f %12.3f %8.3f\n",
 				m.Name, df.Name(), res.ExecSec*1e3, res.ExecSec/baseT,
 				res.TotalEnergy*1e3, res.TotalEnergy/baseE)
 		}
 	}
-	fmt.Println("\nPaper reference (Fig. 17): SPACX dataflow cuts execution time by ~68%")
-	fmt.Println("vs WS and ~21% vs OS(e/f); energy by ~75% and ~27%.")
+	fmt.Fprintln(w, "\nPaper reference (Fig. 17): SPACX dataflow cuts execution time by ~68%")
+	fmt.Fprintln(w, "vs WS and ~21% vs OS(e/f); energy by ~75% and ~27%.")
+	return nil
 }

@@ -1,0 +1,29 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestDataflowCompareRuns is the smoke test: the example must complete
+// without error and print a block per benchmark model.
+func TestDataflowCompareRuns(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"Dataflow ablation on the SPACX architecture",
+		"ResNet-50",
+		"VGG-16",
+		"DenseNet-201",
+		"EfficientNet-B7",
+		"Paper reference (Fig. 17)",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}

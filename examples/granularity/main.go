@@ -6,15 +6,23 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"spacx"
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer) error {
 	pts, err := spacx.PowerSurface(32, 32, spacx.ModerateParams())
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	type key struct{ gk, gef int }
@@ -35,8 +43,8 @@ func main() {
 	xcvrMin := minOf(func(p spacx.PowerPoint) float64 { return p.TransceiverW() })
 	overallMin := minOf(func(p spacx.PowerPoint) float64 { return p.OverallW() })
 
-	fmt.Println("SPACX photonic network power vs broadcast granularity (moderate params)")
-	fmt.Printf("%4s %4s %10s %12s %11s\n", "k", "e/f", "laser(W)", "xcvr(W)", "overall(W)")
+	fmt.Fprintln(w, "SPACX photonic network power vs broadcast granularity (moderate params)")
+	fmt.Fprintf(w, "%4s %4s %10s %12s %11s\n", "k", "e/f", "laser(W)", "xcvr(W)", "overall(W)")
 	for _, p := range pts {
 		if p.GK < 4 || p.GEF < 4 {
 			continue
@@ -45,11 +53,12 @@ func main() {
 		if (key{p.GK, p.GEF}) == overallMin {
 			mark = "  <- overall min"
 		}
-		fmt.Printf("%4d %4d %10.3f %12.3f %11.3f%s\n",
+		fmt.Fprintf(w, "%4d %4d %10.3f %12.3f %11.3f%s\n",
 			p.GK, p.GEF, p.LaserW, p.TransceiverW(), p.OverallW(), mark)
 	}
-	fmt.Printf("\nlaser minimum at (k=%d, e/f=%d)        — paper: (4, 4)\n", laserMin.gk, laserMin.gef)
-	fmt.Printf("transceiver minimum at (k=%d, e/f=%d) — paper: (32, 32)\n", xcvrMin.gk, xcvrMin.gef)
-	fmt.Printf("overall minimum at (k=%d, e/f=%d)     — paper: (16, 16)\n", overallMin.gk, overallMin.gef)
-	fmt.Println("deployment choice (balanced): e/f=8, k=16 (Section VII-C)")
+	fmt.Fprintf(w, "\nlaser minimum at (k=%d, e/f=%d)        — paper: (4, 4)\n", laserMin.gk, laserMin.gef)
+	fmt.Fprintf(w, "transceiver minimum at (k=%d, e/f=%d) — paper: (32, 32)\n", xcvrMin.gk, xcvrMin.gef)
+	fmt.Fprintf(w, "overall minimum at (k=%d, e/f=%d)     — paper: (16, 16)\n", overallMin.gk, overallMin.gef)
+	fmt.Fprintln(w, "deployment choice (balanced): e/f=8, k=16 (Section VII-C)")
+	return nil
 }

@@ -1,0 +1,27 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestGranularityRuns is the smoke test: the example must complete without
+// error and report the three power minima of the Figure 19 surface.
+func TestGranularityRuns(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"power vs broadcast granularity",
+		"<- overall min",
+		"laser minimum at",
+		"overall minimum at (k=16, e/f=16)",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}

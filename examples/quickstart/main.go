@@ -4,34 +4,43 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"spacx"
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer) error {
 	acc := spacx.SPACX()
 
 	// A single layer: ResNet-50's first 3x3 bottleneck conv.
 	layer := spacx.ResNet50().Layers[2]
 	lr, err := spacx.RunLayer(acc, layer, spacx.LayerByLayer)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("layer %s on %s:\n", layer.Name, acc.Name())
-	fmt.Printf("  compute %.2f us, exposed communication %.2f us, total %.2f us\n",
+	fmt.Fprintf(w, "layer %s on %s:\n", layer.Name, acc.Name())
+	fmt.Fprintf(w, "  compute %.2f us, exposed communication %.2f us, total %.2f us\n",
 		lr.ComputeSec*1e6, lr.CommSec*1e6, lr.ExecSec*1e6)
-	fmt.Printf("  energy %.1f uJ (network %.1f uJ, of which O/E %.1f uJ)\n",
+	fmt.Fprintf(w, "  energy %.1f uJ (network %.1f uJ, of which O/E %.1f uJ)\n",
 		lr.TotalEnergy*1e6, lr.NetworkEnergy*1e6, lr.NetDynamic.OE*1e6)
-	fmt.Printf("  active PEs %d/%d, utilization %.1f%%\n",
+	fmt.Fprintf(w, "  active PEs %d/%d, utilization %.1f%%\n",
 		lr.Profile.ActivePEs, acc.Arch.TotalPEs(),
 		100*lr.Profile.Utilization(acc.Arch))
 
 	// A whole inference pass with global-buffer reuse between layers.
 	res, err := spacx.Run(acc, spacx.ResNet50(), spacx.WholeInference)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("\nResNet-50 inference: %.3f ms, %.2f mJ\n",
+	fmt.Fprintf(w, "\nResNet-50 inference: %.3f ms, %.2f mJ\n",
 		res.ExecSec*1e3, res.TotalEnergy*1e3)
+	return nil
 }

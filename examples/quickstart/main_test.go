@@ -1,0 +1,26 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestQuickstartRuns is the smoke test: the example must complete without
+// error and print its headline lines.
+func TestQuickstartRuns(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"on SPACX:",
+		"active PEs",
+		"ResNet-50 inference:",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}

@@ -5,33 +5,42 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"spacx"
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer) error {
 	model := spacx.ResNet50()
 	accels := []spacx.Accelerator{spacx.Simba(), spacx.POPSTAR(), spacx.SPACX()}
 
-	fmt.Printf("%s, whole-inference (GB inter-layer reuse)\n\n", model.Name)
-	fmt.Printf("%-8s %12s %12s %12s %12s %8s %8s\n",
+	fmt.Fprintf(w, "%s, whole-inference (GB inter-layer reuse)\n\n", model.Name)
+	fmt.Fprintf(w, "%-8s %12s %12s %12s %12s %8s %8s\n",
 		"accel", "exec(ms)", "comp(ms)", "energy(mJ)", "net(mJ)", "t/Simba", "E/Simba")
 
 	var baseT, baseE float64
 	for i, acc := range accels {
 		res, err := spacx.Run(acc, model, spacx.WholeInference)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		if i == 0 {
 			baseT, baseE = res.ExecSec, res.TotalEnergy
 		}
-		fmt.Printf("%-8s %12.4f %12.4f %12.3f %12.3f %8.3f %8.3f\n",
+		fmt.Fprintf(w, "%-8s %12.4f %12.4f %12.3f %12.3f %8.3f %8.3f\n",
 			acc.Name(), res.ExecSec*1e3, res.ComputeSec*1e3,
 			res.TotalEnergy*1e3, res.NetworkEnergy*1e3,
 			res.ExecSec/baseT, res.TotalEnergy/baseE)
 	}
-	fmt.Println("\nPaper reference (Fig. 15): SPACX achieves ~78% execution-time and")
-	fmt.Println("~75% energy reduction vs Simba; POPSTAR ~39% and ~28%.")
+	fmt.Fprintln(w, "\nPaper reference (Fig. 15): SPACX achieves ~78% execution-time and")
+	fmt.Fprintln(w, "~75% energy reduction vs Simba; POPSTAR ~39% and ~28%.")
+	return nil
 }

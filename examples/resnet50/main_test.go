@@ -1,0 +1,28 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestResnet50Runs is the smoke test: the example must complete without
+// error, print a row per accelerator, and keep the Figure 15 ordering.
+func TestResnet50Runs(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"ResNet-50, whole-inference",
+		"Simba",
+		"POPSTAR",
+		"SPACX",
+		"Paper reference (Fig. 15)",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}

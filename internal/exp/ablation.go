@@ -2,6 +2,7 @@ package exp
 
 import (
 	"spacx/internal/dnn"
+	"spacx/internal/exp/engine"
 	"spacx/internal/network"
 	"spacx/internal/network/spacxnet"
 	"spacx/internal/photonic"
@@ -31,28 +32,24 @@ func AblationBroadcast() ([]AblationRow, error) {
 	noBcast.Arch.Net = network.NoBroadcast{Inner: noBcast.Arch.Net}
 	noBA := sim.SPACXAccelNoBA()
 
-	variants := []struct {
-		name string
-		acc  sim.Accelerator
-	}{
-		{"SPACX", full},
-		{"no-broadcast", noBcast},
-		{"no-bandwidth-allocation", noBA},
+	names := []string{"SPACX", "no-broadcast", "no-bandwidth-allocation"}
+	accs := []sim.Accelerator{full, noBcast, noBA}
+	models := dnn.Benchmarks()
+	grid, err := runGrid(models, accs, sim.WholeInference)
+	if err != nil {
+		return nil, err
 	}
 
 	var rows []AblationRow
-	for _, m := range dnn.Benchmarks() {
+	for mi, m := range models {
 		var baseT, baseE float64
-		for i, v := range variants {
-			r, err := sim.Run(v.acc, m, sim.WholeInference)
-			if err != nil {
-				return nil, err
-			}
-			if i == 0 {
+		for ai, name := range names {
+			r := grid[mi][ai]
+			if ai == 0 {
 				baseT, baseE = r.ExecSec, r.TotalEnergy
 			}
 			rows = append(rows, AblationRow{
-				Model: m.Name, Variant: v.name,
+				Model: m.Name, Variant: name,
 				ExecSec: r.ExecSec, EnergyJ: r.TotalEnergy,
 				ExecNorm: r.ExecSec / baseT, EnergyN: r.TotalEnergy / baseE,
 			})
@@ -74,30 +71,30 @@ type GranularityTradeoffRow struct {
 
 // GranularityTradeoff runs ResNet-50 across the plotted granularity range
 // and reports execution time, energy, and static network power per point.
+// Each (gK, gEF) point is an independent whole-inference run, fanned out
+// across the worker pool in row-major gK order.
 func GranularityTradeoff() ([]GranularityTradeoffRow, error) {
 	res := dnn.ResNet50()
-	var rows []GranularityTradeoffRow
-	for _, gk := range []int{4, 8, 16, 32} {
-		for _, gef := range []int{4, 8, 16, 32} {
-			acc, err := sim.SPACXAccelCustom(32, 32, gef, gk, photonic.Moderate(), true)
-			if err != nil {
-				return nil, err
-			}
-			r, err := sim.Run(acc, res, sim.WholeInference)
-			if err != nil {
-				return nil, err
-			}
-			cfg, err := spacxnet.New(32, 32, gef, gk, photonic.Moderate())
-			if err != nil {
-				return nil, err
-			}
-			rows = append(rows, GranularityTradeoffRow{
-				GEF: gef, GK: gk,
-				ExecSec:  r.ExecSec,
-				EnergyJ:  r.TotalEnergy,
-				OverallW: cfg.Power().OverallW(),
-			})
+	gs := []int{4, 8, 16, 32}
+	return engine.Map(parallelism, len(gs)*len(gs), func(i int) (GranularityTradeoffRow, error) {
+		gk, gef := gs[i/len(gs)], gs[i%len(gs)]
+		acc, err := sim.SPACXAccelCustom(32, 32, gef, gk, photonic.Moderate(), true)
+		if err != nil {
+			return GranularityTradeoffRow{}, err
 		}
-	}
-	return rows, nil
+		r, err := runModelCached(acc, res, sim.WholeInference)
+		if err != nil {
+			return GranularityTradeoffRow{}, err
+		}
+		cfg, err := spacxnet.New(32, 32, gef, gk, photonic.Moderate())
+		if err != nil {
+			return GranularityTradeoffRow{}, err
+		}
+		return GranularityTradeoffRow{
+			GEF: gef, GK: gk,
+			ExecSec:  r.ExecSec,
+			EnergyJ:  r.TotalEnergy,
+			OverallW: cfg.Power().OverallW(),
+		}, nil
+	})
 }

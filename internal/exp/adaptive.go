@@ -2,6 +2,7 @@ package exp
 
 import (
 	"spacx/internal/dnn"
+	"spacx/internal/exp/engine"
 	"spacx/internal/photonic"
 	"spacx/internal/sim"
 )
@@ -28,7 +29,11 @@ var adaptiveCandidates = [][2]int{
 	{32, 4}, {32, 8}, {32, 16}, {32, 32},
 }
 
-// AdaptiveGranularity runs the study over the four benchmark models.
+// AdaptiveGranularity runs the study over the four benchmark models. Every
+// (model, layer) point — the fixed-granularity run plus the 16-candidate
+// search — is independent, so the flattened grid runs across the worker
+// pool; the controller's reconfiguration count depends on the layer order
+// and is folded sequentially afterwards.
 func AdaptiveGranularity() ([]AdaptiveRow, error) {
 	// Pre-build one accelerator per candidate.
 	accs := make([]sim.Accelerator, len(adaptiveCandidates))
@@ -40,40 +45,71 @@ func AdaptiveGranularity() ([]AdaptiveRow, error) {
 		accs[i] = acc
 	}
 	fixed := sim.SPACXAccel()
+	models := dnn.Benchmarks()
 
-	var rows []AdaptiveRow
-	for _, m := range dnn.Benchmarks() {
-		row := AdaptiveRow{Model: m.Name}
-		prevBest := -1
+	// layerOutcome is one layer's evaluation: the fixed-configuration time
+	// and the per-layer best candidate (before the retune penalty, which is
+	// a sequential controller decision).
+	type layerOutcome struct {
+		fixedSec float64
+		bestSec  float64
+		best     int
+	}
+	type task struct {
+		model int
+		layer dnn.Layer
+	}
+	var tasks []task
+	for mi, m := range models {
 		for _, l := range m.Layers {
-			fr, err := sim.RunLayer(fixed, l, sim.WholeInference)
-			if err != nil {
-				return nil, err
-			}
-			row.FixedExecSec += fr.ExecSec * float64(l.Repeat)
-
-			bestT := 0.0
-			best := -1
-			for i, acc := range accs {
-				r, err := sim.RunLayer(acc, l, sim.WholeInference)
-				if err != nil {
-					return nil, err
-				}
-				if best < 0 || r.ExecSec < bestT {
-					bestT, best = r.ExecSec, i
-				}
-			}
-			// Switching granularity between layers retunes every interface
-			// splitter; the 500 ps DAC settle is paid once per switch.
-			if best != prevBest && prevBest >= 0 {
-				row.ReconfigCount++
-				bestT += photonic.SplitterTuneDelaySeconds
-			}
-			prevBest = best
-			row.AdaptiveExecSec += bestT * float64(l.Repeat)
+			tasks = append(tasks, task{mi, l})
 		}
-		row.Speedup = row.FixedExecSec / row.AdaptiveExecSec
-		rows = append(rows, row)
+	}
+	outcomes, err := engine.Map(parallelism, len(tasks), func(i int) (layerOutcome, error) {
+		l := tasks[i].layer
+		fr, err := runLayerCached(fixed, l, sim.WholeInference)
+		if err != nil {
+			return layerOutcome{}, err
+		}
+		o := layerOutcome{fixedSec: fr.ExecSec, best: -1}
+		for ci, acc := range accs {
+			r, err := runLayerCached(acc, l, sim.WholeInference)
+			if err != nil {
+				return layerOutcome{}, err
+			}
+			if o.best < 0 || r.ExecSec < o.bestSec {
+				o.bestSec, o.best = r.ExecSec, ci
+			}
+		}
+		return o, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	rows := make([]AdaptiveRow, len(models))
+	prevBest := make([]int, len(models))
+	for mi, m := range models {
+		rows[mi] = AdaptiveRow{Model: m.Name}
+		prevBest[mi] = -1
+	}
+	for ti, t := range tasks {
+		o := outcomes[ti]
+		row := &rows[t.model]
+		l := t.layer
+		row.FixedExecSec += o.fixedSec * float64(l.Repeat)
+		// Switching granularity between layers retunes every interface
+		// splitter; the 500 ps DAC settle is paid once per switch.
+		bestT := o.bestSec
+		if o.best != prevBest[t.model] && prevBest[t.model] >= 0 {
+			row.ReconfigCount++
+			bestT += photonic.SplitterTuneDelaySeconds
+		}
+		prevBest[t.model] = o.best
+		row.AdaptiveExecSec += bestT * float64(l.Repeat)
+	}
+	for i := range rows {
+		rows[i].Speedup = rows[i].FixedExecSec / rows[i].AdaptiveExecSec
 	}
 	return rows, nil
 }

@@ -18,21 +18,28 @@ type BatchRow struct {
 	ThroughputIPS    float64 // inferences per second
 }
 
-// BatchScaling runs ResNet-50 at batch sizes 1..64 on Simba and SPACX.
+// BatchScaling runs ResNet-50 at batch sizes 1..64 on Simba and SPACX. The
+// (batch, accelerator) grid runs across the worker pool.
 func BatchScaling() ([]BatchRow, error) {
 	base := dnn.ResNet50()
 	accs := []sim.Accelerator{sim.SimbaAccel(), sim.SPACXAccel()}
-	var rows []BatchRow
-	for _, b := range []int{1, 4, 16, 64} {
+	batches := []int{1, 4, 16, 64}
+	models := make([]dnn.Model, len(batches))
+	for bi, b := range batches {
 		m := dnn.Model{Name: base.Name}
 		for _, l := range base.Layers {
 			m.Layers = append(m.Layers, l.WithBatch(b))
 		}
-		for _, acc := range accs {
-			r, err := sim.Run(acc, m, sim.WholeInference)
-			if err != nil {
-				return nil, err
-			}
+		models[bi] = m
+	}
+	grid, err := runGrid(models, accs, sim.WholeInference)
+	if err != nil {
+		return nil, err
+	}
+	var rows []BatchRow
+	for bi, b := range batches {
+		for ai, acc := range accs {
+			r := grid[bi][ai]
 			rows = append(rows, BatchRow{
 				Accel: acc.Name(), Batch: b,
 				ExecSec:          r.ExecSec,

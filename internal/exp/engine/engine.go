@@ -1,0 +1,130 @@
+// Package engine is the concurrent sweep machinery behind the experiment
+// drivers in internal/exp: a worker-pool map whose results are
+// index-addressed (so a parallel sweep emits bit-identical output to the
+// sequential one), and a memoization cache for repeated deterministic
+// evaluations such as dataflow mapping searches.
+//
+// Every driver follows the same shape: enumerate the sweep grid up front,
+// evaluate each independent point through Map, then fold the index-addressed
+// results sequentially into rows. Normalizations, arithmetic means, and any
+// other cross-point arithmetic live in the fold, so the floating-point
+// operation order never depends on goroutine scheduling.
+package engine
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Map evaluates fn(0) .. fn(n-1) on up to workers goroutines and returns the
+// results in index order. workers <= 0 means runtime.GOMAXPROCS(0); a single
+// worker runs inline with no goroutines. Every index is evaluated even when
+// some fail, and the error of the lowest failing index is returned — the
+// same error a sequential run-to-completion loop would report, regardless of
+// scheduling.
+func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := ForEach(workers, n, func(i int) error {
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ForEach is Map without result collection: fn(i) runs once per index across
+// the worker pool, and the lowest-index error is returned.
+func ForEach(workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	errs := make([]error, n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			errs[i] = fn(i)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= n {
+						return
+					}
+					errs[i] = fn(i)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Cache memoizes a deterministic computation per comparable key. Concurrent
+// callers of the same key share one computation (the rest block until it
+// finishes), so a sweep that revisits a (config, layer, mode) point pays for
+// it once. Errors are cached like values: a deterministic computation that
+// failed once will fail identically every time.
+type Cache[K comparable, V any] struct {
+	mu sync.Mutex
+	m  map[K]*cacheEntry[V]
+}
+
+type cacheEntry[V any] struct {
+	once sync.Once
+	v    V
+	err  error
+}
+
+// Do returns the cached result for key, computing and storing it on first
+// use.
+func (c *Cache[K, V]) Do(key K, compute func() (V, error)) (V, error) {
+	c.mu.Lock()
+	if c.m == nil {
+		c.m = make(map[K]*cacheEntry[V])
+	}
+	e, ok := c.m[key]
+	if !ok {
+		e = &cacheEntry[V]{}
+		c.m[key] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() { e.v, e.err = compute() })
+	return e.v, e.err
+}
+
+// Len reports how many keys have been interned (including in-flight ones).
+func (c *Cache[K, V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
+
+// Reset drops every memoized entry.
+func (c *Cache[K, V]) Reset() {
+	c.mu.Lock()
+	c.m = nil
+	c.mu.Unlock()
+}

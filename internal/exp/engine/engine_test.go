@@ -1,0 +1,151 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapOrderIndependentOfWorkers(t *testing.T) {
+	n := 257
+	want := make([]int, n)
+	for i := range want {
+		want[i] = i * i
+	}
+	for _, workers := range []int{0, 1, 2, 7, 64, n + 5} {
+		got, err := Map(workers, n, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: got[%d] = %d, want %d", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestMapReturnsLowestIndexError(t *testing.T) {
+	failAt := map[int]bool{3: true, 40: true, 97: true}
+	for _, workers := range []int{1, 8} {
+		_, err := Map(workers, 100, func(i int) (int, error) {
+			if failAt[i] {
+				return 0, fmt.Errorf("point %d failed", i)
+			}
+			return i, nil
+		})
+		if err == nil || err.Error() != "point 3 failed" {
+			t.Errorf("workers=%d: err = %v, want the lowest-index failure", workers, err)
+		}
+	}
+}
+
+func TestMapEveryIndexRunsDespiteErrors(t *testing.T) {
+	var ran atomic.Int64
+	_, err := Map(4, 50, func(i int) (int, error) {
+		ran.Add(1)
+		if i == 0 {
+			return 0, errors.New("first point fails")
+		}
+		return i, nil
+	})
+	if err == nil {
+		t.Fatal("expected an error")
+	}
+	if ran.Load() != 50 {
+		t.Errorf("ran %d of 50 points; errors must not skip work", ran.Load())
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	if err := ForEach(4, 0, func(int) error { return errors.New("never") }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMapUsesBoundedWorkers(t *testing.T) {
+	var inFlight, peak atomic.Int64
+	workers := 3
+	_, err := Map(workers, 64, func(i int) (int, error) {
+		cur := inFlight.Add(1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		runtime.Gosched()
+		inFlight.Add(-1)
+		return i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peak.Load() > int64(workers) {
+		t.Errorf("peak concurrency %d exceeds worker bound %d", peak.Load(), workers)
+	}
+}
+
+func TestCacheComputesOncePerKey(t *testing.T) {
+	var c Cache[int, int]
+	var computes atomic.Int64
+	err := ForEach(8, 100, func(i int) error {
+		v, err := c.Do(i%5, func() (int, error) {
+			computes.Add(1)
+			return (i % 5) * 10, nil
+		})
+		if err != nil {
+			return err
+		}
+		if v != (i%5)*10 {
+			return fmt.Errorf("key %d: got %d", i%5, v)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if computes.Load() != 5 {
+		t.Errorf("computed %d times for 5 keys", computes.Load())
+	}
+	if c.Len() != 5 {
+		t.Errorf("cache holds %d keys, want 5", c.Len())
+	}
+}
+
+func TestCacheCachesErrors(t *testing.T) {
+	var c Cache[string, int]
+	var computes int
+	for i := 0; i < 3; i++ {
+		_, err := c.Do("k", func() (int, error) {
+			computes++
+			return 0, errors.New("deterministic failure")
+		})
+		if err == nil {
+			t.Fatal("expected the cached error")
+		}
+	}
+	if computes != 1 {
+		t.Errorf("failing computation ran %d times, want 1", computes)
+	}
+}
+
+func TestCacheReset(t *testing.T) {
+	var c Cache[int, int]
+	if _, err := c.Do(1, func() (int, error) { return 1, nil }); err != nil {
+		t.Fatal(err)
+	}
+	c.Reset()
+	if c.Len() != 0 {
+		t.Errorf("len after reset = %d", c.Len())
+	}
+	recomputed := false
+	if _, err := c.Do(1, func() (int, error) { recomputed = true; return 1, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if !recomputed {
+		t.Error("reset did not drop the entry")
+	}
+}

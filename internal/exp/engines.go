@@ -2,6 +2,7 @@ package exp
 
 import (
 	"spacx/internal/dnn"
+	"spacx/internal/exp/engine"
 	"spacx/internal/sim"
 )
 
@@ -16,28 +17,51 @@ type EngineRow struct {
 	Ratio         float64 // detailed / analytical
 }
 
-// EngineAgreement runs both engines over the four benchmarks.
+// EngineAgreement runs both engines over the four benchmarks. Every (model,
+// layer) point is independent, so the flattened layer list runs across the
+// worker pool; the per-model sums fold sequentially in layer order.
 func EngineAgreement() ([]EngineRow, error) {
 	acc := sim.SPACXAccel()
-	var rows []EngineRow
-	for _, m := range dnn.Benchmarks() {
-		var analytical, detailed float64
+	models := dnn.Benchmarks()
+
+	type task struct {
+		model int
+		layer dnn.Layer
+	}
+	var tasks []task
+	for mi, m := range models {
 		for _, l := range m.Layers {
-			a, err := sim.RunLayer(acc, l, sim.WholeInference)
-			if err != nil {
-				return nil, err
-			}
-			d, err := sim.RunLayerDetailed(acc, l, sim.WholeInference)
-			if err != nil {
-				return nil, err
-			}
-			analytical += a.ExecSec * float64(l.Repeat)
-			detailed += d.ExecSec * float64(l.Repeat)
+			tasks = append(tasks, task{mi, l})
 		}
-		rows = append(rows, EngineRow{
-			Model: m.Name, AnalyticalSec: analytical, DetailedSec: detailed,
-			Ratio: detailed / analytical,
-		})
+	}
+	type pair struct{ a, d float64 }
+	pairs, err := engine.Map(parallelism, len(tasks), func(i int) (pair, error) {
+		l := tasks[i].layer
+		a, err := runLayerCached(acc, l, sim.WholeInference)
+		if err != nil {
+			return pair{}, err
+		}
+		d, err := runLayerDetailedCached(acc, l, sim.WholeInference)
+		if err != nil {
+			return pair{}, err
+		}
+		return pair{a.ExecSec, d.ExecSec}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	rows := make([]EngineRow, len(models))
+	for mi, m := range models {
+		rows[mi] = EngineRow{Model: m.Name}
+	}
+	for ti, t := range tasks {
+		rep := float64(t.layer.Repeat)
+		rows[t.model].AnalyticalSec += pairs[ti].a * rep
+		rows[t.model].DetailedSec += pairs[ti].d * rep
+	}
+	for i := range rows {
+		rows[i].Ratio = rows[i].DetailedSec / rows[i].AnalyticalSec
 	}
 	return rows, nil
 }

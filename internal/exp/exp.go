@@ -4,12 +4,7 @@
 // them under `go test -bench`.
 package exp
 
-import (
-	"fmt"
-
-	"spacx/internal/dnn"
-	"spacx/internal/sim"
-)
+import "spacx/internal/sim"
 
 // AccelRow is one (model, accelerator) measurement normalized to Simba.
 type AccelRow struct {
@@ -28,27 +23,13 @@ type AccelRow struct {
 	EnergyNorm float64
 }
 
-// runTriple executes all three evaluation accelerators on a model.
-func runTriple(m dnn.Model, mode sim.Mode) ([]AccelRow, error) {
-	accs := sim.EvalAccelerators()
-	rows := make([]AccelRow, 0, len(accs))
-	var baseExec, baseEnergy float64
-	for i, acc := range accs {
-		r, err := sim.Run(acc, m, mode)
-		if err != nil {
-			return nil, fmt.Errorf("exp: %s on %s: %w", m.Name, acc.Name(), err)
-		}
-		row := AccelRow{
-			Model: m.Name, Accel: acc.Name(),
-			ExecSec: r.ExecSec, ComputeSec: r.ComputeSec, CommSec: r.CommSec,
-			EnergyJ: r.TotalEnergy, NetworkJ: r.NetworkEnergy, OtherJ: r.ComputeEnergy,
-		}
-		if i == 0 {
-			baseExec, baseEnergy = r.ExecSec, r.TotalEnergy
-		}
-		row.ExecNorm = row.ExecSec / baseExec
-		row.EnergyNorm = row.EnergyJ / baseEnergy
-		rows = append(rows, row)
+// accelRow folds one grid result into a row; the first accelerator of a
+// model (index 0) is the normalization baseline.
+func accelRow(model string, accel string, r sim.ModelResult, baseExec, baseEnergy float64) AccelRow {
+	return AccelRow{
+		Model: model, Accel: accel,
+		ExecSec: r.ExecSec, ComputeSec: r.ComputeSec, CommSec: r.CommSec,
+		EnergyJ: r.TotalEnergy, NetworkJ: r.NetworkEnergy, OtherJ: r.ComputeEnergy,
+		ExecNorm: r.ExecSec / baseExec, EnergyNorm: r.TotalEnergy / baseEnergy,
 	}
-	return rows, nil
 }

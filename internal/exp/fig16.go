@@ -5,6 +5,7 @@ import (
 
 	"spacx/internal/dnn"
 	"spacx/internal/eventsim"
+	"spacx/internal/exp/engine"
 	"spacx/internal/network"
 	"spacx/internal/obs"
 	"spacx/internal/sim"
@@ -47,7 +48,7 @@ func loadFor(acc sim.Accelerator, m dnn.Model) (fig16Load, error) {
 	out.broadcast = caps.CrossChipletBroadcast || caps.SingleChipletBroadcast
 	var injected, received int64
 	for _, l := range m.Layers {
-		r, err := sim.RunLayer(acc, l, sim.WholeInference)
+		r, err := runLayerCached(acc, l, sim.WholeInference)
 		if err != nil {
 			return fig16Load{}, err
 		}
@@ -177,30 +178,42 @@ func NetworkProbe(acc sim.Accelerator, m dnn.Model, packets int, rec obs.Recorde
 // Fig16 runs the packet-level latency/throughput study for the four DNN
 // models on the three accelerators. Packet sources inject each accelerator's
 // own traffic volume over its own execution window (a sampled fraction, to
-// keep event counts tractable) through its station pipeline.
+// keep event counts tractable) through its station pipeline. Each of the
+// twelve event simulations is independent (its own seeded eventsim.Sim), so
+// they run across the worker pool; the seeds depend only on the accelerator
+// index, keeping every run identical at any worker count.
 func Fig16(packetsPerRun int) ([]Fig16Row, error) {
 	if packetsPerRun <= 0 {
 		packetsPerRun = 20000
 	}
+	models := dnn.Benchmarks()
+	accs := sim.EvalAccelerators()
+	results, err := engine.Map(parallelism, len(models)*len(accs), func(i int) (eventsim.Stats, error) {
+		m, ai := models[i/len(accs)], i%len(accs)
+		acc := accs[ai]
+		var stats eventsim.Stats
+		err := point("fig16", func() error {
+			var err error
+			stats, err = packetRun(acc, m, packetsPerRun, 0xC0FFEE+uint64(ai), recorder)
+			return err
+		}, "model", m.Name, "accel", acc.Name())
+		return stats, err
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	var rows []Fig16Row
-	for _, m := range dnn.Benchmarks() {
+	for mi, m := range models {
 		var baseLat, baseTp float64
-		for i, acc := range sim.EvalAccelerators() {
-			var stats eventsim.Stats
-			err := point("fig16", func() error {
-				var err error
-				stats, err = packetRun(acc, m, packetsPerRun, 0xC0FFEE+uint64(i), recorder)
-				return err
-			}, "model", m.Name, "accel", acc.Name())
-			if err != nil {
-				return nil, err
-			}
+		for ai, acc := range accs {
+			stats := results[mi*len(accs)+ai]
 			row := Fig16Row{
 				Model: m.Name, Accel: acc.Name(),
 				MeanLatencySec: stats.MeanLatency(),
 				ThroughputPps:  stats.Throughput(),
 			}
-			if i == 0 {
+			if ai == 0 {
 				baseLat, baseTp = row.MeanLatencySec, row.ThroughputPps
 			}
 			row.LatencyNorm = row.MeanLatencySec / baseLat

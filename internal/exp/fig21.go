@@ -2,6 +2,7 @@ package exp
 
 import (
 	"spacx/internal/dnn"
+	"spacx/internal/exp/engine"
 	"spacx/internal/photonic"
 	"spacx/internal/sim"
 )
@@ -31,10 +32,6 @@ type Fig21b struct {
 
 // Fig21a runs the five accelerator variants on the four models (plus A.M.).
 func Fig21a() ([]Fig21aRow, error) {
-	type variant struct {
-		name string
-		acc  sim.Accelerator
-	}
 	spxMod, err := sim.SPACXAccelCustom(32, 32, 8, 16, photonic.Moderate(), true)
 	if err != nil {
 		return nil, err
@@ -43,37 +40,46 @@ func Fig21a() ([]Fig21aRow, error) {
 	if err != nil {
 		return nil, err
 	}
-	variants := []variant{
-		{"Simba", sim.SimbaAccel()},
-		{"POPSTAR (moderate)", sim.POPSTARAccel()},
-		{"POPSTAR (aggressive)", sim.POPSTARAccelParams(photonic.Aggressive())},
-		{"SPACX (moderate)", spxMod},
-		{"SPACX (aggressive)", spxAgg},
+	names := []string{
+		"Simba",
+		"POPSTAR (moderate)",
+		"POPSTAR (aggressive)",
+		"SPACX (moderate)",
+		"SPACX (aggressive)",
+	}
+	accs := []sim.Accelerator{
+		sim.SimbaAccel(),
+		sim.POPSTARAccel(),
+		sim.POPSTARAccelParams(photonic.Aggressive()),
+		spxMod,
+		spxAgg,
+	}
+	models := dnn.Benchmarks()
+	grid, err := runGrid(models, accs, sim.WholeInference)
+	if err != nil {
+		return nil, err
 	}
 	var rows []Fig21aRow
 	sums := map[string]*Fig21aRow{}
 	order := []string{}
-	for _, m := range dnn.Benchmarks() {
+	for mi, m := range models {
 		var base float64
-		for i, v := range variants {
-			r, err := sim.Run(v.acc, m, sim.WholeInference)
-			if err != nil {
-				return nil, err
-			}
-			if i == 0 {
+		for ai, name := range names {
+			r := grid[mi][ai]
+			if ai == 0 {
 				base = r.TotalEnergy
 			}
 			row := Fig21aRow{
-				Model: m.Name, Accel: v.name,
+				Model: m.Name, Accel: name,
 				NetworkJ: r.NetworkEnergy, OtherJ: r.ComputeEnergy,
 				EnergyJ: r.TotalEnergy, EnergyNorm: r.TotalEnergy / base,
 			}
 			rows = append(rows, row)
-			s, ok := sums[v.name]
+			s, ok := sums[name]
 			if !ok {
-				s = &Fig21aRow{Model: "A.M.", Accel: v.name}
-				sums[v.name] = s
-				order = append(order, v.name)
+				s = &Fig21aRow{Model: "A.M.", Accel: name}
+				sums[name] = s
+				order = append(order, name)
 			}
 			s.EnergyNorm += row.EnergyNorm / 4
 		}
@@ -87,24 +93,24 @@ func Fig21a() ([]Fig21aRow, error) {
 // Fig21bBreakdown computes the SPACX network-energy split for a ResNet-50
 // pass under both photonic parameter sets.
 func Fig21bBreakdown() ([]Fig21b, error) {
-	var out []Fig21b
-	for _, p := range []photonic.Params{photonic.Moderate(), photonic.Aggressive()} {
+	params := []photonic.Params{photonic.Moderate(), photonic.Aggressive()}
+	return engine.Map(parallelism, len(params), func(i int) (Fig21b, error) {
+		p := params[i]
 		acc, err := sim.SPACXAccelCustom(32, 32, 8, 16, p, true)
 		if err != nil {
-			return nil, err
+			return Fig21b{}, err
 		}
-		r, err := sim.Run(acc, dnn.ResNet50(), sim.WholeInference)
+		r, err := runModelCached(acc, dnn.ResNet50(), sim.WholeInference)
 		if err != nil {
-			return nil, err
+			return Fig21b{}, err
 		}
-		out = append(out, Fig21b{
+		return Fig21b{
 			Params:   p.Name,
 			EOJ:      r.NetDynamic.EO,
 			OEJ:      r.NetDynamic.OE,
 			HeatingJ: r.NetStaticJ.Heating,
 			LaserJ:   r.NetStaticJ.Laser,
 			TotalJ:   r.NetworkEnergy,
-		})
-	}
-	return out, nil
+		}, nil
+	})
 }

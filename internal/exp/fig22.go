@@ -2,6 +2,7 @@ package exp
 
 import (
 	"spacx/internal/dnn"
+	"spacx/internal/exp/engine"
 	"spacx/internal/photonic"
 	"spacx/internal/sim"
 )
@@ -22,7 +23,11 @@ type Fig22Row struct {
 }
 
 // Fig22 sweeps the chiplet count and PE count as in the paper: M in
-// {16, 32, 64} with N=32, and N in {16, 32, 64} with M=32.
+// {16, 32, 64} with N=32, and N in {16, 32, 64} with M=32. The fifteen
+// (size, accelerator) points run across the worker pool; observed runs keep
+// their per-point recorder instrumentation (the obs registry is
+// mutex-guarded, and per-point timers are started and stopped on the same
+// goroutine).
 func Fig22() ([]Fig22Row, error) {
 	res := dnn.ResNet50()
 	sizes := [][2]int{{16, 32}, {32, 32}, {64, 32}, {32, 16}, {32, 64}}
@@ -31,40 +36,46 @@ func Fig22() ([]Fig22Row, error) {
 	if err != nil {
 		return nil, err
 	}
-	base, err := sim.Run(baseAcc, res, sim.WholeInference)
+	base, err := runModelCached(baseAcc, res, sim.WholeInference)
 	if err != nil {
 		return nil, err
 	}
 
-	var rows []Fig22Row
+	type task struct {
+		m, n int
+		acc  sim.Accelerator
+	}
+	var tasks []task
 	for _, mn := range sizes {
 		m, n := mn[0], mn[1]
 		spx, err := sim.SPACXAccelCustom(m, n, 8, 16, photonic.Moderate(), true)
 		if err != nil {
 			return nil, err
 		}
-		accs := []sim.Accelerator{
+		for _, acc := range []sim.Accelerator{
 			sim.SimbaAccelSized(m, n),
 			sim.POPSTARAccelSized(m, n),
 			spx,
-		}
-		for _, acc := range accs {
-			var r sim.ModelResult
-			err := point("fig22", func() error {
-				var err error
-				r, err = sim.RunObserved(acc, res, sim.WholeInference, recorder)
-				return err
-			}, "m", m, "n", n, "accel", acc.Name())
-			if err != nil {
-				return nil, err
-			}
-			rows = append(rows, Fig22Row{
-				M: m, N: n, Accel: acc.Name(),
-				ExecSec: r.ExecSec, EnergyJ: r.TotalEnergy,
-				ExecNorm:   r.ExecSec / base.ExecSec,
-				EnergyNorm: r.TotalEnergy / base.TotalEnergy,
-			})
+		} {
+			tasks = append(tasks, task{m, n, acc})
 		}
 	}
-	return rows, nil
+	return engine.Map(parallelism, len(tasks), func(i int) (Fig22Row, error) {
+		t := tasks[i]
+		var r sim.ModelResult
+		err := point("fig22", func() error {
+			var err error
+			r, err = sim.RunObserved(t.acc, res, sim.WholeInference, recorder)
+			return err
+		}, "m", t.m, "n", t.n, "accel", t.acc.Name())
+		if err != nil {
+			return Fig22Row{}, err
+		}
+		return Fig22Row{
+			M: t.m, N: t.n, Accel: t.acc.Name(),
+			ExecSec: r.ExecSec, EnergyJ: r.TotalEnergy,
+			ExecNorm:   r.ExecSec / base.ExecSec,
+			EnergyNorm: r.TotalEnergy / base.TotalEnergy,
+		}, nil
+	})
 }

@@ -5,6 +5,7 @@ import (
 
 	"spacx/internal/dataflow"
 	"spacx/internal/dnn"
+	"spacx/internal/exp/engine"
 	"spacx/internal/network/spacxnet"
 	"spacx/internal/obs"
 	"spacx/internal/photonic"
@@ -31,30 +32,42 @@ type LayerRow struct {
 
 // Fig13And14 runs the per-layer experiment of Figures 13 and 14: every
 // unique ResNet-50 and VGG-16 layer executed layer-by-layer (data initially
-// in DRAM) on all three accelerators.
+// in DRAM) on all three accelerators. The (layer, accelerator) grid is
+// evaluated across the worker pool; the normalization fold below walks it in
+// the sequential order.
 func Fig13And14() ([]LayerRow, error) {
-	var rows []LayerRow
-	label := 0
+	accs := sim.EvalAccelerators()
+	var layers []dnn.Layer
 	for _, m := range []dnn.Model{dnn.ResNet50(), dnn.VGG16()} {
-		for _, l := range m.Layers {
-			label++
-			var baseExec, baseEnergy float64
-			for i, acc := range sim.EvalAccelerators() {
-				r, err := sim.RunLayer(acc, l, sim.LayerByLayer)
-				if err != nil {
-					return nil, fmt.Errorf("exp: fig13 %s on %s: %w", l.Name, acc.Name(), err)
-				}
-				if i == 0 {
-					baseExec, baseEnergy = r.ExecSec, r.TotalEnergy
-				}
-				rows = append(rows, LayerRow{
-					Label: fmt.Sprintf("L%d", label), Layer: l.Name, Accel: acc.Name(),
-					ComputeSec: r.ComputeSec, CommSec: r.CommSec, ExecSec: r.ExecSec,
-					ExecNorm: r.ExecSec / baseExec,
-					NetworkJ: r.NetworkEnergy, OtherJ: r.ComputeEnergy, EnergyJ: r.TotalEnergy,
-					EnergyNorm: r.TotalEnergy / baseEnergy,
-				})
+		layers = append(layers, m.Layers...)
+	}
+	results, err := engine.Map(parallelism, len(layers)*len(accs), func(i int) (sim.LayerResult, error) {
+		l, acc := layers[i/len(accs)], accs[i%len(accs)]
+		r, err := runLayerCached(acc, l, sim.LayerByLayer)
+		if err != nil {
+			return sim.LayerResult{}, fmt.Errorf("exp: fig13 %s on %s: %w", l.Name, acc.Name(), err)
+		}
+		return r, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var rows []LayerRow
+	for li, l := range layers {
+		var baseExec, baseEnergy float64
+		for ai, acc := range accs {
+			r := results[li*len(accs)+ai]
+			if ai == 0 {
+				baseExec, baseEnergy = r.ExecSec, r.TotalEnergy
 			}
+			rows = append(rows, LayerRow{
+				Label: fmt.Sprintf("L%d", li+1), Layer: l.Name, Accel: acc.Name(),
+				ComputeSec: r.ComputeSec, CommSec: r.CommSec, ExecSec: r.ExecSec,
+				ExecNorm: r.ExecSec / baseExec,
+				NetworkJ: r.NetworkEnergy, OtherJ: r.ComputeEnergy, EnergyJ: r.TotalEnergy,
+				EnergyNorm: r.TotalEnergy / baseEnergy,
+			})
 		}
 	}
 	return rows, nil
@@ -64,26 +77,34 @@ func Fig13And14() ([]LayerRow, error) {
 // four DNN models on the three accelerators, normalized to Simba, plus the
 // arithmetic-mean rows.
 func Fig15() ([]AccelRow, error) {
+	models := dnn.Benchmarks()
+	accs := sim.EvalAccelerators()
+	grid, err := runGrid(models, accs, sim.WholeInference)
+	if err != nil {
+		return nil, err
+	}
 	var rows []AccelRow
 	sums := map[string]*AccelRow{}
 	order := []string{}
-	for _, m := range dnn.Benchmarks() {
-		triple, err := runTriple(m, sim.WholeInference)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, triple...)
-		for _, r := range triple {
-			s, ok := sums[r.Accel]
-			if !ok {
-				s = &AccelRow{Model: "A.M.", Accel: r.Accel}
-				sums[r.Accel] = s
-				order = append(order, r.Accel)
+	for mi, m := range models {
+		var baseExec, baseEnergy float64
+		for ai, acc := range accs {
+			r := grid[mi][ai]
+			if ai == 0 {
+				baseExec, baseEnergy = r.ExecSec, r.TotalEnergy
 			}
-			s.ExecNorm += r.ExecNorm / 4
-			s.EnergyNorm += r.EnergyNorm / 4
-			s.ExecSec += r.ExecSec
-			s.EnergyJ += r.EnergyJ
+			row := accelRow(m.Name, acc.Name(), r, baseExec, baseEnergy)
+			rows = append(rows, row)
+			s, ok := sums[row.Accel]
+			if !ok {
+				s = &AccelRow{Model: "A.M.", Accel: row.Accel}
+				sums[row.Accel] = s
+				order = append(order, row.Accel)
+			}
+			s.ExecNorm += row.ExecNorm / 4
+			s.EnergyNorm += row.EnergyNorm / 4
+			s.ExecSec += row.ExecSec
+			s.EnergyJ += row.EnergyJ
 		}
 	}
 	for _, a := range order {
@@ -96,25 +117,26 @@ func Fig15() ([]AccelRow, error) {
 // (whole-inference), normalized to WS, with A.M. rows.
 func Fig17() ([]AccelRow, error) {
 	dfs := []dataflow.Dataflow{dataflow.WS{}, dataflow.OSEF{}, dataflow.SPACX{BandwidthAllocation: true}}
+	accs := make([]sim.Accelerator, len(dfs))
+	for i, df := range dfs {
+		accs[i] = sim.SPACXArchWithDataflow(df)
+	}
+	models := dnn.Benchmarks()
+	grid, err := runGrid(models, accs, sim.WholeInference)
+	if err != nil {
+		return nil, err
+	}
 	var rows []AccelRow
 	sums := map[string]*AccelRow{}
 	order := []string{}
-	for _, m := range dnn.Benchmarks() {
+	for mi, m := range models {
 		var baseExec, baseEnergy float64
-		for i, df := range dfs {
-			r, err := sim.Run(sim.SPACXArchWithDataflow(df), m, sim.WholeInference)
-			if err != nil {
-				return nil, err
-			}
-			if i == 0 {
+		for di, df := range dfs {
+			r := grid[mi][di]
+			if di == 0 {
 				baseExec, baseEnergy = r.ExecSec, r.TotalEnergy
 			}
-			row := AccelRow{
-				Model: m.Name, Accel: df.Name(),
-				ExecSec: r.ExecSec, EnergyJ: r.TotalEnergy,
-				NetworkJ: r.NetworkEnergy, OtherJ: r.ComputeEnergy,
-				ExecNorm: r.ExecSec / baseExec, EnergyNorm: r.TotalEnergy / baseEnergy,
-			}
+			row := accelRow(m.Name, df.Name(), r, baseExec, baseEnergy)
 			rows = append(rows, row)
 			s, ok := sums[row.Accel]
 			if !ok {
@@ -137,25 +159,22 @@ func Fig17() ([]AccelRow, error) {
 func Fig18() ([]AccelRow, error) {
 	accs := []sim.Accelerator{sim.SimbaAccel(), sim.SPACXAccel(), sim.SPACXAccelNoBA()}
 	names := []string{"Simba", "SPACX", "SPACX-BA"}
+	models := dnn.Benchmarks()
+	grid, err := runGrid(models, accs, sim.WholeInference)
+	if err != nil {
+		return nil, err
+	}
 	var rows []AccelRow
 	sums := map[string]*AccelRow{}
 	order := []string{}
-	for _, m := range dnn.Benchmarks() {
+	for mi, m := range models {
 		var baseExec, baseEnergy float64
-		for i, acc := range accs {
-			r, err := sim.Run(acc, m, sim.WholeInference)
-			if err != nil {
-				return nil, err
-			}
-			if i == 0 {
+		for ai := range accs {
+			r := grid[mi][ai]
+			if ai == 0 {
 				baseExec, baseEnergy = r.ExecSec, r.TotalEnergy
 			}
-			row := AccelRow{
-				Model: m.Name, Accel: names[i],
-				ExecSec: r.ExecSec, ComputeSec: r.ComputeSec, CommSec: r.CommSec,
-				EnergyJ: r.TotalEnergy, NetworkJ: r.NetworkEnergy, OtherJ: r.ComputeEnergy,
-				ExecNorm: r.ExecSec / baseExec, EnergyNorm: r.TotalEnergy / baseEnergy,
-			}
+			row := accelRow(m.Name, names[ai], r, baseExec, baseEnergy)
 			rows = append(rows, row)
 			s, ok := sums[row.Accel]
 			if !ok {
@@ -184,18 +203,35 @@ func Fig20() ([]spacxnet.PowerPoint, error) {
 }
 
 // PowerSweep is the Figures 19/20 broadcast-granularity power sweep at
-// arbitrary scale, reporting per-point progress and the sweep duration
-// through the package recorder (cmd/spacx-sweep's -v and -metrics).
+// arbitrary scale: the (gK, gEF) grid is evaluated across the worker pool in
+// the row-major order of spacxnet.PowerSurface, and per-point progress is
+// reported in that order through the package recorder (cmd/spacx-sweep's -v
+// and -metrics).
 func PowerSweep(m, n int, p photonic.Params) ([]spacxnet.PowerPoint, error) {
+	if m <= 0 || n <= 0 {
+		return nil, fmt.Errorf("exp: power sweep needs positive M, N; got %d, %d", m, n)
+	}
 	var pts []spacxnet.PowerPoint
 	err := point("power", func() error {
+		grid := spacxnet.GranularityGrid(m, n)
 		var err error
-		pts, err = spacxnet.PowerSurfaceFunc(m, n, p, func(pt spacxnet.PowerPoint) {
+		pts, err = engine.Map(parallelism, len(grid), func(i int) (spacxnet.PowerPoint, error) {
+			gk, gef := grid[i][0], grid[i][1]
+			c, err := spacxnet.New(m, n, gef, gk, p)
+			if err != nil {
+				return spacxnet.PowerPoint{}, err
+			}
+			return spacxnet.PowerPoint{GK: gk, GEF: gef, PowerBreakdown: c.Power()}, nil
+		})
+		if err != nil {
+			return err
+		}
+		for _, pt := range pts {
 			recorder.Count("spacx_exp_points_total", 1, obs.Label{Key: "sweep", Value: "power-point"})
 			recorder.Logger().Debug("power point",
 				"gk", pt.GK, "gef", pt.GEF, "overallW", pt.OverallW())
-		})
-		return err
+		}
+		return nil
 	}, "m", m, "n", n, "params", p.Name)
 	return pts, err
 }

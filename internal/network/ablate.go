@@ -40,4 +40,15 @@ func (n NoBroadcast) StaticPower() StaticParts { return n.Inner.StaticPower() }
 // PacketLatency delegates unchanged.
 func (n NoBroadcast) PacketLatency(f Flow) float64 { return n.Inner.PacketLatency(f) }
 
+// Fingerprint wraps the inner model's fingerprint; empty (never cached) when
+// the inner model has none.
+func (n NoBroadcast) Fingerprint() string {
+	fp, ok := FingerprintOf(n.Inner)
+	if !ok {
+		return ""
+	}
+	return "nobcast(" + fp + ")"
+}
+
 var _ Model = NoBroadcast{}
+var _ Fingerprinter = NoBroadcast{}

@@ -83,6 +83,10 @@ func (m *Model) Caps() network.Caps { return network.Caps{} }
 // Config returns the underlying configuration.
 func (m *Model) Config() Config { return m.cfg }
 
+// Fingerprint implements network.Fingerprinter: the flat config struct is
+// the complete behavioral description of the mesh.
+func (m *Model) Fingerprint() string { return fmt.Sprintf("emesh%+v", m.cfg) }
+
 // meshDims returns the near-square factorization used for hop counting.
 func meshDims(n int) (rows, cols int) {
 	rows = int(math.Sqrt(float64(n)))

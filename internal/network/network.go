@@ -179,3 +179,24 @@ type Model interface {
 	// one small packet travelling the flow's path.
 	PacketLatency(f Flow) float64
 }
+
+// Fingerprinter is optionally implemented by network models that can render
+// their entire configuration as a deterministic string. Memoizing sweep
+// engines (internal/exp/engine) key result caches on it; two models with
+// equal fingerprints must produce identical times, energies, and caps for
+// every flow. The empty string means "no fingerprint": such a model is never
+// cached.
+type Fingerprinter interface {
+	Fingerprint() string
+}
+
+// FingerprintOf returns m's configuration fingerprint, or ok=false when the
+// model does not advertise one (or advertises an empty one).
+func FingerprintOf(m Model) (fp string, ok bool) {
+	f, isFP := m.(Fingerprinter)
+	if !isFP {
+		return "", false
+	}
+	fp = f.Fingerprint()
+	return fp, fp != ""
+}

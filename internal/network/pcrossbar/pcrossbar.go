@@ -101,6 +101,10 @@ func (m *Model) Caps() network.Caps { return network.Caps{} }
 // Config returns the underlying configuration.
 func (m *Model) Config() Config { return m.cfg }
 
+// Fingerprint implements network.Fingerprinter: the config (photonic
+// parameter set included) fully determines the model's behavior.
+func (m *Model) Fingerprint() string { return fmt.Sprintf("pcrossbar%+v", m.cfg) }
+
 const bitsPerByte = 8
 
 func meshDims(n int) (rows, cols int) {

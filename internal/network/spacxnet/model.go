@@ -1,6 +1,8 @@
 package spacxnet
 
 import (
+	"fmt"
+
 	"spacx/internal/network"
 	"spacx/internal/photonic"
 )
@@ -33,6 +35,10 @@ func MustModel(cfg Config) *Model {
 
 // Config returns the underlying configuration.
 func (m *Model) Config() Config { return m.cfg }
+
+// Fingerprint implements network.Fingerprinter: the config (geometry and
+// photonic parameter set included) fully determines the model's behavior.
+func (m *Model) Fingerprint() string { return fmt.Sprintf("spacxnet%+v", m.cfg) }
 
 func (m *Model) Name() string { return "SPACX" }
 

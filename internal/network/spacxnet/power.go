@@ -150,13 +150,12 @@ func PowerSurface(m, n int, params photonic.Params) ([]PowerPoint, error) {
 	return PowerSurfaceFunc(m, n, params, nil)
 }
 
-// PowerSurfaceFunc is PowerSurface with a per-point visit callback (nil to
-// disable), letting sweep drivers report progress as points complete.
-func PowerSurfaceFunc(m, n int, params photonic.Params, visit func(PowerPoint)) ([]PowerPoint, error) {
-	if m <= 0 || n <= 0 {
-		return nil, fmt.Errorf("spacxnet: power surface needs positive M, N; got %d, %d", m, n)
-	}
-	var pts []PowerPoint
+// GranularityGrid enumerates the sweep points of PowerSurface: every
+// power-of-two (gK, gEF) pair dividing (N, M), in row-major gK order. Sweep
+// engines fan the points out and rely on this order for deterministic
+// output. The grid is empty when m or n is non-positive.
+func GranularityGrid(m, n int) [][2]int {
+	var grid [][2]int
 	for gk := 1; gk <= n; gk *= 2 {
 		if n%gk != 0 {
 			continue
@@ -165,15 +164,28 @@ func PowerSurfaceFunc(m, n int, params photonic.Params, visit func(PowerPoint)) 
 			if m%gef != 0 {
 				continue
 			}
-			c, err := New(m, n, gef, gk, params)
-			if err != nil {
-				return nil, err
-			}
-			pt := PowerPoint{GK: gk, GEF: gef, PowerBreakdown: c.Power()}
-			pts = append(pts, pt)
-			if visit != nil {
-				visit(pt)
-			}
+			grid = append(grid, [2]int{gk, gef})
+		}
+	}
+	return grid
+}
+
+// PowerSurfaceFunc is PowerSurface with a per-point visit callback (nil to
+// disable), letting sweep drivers report progress as points complete.
+func PowerSurfaceFunc(m, n int, params photonic.Params, visit func(PowerPoint)) ([]PowerPoint, error) {
+	if m <= 0 || n <= 0 {
+		return nil, fmt.Errorf("spacxnet: power surface needs positive M, N; got %d, %d", m, n)
+	}
+	var pts []PowerPoint
+	for _, g := range GranularityGrid(m, n) {
+		c, err := New(m, n, g[1], g[0], params)
+		if err != nil {
+			return nil, err
+		}
+		pt := PowerPoint{GK: g[0], GEF: g[1], PowerBreakdown: c.Power()}
+		pts = append(pts, pt)
+		if visit != nil {
+			visit(pt)
 		}
 	}
 	return pts, nil

@@ -244,21 +244,57 @@ func Run(acc Accelerator, m dnn.Model, mode Mode) (ModelResult, error) {
 	return RunObserved(acc, m, mode, obs.Nop())
 }
 
+// LayerRunner evaluates one layer instance. RunVia threads a custom runner
+// through the model aggregation so memoizing engines (internal/exp) can
+// substitute cached layer evaluations without duplicating — and risking
+// drift from — the aggregation arithmetic below.
+type LayerRunner func(Accelerator, dnn.Layer, Mode) (LayerResult, error)
+
 // RunObserved is Run with observability threaded through every layer; when
 // rec can snapshot its state (an *obs.Registry), the snapshot is attached to
 // the result's Metrics field.
 func RunObserved(acc Accelerator, m dnn.Model, mode Mode, rec obs.Recorder) (ModelResult, error) {
-	if err := m.Validate(); err != nil {
-		return ModelResult{}, err
-	}
 	enabled := rec.Enabled()
 	if enabled {
+		if err := m.Validate(); err != nil {
+			return ModelResult{}, err
+		}
 		rec.Logger().Debug("sim: run start",
 			"model", m.Name, "accel", acc.Name(), "mode", mode.String(), "layers", len(m.Layers))
 	}
+	res, err := RunVia(acc, m, mode, func(acc Accelerator, l dnn.Layer, mode Mode) (LayerResult, error) {
+		return RunLayerObserved(acc, l, mode, rec)
+	})
+	if err != nil {
+		return ModelResult{}, err
+	}
+	if enabled {
+		rec.Logger().Debug("sim: run done",
+			"model", m.Name, "accel", acc.Name(),
+			"execSec", res.ExecSec, "computeSec", res.ComputeSec,
+			"totalJ", res.TotalEnergy, "networkJ", res.NetworkEnergy)
+		if sn, ok := rec.(obs.Snapshotter); ok {
+			s := sn.Snapshot()
+			res.Metrics = &s
+		}
+	}
+	return res, nil
+}
+
+// RunVia aggregates a full model through the given layer runner (nil means
+// RunLayer). The aggregation order is the layer order of the model, so any
+// deterministic runner — including a memoized one — yields results
+// bit-identical to Run.
+func RunVia(acc Accelerator, m dnn.Model, mode Mode, run LayerRunner) (ModelResult, error) {
+	if run == nil {
+		run = RunLayer
+	}
+	if err := m.Validate(); err != nil {
+		return ModelResult{}, err
+	}
 	res := ModelResult{Model: m.Name, Accel: acc.Name(), Mode: mode}
 	for _, l := range m.Layers {
-		lr, err := RunLayerObserved(acc, l, mode, rec)
+		lr, err := run(acc, l, mode)
 		if err != nil {
 			return ModelResult{}, err
 		}
@@ -278,16 +314,6 @@ func RunObserved(acc Accelerator, m dnn.Model, mode Mode, rec obs.Recorder) (Mod
 		res.NetStaticJ = network.StaticParts{
 			Laser:   res.NetStaticJ.Laser + lr.NetStaticJ.Laser*rep,
 			Heating: res.NetStaticJ.Heating + lr.NetStaticJ.Heating*rep,
-		}
-	}
-	if enabled {
-		rec.Logger().Debug("sim: run done",
-			"model", m.Name, "accel", acc.Name(),
-			"execSec", res.ExecSec, "computeSec", res.ComputeSec,
-			"totalJ", res.TotalEnergy, "networkJ", res.NetworkEnergy)
-		if sn, ok := rec.(obs.Snapshotter); ok {
-			s := sn.Snapshot()
-			res.Metrics = &s
 		}
 	}
 	return res, nil
