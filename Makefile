@@ -1,8 +1,8 @@
 # Convenience targets mirroring .github/workflows/ci.yml.
 
-.PHONY: ci fmt vet build test exp-race cover fuzz bench golden
+.PHONY: ci fmt vet build test exp-race obs-race serve-smoke cover fuzz bench golden
 
-ci: fmt vet build test exp-race cover fuzz bench
+ci: fmt vet build test exp-race obs-race serve-smoke cover fuzz bench
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -21,6 +21,26 @@ test:
 
 exp-race:
 	go test -race -count=1 ./internal/exp/...
+
+obs-race:
+	go test -race -count=1 ./internal/obs/...
+
+# End-to-end smoke of the live observability server and the run ledger:
+# serve a real run, scrape every endpoint, then check the appended record.
+serve-smoke:
+	@go build -o /tmp/spacx-report ./cmd/spacx-report; \
+	rm -f /tmp/runs.jsonl; \
+	/tmp/spacx-report -only table1 -http 127.0.0.1:19793 -http-linger 10s -ledger /tmp/runs.jsonl >/dev/null & \
+	pid=$$!; \
+	for i in $$(seq 1 50); do curl -sf http://127.0.0.1:19793/healthz >/dev/null && break; sleep 0.1; done; \
+	curl -sf http://127.0.0.1:19793/healthz >/dev/null; \
+	curl -sf http://127.0.0.1:19793/progress >/dev/null; \
+	curl -sf http://127.0.0.1:19793/runs >/dev/null; \
+	curl -sf http://127.0.0.1:19793/metrics | grep -qm1 spacx_exp_points_total; \
+	wait $$pid; \
+	test "$$(wc -l < /tmp/runs.jsonl)" -eq 1; \
+	python3 -c "import json; r = json.load(open('/tmp/runs.jsonl')); assert r['schema'] == 1 and r['wall_sec'] > 0 and r['drivers'], r"; \
+	echo "serve smoke ok"
 
 cover:
 	@go test -coverprofile=cover.out ./... > /dev/null; \

@@ -14,8 +14,16 @@
 //
 // Observability: -v logs a structured progress line per experiment point to
 // stderr; -metrics writes the accumulated counters and histograms (Prometheus
-// text format, or JSON when the path ends in .json); -cpuprofile and
-// -memprofile write runtime/pprof profiles.
+// text format, JSON when the path ends in .json, or stdout when the path is
+// "-"); -cpuprofile and -memprofile write runtime/pprof profiles.
+//
+// Live observability: -http addr serves /metrics, /progress, /runs,
+// /healthz, and /debug/pprof/ while the run executes (the server lingers
+// -http-linger after the run for a final scrape); -progress prints a
+// one-line progress ticker to stderr; -ledger path appends one JSON record
+// per run (wall times, per-driver point counts, peak goroutines/heap,
+// histogram quantiles) and -regress ratio fails the run comparison against
+// the previous ledger record to stderr when a driver slowed past the ratio.
 package main
 
 import (
@@ -24,9 +32,13 @@ import (
 	"os"
 	"runtime"
 	"strings"
+	"time"
 
 	"spacx/internal/exp"
+	"spacx/internal/exp/engine"
 	"spacx/internal/obs"
+	"spacx/internal/obs/ledger"
+	"spacx/internal/obs/server"
 	"spacx/internal/report"
 )
 
@@ -40,6 +52,12 @@ type options struct {
 	cpuProfile string
 	memProfile string
 	verbose    bool
+
+	httpAddr   string
+	httpLinger time.Duration
+	ledgerPath string
+	progress   bool
+	regress    float64
 }
 
 // artifacts is the set of -only values, in render order.
@@ -60,6 +78,11 @@ func main() {
 	flag.StringVar(&o.cpuProfile, "cpuprofile", "", "write a CPU profile to this path")
 	flag.StringVar(&o.memProfile, "memprofile", "", "write a heap profile to this path on exit")
 	flag.BoolVar(&o.verbose, "v", false, "log structured per-point progress to stderr")
+	flag.StringVar(&o.httpAddr, "http", "", "serve live observability endpoints on this address (e.g. 127.0.0.1:9090)")
+	flag.DurationVar(&o.httpLinger, "http-linger", 2*time.Second, "keep the -http server up this long after the run for a final scrape")
+	flag.StringVar(&o.ledgerPath, "ledger", "", "append a JSON run record to this file (e.g. runs.jsonl)")
+	flag.BoolVar(&o.progress, "progress", false, "print a live progress line to stderr every second")
+	flag.Float64Var(&o.regress, "regress", 0, "report drivers slower than this ratio vs the previous -ledger record (0 disables)")
 	flag.Parse()
 	o.only = strings.ToLower(o.only)
 
@@ -96,6 +119,15 @@ func run(o options) error {
 	if o.jobs < 1 {
 		return fmt.Errorf("-j must be >= 1, got %d", o.jobs)
 	}
+	if o.httpLinger < 0 {
+		return fmt.Errorf("-http-linger must be >= 0, got %v", o.httpLinger)
+	}
+	if o.regress < 0 {
+		return fmt.Errorf("-regress must be >= 0, got %v", o.regress)
+	}
+	if o.regress > 0 && o.ledgerPath == "" {
+		return fmt.Errorf("-regress needs -ledger to compare against")
+	}
 	exp.SetParallelism(o.jobs)
 
 	stopProfiles, err := obs.StartProfiles(o.cpuProfile, o.memProfile)
@@ -109,10 +141,43 @@ func run(o options) error {
 	}()
 
 	var reg *obs.Registry
-	if o.metrics != "" || o.verbose {
+	if o.metrics != "" || o.verbose || o.httpAddr != "" || o.ledgerPath != "" {
 		reg = obs.NewRegistry(obs.NewLogger(os.Stderr, o.verbose))
 		exp.SetRecorder(reg)
 		defer exp.SetRecorder(nil)
+	}
+	var prog *engine.Progress
+	if o.httpAddr != "" || o.ledgerPath != "" || o.progress {
+		prog = engine.NewProgress()
+		exp.SetProgress(prog)
+		defer exp.SetProgress(nil)
+	}
+
+	var srv *server.Server
+	if o.httpAddr != "" {
+		srv, err = server.Start(o.httpAddr, server.Options{
+			Registry: reg,
+			Progress: prog,
+			Runs: func() ([]ledger.Record, error) {
+				if o.ledgerPath == "" {
+					return nil, nil
+				}
+				return ledger.Read(o.ledgerPath)
+			},
+		})
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "observability: serving http://%s/ (metrics, progress, runs, pprof)\n", srv.Addr())
+	}
+	var sampler *ledger.Sampler
+	if o.ledgerPath != "" {
+		sampler = ledger.StartSampler(0)
+	}
+	stopTicker := func() {}
+	if o.progress {
+		stopTicker = prog.StartTicker(os.Stderr, time.Second)
 	}
 
 	var renderErr error
@@ -121,15 +186,47 @@ func run(o options) error {
 	} else {
 		renderErr = runText(os.Stdout, o.only, o.packets)
 	}
+	stopTicker()
 	if renderErr != nil {
 		return renderErr
 	}
 
+	if o.verbose {
+		reg.LogSummary()
+	}
 	if o.metrics != "" {
 		if err := reg.WriteFile(o.metrics); err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "metrics written to %s\n", o.metrics)
+		if o.metrics != "-" {
+			fmt.Fprintf(os.Stderr, "metrics written to %s\n", o.metrics)
+		}
+	}
+	if o.ledgerPath != "" {
+		rec := ledger.New("spacx-report", o.only, o.jobs)
+		rec.FillProgress(prog.Status())
+		rec.FillSnapshot(reg.Snapshot())
+		rec.PeakGoroutines, rec.PeakHeapBytes = sampler.Stop()
+		if o.regress > 0 {
+			prev, ok, err := ledger.Last(o.ledgerPath)
+			if err != nil {
+				return err
+			}
+			if ok {
+				fmt.Fprint(os.Stderr, ledger.Compare(prev, rec, o.regress).String())
+			}
+		}
+		if err := ledger.Append(o.ledgerPath, rec); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "run recorded to %s\n", o.ledgerPath)
+	}
+	if srv != nil {
+		// Keep serving the completed /progress, /runs, and final metrics
+		// until a scraper collects them or the linger window closes.
+		if err := srv.DrainAndShutdown(o.httpLinger, 200*time.Millisecond); err != nil {
+			fmt.Fprintln(os.Stderr, "spacx-report: observability server:", err)
+		}
 	}
 	return nil
 }

@@ -1,10 +1,14 @@
 package main
 
 import (
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
+
+	"spacx/internal/obs/ledger"
 )
 
 func TestRunRejectsBadInputs(t *testing.T) {
@@ -65,5 +69,127 @@ func TestFig19MetricsSnapshot(t *testing.T) {
 	}
 	if !strings.Contains(string(b), `spacx_exp_points_total{sweep="power-point"}`) {
 		t.Error("metrics snapshot missing the power sweep per-point counter")
+	}
+}
+
+func TestObservabilityFlagValidation(t *testing.T) {
+	base := options{only: "table1", packets: 100, format: "text", jobs: 1}
+
+	o := base
+	o.httpLinger = -time.Second
+	if err := run(o); err == nil {
+		t.Error("negative -http-linger should fail")
+	}
+	o = base
+	o.regress = -1
+	if err := run(o); err == nil {
+		t.Error("negative -regress should fail")
+	}
+	o = base
+	o.regress = 1.5
+	if err := run(o); err == nil {
+		t.Error("-regress without -ledger should fail")
+	}
+}
+
+func TestLedgerRecordsRun(t *testing.T) {
+	dir := t.TempDir()
+	o := options{only: "table1", packets: 100, format: "text", jobs: 2,
+		ledgerPath: filepath.Join(dir, "runs.jsonl")}
+
+	stdout := os.Stdout
+	null, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = null
+	defer func() {
+		os.Stdout = stdout
+		null.Close()
+	}()
+
+	// Two runs: the second also exercises -regress against the first.
+	if err := run(o); err != nil {
+		t.Fatal(err)
+	}
+	o.regress = 100 // generous: nothing should be flagged, only compared
+	if err := run(o); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, err := ledger.Read(o.ledgerPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("ledger records = %d, want 2", len(recs))
+	}
+	for i, rec := range recs {
+		if rec.Schema != ledger.SchemaVersion || rec.Cmd != "spacx-report" ||
+			rec.Target != "table1" || rec.Jobs != 2 {
+			t.Errorf("record %d header wrong: %+v", i, rec)
+		}
+		if rec.WallSec <= 0 || rec.PeakGoroutines <= 0 || rec.PeakHeapBytes == 0 {
+			t.Errorf("record %d missing runtime stats: %+v", i, rec)
+		}
+		found := false
+		for _, d := range rec.Drivers {
+			if d.Name == "table1" && d.Points == 1 && d.WallSec > 0 {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("record %d has no table1 driver stat: %+v", i, rec.Drivers)
+		}
+		if len(rec.Histograms) == 0 {
+			t.Errorf("record %d has no histogram summaries", i)
+		}
+		for _, h := range rec.Histograms {
+			if h.P50 < h.Min || h.P99 > h.Max || h.P50 > h.P95 || h.P95 > h.P99 {
+				t.Errorf("record %d quantiles inconsistent: %+v", i, h)
+			}
+		}
+	}
+}
+
+func TestMetricsDashWritesStdout(t *testing.T) {
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stdout := os.Stdout
+	os.Stdout = w
+	runErr := run(options{only: "table1", packets: 100, format: "text", jobs: 1, metrics: "-"})
+	w.Close()
+	os.Stdout = stdout
+	out, readErr := io.ReadAll(r)
+	r.Close()
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	if readErr != nil {
+		t.Fatal(readErr)
+	}
+	if !strings.Contains(string(out), `spacx_exp_points_total{sweep="table1"} 1`) {
+		t.Errorf("-metrics - must write the exposition to stdout, got:\n%s", out)
+	}
+}
+
+func TestHTTPServerRunsAndDrains(t *testing.T) {
+	stdout := os.Stdout
+	null, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = null
+	defer func() {
+		os.Stdout = stdout
+		null.Close()
+	}()
+
+	o := options{only: "table1", packets: 100, format: "text", jobs: 1,
+		httpAddr: "127.0.0.1:0", httpLinger: 10 * time.Millisecond}
+	if err := run(o); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -15,8 +15,14 @@
 //
 // Observability: -v logs a structured progress line per sweep point to
 // stderr; -metrics writes per-point counters and duration histograms
-// (Prometheus text format, or JSON when the path ends in .json);
-// -cpuprofile/-memprofile write runtime/pprof profiles.
+// (Prometheus text format, JSON when the path ends in .json, or stdout when
+// the path is "-"); -cpuprofile/-memprofile write runtime/pprof profiles.
+//
+// Live observability: -http addr serves /metrics, /progress, /runs,
+// /healthz, and /debug/pprof/ during the sweep (lingering -http-linger for a
+// final scrape); -progress prints a stderr progress ticker; -ledger path
+// appends one JSON run record per invocation and -regress ratio compares it
+// against the previous record.
 package main
 
 import (
@@ -24,10 +30,14 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"time"
 
 	"spacx"
 	"spacx/internal/exp"
+	"spacx/internal/exp/engine"
 	"spacx/internal/obs"
+	"spacx/internal/obs/ledger"
+	"spacx/internal/obs/server"
 	"spacx/internal/report"
 )
 
@@ -41,6 +51,12 @@ type options struct {
 	cpuProfile string
 	memProfile string
 	verbose    bool
+
+	httpAddr   string
+	httpLinger time.Duration
+	ledgerPath string
+	progress   bool
+	regress    float64
 }
 
 func main() {
@@ -54,6 +70,11 @@ func main() {
 	flag.StringVar(&o.cpuProfile, "cpuprofile", "", "write a CPU profile to this path")
 	flag.StringVar(&o.memProfile, "memprofile", "", "write a heap profile to this path on exit")
 	flag.BoolVar(&o.verbose, "v", false, "log structured per-point progress to stderr")
+	flag.StringVar(&o.httpAddr, "http", "", "serve live observability endpoints on this address (e.g. 127.0.0.1:9090)")
+	flag.DurationVar(&o.httpLinger, "http-linger", 2*time.Second, "keep the -http server up this long after the run for a final scrape")
+	flag.StringVar(&o.ledgerPath, "ledger", "", "append a JSON run record to this file (e.g. runs.jsonl)")
+	flag.BoolVar(&o.progress, "progress", false, "print a live progress line to stderr every second")
+	flag.Float64Var(&o.regress, "regress", 0, "report drivers slower than this ratio vs the previous -ledger record (0 disables)")
 	flag.Parse()
 
 	if err := run(o); err != nil {
@@ -82,6 +103,15 @@ func run(o options) error {
 	if o.jobs < 1 {
 		return fmt.Errorf("-j must be >= 1, got %d", o.jobs)
 	}
+	if o.httpLinger < 0 {
+		return fmt.Errorf("-http-linger must be >= 0, got %v", o.httpLinger)
+	}
+	if o.regress < 0 {
+		return fmt.Errorf("-regress must be >= 0, got %v", o.regress)
+	}
+	if o.regress > 0 && o.ledgerPath == "" {
+		return fmt.Errorf("-regress needs -ledger to compare against")
+	}
 	exp.SetParallelism(o.jobs)
 
 	stopProfiles, err := obs.StartProfiles(o.cpuProfile, o.memProfile)
@@ -95,33 +125,102 @@ func run(o options) error {
 	}()
 
 	var reg *obs.Registry
-	if o.metrics != "" || o.verbose {
+	if o.metrics != "" || o.verbose || o.httpAddr != "" || o.ledgerPath != "" {
 		reg = obs.NewRegistry(obs.NewLogger(os.Stderr, o.verbose))
 		exp.SetRecorder(reg)
 		defer exp.SetRecorder(nil)
 	}
-
-	switch o.sweep {
-	case "power":
-		pts, err := exp.PowerSweep(o.m, o.n, p)
-		if err != nil {
-			return err
-		}
-		report.PowerSurface(os.Stdout,
-			fmt.Sprintf("SPACX network power surface, M=%d N=%d, %s parameters", o.m, o.n, p.Name), pts)
-	case "scale":
-		rows, err := exp.Fig22()
-		if err != nil {
-			return err
-		}
-		report.Fig22(os.Stdout, rows)
+	var prog *engine.Progress
+	if o.httpAddr != "" || o.ledgerPath != "" || o.progress {
+		prog = engine.NewProgress()
+		exp.SetProgress(prog)
+		defer exp.SetProgress(nil)
 	}
 
+	var srv *server.Server
+	if o.httpAddr != "" {
+		srv, err = server.Start(o.httpAddr, server.Options{
+			Registry: reg,
+			Progress: prog,
+			Runs: func() ([]ledger.Record, error) {
+				if o.ledgerPath == "" {
+					return nil, nil
+				}
+				return ledger.Read(o.ledgerPath)
+			},
+		})
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "observability: serving http://%s/ (metrics, progress, runs, pprof)\n", srv.Addr())
+	}
+	var sampler *ledger.Sampler
+	if o.ledgerPath != "" {
+		sampler = ledger.StartSampler(0)
+	}
+	stopTicker := func() {}
+	if o.progress {
+		stopTicker = prog.StartTicker(os.Stderr, time.Second)
+	}
+
+	var sweepErr error
+	switch o.sweep {
+	case "power":
+		var pts []spacx.PowerPoint
+		pts, sweepErr = exp.PowerSweep(o.m, o.n, p)
+		if sweepErr == nil {
+			report.PowerSurface(os.Stdout,
+				fmt.Sprintf("SPACX network power surface, M=%d N=%d, %s parameters", o.m, o.n, p.Name), pts)
+		}
+	case "scale":
+		var rows []exp.Fig22Row
+		rows, sweepErr = exp.Fig22()
+		if sweepErr == nil {
+			report.Fig22(os.Stdout, rows)
+		}
+	}
+	stopTicker()
+	if sweepErr != nil {
+		return sweepErr
+	}
+
+	if o.verbose {
+		reg.LogSummary()
+	}
 	if o.metrics != "" {
 		if err := reg.WriteFile(o.metrics); err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "metrics written to %s\n", o.metrics)
+		if o.metrics != "-" {
+			fmt.Fprintf(os.Stderr, "metrics written to %s\n", o.metrics)
+		}
+	}
+	if o.ledgerPath != "" {
+		rec := ledger.New("spacx-sweep", o.sweep, o.jobs)
+		rec.FillProgress(prog.Status())
+		rec.FillSnapshot(reg.Snapshot())
+		rec.PeakGoroutines, rec.PeakHeapBytes = sampler.Stop()
+		if o.regress > 0 {
+			prev, ok, err := ledger.Last(o.ledgerPath)
+			if err != nil {
+				return err
+			}
+			if ok {
+				fmt.Fprint(os.Stderr, ledger.Compare(prev, rec, o.regress).String())
+			}
+		}
+		if err := ledger.Append(o.ledgerPath, rec); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "run recorded to %s\n", o.ledgerPath)
+	}
+	if srv != nil {
+		// Keep serving the completed /progress, /runs, and final metrics
+		// until a scraper collects them or the linger window closes.
+		if err := srv.DrainAndShutdown(o.httpLinger, 200*time.Millisecond); err != nil {
+			fmt.Fprintln(os.Stderr, "spacx-sweep: observability server:", err)
+		}
 	}
 	return nil
 }

@@ -5,6 +5,9 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
+
+	"spacx/internal/obs/ledger"
 )
 
 func opts(sweep, params string, m, n int) options {
@@ -72,5 +75,57 @@ func TestPowerSweepWritesMetrics(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("metrics snapshot missing %q", want)
 		}
+	}
+}
+
+func TestObservabilityFlagValidation(t *testing.T) {
+	o := opts("power", "moderate", 8, 8)
+	o.httpLinger = -time.Second
+	if err := run(o); err == nil {
+		t.Error("negative -http-linger should fail")
+	}
+	o = opts("power", "moderate", 8, 8)
+	o.regress = 1.5
+	if err := run(o); err == nil {
+		t.Error("-regress without -ledger should fail")
+	}
+}
+
+func TestLedgerRecordsSweep(t *testing.T) {
+	dir := t.TempDir()
+	o := opts("power", "moderate", 8, 8)
+	o.ledgerPath = filepath.Join(dir, "runs.jsonl")
+	o.httpAddr = "127.0.0.1:0"
+	o.httpLinger = 10 * time.Millisecond
+
+	stdout := os.Stdout
+	null, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = null
+	defer func() {
+		os.Stdout = stdout
+		null.Close()
+	}()
+
+	if err := run(o); err != nil {
+		t.Fatal(err)
+	}
+	rec, ok, err := ledger.Last(o.ledgerPath)
+	if err != nil || !ok {
+		t.Fatalf("no ledger record: ok=%v err=%v", ok, err)
+	}
+	if rec.Cmd != "spacx-sweep" || rec.Target != "power" || rec.WallSec <= 0 {
+		t.Errorf("record header wrong: %+v", rec)
+	}
+	found := false
+	for _, d := range rec.Drivers {
+		if d.Name == "power" && d.Points > 0 && d.WallSec > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no power driver stat with non-zero wall time: %+v", rec.Drivers)
 	}
 }

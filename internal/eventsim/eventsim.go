@@ -22,10 +22,17 @@ type Station struct {
 	RateBytesSec float64 // serialization rate
 	Servers      int     // parallel service lanes (e.g. GB ports)
 	DelaySec     float64 // fixed post-service delay (propagation, E/O+O/E)
+	// QueueCap bounds how many packets may wait for a server; a packet
+	// arriving at a full queue is dropped. Zero keeps the queue unbounded
+	// (the default, and the Figure 16 configuration).
+	QueueCap int
 
 	// run state
-	freeAt  []float64 // next-free time per server
-	busySec float64   // accumulated service time across servers
+	freeAt    []float64 // next-free time per server
+	busySec   float64   // accumulated service time across servers
+	waiting   []float64 // min-heap of service-start times of queued packets
+	peakDepth int       // deepest queue observed during the run
+	dropped   int       // packets rejected by the full queue
 }
 
 // NewStation builds a validated station.
@@ -40,12 +47,22 @@ func NewStation(name string, rate float64, servers int, delay float64) (*Station
 func (s *Station) reset() {
 	s.freeAt = make([]float64, s.Servers)
 	s.busySec = 0
+	s.waiting = s.waiting[:0]
+	s.peakDepth = 0
+	s.dropped = 0
 }
 
 // admit schedules service for a packet arriving at t; returns the departure
 // time (service completion plus fixed delay) and the queueing wait the
-// packet endured before a server freed up.
-func (s *Station) admit(t float64, bytes int) (depart, wait float64) {
+// packet endured before a server freed up. ok is false when the packet hit a
+// bounded queue that was already full, in which case the packet is dropped
+// and the station state is untouched.
+func (s *Station) admit(t float64, bytes int) (depart, wait float64, ok bool) {
+	// Arrivals come off the global event heap in time order, so every
+	// queued packet whose service started by t has left the queue.
+	for len(s.waiting) > 0 && s.waiting[0] <= t {
+		popMinFloat(&s.waiting)
+	}
 	// Pick the earliest-free server.
 	best := 0
 	for i := 1; i < len(s.freeAt); i++ {
@@ -56,12 +73,54 @@ func (s *Station) admit(t float64, bytes int) (depart, wait float64) {
 	start := t
 	if s.freeAt[best] > start {
 		start = s.freeAt[best]
+		if s.QueueCap > 0 && len(s.waiting) >= s.QueueCap {
+			s.dropped++
+			return 0, 0, false
+		}
+		pushMinFloat(&s.waiting, start)
+		if len(s.waiting) > s.peakDepth {
+			s.peakDepth = len(s.waiting)
+		}
 	}
 	service := float64(bytes) / s.RateBytesSec
 	done := start + service
 	s.freeAt[best] = done
 	s.busySec += service
-	return done + s.DelaySec, start - t
+	return done + s.DelaySec, start - t, true
+}
+
+// pushMinFloat and popMinFloat keep a small min-heap of float64 without the
+// interface boxing of container/heap — admit runs once per packet-hop.
+func pushMinFloat(h *[]float64, v float64) {
+	*h = append(*h, v)
+	for i := len(*h) - 1; i > 0; {
+		parent := (i - 1) / 2
+		if (*h)[parent] <= (*h)[i] {
+			break
+		}
+		(*h)[parent], (*h)[i] = (*h)[i], (*h)[parent]
+		i = parent
+	}
+}
+
+func popMinFloat(h *[]float64) {
+	n := len(*h) - 1
+	(*h)[0] = (*h)[n]
+	*h = (*h)[:n]
+	for i := 0; ; {
+		l, r, small := 2*i+1, 2*i+2, i
+		if l < n && (*h)[l] < (*h)[small] {
+			small = l
+		}
+		if r < n && (*h)[r] < (*h)[small] {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		(*h)[i], (*h)[small] = (*h)[small], (*h)[i]
+		i = small
+	}
 }
 
 // Packet is one unit of traffic. Fanout is the number of endpoint
@@ -97,10 +156,13 @@ func (h *eventHeap) Pop() interface{} {
 }
 
 // Stats summarizes a run. Delivered counts endpoint receptions (a broadcast
-// packet counts once per destination); Injected counts transmissions.
+// packet counts once per destination); Injected counts transmissions;
+// Dropped counts packets rejected by a full bounded queue (always zero with
+// the default unbounded stations).
 type Stats struct {
 	Injected        int
 	Delivered       int
+	Dropped         int
 	SimTimeSec      float64
 	TotalLatencySec float64
 	MaxLatencySec   float64
@@ -278,7 +340,11 @@ func (s *Sim) Run(sources []Source) (Stats, error) {
 			continue
 		}
 		st := p.Path[p.hop]
-		depart, wait := st.admit(ev.time, p.Bytes)
+		depart, wait, ok := st.admit(ev.time, p.Bytes)
+		if !ok {
+			s.stats.Dropped++
+			continue
+		}
 		if enabled {
 			s.rec.Observe("spacx_eventsim_queue_wait_seconds", wait,
 				obs.Label{Key: "station", Value: stationGroup(st.Name)})
@@ -292,12 +358,25 @@ func (s *Sim) Run(sources []Source) (Stats, error) {
 	return s.stats, nil
 }
 
-// recordRunStats publishes drain-time aggregates: packet counters, the
-// simulated span, and mean station utilization per station family.
+// recordRunStats publishes drain-time aggregates: packet counters (dropped
+// included, so the series exists even at zero), the simulated span, peak
+// queue depth per station family, and mean station utilization per family.
 func (s *Sim) recordRunStats() {
 	s.rec.Count("spacx_eventsim_packets_injected_total", float64(s.stats.Injected))
 	s.rec.Count("spacx_eventsim_packets_delivered_total", float64(s.stats.Delivered))
+	s.rec.Count("spacx_eventsim_packets_dropped_total", float64(s.stats.Dropped))
 	s.rec.Gauge("spacx_eventsim_sim_seconds", s.stats.SimTimeSec)
+	depths := map[string]int{}
+	for name, st := range s.stations {
+		g := stationGroup(name)
+		if d, ok := depths[g]; !ok || st.peakDepth > d {
+			depths[g] = st.peakDepth
+		}
+	}
+	for g, d := range depths {
+		s.rec.Gauge("spacx_eventsim_queue_depth_peak", float64(d),
+			obs.Label{Key: "station", Value: g})
+	}
 	span := s.stats.SimTimeSec
 	if span <= 0 {
 		return

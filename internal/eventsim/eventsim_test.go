@@ -338,3 +338,103 @@ func TestStationGroup(t *testing.T) {
 		}
 	}
 }
+
+func TestBoundedQueueDropsPackets(t *testing.T) {
+	// A 1-deep queue on a link driven at 3x capacity must shed load;
+	// every packet is either delivered or dropped, never both.
+	s := New(21)
+	st, _ := NewStation("tiny", 1e9, 1, 0)
+	st.QueueCap = 1
+	st = s.AddStation(st)
+	stats, err := s.Run([]Source{{
+		Name: "burst", PacketBytes: 1000, RateBytesSec: 3e9, Count: 5000,
+		Path: func(int) []*Station { return []*Station{st} },
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Dropped == 0 {
+		t.Fatal("overloading a 1-deep queue must drop packets")
+	}
+	if stats.Delivered+stats.Dropped != stats.Injected {
+		t.Errorf("conservation broken: injected %d != delivered %d + dropped %d",
+			stats.Injected, stats.Delivered, stats.Dropped)
+	}
+
+	// The same load on an unbounded queue loses nothing.
+	s2 := New(21)
+	st2, _ := NewStation("tiny", 1e9, 1, 0)
+	st2 = s2.AddStation(st2)
+	plain, err := s2.Run([]Source{{
+		Name: "burst", PacketBytes: 1000, RateBytesSec: 3e9, Count: 5000,
+		Path: func(int) []*Station { return []*Station{st2} },
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Dropped != 0 || plain.Delivered != plain.Injected {
+		t.Errorf("unbounded queue must not drop: %+v", plain)
+	}
+}
+
+func TestDropAndQueueDepthSeries(t *testing.T) {
+	// Run end must publish the dropped-packet counter (even at zero) and a
+	// per-station-group peak queue depth gauge.
+	run := func(cap int) (*obs.Registry, Stats) {
+		reg := obs.NewRegistry(nil)
+		s := New(31)
+		s.SetRecorder(reg)
+		st, _ := NewStation("grp7", 1e9, 1, 0)
+		st.QueueCap = cap
+		st = s.AddStation(st)
+		stats, err := s.Run([]Source{{
+			Name: "src", PacketBytes: 1000, RateBytesSec: 2e9, Count: 2000,
+			Path: func(int) []*Station { return []*Station{st} },
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return reg, stats
+	}
+
+	reg, stats := run(2)
+	if stats.Dropped == 0 {
+		t.Fatal("expected drops at 2x load with a 2-deep queue")
+	}
+	if got := reg.Counter("spacx_eventsim_packets_dropped_total"); got != float64(stats.Dropped) {
+		t.Errorf("dropped counter = %v, want %d", got, stats.Dropped)
+	}
+	foundDepth := false
+	for _, g := range reg.Snapshot().Gauges {
+		if g.Name == "spacx_eventsim_queue_depth_peak" {
+			foundDepth = true
+			if g.Labels["station"] != "grp" {
+				t.Errorf("queue depth gauge labeled %v, want trimmed group grp", g.Labels)
+			}
+			if g.Value <= 0 || g.Value > 2 {
+				t.Errorf("peak depth = %v, want within the 2-deep bound", g.Value)
+			}
+		}
+	}
+	if !foundDepth {
+		t.Error("no queue depth gauge recorded")
+	}
+
+	// Unbounded run: the dropped series still exists, at zero.
+	reg0, stats0 := run(0)
+	if stats0.Dropped != 0 {
+		t.Fatalf("unbounded run dropped %d packets", stats0.Dropped)
+	}
+	if got := reg0.Counter("spacx_eventsim_packets_dropped_total"); got != 0 {
+		t.Errorf("dropped counter = %v, want an explicit 0", got)
+	}
+	found := false
+	for _, c := range reg0.Snapshot().Counters {
+		if c.Name == "spacx_eventsim_packets_dropped_total" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("dropped-total series must exist even when nothing was dropped")
+	}
+}

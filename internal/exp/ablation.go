@@ -2,7 +2,6 @@ package exp
 
 import (
 	"spacx/internal/dnn"
-	"spacx/internal/exp/engine"
 	"spacx/internal/network"
 	"spacx/internal/network/spacxnet"
 	"spacx/internal/photonic"
@@ -35,7 +34,7 @@ func AblationBroadcast() ([]AblationRow, error) {
 	names := []string{"SPACX", "no-broadcast", "no-bandwidth-allocation"}
 	accs := []sim.Accelerator{full, noBcast, noBA}
 	models := dnn.Benchmarks()
-	grid, err := runGrid(models, accs, sim.WholeInference)
+	grid, err := runGrid("ablation", models, accs, sim.WholeInference)
 	if err != nil {
 		return nil, err
 	}
@@ -76,7 +75,7 @@ type GranularityTradeoffRow struct {
 func GranularityTradeoff() ([]GranularityTradeoffRow, error) {
 	res := dnn.ResNet50()
 	gs := []int{4, 8, 16, 32}
-	return engine.Map(parallelism, len(gs)*len(gs), func(i int) (GranularityTradeoffRow, error) {
+	return mapPoints("tradeoff", len(gs)*len(gs), func(i int) (GranularityTradeoffRow, error) {
 		gk, gef := gs[i/len(gs)], gs[i%len(gs)]
 		acc, err := sim.SPACXAccelCustom(32, 32, gef, gk, photonic.Moderate(), true)
 		if err != nil {

@@ -2,7 +2,6 @@ package exp
 
 import (
 	"spacx/internal/dnn"
-	"spacx/internal/exp/engine"
 	"spacx/internal/photonic"
 	"spacx/internal/sim"
 )
@@ -65,7 +64,7 @@ func AdaptiveGranularity() ([]AdaptiveRow, error) {
 			tasks = append(tasks, task{mi, l})
 		}
 	}
-	outcomes, err := engine.Map(parallelism, len(tasks), func(i int) (layerOutcome, error) {
+	outcomes, err := mapPoints("adaptive", len(tasks), func(i int) (layerOutcome, error) {
 		l := tasks[i].layer
 		fr, err := runLayerCached(fixed, l, sim.WholeInference)
 		if err != nil {

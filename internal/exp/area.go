@@ -14,6 +14,10 @@ type AreaReport struct {
 // Area computes the per-chiplet area inventory of the default SPACX
 // configuration.
 func Area() (AreaReport, error) {
+	return track("area", areaReport)
+}
+
+func areaReport() (AreaReport, error) {
 	cfg := spacxnet.Default32()
 	// The paper's "132 MRRs underneath a chiplet" accounting; the area
 	// shares are computed against one synthesized PE slice as in the text.

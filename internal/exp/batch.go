@@ -32,7 +32,7 @@ func BatchScaling() ([]BatchRow, error) {
 		}
 		models[bi] = m
 	}
-	grid, err := runGrid(models, accs, sim.WholeInference)
+	grid, err := runGrid("batch", models, accs, sim.WholeInference)
 	if err != nil {
 		return nil, err
 	}

@@ -24,19 +24,7 @@ import (
 // same error a sequential run-to-completion loop would report, regardless of
 // scheduling.
 func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
-	out := make([]T, n)
-	err := ForEach(workers, n, func(i int) error {
-		v, err := fn(i)
-		if err != nil {
-			return err
-		}
-		out[i] = v
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	return out, nil
+	return MapPhase(nil, workers, n, fn)
 }
 
 // ForEach is Map without result collection: fn(i) runs once per index across

@@ -1,0 +1,155 @@
+package engine
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestProgressCountsAcrossWorkers(t *testing.T) {
+	p := NewProgress()
+	ph := p.Phase("sweep")
+	n := 137
+	if _, err := MapPhase(ph, 8, n, func(i int) (int, error) { return i, nil }); err != nil {
+		t.Fatal(err)
+	}
+	st := p.Status()
+	if len(st.Phases) != 1 {
+		t.Fatalf("phases = %d, want 1", len(st.Phases))
+	}
+	got := st.Phases[0]
+	if got.Name != "sweep" || got.Total != int64(n) || got.Started != int64(n) || got.Done != int64(n) {
+		t.Errorf("phase counts wrong: %+v", got)
+	}
+	if got.InFlight != 0 || got.Active {
+		t.Errorf("finished phase should be quiescent: %+v", got)
+	}
+	if got.WallSec <= 0 {
+		t.Errorf("wall time = %v, want > 0", got.WallSec)
+	}
+	if st.Total != int64(n) || st.Done != int64(n) {
+		t.Errorf("totals wrong: %+v", st)
+	}
+}
+
+func TestProgressPhaseIdentity(t *testing.T) {
+	p := NewProgress()
+	if p.Phase("a") != p.Phase("a") {
+		t.Error("same name must return the same phase")
+	}
+	if p.Phase("a") == p.Phase("b") {
+		t.Error("different names must return different phases")
+	}
+	// Two Begin/End spans on one phase accumulate totals and wall time.
+	ph := p.Phase("a")
+	for range [2]int{} {
+		if err := ForEachPhase(ph, 2, 5, func(int) error { return nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := p.Status().Phases[0]; st.Total != 10 || st.Done != 10 {
+		t.Errorf("re-entered phase counts wrong: %+v", st)
+	}
+}
+
+func TestProgressNilSafe(t *testing.T) {
+	var p *Progress
+	ph := p.Phase("x") // nil progress -> nil phase
+	if ph != nil {
+		t.Fatal("nil progress must hand out nil phases")
+	}
+	ph.Begin(3)
+	ph.PointStart()
+	ph.PointDone()
+	ph.End()
+	if st := p.Status(); st.Total != 0 || len(st.Phases) != 0 {
+		t.Errorf("nil progress status not zero: %+v", st)
+	}
+	stop := p.StartTicker(nil, time.Millisecond)
+	stop()
+	if out, err := MapPhase(ph, 4, 3, func(i int) (int, error) { return i, nil }); err != nil || len(out) != 3 {
+		t.Errorf("MapPhase with nil phase: %v %v", out, err)
+	}
+}
+
+func TestProgressRateAndETA(t *testing.T) {
+	fake := time.Unix(1000, 0)
+	p := NewProgress()
+	p.now = func() time.Time { return fake }
+	ph := p.Phase("s")
+	ph.Begin(10)
+	for i := 0; i < 4; i++ {
+		ph.PointStart()
+		ph.PointDone()
+	}
+	fake = fake.Add(2 * time.Second)
+	st := p.Status().Phases[0]
+	if !st.Active {
+		t.Error("phase with an open span must be active")
+	}
+	if st.RatePerSec != 2 { // 4 done / 2 s
+		t.Errorf("rate = %v, want 2", st.RatePerSec)
+	}
+	if st.ETASec != 3 { // 6 remaining / 2 per sec
+		t.Errorf("eta = %v, want 3", st.ETASec)
+	}
+	ph.End()
+	if st := p.Status().Phases[0]; st.WallSec != 2 {
+		t.Errorf("wall = %v, want 2", st.WallSec)
+	}
+}
+
+func TestProgressStatusSerializes(t *testing.T) {
+	p := NewProgress()
+	if err := ForEachPhase(p.Phase("s"), 1, 2, func(int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(p.Status())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"total":2`, `"done":2`, `"phases"`, `"eta_sec"`} {
+		if !strings.Contains(string(b), want) {
+			t.Errorf("status JSON missing %s: %s", want, b)
+		}
+	}
+}
+
+func TestTickerEmitsAndStops(t *testing.T) {
+	p := NewProgress()
+	var buf syncBuffer
+	stop := p.StartTicker(&buf, time.Millisecond)
+	if err := ForEachPhase(p.Phase("s"), 2, 50, func(int) error {
+		time.Sleep(100 * time.Microsecond)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	stop()
+	stop() // idempotent
+	out := buf.String()
+	if !strings.Contains(out, "progress: ") || !strings.Contains(out, "50/50 points") {
+		t.Errorf("ticker output missing final summary:\n%s", out)
+	}
+}
+
+// syncBuffer is a mutex-guarded strings.Builder: the ticker goroutine writes
+// while the test reads.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}

@@ -2,7 +2,6 @@ package exp
 
 import (
 	"spacx/internal/dnn"
-	"spacx/internal/exp/engine"
 	"spacx/internal/sim"
 )
 
@@ -35,7 +34,7 @@ func EngineAgreement() ([]EngineRow, error) {
 		}
 	}
 	type pair struct{ a, d float64 }
-	pairs, err := engine.Map(parallelism, len(tasks), func(i int) (pair, error) {
+	pairs, err := mapPoints("engines", len(tasks), func(i int) (pair, error) {
 		l := tasks[i].layer
 		a, err := runLayerCached(acc, l, sim.WholeInference)
 		if err != nil {

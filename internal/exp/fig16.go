@@ -5,7 +5,6 @@ import (
 
 	"spacx/internal/dnn"
 	"spacx/internal/eventsim"
-	"spacx/internal/exp/engine"
 	"spacx/internal/network"
 	"spacx/internal/obs"
 	"spacx/internal/sim"
@@ -188,15 +187,13 @@ func Fig16(packetsPerRun int) ([]Fig16Row, error) {
 	}
 	models := dnn.Benchmarks()
 	accs := sim.EvalAccelerators()
-	results, err := engine.Map(parallelism, len(models)*len(accs), func(i int) (eventsim.Stats, error) {
+	results, err := mapPoints("fig16", len(models)*len(accs), func(i int) (eventsim.Stats, error) {
 		m, ai := models[i/len(accs)], i%len(accs)
 		acc := accs[ai]
-		var stats eventsim.Stats
-		err := point("fig16", func() error {
-			var err error
-			stats, err = packetRun(acc, m, packetsPerRun, 0xC0FFEE+uint64(ai), recorder)
-			return err
-		}, "model", m.Name, "accel", acc.Name())
+		stats, err := packetRun(acc, m, packetsPerRun, 0xC0FFEE+uint64(ai), recorder)
+		if err == nil {
+			recorder.Logger().Info("fig16 point", "model", m.Name, "accel", acc.Name())
+		}
 		return stats, err
 	})
 	if err != nil {

@@ -2,7 +2,6 @@ package exp
 
 import (
 	"spacx/internal/dnn"
-	"spacx/internal/exp/engine"
 	"spacx/internal/photonic"
 	"spacx/internal/sim"
 )
@@ -55,7 +54,7 @@ func Fig21a() ([]Fig21aRow, error) {
 		spxAgg,
 	}
 	models := dnn.Benchmarks()
-	grid, err := runGrid(models, accs, sim.WholeInference)
+	grid, err := runGrid("fig21a", models, accs, sim.WholeInference)
 	if err != nil {
 		return nil, err
 	}
@@ -94,7 +93,7 @@ func Fig21a() ([]Fig21aRow, error) {
 // pass under both photonic parameter sets.
 func Fig21bBreakdown() ([]Fig21b, error) {
 	params := []photonic.Params{photonic.Moderate(), photonic.Aggressive()}
-	return engine.Map(parallelism, len(params), func(i int) (Fig21b, error) {
+	return mapPoints("fig21b", len(params), func(i int) (Fig21b, error) {
 		p := params[i]
 		acc, err := sim.SPACXAccelCustom(32, 32, 8, 16, p, true)
 		if err != nil {

@@ -2,7 +2,6 @@ package exp
 
 import (
 	"spacx/internal/dnn"
-	"spacx/internal/exp/engine"
 	"spacx/internal/photonic"
 	"spacx/internal/sim"
 )
@@ -60,17 +59,13 @@ func Fig22() ([]Fig22Row, error) {
 			tasks = append(tasks, task{m, n, acc})
 		}
 	}
-	return engine.Map(parallelism, len(tasks), func(i int) (Fig22Row, error) {
+	return mapPoints("fig22", len(tasks), func(i int) (Fig22Row, error) {
 		t := tasks[i]
-		var r sim.ModelResult
-		err := point("fig22", func() error {
-			var err error
-			r, err = sim.RunObserved(t.acc, res, sim.WholeInference, recorder)
-			return err
-		}, "m", t.m, "n", t.n, "accel", t.acc.Name())
+		r, err := sim.RunObserved(t.acc, res, sim.WholeInference, recorder)
 		if err != nil {
 			return Fig22Row{}, err
 		}
+		recorder.Logger().Info("fig22 point", "m", t.m, "n", t.n, "accel", t.acc.Name())
 		return Fig22Row{
 			M: t.m, N: t.n, Accel: t.acc.Name(),
 			ExecSec: r.ExecSec, EnergyJ: r.TotalEnergy,

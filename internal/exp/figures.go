@@ -5,7 +5,6 @@ import (
 
 	"spacx/internal/dataflow"
 	"spacx/internal/dnn"
-	"spacx/internal/exp/engine"
 	"spacx/internal/network/spacxnet"
 	"spacx/internal/obs"
 	"spacx/internal/photonic"
@@ -41,7 +40,7 @@ func Fig13And14() ([]LayerRow, error) {
 	for _, m := range []dnn.Model{dnn.ResNet50(), dnn.VGG16()} {
 		layers = append(layers, m.Layers...)
 	}
-	results, err := engine.Map(parallelism, len(layers)*len(accs), func(i int) (sim.LayerResult, error) {
+	results, err := mapPoints("fig13", len(layers)*len(accs), func(i int) (sim.LayerResult, error) {
 		l, acc := layers[i/len(accs)], accs[i%len(accs)]
 		r, err := runLayerCached(acc, l, sim.LayerByLayer)
 		if err != nil {
@@ -79,7 +78,7 @@ func Fig13And14() ([]LayerRow, error) {
 func Fig15() ([]AccelRow, error) {
 	models := dnn.Benchmarks()
 	accs := sim.EvalAccelerators()
-	grid, err := runGrid(models, accs, sim.WholeInference)
+	grid, err := runGrid("fig15", models, accs, sim.WholeInference)
 	if err != nil {
 		return nil, err
 	}
@@ -122,7 +121,7 @@ func Fig17() ([]AccelRow, error) {
 		accs[i] = sim.SPACXArchWithDataflow(df)
 	}
 	models := dnn.Benchmarks()
-	grid, err := runGrid(models, accs, sim.WholeInference)
+	grid, err := runGrid("fig17", models, accs, sim.WholeInference)
 	if err != nil {
 		return nil, err
 	}
@@ -160,7 +159,7 @@ func Fig18() ([]AccelRow, error) {
 	accs := []sim.Accelerator{sim.SimbaAccel(), sim.SPACXAccel(), sim.SPACXAccelNoBA()}
 	names := []string{"Simba", "SPACX", "SPACX-BA"}
 	models := dnn.Benchmarks()
-	grid, err := runGrid(models, accs, sim.WholeInference)
+	grid, err := runGrid("fig18", models, accs, sim.WholeInference)
 	if err != nil {
 		return nil, err
 	}
@@ -211,27 +210,23 @@ func PowerSweep(m, n int, p photonic.Params) ([]spacxnet.PowerPoint, error) {
 	if m <= 0 || n <= 0 {
 		return nil, fmt.Errorf("exp: power sweep needs positive M, N; got %d, %d", m, n)
 	}
-	var pts []spacxnet.PowerPoint
-	err := point("power", func() error {
-		grid := spacxnet.GranularityGrid(m, n)
-		var err error
-		pts, err = engine.Map(parallelism, len(grid), func(i int) (spacxnet.PowerPoint, error) {
-			gk, gef := grid[i][0], grid[i][1]
-			c, err := spacxnet.New(m, n, gef, gk, p)
-			if err != nil {
-				return spacxnet.PowerPoint{}, err
-			}
-			return spacxnet.PowerPoint{GK: gk, GEF: gef, PowerBreakdown: c.Power()}, nil
-		})
+	grid := spacxnet.GranularityGrid(m, n)
+	recorder.Logger().Info("power sweep", "m", m, "n", n, "params", p.Name, "points", len(grid))
+	pts, err := mapPoints("power", len(grid), func(i int) (spacxnet.PowerPoint, error) {
+		gk, gef := grid[i][0], grid[i][1]
+		c, err := spacxnet.New(m, n, gef, gk, p)
 		if err != nil {
-			return err
+			return spacxnet.PowerPoint{}, err
 		}
-		for _, pt := range pts {
-			recorder.Count("spacx_exp_points_total", 1, obs.Label{Key: "sweep", Value: "power-point"})
-			recorder.Logger().Debug("power point",
-				"gk", pt.GK, "gef", pt.GEF, "overallW", pt.OverallW())
-		}
-		return nil
-	}, "m", m, "n", n, "params", p.Name)
-	return pts, err
+		return spacxnet.PowerPoint{GK: gk, GEF: gef, PowerBreakdown: c.Power()}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, pt := range pts {
+		recorder.Count("spacx_exp_points_total", 1, obs.Label{Key: "sweep", Value: "power-point"})
+		recorder.Logger().Debug("power point",
+			"gk", pt.GK, "gef", pt.GEF, "overallW", pt.OverallW())
+	}
+	return pts, nil
 }

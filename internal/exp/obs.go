@@ -1,6 +1,9 @@
 package exp
 
-import "spacx/internal/obs"
+import (
+	"spacx/internal/exp/engine"
+	"spacx/internal/obs"
+)
 
 // recorder is the package-wide observability sink. Experiment drivers log
 // sweep progress and record per-point durations through it; the default
@@ -15,6 +18,46 @@ func SetRecorder(rec obs.Recorder) {
 		rec = obs.Nop()
 	}
 	recorder = rec
+}
+
+// progress is the package-wide live progress tracker; each driver is one
+// named phase of it. The nil default makes all tracking a no-op.
+var progress *engine.Progress
+
+// SetProgress installs the progress tracker shared by every driver in this
+// package (nil disables tracking). Like SetRecorder, it is not safe to call
+// concurrently with a running driver; CLIs set it once at startup.
+func SetProgress(p *engine.Progress) { progress = p }
+
+// mapPoints fans a driver's n independent points across the worker pool,
+// tracking them as the named progress phase and timing each one into the
+// spacx_exp_point_seconds histogram. Every driver funnels its grid through
+// here, so the ledger's per-driver wall times and quantiles cover the whole
+// run regardless of which artifacts were selected.
+func mapPoints[T any](sweep string, n int, fn func(i int) (T, error)) ([]T, error) {
+	lbl := obs.Label{Key: "sweep", Value: sweep}
+	return engine.MapPhase(progress.Phase(sweep), parallelism, n, func(i int) (T, error) {
+		stop := recorder.Time("spacx_exp_point_seconds", lbl)
+		v, err := fn(i)
+		stop()
+		recorder.Count("spacx_exp_points_total", 1, lbl)
+		if err != nil {
+			recorder.Logger().Error(sweep+" point failed", "index", i, "err", err)
+		}
+		return v, err
+	})
+}
+
+// track wraps a single-shot driver (the tables, the area estimate) as a
+// one-point sweep so its wall time shows up in /progress and the run ledger
+// alongside the fanned-out figures.
+func track[T any](sweep string, fn func() (T, error)) (T, error) {
+	out, err := mapPoints(sweep, 1, func(int) (T, error) { return fn() })
+	if err != nil {
+		var zero T
+		return zero, err
+	}
+	return out[0], nil
 }
 
 // point wraps one sweep point: it logs progress, counts the point, and

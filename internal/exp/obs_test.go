@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"spacx/internal/dnn"
+	"spacx/internal/exp/engine"
 	"spacx/internal/obs"
 	"spacx/internal/photonic"
 	"spacx/internal/sim"
@@ -57,7 +58,44 @@ func TestPowerSweepReportsProgress(t *testing.T) {
 	if perPoint != float64(len(pts)) {
 		t.Errorf("per-point counter = %v, want %d", perPoint, len(pts))
 	}
-	if got := reg.HistogramCount("spacx_exp_point_seconds", obs.Label{Key: "sweep", Value: "power"}); got != 1 {
-		t.Errorf("sweep duration histogram count = %d, want 1", got)
+	// Every grid point is timed individually into the sweep histogram.
+	if got := reg.HistogramCount("spacx_exp_point_seconds", obs.Label{Key: "sweep", Value: "power"}); got != uint64(len(pts)) {
+		t.Errorf("sweep duration histogram count = %d, want %d", got, len(pts))
+	}
+}
+
+func TestDriversReportProgressPhases(t *testing.T) {
+	prog := engine.NewProgress()
+	SetProgress(prog)
+	defer SetProgress(nil)
+
+	pts, err := PowerSweep(8, 8, photonic.Moderate())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Table1(); err != nil {
+		t.Fatal(err)
+	}
+
+	st := prog.Status()
+	byName := map[string]engine.PhaseStatus{}
+	for _, ph := range st.Phases {
+		byName[ph.Name] = ph
+	}
+	power, ok := byName["power"]
+	if !ok {
+		t.Fatalf("no power phase in %+v", st.Phases)
+	}
+	if power.Total != int64(len(pts)) || power.Done != power.Total || power.Active {
+		t.Errorf("power phase = %+v, want %d done points and inactive", power, len(pts))
+	}
+	if power.WallSec <= 0 {
+		t.Errorf("power phase wall time = %v, want > 0", power.WallSec)
+	}
+	if tbl, ok := byName["table1"]; !ok || tbl.Done != 1 {
+		t.Errorf("table1 phase = %+v ok=%v, want one done point", tbl, ok)
+	}
+	if st.Done != st.Total || st.Done != power.Done+1 {
+		t.Errorf("overall status = %+v, want totals folding both phases", st)
 	}
 }

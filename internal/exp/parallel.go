@@ -119,9 +119,10 @@ func runModelCached(acc sim.Accelerator, m dnn.Model, mode sim.Mode) (sim.ModelR
 
 // runGrid evaluates every (model, accelerator) pair of a sweep across the
 // worker pool and returns results indexed [model][accelerator]. The drivers'
-// normalization folds then walk the grid in the original sequential order.
-func runGrid(models []dnn.Model, accs []sim.Accelerator, mode sim.Mode) ([][]sim.ModelResult, error) {
-	flat, err := engine.Map(parallelism, len(models)*len(accs), func(i int) (sim.ModelResult, error) {
+// normalization folds then walk the grid in the original sequential order;
+// sweep names the progress phase and metric labels the points land under.
+func runGrid(sweep string, models []dnn.Model, accs []sim.Accelerator, mode sim.Mode) ([][]sim.ModelResult, error) {
+	flat, err := mapPoints(sweep, len(models)*len(accs), func(i int) (sim.ModelResult, error) {
 		m := models[i/len(accs)]
 		acc := accs[i%len(accs)]
 		r, err := runModelCached(acc, m, mode)

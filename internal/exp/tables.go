@@ -12,7 +12,7 @@ import (
 // Table1 reproduces Table I: the four broadcast-granularity configurations
 // of the 8x8 example architecture.
 func Table1() ([]spacxnet.TableIRow, error) {
-	return spacxnet.TableI()
+	return track("table1", spacxnet.TableI)
 }
 
 // Table2Row is one network-parameter line of Table II, derived from the
@@ -53,6 +53,10 @@ type Table3And4Row struct {
 
 // Table3And4 evaluates both parameter sets on the default geometry.
 func Table3And4() ([]Table3And4Row, error) {
+	return track("table34", table3And4)
+}
+
+func table3And4() ([]Table3And4Row, error) {
 	var out []Table3And4Row
 	for _, p := range []photonic.Params{photonic.Moderate(), photonic.Aggressive()} {
 		cfg, err := spacxnet.New(32, 32, 8, 16, p)

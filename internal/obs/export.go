@@ -77,11 +77,18 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 }
 
 // WriteFile writes the registry to path: JSON when the path ends in .json,
-// Prometheus text format otherwise.
+// Prometheus text format otherwise. The path "-" writes the Prometheus text
+// to stdout instead of a file.
 func (r *Registry) WriteFile(path string) error {
+	if path == "-" {
+		if err := r.WritePrometheus(os.Stdout); err != nil {
+			return fmt.Errorf("obs: write metrics to stdout: %w", err)
+		}
+		return nil
+	}
 	f, err := os.Create(path)
 	if err != nil {
-		return fmt.Errorf("obs: %w", err)
+		return fmt.Errorf("obs: create metrics file %s: %w", path, err)
 	}
 	if strings.HasSuffix(path, ".json") {
 		err = r.WriteJSON(f)
@@ -91,7 +98,31 @@ func (r *Registry) WriteFile(path string) error {
 	if cerr := f.Close(); err == nil {
 		err = cerr
 	}
-	return err
+	if err != nil {
+		return fmt.Errorf("obs: write metrics file %s: %w", path, err)
+	}
+	return nil
+}
+
+// LogSummary emits one end-of-run Info line per histogram series with its
+// count, mean, and interpolated p50/p95/p99 — the -v tail that turns a run's
+// latency histograms into a readable summary without a scrape.
+func (r *Registry) LogSummary() {
+	for _, h := range r.Snapshot().Histograms {
+		attrs := []any{
+			"name", h.Name,
+			"count", h.Count,
+			"mean", h.Mean(),
+			"p50", h.Quantile(0.50),
+			"p95", h.Quantile(0.95),
+			"p99", h.Quantile(0.99),
+			"max", h.Max,
+		}
+		for k, v := range h.Labels {
+			attrs = append(attrs, k, v)
+		}
+		r.logger.Info("histogram summary", attrs...)
+	}
 }
 
 // promSeries renders name{labels...} with the optional extra label appended

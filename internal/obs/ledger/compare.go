@@ -1,0 +1,79 @@
+package ledger
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DriverDelta compares one driver between two runs. Ratio is cur/prev wall
+// time; zero when the driver is new or the previous wall time was zero.
+type DriverDelta struct {
+	Name        string  `json:"name"`
+	PrevWallSec float64 `json:"prev_wall_sec"`
+	CurWallSec  float64 `json:"cur_wall_sec"`
+	PrevPoints  int64   `json:"prev_points"`
+	CurPoints   int64   `json:"cur_points"`
+	Ratio       float64 `json:"ratio"`
+	Regressed   bool    `json:"regressed"`
+}
+
+// Report is the per-driver regression comparison of two ledger records.
+type Report struct {
+	Threshold float64       `json:"threshold"`
+	Deltas    []DriverDelta `json:"deltas"`
+	Regressed bool          `json:"regressed"`
+}
+
+// Compare matches cur's drivers against prev by name and flags every driver
+// whose wall-time ratio exceeds threshold (<= 0 disables flagging; 1.5
+// means "fifty percent slower fails"). Drivers only present in one record
+// appear with a zero ratio and are never flagged — a changed driver set is
+// a different experiment, not a regression.
+func Compare(prev, cur Record, threshold float64) Report {
+	prevBy := make(map[string]DriverStat, len(prev.Drivers))
+	for _, d := range prev.Drivers {
+		prevBy[d.Name] = d
+	}
+	rep := Report{Threshold: threshold}
+	for _, d := range cur.Drivers {
+		delta := DriverDelta{
+			Name:       d.Name,
+			CurWallSec: d.WallSec,
+			CurPoints:  d.Points,
+		}
+		if p, ok := prevBy[d.Name]; ok {
+			delta.PrevWallSec = p.WallSec
+			delta.PrevPoints = p.Points
+			if p.WallSec > 0 {
+				delta.Ratio = d.WallSec / p.WallSec
+				delta.Regressed = threshold > 0 && delta.Ratio > threshold
+			}
+		}
+		if delta.Regressed {
+			rep.Regressed = true
+		}
+		rep.Deltas = append(rep.Deltas, delta)
+	}
+	return rep
+}
+
+// String renders the report as a stderr-friendly table, one driver per
+// line, newest run against the previous one.
+func (r Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "ledger comparison vs previous run (threshold %.2fx):\n", r.Threshold)
+	for _, d := range r.Deltas {
+		switch {
+		case d.Ratio == 0:
+			fmt.Fprintf(&b, "  %-12s %8.3fs (%d pts) — no previous timing\n",
+				d.Name, d.CurWallSec, d.CurPoints)
+		case d.Regressed:
+			fmt.Fprintf(&b, "  %-12s %8.3fs -> %8.3fs (%.2fx) REGRESSED\n",
+				d.Name, d.PrevWallSec, d.CurWallSec, d.Ratio)
+		default:
+			fmt.Fprintf(&b, "  %-12s %8.3fs -> %8.3fs (%.2fx)\n",
+				d.Name, d.PrevWallSec, d.CurWallSec, d.Ratio)
+		}
+	}
+	return b.String()
+}

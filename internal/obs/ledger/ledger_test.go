@@ -1,0 +1,185 @@
+package ledger
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"spacx/internal/exp/engine"
+	"spacx/internal/obs"
+)
+
+func TestAppendReadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "runs.jsonl")
+
+	recs, err := Read(path) // missing file is an empty ledger
+	if err != nil || recs != nil {
+		t.Fatalf("missing ledger: recs=%v err=%v", recs, err)
+	}
+
+	for i := 0; i < 3; i++ {
+		rec := New("spacx-report", "fig13", i+1)
+		rec.Drivers = []DriverStat{{Name: "fig13", Points: int64(10 * (i + 1)), WallSec: 0.5}}
+		if err := Append(path, rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	recs, err = Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("records = %d, want 3", len(recs))
+	}
+	for i, rec := range recs {
+		if rec.Schema != SchemaVersion || rec.Cmd != "spacx-report" || rec.Jobs != i+1 {
+			t.Errorf("record %d malformed: %+v", i, rec)
+		}
+	}
+
+	last, ok, err := Last(path)
+	if err != nil || !ok || last.Jobs != 3 {
+		t.Errorf("Last = %+v ok=%v err=%v, want the jobs=3 record", last, ok, err)
+	}
+
+	// Exactly one line per record, each independently valid JSON.
+	b, _ := os.ReadFile(path)
+	lines := strings.Split(strings.TrimRight(string(b), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("ledger lines = %d, want 3", len(lines))
+	}
+	for _, l := range lines {
+		if !json.Valid([]byte(l)) {
+			t.Errorf("line is not standalone JSON: %s", l)
+		}
+	}
+}
+
+func TestReadRejectsMalformedLine(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "runs.jsonl")
+	if err := os.WriteFile(path, []byte("{\"schema\":1}\nnot json\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Read(path)
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("err = %v, want a line-2 parse failure", err)
+	}
+}
+
+func TestFillProgressAndSnapshot(t *testing.T) {
+	prog := engine.NewProgress()
+	if _, err := engine.MapPhase(prog.Phase("fig13"), 4, 20, func(i int) (int, error) {
+		return i, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	reg := obs.NewRegistry(nil)
+	reg.Count("spacx_exp_points_total", 20, obs.Label{Key: "sweep", Value: "fig13"})
+	for i := 0; i < 20; i++ {
+		reg.Observe("spacx_exp_point_seconds", float64(i+1)*1e-3,
+			obs.Label{Key: "sweep", Value: "fig13"})
+	}
+
+	rec := New("spacx-report", "fig13", 4)
+	rec.FillProgress(prog.Status())
+	rec.FillSnapshot(reg.Snapshot())
+
+	if len(rec.Drivers) != 1 || rec.Drivers[0].Name != "fig13" || rec.Drivers[0].Points != 20 {
+		t.Fatalf("drivers wrong: %+v", rec.Drivers)
+	}
+	if rec.Drivers[0].WallSec <= 0 || rec.WallSec <= 0 {
+		t.Errorf("wall times must be non-zero: %+v", rec)
+	}
+	if len(rec.Counters) != 1 || rec.Counters[0].Value != 20 {
+		t.Errorf("counters wrong: %+v", rec.Counters)
+	}
+	if len(rec.Histograms) != 1 {
+		t.Fatalf("histograms wrong: %+v", rec.Histograms)
+	}
+	h := rec.Histograms[0]
+	if h.Count != 20 || !(h.Min <= h.P50 && h.P50 <= h.P95 && h.P95 <= h.P99 && h.P99 <= h.Max) {
+		t.Errorf("quantile summary wrong: %+v", h)
+	}
+
+	// The JSON line carries the quantile fields by name (the bench
+	// trajectory parses them).
+	b, err := json.Marshal(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"p50"`, `"p95"`, `"p99"`, `"peak_goroutines"`, `"schema":1`} {
+		if !strings.Contains(string(b), want) {
+			t.Errorf("record JSON missing %s", want)
+		}
+	}
+}
+
+func TestCompareFlagsRegressions(t *testing.T) {
+	prev := Record{Drivers: []DriverStat{
+		{Name: "fig13", Points: 100, WallSec: 1.0},
+		{Name: "fig16", Points: 12, WallSec: 2.0},
+		{Name: "gone", Points: 1, WallSec: 1.0},
+	}}
+	cur := Record{Drivers: []DriverStat{
+		{Name: "fig13", Points: 100, WallSec: 2.0}, // 2.0x: regressed at 1.5
+		{Name: "fig16", Points: 12, WallSec: 2.1},  // 1.05x: fine
+		{Name: "new", Points: 5, WallSec: 9.9},     // no baseline
+	}}
+	rep := Compare(prev, cur, 1.5)
+	if !rep.Regressed {
+		t.Error("report must flag the 2x driver")
+	}
+	byName := map[string]DriverDelta{}
+	for _, d := range rep.Deltas {
+		byName[d.Name] = d
+	}
+	if d := byName["fig13"]; !d.Regressed || d.Ratio != 2.0 {
+		t.Errorf("fig13 delta wrong: %+v", d)
+	}
+	if d := byName["fig16"]; d.Regressed || d.Ratio != 1.05 {
+		t.Errorf("fig16 delta wrong: %+v", d)
+	}
+	if d := byName["new"]; d.Regressed || d.Ratio != 0 {
+		t.Errorf("new driver must not be flagged: %+v", d)
+	}
+	out := rep.String()
+	for _, want := range []string{"REGRESSED", "fig13", "no previous timing"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report text missing %q:\n%s", want, out)
+		}
+	}
+	if rep2 := Compare(prev, cur, 0); rep2.Regressed {
+		t.Error("threshold <= 0 must disable flagging")
+	}
+}
+
+func TestSamplerTracksPeaks(t *testing.T) {
+	s := StartSampler(time.Millisecond)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			buf := make([]byte, 1<<20)
+			_ = buf
+			<-stop
+		}()
+	}
+	time.Sleep(10 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	g, heap := s.Stop()
+	if g < 16 {
+		t.Errorf("peak goroutines = %d, want >= 16", g)
+	}
+	if heap == 0 {
+		t.Error("peak heap must be non-zero")
+	}
+}

@@ -1,0 +1,132 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestPromEmptyRegistry asserts an empty registry exposes an empty page —
+// no stray headers that would fail a promtool lint.
+func TestPromEmptyRegistry(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewRegistry(nil).WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("empty registry exposition should be empty, got %q", buf.String())
+	}
+}
+
+// TestPromLabelEscaping covers the three characters the exposition format
+// escapes inside label values: backslash, double quote, and newline.
+func TestPromLabelEscaping(t *testing.T) {
+	r := NewRegistry(nil)
+	r.Count("esc_total", 1, Label{Key: "v", Value: "back\\slash"})
+	r.Count("esc_total", 2, Label{Key: "v", Value: `say "hi"`})
+	r.Count("esc_total", 3, Label{Key: "v", Value: "line\nbreak"})
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`esc_total{v="back\\slash"} 1`,
+		`esc_total{v="say \"hi\""} 2`,
+		`esc_total{v="line\nbreak"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Count(out, "\n") != 4 { // TYPE line + three series; \n in the value must stay escaped
+		t.Errorf("escaped newline leaked into the output:\n%q", out)
+	}
+}
+
+// TestPromInfBucketOrdering asserts every histogram emits its le="+Inf"
+// bucket after all finite bounds and equal to the series count.
+func TestPromInfBucketOrdering(t *testing.T) {
+	r := NewRegistry(nil)
+	r.SetBuckets("h_seconds", []float64{0.1, 1})
+	r.Observe("h_seconds", 0.05)
+	r.Observe("h_seconds", 50) // overflows every finite bound
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	var bucketLines []string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "h_seconds_bucket") {
+			bucketLines = append(bucketLines, l)
+		}
+	}
+	want := []string{
+		`h_seconds_bucket{le="0.1"} 1`,
+		`h_seconds_bucket{le="1"} 1`,
+		`h_seconds_bucket{le="+Inf"} 2`,
+	}
+	if len(bucketLines) != len(want) {
+		t.Fatalf("bucket lines = %v, want %v", bucketLines, want)
+	}
+	for i := range want {
+		if bucketLines[i] != want[i] {
+			t.Errorf("bucket line %d = %q, want %q (le=\"+Inf\" must come last)", i, bucketLines[i], want[i])
+		}
+	}
+}
+
+// TestPromTypeLineLint is a promtool-style lint: every sample series must be
+// preceded by exactly one # TYPE line for its metric family, declared before
+// the family's first sample.
+func TestPromTypeLineLint(t *testing.T) {
+	r := NewRegistry(nil)
+	r.Count("a_total", 1)
+	r.Count("a_total", 1, Label{Key: "k", Value: "v"})
+	r.Gauge("g", 0.5, Label{Key: "x", Value: "1"})
+	r.Gauge("g", 0.7, Label{Key: "x", Value: "2"})
+	r.SetBuckets("h_seconds", []float64{1})
+	r.Observe("h_seconds", 0.5, Label{Key: "op", Value: "map"})
+	r.Observe("h_seconds", 2, Label{Key: "op", Value: "fold"})
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	typed := map[string]int{} // family -> # TYPE lines seen
+	histFamily := map[string]bool{}
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {
+			fields := strings.Fields(rest)
+			if len(fields) != 2 {
+				t.Fatalf("malformed TYPE line: %q", line)
+			}
+			typed[fields[0]]++
+			if typed[fields[0]] > 1 {
+				t.Errorf("family %s has %d TYPE lines, want exactly 1", fields[0], typed[fields[0]])
+			}
+			if fields[1] == "histogram" {
+				histFamily[fields[0]] = true
+			}
+			continue
+		}
+		name := line
+		if i := strings.IndexAny(line, "{ "); i >= 0 {
+			name = line[:i]
+		}
+		family := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if base, ok := strings.CutSuffix(name, suffix); ok && histFamily[base] {
+				family = base
+				break
+			}
+		}
+		if typed[family] != 1 {
+			t.Errorf("series %q has no preceding # TYPE line for family %s", line, family)
+		}
+	}
+	if len(typed) != 3 {
+		t.Errorf("families typed = %v, want a_total, g, h_seconds", typed)
+	}
+}

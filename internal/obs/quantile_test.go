@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+func TestQuantileEmpty(t *testing.T) {
+	var h HistogramData
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 0 {
+			t.Errorf("empty.Quantile(%v) = %v, want 0", q, got)
+		}
+	}
+}
+
+func TestQuantileSingleBucket(t *testing.T) {
+	// Four samples, all in the one (2, 4] bucket: Min=2.5, Max=3.5.
+	h := HistogramData{
+		Count: 4, Sum: 12, Min: 2.5, Max: 3.5,
+		Buckets: []Bucket{{LE: 2, Count: 0}, {LE: 4, Count: 4}},
+	}
+	// Rank 2 of 4 lies halfway through the bucket's population; the bucket
+	// interpolates from the recorded Min 2.5 (sharper than the bound 2) to
+	// its upper bound 4: 2.5 + 1.5 * 2/4.
+	if got := h.Quantile(0.5); got != 3.25 {
+		t.Errorf("p50 = %v, want 3.25", got)
+	}
+	// A high quantile interpolates to ~3.99 but the recorded Max is 3.5.
+	if got := h.Quantile(0.99); got != 3.5 {
+		t.Errorf("p99 = %v, want the Max clamp 3.5", got)
+	}
+	if got := h.Quantile(0); got != 2.5 {
+		t.Errorf("q=0 = %v, want Min", got)
+	}
+	if got := h.Quantile(1); got != 3.5 {
+		t.Errorf("q=1 = %v, want Max", got)
+	}
+}
+
+func TestQuantileFirstBucketUsesMin(t *testing.T) {
+	// All mass in the first bucket (le=10): without the Min anchor the
+	// estimate would interpolate from 0.
+	h := HistogramData{
+		Count: 2, Sum: 16, Min: 6, Max: 10,
+		Buckets: []Bucket{{LE: 10, Count: 2}},
+	}
+	if got := h.Quantile(0.5); got != 8 { // halfway between Min=6 and le=10
+		t.Errorf("p50 = %v, want 8", got)
+	}
+}
+
+func TestQuantileOverflowBucketReturnsMax(t *testing.T) {
+	// Three of four samples above the last finite bound.
+	h := HistogramData{
+		Count: 4, Sum: 100, Min: 0.5, Max: 42,
+		Buckets: []Bucket{{LE: 1, Count: 1}},
+	}
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		if got := h.Quantile(q); got != 42 {
+			t.Errorf("Quantile(%v) = %v, want Max 42 for the +Inf bucket", q, got)
+		}
+	}
+	// The lowest quartile still interpolates inside the finite bucket.
+	if got := h.Quantile(0.25); got != 1 || math.IsNaN(got) {
+		t.Errorf("p25 = %v, want 1", got)
+	}
+}
+
+func TestQuantileThroughRegistry(t *testing.T) {
+	r := NewRegistry(nil)
+	r.SetBuckets("lat_seconds", []float64{1, 2, 4, 8})
+	for i := 1; i <= 100; i++ {
+		r.Observe("lat_seconds", float64(i%8)+0.5) // 0.5 .. 7.5 uniform-ish
+	}
+	h := r.Snapshot().Histograms[0]
+	p50, p95, p99 := h.Quantile(0.5), h.Quantile(0.95), h.Quantile(0.99)
+	if !(h.Min <= p50 && p50 <= p95 && p95 <= p99 && p99 <= h.Max) {
+		t.Errorf("quantiles not monotone within [Min, Max]: min=%v p50=%v p95=%v p99=%v max=%v",
+			h.Min, p50, p95, p99, h.Max)
+	}
+}

@@ -293,6 +293,44 @@ func (h HistogramData) Mean() float64 {
 	return h.Sum / float64(h.Count)
 }
 
+// Quantile estimates the q-quantile (0 < q < 1) by linear interpolation
+// within the bucket containing the rank, the standard fixed-bucket estimate
+// (Prometheus histogram_quantile), sharpened by the recorded extremes: the
+// first bucket interpolates up from Min rather than zero, ranks that land in
+// the implicit +Inf bucket return Max, and every estimate is clamped to
+// [Min, Max]. An empty histogram returns 0; q <= 0 returns Min and q >= 1
+// returns Max.
+func (h HistogramData) Quantile(q float64) float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.Min
+	}
+	if q >= 1 {
+		return h.Max
+	}
+	rank := q * float64(h.Count)
+	lo := h.Min
+	var prevCum uint64
+	for _, b := range h.Buckets {
+		if float64(b.Count) >= rank {
+			v := b.LE
+			if width, inBucket := b.LE-lo, float64(b.Count-prevCum); width > 0 && inBucket > 0 {
+				v = lo + width*(rank-float64(prevCum))/inBucket
+			}
+			return math.Min(math.Max(v, h.Min), h.Max)
+		}
+		prevCum = b.Count
+		if b.LE > lo {
+			lo = b.LE
+		}
+	}
+	// The rank falls in the +Inf bucket: no upper bound to interpolate
+	// against, so the recorded maximum is the best estimate.
+	return h.Max
+}
+
 // Snapshot implements Snapshotter: a deep, deterministic (sorted) copy of
 // the current state.
 func (r *Registry) Snapshot() Snapshot {

@@ -1,0 +1,208 @@
+// Package server is the live observability surface of the simulator CLIs:
+// an embeddable stdlib-only HTTP server that exposes the in-process metrics
+// registry (Prometheus text and JSON), health and readiness probes, the
+// experiment engine's live progress (per-phase totals, rates, ETA), the
+// persistent run ledger, and net/http/pprof — everything a dashboard or a
+// scrape job needs to watch a long -j N sweep while it runs.
+//
+// Lifecycle: Start listens and serves immediately; when the run finishes
+// the CLI calls DrainAndShutdown, which flips /readyz to 503 but keeps every
+// endpoint serving until a final metrics scrape lands (or the linger window
+// expires), so a scraper never loses the end-of-run sample.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync/atomic"
+	"time"
+
+	"spacx/internal/exp/engine"
+	"spacx/internal/obs"
+	"spacx/internal/obs/ledger"
+)
+
+// Options wires the server to the run's observability state; every field is
+// optional.
+type Options struct {
+	// Registry backs /metrics and /metrics.json.
+	Registry *obs.Registry
+	// Progress backs /progress (nil serves the zero status).
+	Progress *engine.Progress
+	// Runs loads the ledger for /runs, oldest-first; the handler reverses
+	// it. Nil serves an empty list.
+	Runs func() ([]ledger.Record, error)
+}
+
+// Server is a running observability endpoint.
+type Server struct {
+	opts Options
+	lis  net.Listener
+	srv  *http.Server
+	done chan struct{}
+
+	ready       atomic.Bool
+	draining    atomic.Bool
+	scraped     atomic.Bool  // a metrics scrape arrived while draining
+	lastRequest atomic.Int64 // unix nanos of the last completed request
+}
+
+// Start listens on addr (e.g. "127.0.0.1:0") and serves in a background
+// goroutine. The server starts ready.
+func Start(addr string, opts Options) (*Server, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("server: listen %s: %w", addr, err)
+	}
+	s := &Server{opts: opts, lis: lis, done: make(chan struct{})}
+	s.ready.Store(true)
+	s.lastRequest.Store(time.Now().UnixNano())
+	s.srv = &http.Server{Handler: s.Handler()}
+	go func() {
+		defer close(s.done)
+		_ = s.srv.Serve(lis) // Shutdown/Close report http.ErrServerClosed here
+	}()
+	return s, nil
+}
+
+// Addr is the bound listen address (resolves ":0" to the real port).
+func (s *Server) Addr() string { return s.lis.Addr().String() }
+
+// SetReady flips the /readyz probe.
+func (s *Server) SetReady(ready bool) { s.ready.Store(ready) }
+
+// Handler returns the full endpoint mux (also used directly by tests).
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.handleIndex)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/metrics.json", s.handleMetricsJSON)
+	mux.HandleFunc("/progress", s.handleProgress)
+	mux.HandleFunc("/runs", s.handleRuns)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mux.ServeHTTP(w, r)
+		s.lastRequest.Store(time.Now().UnixNano())
+		if s.draining.Load() && (r.URL.Path == "/metrics" || r.URL.Path == "/metrics.json") {
+			s.scraped.Store(true)
+		}
+	})
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, `spacx observability endpoints:
+  /metrics       Prometheus text exposition (0.0.4)
+  /metrics.json  metrics snapshot as JSON
+  /healthz       liveness (always 200 while serving)
+  /readyz        readiness (503 before the run and while draining)
+  /progress      live sweep progress: per-phase points, rate, ETA
+  /runs          run ledger, newest first
+  /debug/pprof/  net/http/pprof profiles
+`)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if !s.ready.Load() || s.draining.Load() {
+		http.Error(w, "not ready", http.StatusServiceUnavailable)
+		return
+	}
+	fmt.Fprintln(w, "ready")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	if s.opts.Registry == nil {
+		http.Error(w, "no metrics registry attached", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.opts.Registry.WritePrometheus(w)
+}
+
+func (s *Server) handleMetricsJSON(w http.ResponseWriter, _ *http.Request) {
+	if s.opts.Registry == nil {
+		http.Error(w, "no metrics registry attached", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = s.opts.Registry.WriteJSON(w)
+}
+
+func (s *Server) handleProgress(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, s.opts.Progress.Status()) // nil Progress yields the zero Status
+}
+
+func (s *Server) handleRuns(w http.ResponseWriter, _ *http.Request) {
+	recs := []ledger.Record{}
+	if s.opts.Runs != nil {
+		loaded, err := s.opts.Runs()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		for i := len(loaded) - 1; i >= 0; i-- { // newest first
+			recs = append(recs, loaded[i])
+		}
+	}
+	writeJSON(w, recs)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// DrainAndShutdown marks the server not-ready and keeps serving until a
+// metrics scrape arrives during the drain (followed by settle of request
+// quiet, so trailing /progress or /runs reads complete) or linger expires,
+// then shuts down gracefully. A linger <= 0 shuts down immediately.
+func (s *Server) DrainAndShutdown(linger, settle time.Duration) error {
+	s.draining.Store(true)
+	s.ready.Store(false)
+	if linger > 0 {
+		deadline := time.Now().Add(linger)
+		for time.Now().Before(deadline) {
+			quietFor := time.Since(time.Unix(0, s.lastRequest.Load()))
+			if s.scraped.Load() && quietFor >= settle {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	return s.Close()
+}
+
+// Close shuts the server down, allowing in-flight requests two seconds to
+// complete before closing their connections.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	err := s.srv.Shutdown(ctx)
+	if err != nil {
+		err = s.srv.Close()
+	}
+	<-s.done
+	return err
+}
