@@ -1,8 +1,8 @@
 # Convenience targets mirroring .github/workflows/ci.yml.
 
-.PHONY: ci fmt vet build test exp-race obs-race serve-smoke cover fuzz bench golden
+.PHONY: ci fmt vet build test exp-race obs-race serve-smoke cover fuzz bench bench-json bench-check golden
 
-ci: fmt vet build test exp-race obs-race serve-smoke cover fuzz bench
+ci: fmt vet build test exp-race obs-race serve-smoke cover fuzz bench-check
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -51,8 +51,27 @@ cover:
 fuzz:
 	go test ./internal/dataflow -run '^$$' -fuzz FuzzTiling -fuzztime=10s
 
+# Timed benchmarks across the repository (slow; for local investigation).
 bench:
-	go test -run=NONE -bench=. -benchtime=1x ./...
+	go test -run=NONE -bench=. -benchmem ./...
+
+# The benchmark-trajectory harness: the suites behind the committed
+# BENCH_<area>.json baselines. eventsim covers the event-loop hot path;
+# sim covers the analytical layer path plus the two headline drivers.
+BENCH_EVENTSIM_CMD = go test -run=NONE -bench=. -benchmem -benchtime=200ms ./internal/eventsim/
+BENCH_SIM_CMD = { go test -run=NONE -bench=. -benchmem -benchtime=200ms ./internal/sim/; \
+	go test -run=NONE -bench='Fig16LatencyThroughput|SingleLayerSPACX' -benchmem -benchtime=200ms .; }
+
+# Regenerate the committed baselines after a deliberate performance change.
+bench-json:
+	$(BENCH_EVENTSIM_CMD) | go run ./cmd/spacx-bench -area eventsim -out BENCH_eventsim.json
+	$(BENCH_SIM_CMD) | go run ./cmd/spacx-bench -area sim -out BENCH_sim.json
+
+# Compare a fresh run against the committed baselines: ns/op drift warns
+# (machine-dependent), allocs/op regressions fail (machine-independent).
+bench-check:
+	$(BENCH_EVENTSIM_CMD) | go run ./cmd/spacx-bench -area eventsim -compare BENCH_eventsim.json
+	$(BENCH_SIM_CMD) | go run ./cmd/spacx-bench -area sim -compare BENCH_sim.json
 
 # Regenerate the golden experiment snapshots after a deliberate change.
 golden:

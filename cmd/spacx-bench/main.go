@@ -1,0 +1,76 @@
+// Command spacx-bench turns `go test -bench -benchmem` output (read from
+// stdin) into a schema-versioned BENCH_<area>.json record, or compares the
+// fresh output against a committed baseline.
+//
+// Record a baseline (the `make bench-json` flow):
+//
+//	go test -run=NONE -bench=. -benchmem ./internal/eventsim/ |
+//	    spacx-bench -area eventsim -out BENCH_eventsim.json
+//
+// Check a run against the committed baseline (the CI flow):
+//
+//	go test -run=NONE -bench=. -benchmem ./internal/eventsim/ |
+//	    spacx-bench -area eventsim -compare BENCH_eventsim.json
+//
+// Comparison warns (exit 0) on ns/op beyond -ns-threshold — wall time is a
+// property of the host — and fails (exit 1) on allocs/op regressions, which
+// are machine-independent.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"spacx/internal/bench"
+)
+
+func main() {
+	area := flag.String("area", "", "record area, names the BENCH_<area>.json file (required)")
+	out := flag.String("out", "", "write the parsed record to this path")
+	compare := flag.String("compare", "", "compare the parsed record against this committed baseline")
+	nsThreshold := flag.Float64("ns-threshold", 2.0,
+		"warn when ns/op exceeds baseline by this factor (<=0 disables)")
+	flag.Parse()
+
+	if err := run(*area, *out, *compare, *nsThreshold); err != nil {
+		fmt.Fprintln(os.Stderr, "spacx-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(area, out, compare string, nsThreshold float64) error {
+	if area == "" {
+		return fmt.Errorf("-area is required")
+	}
+	if (out == "") == (compare == "") {
+		return fmt.Errorf("exactly one of -out or -compare is required")
+	}
+	rec, err := bench.Parse(os.Stdin, area)
+	if err != nil {
+		return err
+	}
+	if out != "" {
+		if err := rec.WriteFile(out); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "spacx-bench: wrote %d benchmarks to %s\n", len(rec.Benchmarks), out)
+		return nil
+	}
+	baseline, err := bench.ReadFile(compare)
+	if err != nil {
+		return err
+	}
+	if baseline.Area != area {
+		return fmt.Errorf("baseline %s is area %q, comparing area %q", compare, baseline.Area, area)
+	}
+	rep := bench.Compare(baseline, rec, nsThreshold)
+	fmt.Fprint(os.Stderr, rep.String())
+	if rep.Failed {
+		return fmt.Errorf("allocs/op regressed against %s", compare)
+	}
+	if rep.Warned {
+		fmt.Fprintln(os.Stderr, "spacx-bench: time regression (warn-only; timings are machine-dependent)")
+	}
+	return nil
+}

@@ -1,0 +1,138 @@
+package bench
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: spacx
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkFig16LatencyThroughput 	       5	  33293311 ns/op	         0.3590 spacx-latency-norm	        16.68 spacx-throughput-norm	  744715 B/op	    3906 allocs/op
+BenchmarkRun/simba-8         	     200	   2474086 ns/op	       0 B/op	       0 allocs/op
+BenchmarkRun/spacx-8         	     200	   1304517 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	spacx	0.212s
+`
+
+func TestParse(t *testing.T) {
+	rec, err := Parse(strings.NewReader(sampleOutput), "eventsim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Schema != SchemaVersion || rec.Area != "eventsim" {
+		t.Errorf("header = %+v", rec)
+	}
+	if len(rec.Benchmarks) != 3 {
+		t.Fatalf("benchmarks = %d, want 3", len(rec.Benchmarks))
+	}
+	// Sorted by name; the -8 GOMAXPROCS suffix must be stripped.
+	fig := rec.Benchmarks[0]
+	if fig.Name != "BenchmarkFig16LatencyThroughput" {
+		t.Fatalf("first benchmark = %q", fig.Name)
+	}
+	if fig.Runs != 5 || fig.NsPerOp != 33293311 || fig.AllocsPerOp != 3906 || fig.BytesPerOp != 744715 {
+		t.Errorf("fig16 parsed as %+v", fig)
+	}
+	if fig.Metrics["spacx-latency-norm"] != 0.3590 || fig.Metrics["spacx-throughput-norm"] != 16.68 {
+		t.Errorf("custom metrics = %v", fig.Metrics)
+	}
+	if got := rec.Benchmarks[1].Name; got != "BenchmarkRun/simba" {
+		t.Errorf("suffix not stripped: %q", got)
+	}
+	if rec.Benchmarks[1].AllocsPerOp != 0 {
+		t.Errorf("allocs = %v, want 0", rec.Benchmarks[1].AllocsPerOp)
+	}
+}
+
+func TestParseRejectsMalformedAndEmpty(t *testing.T) {
+	if _, err := Parse(strings.NewReader("PASS\nok spacx 0.1s\n"), "x"); err == nil {
+		t.Error("empty input should fail")
+	}
+	if _, err := Parse(strings.NewReader("BenchmarkBroken 12 garbage ns/op\n"), "x"); err == nil {
+		t.Error("malformed value should fail")
+	}
+	if _, err := Parse(strings.NewReader("BenchmarkBroken 12 34\n"), "x"); err == nil {
+		t.Error("odd field count should fail")
+	}
+}
+
+func mkRecord(benches ...Benchmark) Record {
+	return Record{Schema: SchemaVersion, Area: "t", Benchmarks: benches}
+}
+
+func TestCompareTimeWarnsAllocsFail(t *testing.T) {
+	prev := mkRecord(
+		Benchmark{Name: "A", NsPerOp: 100, AllocsPerOp: 0},
+		Benchmark{Name: "B", NsPerOp: 100, AllocsPerOp: 1000},
+	)
+
+	// Slower but same allocs: warn only.
+	rep := Compare(prev, mkRecord(
+		Benchmark{Name: "A", NsPerOp: 400, AllocsPerOp: 0},
+		Benchmark{Name: "B", NsPerOp: 100, AllocsPerOp: 1000},
+	), 2.0)
+	if !rep.Warned || rep.Failed {
+		t.Errorf("time regression: warned=%v failed=%v, want warn-only", rep.Warned, rep.Failed)
+	}
+
+	// Zero-alloc benchmark starts allocating beyond the slack: fail.
+	rep = Compare(prev, mkRecord(
+		Benchmark{Name: "A", NsPerOp: 100, AllocsPerOp: 40},
+		Benchmark{Name: "B", NsPerOp: 100, AllocsPerOp: 1000},
+	), 2.0)
+	if !rep.Failed {
+		t.Error("allocation regression on zero-alloc benchmark should fail")
+	}
+
+	// Small jitter within factor+slack: pass.
+	rep = Compare(prev, mkRecord(
+		Benchmark{Name: "A", NsPerOp: 100, AllocsPerOp: 8},
+		Benchmark{Name: "B", NsPerOp: 100, AllocsPerOp: 1060},
+	), 2.0)
+	if rep.Failed || rep.Warned {
+		t.Errorf("jitter flagged: %+v", rep)
+	}
+
+	// New benchmark without a baseline: never flagged.
+	rep = Compare(prev, mkRecord(Benchmark{Name: "C", NsPerOp: 9e9, AllocsPerOp: 9e9}), 2.0)
+	if rep.Failed || rep.Warned {
+		t.Errorf("unmatched benchmark flagged: %+v", rep)
+	}
+	if !strings.Contains(rep.String(), "no baseline") {
+		t.Errorf("report should note missing baseline:\n%s", rep.String())
+	}
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	rec, err := Parse(strings.NewReader(sampleOutput), "eventsim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_eventsim.json")
+	if err := rec.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Benchmarks) != len(rec.Benchmarks) || got.Area != rec.Area {
+		t.Errorf("round trip mismatch: %+v vs %+v", got, rec)
+	}
+	if got.Benchmarks[0].Metrics["spacx-throughput-norm"] != 16.68 {
+		t.Errorf("metrics lost in round trip: %+v", got.Benchmarks[0])
+	}
+
+	// Future schema versions must be rejected, not misread.
+	bad := got
+	bad.Schema = SchemaVersion + 1
+	if err := bad.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFile(path); err == nil {
+		t.Error("schema mismatch should fail")
+	}
+}

@@ -121,7 +121,7 @@ func (OSEF) Map(l dnn.Layer, a Arch) (Profile, error) {
 		ActiveChiplets: activeChiplets,
 		ActivePEs:      minInt(usedPos*kPar, a.TotalPEs()),
 		VectorSteps:    steps,
-		Flows:          []network.Flow{weightFlow, ifmapFlow, outputFlow},
+		Flows:          newFlows(weightFlow, ifmapFlow, outputFlow),
 		RetuneEpochs:   efIters + kIters,
 	}
 	fillAccessCounts(&p, a)

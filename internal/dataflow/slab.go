@@ -1,0 +1,41 @@
+package dataflow
+
+import (
+	"sync"
+
+	"spacx/internal/network"
+)
+
+// Profiles — and the sim.LayerResults built from them — are memoized and
+// retained indefinitely by the experiment engine, so a mapper's per-layer
+// flow slice can never be recycled. It can, however, be batched: newFlows
+// carves each 3-4 element slice out of a pooled slab block, turning one
+// small garbage-collected allocation per Map call into one block allocation
+// per ~hundred layers. Carved memory is permanently owned by its Profile;
+// the slab only ever advances, it never reuses what it handed out.
+
+const flowSlabCap = 512
+
+var flowSlabs = sync.Pool{New: func() interface{} { return new(flowSlab) }}
+
+type flowSlab struct{ buf []network.Flow }
+
+// newFlows copies flows into a slice carved from a pooled slab. The result
+// is clipped to full capacity, so a caller appending to it cannot clobber a
+// later carving.
+func newFlows(flows ...network.Flow) []network.Flow {
+	n := len(flows)
+	if n == 0 {
+		return nil
+	}
+	s := flowSlabs.Get().(*flowSlab)
+	if cap(s.buf)-len(s.buf) < n {
+		s.buf = make([]network.Flow, 0, flowSlabCap)
+	}
+	lo := len(s.buf)
+	out := s.buf[lo : lo+n : lo+n]
+	s.buf = s.buf[:lo+n]
+	flowSlabs.Put(s)
+	copy(out, flows)
+	return out
+}

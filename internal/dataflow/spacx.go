@@ -160,7 +160,7 @@ func (d SPACX) Map(l dnn.Layer, a Arch) (Profile, error) {
 		ActiveChiplets: activeChiplets,
 		ActivePEs:      minInt(usedPos*usedK, a.TotalPEs()),
 		VectorSteps:    steps,
-		Flows:          []network.Flow{weightFlow, ifmapFlow, outputFlow},
+		Flows:          newFlows(weightFlow, ifmapFlow, outputFlow),
 		RetuneEpochs:   retunes,
 	}
 	fillAccessCounts(&p, a)

@@ -95,8 +95,8 @@ func (WS) Map(l dnn.Layer, a Arch) (Profile, error) {
 	}
 
 	// --- Psums: spatial reduction across the cPE channel-parallel PEs.
-	var flows []network.Flow
-	flows = append(flows, weightFlow, ifmapFlow)
+	var flowBuf [4]network.Flow
+	flows := append(flowBuf[:0], weightFlow, ifmapFlow)
 	if cPE > 1 {
 		flows = append(flows, network.Flow{
 			Class:        network.Psums,
@@ -127,7 +127,7 @@ func (WS) Map(l dnn.Layer, a Arch) (Profile, error) {
 		ActiveChiplets: kC * posC,
 		ActivePEs:      minInt(kC*posC*cPE*kPE, a.TotalPEs()),
 		VectorSteps:    steps,
-		Flows:          flows,
+		Flows:          newFlows(flows...),
 	}
 	fillAccessCounts(&p, a)
 	return p, nil

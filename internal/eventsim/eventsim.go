@@ -6,15 +6,30 @@
 // after a fixed propagation/conversion delay. Latency is the paper's
 // definition — "the time elapsed between generating and receiving of a data
 // packet" — and throughput is packets received per unit time.
+//
+// The hot loop is allocation-free in the steady state: packets live by value
+// in a slab arena on the Sim, the event queue is a typed min-heap of
+// by-value events carrying packet indices (see heap.go for why it mirrors
+// container/heap's ordering exactly), and station scratch buffers are reused
+// across runs. Reusing one Sim for repeated Run calls therefore settles into
+// zero allocations per run (asserted by TestRunSteadyStateAllocs).
 package eventsim
 
 import (
-	"container/heap"
 	"fmt"
 	"strings"
 
 	"spacx/internal/obs"
 )
+
+// serverSelectCrossover is the lane count above which admit maintains the
+// per-station freeAt slice as a binary min-heap (O(log S) selection) instead
+// of scanning linearly (O(S)). See BenchmarkServerSelection: under saturating
+// load the strategies are within noise of each other up to ~8 lanes, the heap
+// pulls clearly ahead at 16 (~1.7x), and dominates from there (~9x at 192
+// lanes). 16 keeps the branch-predictable scan on the small stations — where
+// an unloaded heap gains nothing — and the O(log S) root fix-up on big ones.
+const serverSelectCrossover = 16
 
 // Station is one queueing service point.
 type Station struct {
@@ -28,11 +43,13 @@ type Station struct {
 	QueueCap int
 
 	// run state
-	freeAt    []float64 // next-free time per server
-	busySec   float64   // accumulated service time across servers
-	waiting   []float64 // min-heap of service-start times of queued packets
-	peakDepth int       // deepest queue observed during the run
-	dropped   int       // packets rejected by the full queue
+	freeAt      []float64 // next-free time per server lane
+	heapServers bool      // freeAt kept as a min-heap (Servers large)
+	trackQueue  bool      // maintain the waiting heap (bounded queue or metrics)
+	busySec     float64   // accumulated service time across servers
+	waiting     []float64 // min-heap of service-start times of queued packets
+	peakDepth   int       // deepest queue observed during the run
+	dropped     int       // packets rejected by the full queue
 }
 
 // NewStation builds a validated station.
@@ -44,8 +61,19 @@ func NewStation(name string, rate float64, servers int, delay float64) (*Station
 	return &Station{Name: name, RateBytesSec: rate, Servers: servers, DelaySec: delay}, nil
 }
 
+// reset clears the run state, reusing the freeAt and waiting buffers from
+// the previous run when their capacity still fits.
 func (s *Station) reset() {
-	s.freeAt = make([]float64, s.Servers)
+	if cap(s.freeAt) < s.Servers {
+		s.freeAt = make([]float64, s.Servers)
+	} else {
+		s.freeAt = s.freeAt[:s.Servers]
+		for i := range s.freeAt {
+			s.freeAt[i] = 0
+		}
+	}
+	s.heapServers = s.Servers >= serverSelectCrossover
+	s.trackQueue = s.QueueCap > 0
 	s.busySec = 0
 	s.waiting = s.waiting[:0]
 	s.peakDepth = 0
@@ -58,74 +86,58 @@ func (s *Station) reset() {
 // bounded queue that was already full, in which case the packet is dropped
 // and the station state is untouched.
 func (s *Station) admit(t float64, bytes int) (depart, wait float64, ok bool) {
-	// Arrivals come off the global event heap in time order, so every
-	// queued packet whose service started by t has left the queue.
-	for len(s.waiting) > 0 && s.waiting[0] <= t {
-		popMinFloat(&s.waiting)
+	// The waiting heap exists for queue-depth accounting (drops, peak
+	// depth, the observability gauges); with an unbounded queue and no
+	// recorder attached nothing reads it, so the bookkeeping is skipped
+	// entirely. Arrivals come off the global event heap in time order, so
+	// every queued packet whose service started by t has left the queue —
+	// draining lazily here keeps the depth identical to eager draining.
+	if s.trackQueue {
+		for len(s.waiting) > 0 && s.waiting[0] <= t {
+			popMinFloat(&s.waiting)
+		}
 	}
-	// Pick the earliest-free server.
+	// Pick the earliest-free server lane. Lanes are interchangeable (only
+	// the free time matters), so with many lanes the slice doubles as a
+	// min-heap and selection is its root; with few, a linear scan is
+	// cheaper than maintaining the invariant.
 	best := 0
-	for i := 1; i < len(s.freeAt); i++ {
-		if s.freeAt[i] < s.freeAt[best] {
-			best = i
+	if !s.heapServers {
+		for i := 1; i < len(s.freeAt); i++ {
+			if s.freeAt[i] < s.freeAt[best] {
+				best = i
+			}
 		}
 	}
 	start := t
 	if s.freeAt[best] > start {
 		start = s.freeAt[best]
-		if s.QueueCap > 0 && len(s.waiting) >= s.QueueCap {
-			s.dropped++
-			return 0, 0, false
-		}
-		pushMinFloat(&s.waiting, start)
-		if len(s.waiting) > s.peakDepth {
-			s.peakDepth = len(s.waiting)
+		if s.trackQueue {
+			if s.QueueCap > 0 && len(s.waiting) >= s.QueueCap {
+				s.dropped++
+				return 0, 0, false
+			}
+			pushMinFloat(&s.waiting, start)
+			if len(s.waiting) > s.peakDepth {
+				s.peakDepth = len(s.waiting)
+			}
 		}
 	}
 	service := float64(bytes) / s.RateBytesSec
 	done := start + service
 	s.freeAt[best] = done
+	if s.heapServers {
+		siftDownMinFloat(s.freeAt, best)
+	}
 	s.busySec += service
 	return done + s.DelaySec, start - t, true
-}
-
-// pushMinFloat and popMinFloat keep a small min-heap of float64 without the
-// interface boxing of container/heap — admit runs once per packet-hop.
-func pushMinFloat(h *[]float64, v float64) {
-	*h = append(*h, v)
-	for i := len(*h) - 1; i > 0; {
-		parent := (i - 1) / 2
-		if (*h)[parent] <= (*h)[i] {
-			break
-		}
-		(*h)[parent], (*h)[i] = (*h)[i], (*h)[parent]
-		i = parent
-	}
-}
-
-func popMinFloat(h *[]float64) {
-	n := len(*h) - 1
-	(*h)[0] = (*h)[n]
-	*h = (*h)[:n]
-	for i := 0; ; {
-		l, r, small := 2*i+1, 2*i+2, i
-		if l < n && (*h)[l] < (*h)[small] {
-			small = l
-		}
-		if r < n && (*h)[r] < (*h)[small] {
-			small = r
-		}
-		if small == i {
-			break
-		}
-		(*h)[i], (*h)[small] = (*h)[small], (*h)[i]
-		i = small
-	}
 }
 
 // Packet is one unit of traffic. Fanout is the number of endpoint
 // receptions one delivery produces (a photonic broadcast packet is
 // serialized once but received by every destination on the wavelength).
+// Packets are stored by value in the Sim's arena; events refer to them by
+// index, so a run performs no per-packet allocation.
 type Packet struct {
 	ID         int
 	Bytes      int
@@ -133,26 +145,6 @@ type Packet struct {
 	Path       []*Station
 	Fanout     int
 	hop        int
-}
-
-// event is a packet arriving at its next hop.
-type event struct {
-	time float64
-	pkt  *Packet
-}
-
-type eventHeap []event
-
-func (h eventHeap) Len() int            { return len(h) }
-func (h eventHeap) Less(i, j int) bool  { return h[i].time < h[j].time }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
 }
 
 // Stats summarizes a run. Delivered counts endpoint receptions (a broadcast
@@ -184,6 +176,14 @@ func (s *Sim) Utilization(span float64) map[string]float64 {
 	return out
 }
 
+// WithLatencySamples returns a copy with the latency sample count set.
+// MeanLatency averages over this count; packages fabricating Stats fixtures
+// (it is run-internal state, invisible to them otherwise) set it here.
+func (s Stats) WithLatencySamples(n int) Stats {
+	s.latencySamples = n
+	return s
+}
+
 // MeanLatency is the average inject-to-receive latency (one sample per
 // transmitted packet; broadcast receptions share the sample).
 func (s Stats) MeanLatency() float64 {
@@ -205,11 +205,11 @@ func (s Stats) Throughput() float64 {
 // stdlib, but a fixed LCG keeps runs bit-reproducible across Go versions).
 type rng struct{ state uint64 }
 
-func newRNG(seed uint64) *rng {
+func newRNG(seed uint64) rng {
 	if seed == 0 {
 		seed = 0x9E3779B97F4A7C15
 	}
-	return &rng{state: seed}
+	return rng{state: seed}
 }
 
 func (r *rng) next() uint64 {
@@ -228,18 +228,29 @@ func (r *rng) expovariate(mean float64) float64 {
 	return -mean * logf(r.float64n())
 }
 
-// Sim drives packets through station pipelines.
+// Sim drives packets through station pipelines. The packet arena and event
+// queue are reused across Run calls, so a warmed Sim runs allocation-free.
 type Sim struct {
 	stations map[string]*Station
-	events   eventHeap
+	events   []event
+	packets  []Packet
 	stats    Stats
-	rng      *rng
+	rng      rng
 	rec      obs.Recorder
 }
 
 // New creates an empty simulator with a deterministic seed.
 func New(seed uint64) *Sim {
 	return &Sim{stations: map[string]*Station{}, rng: newRNG(seed), rec: obs.Nop()}
+}
+
+// Reseed restores the injection stream to the deterministic state New(seed)
+// would produce, leaving stations and the warmed arenas in place. Callers
+// that pool simulators across runs (the Figure 16 driver) use it to make a
+// reused Sim bit-identical to a freshly built one: Run resets all other
+// state, and the rng is the only carrier of history across runs.
+func (s *Sim) Reseed(seed uint64) {
+	s.rng = newRNG(seed)
 }
 
 // SetRecorder attaches an observability recorder: per-packet end-to-end
@@ -254,7 +265,12 @@ func (s *Sim) SetRecorder(rec obs.Recorder) {
 
 // stationGroup collapses numbered station names into their family
 // ("simba/pe12" -> "simba/pe") so utilization gauges stay at a readable
-// cardinality on machines with thousands of PE stations.
+// cardinality on machines with thousands of PE stations. The builders
+// follow the convention this relies on: a family name never ends in a
+// digit, and instances append a decimal index ("family" + "12"). A family
+// name that legitimately ended in digits (say "pe/x2") would be collapsed
+// into its prefix, so builders must not produce one; TestBuilderGroupNames
+// pins the grouped names of all three evaluation networks.
 func stationGroup(name string) string {
 	return strings.TrimRight(name, "0123456789")
 }
@@ -278,7 +294,9 @@ type Source struct {
 	// Count is how many packets to inject.
 	Count int
 	// Path chooses the station pipeline for the i-th packet of this source
-	// (destination spreading is done by the caller via the index).
+	// (destination spreading is done by the caller via the index). The
+	// returned slice is aliased, not copied — return interned paths (as the
+	// Build* choosers do) to keep injection allocation-free.
 	Path func(i int) []*Station
 	// Fanout is the endpoint receptions per delivered packet (broadcast
 	// width); zero means 1.
@@ -290,10 +308,14 @@ type Source struct {
 func (s *Sim) Run(sources []Source) (Stats, error) {
 	s.stats = Stats{}
 	s.events = s.events[:0]
+	s.packets = s.packets[:0]
+	enabled := s.rec.Enabled()
 	for _, st := range s.stations {
 		st.reset()
+		// Queue-wait and depth gauges need the waiting heap even on
+		// unbounded queues.
+		st.trackQueue = st.trackQueue || enabled
 	}
-	id := 0
 	for _, src := range sources {
 		if src.PacketBytes <= 0 || src.RateBytesSec <= 0 || src.Count < 0 || src.Path == nil {
 			return Stats{}, fmt.Errorf("eventsim: bad source %q", src.Name)
@@ -310,18 +332,18 @@ func (s *Sim) Run(sources []Source) (Stats, error) {
 			if fan < 1 {
 				fan = 1
 			}
-			p := &Packet{ID: id, Bytes: src.PacketBytes, InjectTime: t, Path: path, Fanout: fan}
-			id++
-			heap.Push(&s.events, event{time: t, pkt: p})
+			id := int32(len(s.packets))
+			s.packets = append(s.packets, Packet{
+				ID: int(id), Bytes: src.PacketBytes, InjectTime: t, Path: path, Fanout: fan,
+			})
+			pushEvent(&s.events, event{time: t, pkt: id})
 			s.stats.Injected++
 		}
 	}
-	heap.Init(&s.events)
 
-	enabled := s.rec.Enabled()
-	for s.events.Len() > 0 {
-		ev := heap.Pop(&s.events).(event)
-		p := ev.pkt
+	for len(s.events) > 0 {
+		ev := popEvent(&s.events)
+		p := &s.packets[ev.pkt]
 		if p.hop == len(p.Path) {
 			// Delivered: one latency sample, Fanout endpoint receptions.
 			lat := ev.time - p.InjectTime
@@ -350,7 +372,7 @@ func (s *Sim) Run(sources []Source) (Stats, error) {
 				obs.Label{Key: "station", Value: stationGroup(st.Name)})
 		}
 		p.hop++
-		heap.Push(&s.events, event{time: depart, pkt: p})
+		pushEvent(&s.events, event{time: depart, pkt: ev.pkt})
 	}
 	if enabled {
 		s.recordRunStats()

@@ -1,0 +1,222 @@
+package eventsim
+
+import (
+	"testing"
+)
+
+// The tests in this file pin the performance contract of the arena rewrite:
+// zero steady-state allocations per Run, bit-identical Stats versus the
+// preserved container/heap reference implementation, and the station naming
+// convention the observability grouping depends on.
+
+// benchNetworks builds each evaluation network on a fresh Sim and returns
+// sources shaped like the Figure 16 load (four interleaved classes at
+// moderate utilization).
+func buildEvalNetwork(t testing.TB, kind string, s *Sim) func(int) []*Station {
+	t.Helper()
+	var (
+		path func(int) []*Station
+		err  error
+	)
+	switch kind {
+	case "simba":
+		path, err = BuildSimba(s, SimbaSpec{
+			M: 6, N: 6, GBPorts: 2,
+			ChipletRateBps: 320e9 / 8, PERateBps: 20e9 / 8,
+			PackageHops: 5, ChipletHops: 4, PerHopDelaySec: 3.1e-9,
+		})
+	case "popstar":
+		path, err = BuildCrossbar(s, CrossbarSpec{
+			M: 6, N: 6, GBBundles: 4,
+			ChipletRateBps: 310e9 / 8, PERateBps: 20e9 / 8,
+			CrossbarDelay: 0.5e-9, ChipletHops: 4, PerHopDelaySec: 3.1e-9,
+		})
+	case "spacx":
+		path, err = BuildSPACX(s, SPACXSpec{
+			Channels: 192, ChannelRateBps: 10e9 / 8, HopDelaySec: 0.5e-9,
+		})
+	default:
+		t.Fatalf("unknown network kind %q", kind)
+	}
+	if err != nil {
+		t.Fatalf("build %s: %v", kind, err)
+	}
+	return path
+}
+
+func evalSources(path func(int) []*Station, packets int, fanout int) []Source {
+	classes := []struct {
+		name string
+		rate float64
+	}{
+		{"weights", 9e9}, {"ifmaps", 4e9}, {"outputs", 2.5e9}, {"psums", 1.5e9},
+	}
+	var sources []Source
+	for ci, c := range classes {
+		offset := ci * 7919
+		sources = append(sources, Source{
+			Name: c.name, PacketBytes: 64, RateBytesSec: c.rate,
+			Count:  packets / len(classes),
+			Path:   func(i int) []*Station { return path(i + offset) },
+			Fanout: fanout,
+		})
+	}
+	return sources
+}
+
+// TestRunSteadyStateAllocs asserts the acceptance criterion of the arena
+// rewrite: once a Sim has been warmed (arena and event queue grown to the
+// working-set size), repeated Run calls allocate nothing.
+func TestRunSteadyStateAllocs(t *testing.T) {
+	for _, kind := range []string{"simba", "popstar", "spacx"} {
+		t.Run(kind, func(t *testing.T) {
+			s := New(7)
+			path := buildEvalNetwork(t, kind, s)
+			sources := evalSources(path, 2000, 1)
+			if _, err := s.Run(sources); err != nil { // warm-up
+				t.Fatal(err)
+			}
+			avg := testing.AllocsPerRun(5, func() {
+				s.Reseed(7)
+				if _, err := s.Run(sources); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if avg != 0 {
+				t.Errorf("steady-state Run allocated %.1f objects per run, want 0", avg)
+			}
+		})
+	}
+}
+
+// TestDifferentialReference runs the optimized event loop and the preserved
+// container/heap implementation on identically configured, identically
+// seeded simulators and requires bit-identical Stats. Equal event times are
+// common under this load, so any deviation in heap tie ordering shows up
+// here as a differing TotalLatencySec.
+func TestDifferentialReference(t *testing.T) {
+	for _, kind := range []string{"simba", "popstar", "spacx"} {
+		for _, seed := range []uint64{1, 42, 0xC0FFEE, 0xDEADBEEF} {
+			fanout := 1
+			if kind == "spacx" {
+				fanout = 12
+			}
+
+			opt := New(seed)
+			optPath := buildEvalNetwork(t, kind, opt)
+			got, err := opt.Run(evalSources(optPath, 3000, fanout))
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			ref := New(seed)
+			refPath := buildEvalNetwork(t, kind, ref)
+			want, err := referenceRun(ref, evalSources(refPath, 3000, fanout))
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			if got != want {
+				t.Errorf("%s seed=%#x: optimized Stats %+v != reference %+v",
+					kind, seed, got, want)
+			}
+		}
+	}
+}
+
+// TestBuilderGroupNames pins the grouped station families of the three
+// builders, guarding the naming convention stationGroup depends on (family
+// names must not end in a digit; instances append a decimal index).
+func TestBuilderGroupNames(t *testing.T) {
+	want := map[string][]string{
+		"simba":   {"simba/chiplet", "simba/gb", "simba/pe"},
+		"popstar": {"popstar/chiplet", "popstar/gb", "popstar/pe"},
+		"spacx":   {"spacx/lambda"},
+	}
+	for kind, families := range want {
+		s := New(1)
+		buildEvalNetwork(t, kind, s)
+		got := map[string]bool{}
+		for name := range s.stations {
+			g := stationGroup(name)
+			got[g] = true
+			if g == "" {
+				t.Errorf("%s: station %q grouped to empty family", kind, name)
+			}
+		}
+		for _, f := range families {
+			if !got[f] {
+				t.Errorf("%s: missing station family %q (have %v)", kind, f, got)
+			}
+			delete(got, f)
+		}
+		for g := range got {
+			t.Errorf("%s: unexpected station family %q", kind, g)
+		}
+	}
+}
+
+// BenchmarkRun measures the warmed event loop per network; allocs/op should
+// be zero on every variant.
+func BenchmarkRun(b *testing.B) {
+	for _, kind := range []string{"simba", "popstar", "spacx"} {
+		b.Run(kind, func(b *testing.B) {
+			s := New(7)
+			path := buildEvalNetwork(b, kind, s)
+			sources := evalSources(path, 5000, 1)
+			if _, err := s.Run(sources); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Reseed(7)
+				if _, err := s.Run(sources); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkServerSelection justifies serverSelectCrossover: it drives one
+// multi-lane station through admit at each lane count with both selection
+// strategies. The linear scan wins at small lane counts, the heap at large
+// ones; the crossover constant is where they trade places on the benchmark
+// host.
+func BenchmarkServerSelection(b *testing.B) {
+	for _, lanes := range []int{4, 8, 16, 32, 64, 192} {
+		for _, mode := range []string{"linear", "heap"} {
+			b.Run(mode+"/"+itoa(lanes), func(b *testing.B) {
+				st, err := NewStation("bench/lanes", 1e9, lanes, 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				st.reset()
+				st.heapServers = mode == "heap"
+				b.ResetTimer()
+				t := 0.0
+				for i := 0; i < b.N; i++ {
+					// Offered load saturates the lanes so selection
+					// actually has contended candidates to compare.
+					t += 64.0 / 1e9 / float64(lanes) * 0.9
+					st.admit(t, 64)
+				}
+			})
+		}
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,11 +1,39 @@
 package eventsim
 
-import "fmt"
+import (
+	"fmt"
+	"strconv"
+)
 
 // This file builds the three evaluation networks as station pipelines.
 // Rates follow Table II; fixed delays follow the latency models of the
 // analytical simulator (router pipelines for meshes, E/O + flight + O/E for
 // photonic hops).
+//
+// Station naming convention: each builder emits names as "family" +
+// decimal instance index ("simba/pe12" is instance 12 of family
+// "simba/pe"). Family names must never end in a digit — observability
+// grouping (stationGroup) strips the trailing digits to recover the family,
+// so a digit-suffixed family would be collapsed into its prefix.
+// TestBuilderGroupNames pins the grouped names of all three builders.
+//
+// Each builder precomputes (interns) every destination's path once, carving
+// all of them from one shared backing array: the returned chooser hands out
+// aliases into that array, so path selection during injection is
+// allocation-free no matter how many packets repeat a destination.
+
+// internPaths carves count paths of hopsPer stations each from a single
+// backing array; fill populates the hops for one destination.
+func internPaths(count, hopsPer int, fill func(d int, hops []*Station)) [][]*Station {
+	backing := make([]*Station, count*hopsPer)
+	paths := make([][]*Station, count)
+	for d := 0; d < count; d++ {
+		hops := backing[d*hopsPer : (d+1)*hopsPer : (d+1)*hopsPer]
+		fill(d, hops)
+		paths[d] = hops
+	}
+	return paths
+}
 
 // SimbaSpec parameterizes the all-electrical two-level mesh.
 type SimbaSpec struct {
@@ -19,7 +47,9 @@ type SimbaSpec struct {
 }
 
 // BuildSimba registers the Simba stations on the simulator and returns a
-// path chooser keyed by destination PE id in [0, M*N).
+// path chooser keyed by destination PE id in [0, M*N). Station families are
+// "simba/gb", "simba/chiplet", and "simba/pe" (see the naming convention
+// above). The chooser returns interned paths shared across calls.
 func BuildSimba(s *Sim, spec SimbaSpec) (func(destPE int) []*Station, error) {
 	if spec.M <= 0 || spec.N <= 0 {
 		return nil, fmt.Errorf("eventsim: bad Simba spec %+v", spec)
@@ -33,7 +63,7 @@ func BuildSimba(s *Sim, spec SimbaSpec) (func(destPE int) []*Station, error) {
 
 	chiplets := make([]*Station, spec.M)
 	for i := range chiplets {
-		st, err := NewStation(fmt.Sprintf("simba/chiplet%d", i), spec.ChipletRateBps, 1,
+		st, err := NewStation("simba/chiplet"+strconv.Itoa(i), spec.ChipletRateBps, 1,
 			spec.ChipletHops*spec.PerHopDelaySec)
 		if err != nil {
 			return nil, err
@@ -42,15 +72,17 @@ func BuildSimba(s *Sim, spec SimbaSpec) (func(destPE int) []*Station, error) {
 	}
 	pes := make([]*Station, spec.M*spec.N)
 	for i := range pes {
-		st, err := NewStation(fmt.Sprintf("simba/pe%d", i), spec.PERateBps, 1, 0)
+		st, err := NewStation("simba/pe"+strconv.Itoa(i), spec.PERateBps, 1, 0)
 		if err != nil {
 			return nil, err
 		}
 		pes[i] = s.AddStation(st)
 	}
+	paths := internPaths(len(pes), 3, func(d int, hops []*Station) {
+		hops[0], hops[1], hops[2] = gb, chiplets[d/spec.N], pes[d]
+	})
 	return func(destPE int) []*Station {
-		d := ((destPE % len(pes)) + len(pes)) % len(pes)
-		return []*Station{gb, chiplets[d/spec.N], pes[d]}
+		return paths[((destPE%len(paths))+len(paths))%len(paths)]
 	}, nil
 }
 
@@ -67,6 +99,8 @@ type CrossbarSpec struct {
 }
 
 // BuildCrossbar registers the POPSTAR stations and returns a path chooser.
+// Station families are "popstar/gb", "popstar/chiplet", and "popstar/pe";
+// paths are interned as in BuildSimba.
 func BuildCrossbar(s *Sim, spec CrossbarSpec) (func(destPE int) []*Station, error) {
 	if spec.M <= 0 || spec.N <= 0 {
 		return nil, fmt.Errorf("eventsim: bad crossbar spec %+v", spec)
@@ -78,7 +112,7 @@ func BuildCrossbar(s *Sim, spec CrossbarSpec) (func(destPE int) []*Station, erro
 	gb = s.AddStation(gb)
 	chiplets := make([]*Station, spec.M)
 	for i := range chiplets {
-		st, err := NewStation(fmt.Sprintf("popstar/chiplet%d", i), spec.ChipletRateBps, 1,
+		st, err := NewStation("popstar/chiplet"+strconv.Itoa(i), spec.ChipletRateBps, 1,
 			spec.ChipletHops*spec.PerHopDelaySec)
 		if err != nil {
 			return nil, err
@@ -87,15 +121,17 @@ func BuildCrossbar(s *Sim, spec CrossbarSpec) (func(destPE int) []*Station, erro
 	}
 	pes := make([]*Station, spec.M*spec.N)
 	for i := range pes {
-		st, err := NewStation(fmt.Sprintf("popstar/pe%d", i), spec.PERateBps, 1, 0)
+		st, err := NewStation("popstar/pe"+strconv.Itoa(i), spec.PERateBps, 1, 0)
 		if err != nil {
 			return nil, err
 		}
 		pes[i] = s.AddStation(st)
 	}
+	paths := internPaths(len(pes), 3, func(d int, hops []*Station) {
+		hops[0], hops[1], hops[2] = gb, chiplets[d/spec.N], pes[d]
+	})
 	return func(destPE int) []*Station {
-		d := ((destPE % len(pes)) + len(pes)) % len(pes)
-		return []*Station{gb, chiplets[d/spec.N], pes[d]}
+		return paths[((destPE%len(paths))+len(paths))%len(paths)]
 	}, nil
 }
 
@@ -109,22 +145,25 @@ type SPACXSpec struct {
 }
 
 // BuildSPACX registers the SPACX wavelength channels and returns a path
-// chooser keyed by channel index.
+// chooser keyed by channel index. The single station family is
+// "spacx/lambda"; single-hop paths are interned as in BuildSimba.
 func BuildSPACX(s *Sim, spec SPACXSpec) (func(channel int) []*Station, error) {
 	if spec.Channels <= 0 || spec.ChannelRateBps <= 0 {
 		return nil, fmt.Errorf("eventsim: bad SPACX spec %+v", spec)
 	}
 	chans := make([]*Station, spec.Channels)
 	for i := range chans {
-		st, err := NewStation(fmt.Sprintf("spacx/lambda%d", i), spec.ChannelRateBps, 1,
+		st, err := NewStation("spacx/lambda"+strconv.Itoa(i), spec.ChannelRateBps, 1,
 			spec.HopDelaySec)
 		if err != nil {
 			return nil, err
 		}
 		chans[i] = s.AddStation(st)
 	}
+	paths := internPaths(len(chans), 1, func(d int, hops []*Station) {
+		hops[0] = chans[d]
+	})
 	return func(channel int) []*Station {
-		c := ((channel % len(chans)) + len(chans)) % len(chans)
-		return []*Station{chans[c]}
+		return paths[((channel%len(paths))+len(paths))%len(paths)]
 	}, nil
 }

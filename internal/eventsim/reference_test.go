@@ -1,0 +1,90 @@
+package eventsim
+
+import "container/heap"
+
+// This file preserves the pre-arena event loop — container/heap event queue,
+// one *Packet allocation per packet, linear server scan — as a reference
+// implementation. The differential tests assert the typed heap and packet
+// arena reproduce its Stats bit for bit across the three evaluation networks;
+// any divergence means the optimization changed simulation semantics, not
+// just speed.
+
+type refEvent struct {
+	time float64
+	pkt  *refPacket
+}
+
+type refPacket struct {
+	bytes      int
+	injectTime float64
+	path       []*Station
+	fanout     int
+	hop        int
+}
+
+type refHeap []refEvent
+
+func (h refHeap) Len() int            { return len(h) }
+func (h refHeap) Less(i, j int) bool  { return h[i].time < h[j].time }
+func (h refHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *refHeap) Push(x interface{}) { *h = append(*h, x.(refEvent)) }
+func (h *refHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// referenceRun mirrors Sim.Run semantics with the original data structures.
+// It shares the Sim's stations and rng (callers pass a fresh Sim configured
+// identically to the optimized one under test).
+func referenceRun(s *Sim, sources []Source) (Stats, error) {
+	var stats Stats
+	var events refHeap
+	for _, st := range s.stations {
+		st.reset()
+	}
+	for _, src := range sources {
+		meanGap := float64(src.PacketBytes) / src.RateBytesSec
+		t := 0.0
+		for i := 0; i < src.Count; i++ {
+			t += s.rng.expovariate(meanGap)
+			fan := src.Fanout
+			if fan < 1 {
+				fan = 1
+			}
+			p := &refPacket{bytes: src.PacketBytes, injectTime: t, path: src.Path(i), fanout: fan}
+			heap.Push(&events, refEvent{time: t, pkt: p})
+			stats.Injected++
+		}
+	}
+	heap.Init(&events)
+
+	for events.Len() > 0 {
+		ev := heap.Pop(&events).(refEvent)
+		p := ev.pkt
+		if p.hop == len(p.path) {
+			lat := ev.time - p.injectTime
+			stats.Delivered += p.fanout
+			stats.latencySamples++
+			stats.TotalLatencySec += lat
+			if lat > stats.MaxLatencySec {
+				stats.MaxLatencySec = lat
+			}
+			if ev.time > stats.SimTimeSec {
+				stats.SimTimeSec = ev.time
+			}
+			continue
+		}
+		st := p.path[p.hop]
+		depart, _, ok := st.admit(ev.time, p.bytes)
+		if !ok {
+			stats.Dropped++
+			continue
+		}
+		p.hop++
+		heap.Push(&events, refEvent{time: depart, pkt: p})
+	}
+	return stats, nil
+}

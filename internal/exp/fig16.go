@@ -2,6 +2,8 @@ package exp
 
 import (
 	"fmt"
+	"strconv"
+	"sync"
 
 	"spacx/internal/dnn"
 	"spacx/internal/eventsim"
@@ -30,7 +32,7 @@ const fig16PacketBytes = 64
 // accelerator: the bytes each flow class moves (duplicates included for
 // unicast networks) during the measured execution window.
 type fig16Load struct {
-	bytesPerClass map[network.Class]int64
+	bytesPerClass [network.NumClasses]int64
 	execSec       float64
 	broadcast     bool
 	// receptionsPerPacket is the mean chiplet-interface receptions each
@@ -42,7 +44,7 @@ type fig16Load struct {
 }
 
 func loadFor(acc sim.Accelerator, m dnn.Model) (fig16Load, error) {
-	out := fig16Load{bytesPerClass: map[network.Class]int64{}}
+	var out fig16Load
 	caps := acc.Arch.Net.Caps()
 	out.broadcast = caps.CrossChipletBroadcast || caps.SingleChipletBroadcast
 	var injected, received int64
@@ -71,6 +73,42 @@ func loadFor(acc sim.Accelerator, m dnn.Model) (fig16Load, error) {
 		out.receptionsPerPacket = float64(received) / float64(injected)
 	}
 	return out, nil
+}
+
+// builtSim is a constructed event simulator plus its path chooser, pooled by
+// accelerator so repeated packetRun calls skip station construction entirely.
+type builtSim struct {
+	s    *eventsim.Sim
+	path func(int) []*eventsim.Station
+}
+
+// simPools holds one free list of built simulators per accelerator
+// configuration. Sim.Run resets every station and buffer it touches; the RNG
+// is the only state that survives a run, and packetRun reseeds it before each
+// use, so a pooled simulator behaves identically to a freshly built one.
+var simPools sync.Map // string -> *sync.Pool
+
+func getSim(acc sim.Accelerator) (*builtSim, string, error) {
+	key := acc.Name() + "/" + strconv.Itoa(acc.Arch.M) + "x" + strconv.Itoa(acc.Arch.N)
+	poolAny, ok := simPools.Load(key)
+	if !ok {
+		poolAny, _ = simPools.LoadOrStore(key, &sync.Pool{})
+	}
+	if bs, ok := poolAny.(*sync.Pool).Get().(*builtSim); ok {
+		return bs, key, nil
+	}
+	s := eventsim.New(0)
+	path, err := buildNetwork(s, acc)
+	if err != nil {
+		return nil, "", err
+	}
+	return &builtSim{s: s, path: path}, key, nil
+}
+
+func putSim(key string, bs *builtSim) {
+	bs.s.SetRecorder(obs.Nop()) // don't retain the caller's recorder
+	poolAny, _ := simPools.Load(key)
+	poolAny.(*sync.Pool).Put(bs)
 }
 
 // buildNetwork registers the accelerator's station pipeline (Table II
@@ -114,12 +152,14 @@ func packetRun(acc sim.Accelerator, m dnn.Model, packets int, seed uint64, rec o
 		total += b
 	}
 
-	s := eventsim.New(seed)
-	s.SetRecorder(rec)
-	path, err := buildNetwork(s, acc)
+	bs, key, err := getSim(acc)
 	if err != nil {
 		return eventsim.Stats{}, err
 	}
+	defer putSim(key, bs)
+	bs.s.Reseed(seed)
+	bs.s.SetRecorder(rec)
+	path := bs.path
 	fanout := int(load.receptionsPerPacket + 0.5)
 	if fanout < 1 {
 		fanout = 1
@@ -150,7 +190,7 @@ func packetRun(acc sim.Accelerator, m dnn.Model, packets int, seed uint64, rec o
 			Fanout:       fanout,
 		})
 	}
-	return s.Run(sources)
+	return bs.s.Run(sources)
 }
 
 // NetworkProbe runs the packet-level simulator once with the model's own
@@ -199,19 +239,36 @@ func Fig16(packetsPerRun int) ([]Fig16Row, error) {
 	if err != nil {
 		return nil, err
 	}
+	names := make([]string, 0, len(accs))
+	for _, acc := range accs {
+		names = append(names, acc.Name())
+	}
+	return fig16Rows(models, names, results)
+}
 
-	var rows []Fig16Row
+// fig16Rows folds the raw per-point stats into rows normalized to the first
+// accelerator (Simba). A degenerate baseline — zero mean latency or zero
+// throughput, as happens when packetsPerRun is too small for any packet to be
+// delivered — would turn every norm into ±Inf or NaN and poison downstream
+// golden files, so it is reported as an error instead.
+func fig16Rows(models []dnn.Model, accels []string, results []eventsim.Stats) ([]Fig16Row, error) {
+	rows := make([]Fig16Row, 0, len(models)*len(accels))
 	for mi, m := range models {
 		var baseLat, baseTp float64
-		for ai, acc := range accs {
-			stats := results[mi*len(accs)+ai]
+		for ai, name := range accels {
+			stats := results[mi*len(accels)+ai]
 			row := Fig16Row{
-				Model: m.Name, Accel: acc.Name(),
+				Model: m.Name, Accel: name,
 				MeanLatencySec: stats.MeanLatency(),
 				ThroughputPps:  stats.Throughput(),
 			}
 			if ai == 0 {
 				baseLat, baseTp = row.MeanLatencySec, row.ThroughputPps
+				if baseLat == 0 || baseTp == 0 {
+					return nil, fmt.Errorf(
+						"exp: fig16 %s: degenerate %s baseline (mean latency %g s, throughput %g pps); too few packets per run",
+						m.Name, name, baseLat, baseTp)
+				}
 			}
 			row.LatencyNorm = row.MeanLatencySec / baseLat
 			row.ThroughputNorm = row.ThroughputPps / baseTp

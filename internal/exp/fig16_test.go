@@ -1,0 +1,68 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"spacx/internal/dnn"
+	"spacx/internal/eventsim"
+)
+
+// statsWith fabricates drained Stats with the given mean latency and
+// throughput (one delivered packet over span seconds).
+func statsWith(meanLatSec, throughputPps float64) eventsim.Stats {
+	var s eventsim.Stats
+	if throughputPps > 0 {
+		s.Delivered = 1000
+		s.Injected = 1000
+		s.SimTimeSec = 1000 / throughputPps
+	}
+	s.TotalLatencySec = meanLatSec * 1000
+	return s.WithLatencySamples(1000)
+}
+
+func TestFig16RowsNormalization(t *testing.T) {
+	models := []dnn.Model{{Name: "m1"}, {Name: "m2"}}
+	accels := []string{"Simba", "POPSTAR"}
+	results := []eventsim.Stats{
+		statsWith(2e-8, 1e9), statsWith(1e-8, 2e9), // m1
+		statsWith(4e-8, 1e9), statsWith(1e-8, 4e9), // m2
+	}
+	rows, err := fig16Rows(models, accels, results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(rows))
+	}
+	if rows[0].LatencyNorm != 1 || rows[0].ThroughputNorm != 1 {
+		t.Errorf("baseline row not normalized to 1: %+v", rows[0])
+	}
+	if got := rows[1].LatencyNorm; got != 0.5 {
+		t.Errorf("m1 POPSTAR latency norm = %v, want 0.5", got)
+	}
+	if got := rows[3].ThroughputNorm; got != 4 {
+		t.Errorf("m2 POPSTAR throughput norm = %v, want 4", got)
+	}
+}
+
+// TestFig16RowsDegenerateBaseline pins the divide-by-zero guard: a baseline
+// run that delivered nothing (zero latency or zero throughput) must produce
+// an error, not ±Inf/NaN norms that would poison golden files.
+func TestFig16RowsDegenerateBaseline(t *testing.T) {
+	models := []dnn.Model{{Name: "m1"}}
+	accels := []string{"Simba", "POPSTAR"}
+	for _, results := range [][]eventsim.Stats{
+		{statsWith(0, 1e9), statsWith(1e-8, 2e9)},  // zero baseline latency
+		{statsWith(2e-8, 0), statsWith(1e-8, 2e9)}, // zero baseline throughput
+		{{}, statsWith(1e-8, 2e9)},                 // nothing delivered at all
+	} {
+		rows, err := fig16Rows(models, accels, results)
+		if err == nil {
+			t.Fatalf("degenerate baseline accepted: rows=%+v", rows)
+		}
+		if !strings.Contains(err.Error(), "degenerate") {
+			t.Errorf("error should name the degenerate baseline, got: %v", err)
+		}
+	}
+}

@@ -53,6 +53,9 @@ func Default32() Config {
 // Model implements network.Model for the electrical mesh.
 type Model struct {
 	cfg Config
+	// fingerprint is formatted once at construction; Fingerprint sits on
+	// the memoization hot path of the experiment drivers.
+	fingerprint string
 }
 
 // New validates and wraps a config.
@@ -63,7 +66,7 @@ func New(cfg Config) (*Model, error) {
 	if cfg.GBPorts <= 0 || cfg.ChipletReadGbps <= 0 || cfg.PEReadGbps <= 0 {
 		return nil, fmt.Errorf("emesh: bandwidths and GB ports must be positive: %+v", cfg)
 	}
-	return &Model{cfg: cfg}, nil
+	return &Model{cfg: cfg, fingerprint: fmt.Sprintf("emesh%+v", cfg)}, nil
 }
 
 // MustNew wraps a config known to be valid.
@@ -84,8 +87,9 @@ func (m *Model) Caps() network.Caps { return network.Caps{} }
 func (m *Model) Config() Config { return m.cfg }
 
 // Fingerprint implements network.Fingerprinter: the flat config struct is
-// the complete behavioral description of the mesh.
-func (m *Model) Fingerprint() string { return fmt.Sprintf("emesh%+v", m.cfg) }
+// the complete behavioral description of the mesh. The string is formatted
+// once at construction.
+func (m *Model) Fingerprint() string { return m.fingerprint }
 
 // meshDims returns the near-square factorization used for hop counting.
 func meshDims(n int) (rows, cols int) {

@@ -17,6 +17,10 @@ const (
 	Ifmaps
 	Outputs
 	Psums
+
+	// NumClasses counts the traffic classes above; dense per-class tables
+	// ([NumClasses]int64 and friends) index by Class directly.
+	NumClasses = iota
 )
 
 func (c Class) String() string {

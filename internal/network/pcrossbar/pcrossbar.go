@@ -70,6 +70,13 @@ func Default32() Config {
 // chiplet mesh combination.
 type Model struct {
 	cfg Config
+
+	// Derived values frozen at construction: StaticPower and Fingerprint
+	// are pure functions of the immutable config, and both sit on the
+	// per-layer hot path of sim.RunLayer (the static power budget builds a
+	// photonic PathBudget, the fingerprint formats the whole config).
+	static      network.StaticParts
+	fingerprint string
 }
 
 // New validates and wraps a config.
@@ -80,7 +87,9 @@ func New(cfg Config) (*Model, error) {
 	if cfg.GBBundles <= 0 || cfg.WavelengthsPerBus <= 0 {
 		return nil, fmt.Errorf("pcrossbar: bundles and wavelengths must be positive: %+v", cfg)
 	}
-	return &Model{cfg: cfg}, nil
+	m := &Model{cfg: cfg, fingerprint: fmt.Sprintf("pcrossbar%+v", cfg)}
+	m.static = m.staticPower()
+	return m, nil
 }
 
 // MustNew wraps a config known to be valid.
@@ -102,8 +111,9 @@ func (m *Model) Caps() network.Caps { return network.Caps{} }
 func (m *Model) Config() Config { return m.cfg }
 
 // Fingerprint implements network.Fingerprinter: the config (photonic
-// parameter set included) fully determines the model's behavior.
-func (m *Model) Fingerprint() string { return fmt.Sprintf("pcrossbar%+v", m.cfg) }
+// parameter set included) fully determines the model's behavior. The string
+// is formatted once at construction.
+func (m *Model) Fingerprint() string { return m.fingerprint }
 
 const bitsPerByte = 8
 
@@ -192,8 +202,11 @@ func (m *Model) RingCount() int {
 }
 
 // StaticPower: heaters for the full ring inventory plus bus laser power from
-// the loss budget (no splitting — unicast drops only).
-func (m *Model) StaticPower() network.StaticParts {
+// the loss budget (no splitting — unicast drops only). The parts are derived
+// once at construction; this is a field read on the per-layer hot path.
+func (m *Model) StaticPower() network.StaticParts { return m.static }
+
+func (m *Model) staticPower() network.StaticParts {
 	// Only standalone rings are charged statically (TX/RX ring heaters are
 	// folded into the per-bit conversion energy, as for SPACX): the idle
 	// reader banks waiting on inactive channels.

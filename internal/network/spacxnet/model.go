@@ -13,6 +13,14 @@ import (
 // broadcast), per-chiplet write 10 Gbps per local waveguide (token ring).
 type Model struct {
 	cfg Config
+
+	// Derived values frozen at construction. StaticPower and Fingerprint
+	// sit on the per-layer hot path of sim.RunLayer, and both are pure
+	// functions of the immutable config; computing the photonic power
+	// budget (and formatting the fingerprint) once here instead of per call
+	// removes the dominant allocation source of the analytical simulator.
+	static      network.StaticParts
+	fingerprint string
 }
 
 // NewModel wraps a validated config.
@@ -20,7 +28,12 @@ func NewModel(cfg Config) (*Model, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &Model{cfg: cfg}, nil
+	p := cfg.Power()
+	return &Model{
+		cfg:         cfg,
+		static:      network.StaticParts{Laser: p.LaserW, Heating: p.InterfaceHtW},
+		fingerprint: fmt.Sprintf("spacxnet%+v", cfg),
+	}, nil
 }
 
 // MustModel wraps a config known to be valid (panics otherwise); intended
@@ -38,7 +51,8 @@ func (m *Model) Config() Config { return m.cfg }
 
 // Fingerprint implements network.Fingerprinter: the config (geometry and
 // photonic parameter set included) fully determines the model's behavior.
-func (m *Model) Fingerprint() string { return fmt.Sprintf("spacxnet%+v", m.cfg) }
+// The string is formatted once at construction.
+func (m *Model) Fingerprint() string { return m.fingerprint }
 
 func (m *Model) Name() string { return "SPACX" }
 
@@ -91,10 +105,9 @@ func (m *Model) DynamicEnergy(f network.Flow) network.EnergyParts {
 // (including the TX/RX ring heaters' share) is charged per bit as dynamic
 // E/O / O/E energy, so only the standalone interface splitter/filter heaters
 // belong here.
-func (m *Model) StaticPower() network.StaticParts {
-	p := m.cfg.Power()
-	return network.StaticParts{Laser: p.LaserW, Heating: p.InterfaceHtW}
-}
+// The parts are derived from the loss budget once at construction (the
+// config is immutable), so this is a field read on the per-layer hot path.
+func (m *Model) StaticPower() network.StaticParts { return m.static }
 
 // speedOfLightWaveguideCMPerSec is light speed in silicon waveguide
 // (group index ~4).

@@ -132,7 +132,7 @@ func RunLayerObserved(acc Accelerator, l dnn.Layer, mode Mode, rec obs.Recorder)
 	// photonic network the input classes ride orthogonal wavelength groups
 	// (max); on a shared-medium network they serialize (sum).
 	orthogonal := net.Caps().CrossChipletBroadcast || net.Caps().SingleChipletBroadcast
-	r.FlowSecs = make([]float64, len(p.Flows))
+	r.FlowSecs = newFloats(len(p.Flows))
 	for i, f := range p.Flows {
 		t := net.TransferTime(f)
 		r.FlowSecs[i] = t
@@ -293,6 +293,7 @@ func RunVia(acc Accelerator, m dnn.Model, mode Mode, run LayerRunner) (ModelResu
 		return ModelResult{}, err
 	}
 	res := ModelResult{Model: m.Name, Accel: acc.Name(), Mode: mode}
+	res.Layers = make([]LayerResult, 0, len(m.Layers))
 	for _, l := range m.Layers {
 		lr, err := run(acc, l, mode)
 		if err != nil {

@@ -1,0 +1,36 @@
+package sim
+
+import "sync"
+
+// LayerResults are memoized and shared by the experiment engine, so the
+// per-layer FlowSecs slice can never be recycled — but it can be batched.
+// newFloats carves each small slice out of a pooled slab block, replacing
+// one garbage-collected allocation per RunLayer call with one block
+// allocation per ~hundred layers. Carved memory is permanently owned by its
+// LayerResult; the slab only ever advances.
+
+const floatSlabCap = 1024
+
+var floatSlabs = sync.Pool{New: func() interface{} { return new(floatSlab) }}
+
+type floatSlab struct{ buf []float64 }
+
+// newFloats returns a zeroed slice of length n carved from a pooled slab,
+// clipped to full capacity.
+func newFloats(n int) []float64 {
+	if n == 0 {
+		return nil
+	}
+	if n > floatSlabCap {
+		return make([]float64, n)
+	}
+	s := floatSlabs.Get().(*floatSlab)
+	if cap(s.buf)-len(s.buf) < n {
+		s.buf = make([]float64, 0, floatSlabCap)
+	}
+	lo := len(s.buf)
+	out := s.buf[lo : lo+n : lo+n]
+	s.buf = s.buf[:lo+n]
+	floatSlabs.Put(s)
+	return out
+}
