@@ -1,8 +1,8 @@
 # Convenience targets mirroring .github/workflows/ci.yml.
 
-.PHONY: ci fmt vet build test exp-race obs-race serve-smoke cover fuzz bench bench-json bench-check golden
+.PHONY: ci fmt vet build test exp-race obs-race serve-smoke api-smoke cover fuzz bench bench-json bench-check golden
 
-ci: fmt vet build test exp-race obs-race serve-smoke cover fuzz bench-check
+ci: fmt vet build test exp-race obs-race serve-smoke api-smoke cover fuzz bench-check
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -42,6 +42,12 @@ serve-smoke:
 	python3 -c "import json; r = json.load(open('/tmp/runs.jsonl')); assert r['schema'] == 1 and r['wall_sec'] > 0 and r['drivers'], r"; \
 	echo "serve smoke ok"
 
+# End-to-end smoke of the spacx-serve API under the race detector:
+# concurrent duplicated requests (cache + singleflight must engage), then a
+# SIGTERM drain that must finish inside the linger window.
+api-smoke:
+	@./scripts/serve_smoke.sh
+
 cover:
 	@go test -coverprofile=cover.out ./... > /dev/null; \
 	total=$$(go tool cover -func=cover.out | tail -1 | awk '{print $$3}' | tr -d '%'); \
@@ -50,6 +56,7 @@ cover:
 
 fuzz:
 	go test ./internal/dataflow -run '^$$' -fuzz FuzzTiling -fuzztime=10s
+	go test ./internal/serve -run '^$$' -fuzz FuzzSimulateRequest -fuzztime=10s
 
 # Timed benchmarks across the repository (slow; for local investigation).
 bench:

@@ -27,11 +27,15 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"strings"
+	"syscall"
 	"time"
 
 	"spacx/internal/exp"
@@ -130,6 +134,14 @@ func run(o options) error {
 	}
 	exp.SetParallelism(o.jobs)
 
+	// SIGINT/SIGTERM cancels the sweep: in-flight points are abandoned at
+	// the engine's next claim, and whatever was collected still flushes to
+	// -metrics and -ledger below.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	exp.SetContext(ctx)
+	defer exp.SetContext(nil)
+
 	stopProfiles, err := obs.StartProfiles(o.cpuProfile, o.memProfile)
 	if err != nil {
 		return err
@@ -187,8 +199,12 @@ func run(o options) error {
 		renderErr = runText(os.Stdout, o.only, o.packets)
 	}
 	stopTicker()
-	if renderErr != nil {
+	interrupted := errors.Is(renderErr, context.Canceled)
+	if renderErr != nil && !interrupted {
 		return renderErr
+	}
+	if interrupted {
+		fmt.Fprintln(os.Stderr, "spacx-report: interrupted; flushing metrics and ledger")
 	}
 
 	if o.verbose {
@@ -227,6 +243,9 @@ func run(o options) error {
 		if err := srv.DrainAndShutdown(o.httpLinger, 200*time.Millisecond); err != nil {
 			fmt.Fprintln(os.Stderr, "spacx-report: observability server:", err)
 		}
+	}
+	if interrupted {
+		return renderErr
 	}
 	return nil
 }

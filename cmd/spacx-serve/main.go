@@ -1,0 +1,163 @@
+// Command spacx-serve runs the simulator as a long-lived service: a
+// stdlib-only HTTP API answering accelerator × model × mode × batch
+// what-if queries from a shared simulation core with request coalescing,
+// fingerprint-keyed result caching, micro-batching, and bounded-queue
+// backpressure.
+//
+// Usage:
+//
+//	spacx-serve -http 127.0.0.1:8080
+//	spacx-serve -http 127.0.0.1:8080 -j 8 -queue 128 -max-batch 32 -batch-window 2ms
+//
+// Endpoints (see README.md "Serving"):
+//
+//	POST /v1/simulate      one simulation query
+//	POST /v1/sweep         a small parameter grid
+//	GET  /v1/models        servable model catalog
+//	GET  /v1/accelerators  servable accelerator catalog
+//	GET  /metrics          service + simulator metrics (Prometheus text)
+//	GET  /readyz           readiness (503 once draining)
+//
+// Lifecycle: SIGINT/SIGTERM flips /readyz to 503, stops admitting new
+// simulations (503 + Retry-After), drains every queued job to completion,
+// lingers -http-linger for a final metrics scrape, then exits. A second
+// signal abandons unstarted work and exits promptly.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"spacx/internal/exp/engine"
+	"spacx/internal/obs"
+	"spacx/internal/obs/server"
+	"spacx/internal/serve"
+)
+
+type options struct {
+	httpAddr   string
+	jobs       int
+	queue      int
+	maxBatch   int
+	window     time.Duration
+	cache      int
+	maxReqBat  int
+	sweepCap   int
+	retryAfter time.Duration
+	linger     time.Duration
+	verbose    bool
+}
+
+func main() {
+	var o options
+	flag.StringVar(&o.httpAddr, "http", "127.0.0.1:8080", "serve the API and observability endpoints on this address")
+	flag.IntVar(&o.jobs, "j", runtime.NumCPU(), "simulation workers per micro-batch")
+	flag.IntVar(&o.queue, "queue", 64, "admission queue depth; beyond it requests get 429")
+	flag.IntVar(&o.maxBatch, "max-batch", 16, "most queries coalesced into one engine batch")
+	flag.DurationVar(&o.window, "batch-window", 0, "how long to wait for stragglers before dispatching a batch (0 = immediate)")
+	flag.IntVar(&o.cache, "cache", 512, "response cache capacity (entries)")
+	flag.IntVar(&o.maxReqBat, "max-request-batch", 256, "largest accepted per-request batch size")
+	flag.IntVar(&o.sweepCap, "sweep-points", 64, "largest accepted /v1/sweep grid")
+	flag.DurationVar(&o.retryAfter, "retry-after", time.Second, "Retry-After hint on 429/503 responses")
+	flag.DurationVar(&o.linger, "http-linger", 2*time.Second, "keep serving this long after drain for a final metrics scrape")
+	flag.BoolVar(&o.verbose, "v", false, "log structured request progress to stderr")
+	flag.Parse()
+
+	if err := run(o); err != nil {
+		fmt.Fprintln(os.Stderr, "spacx-serve:", err)
+		os.Exit(1)
+	}
+}
+
+func validate(o options) error {
+	if o.jobs < 1 {
+		return fmt.Errorf("-j must be >= 1, got %d", o.jobs)
+	}
+	if o.queue < 1 {
+		return fmt.Errorf("-queue must be >= 1, got %d", o.queue)
+	}
+	if o.maxBatch < 1 {
+		return fmt.Errorf("-max-batch must be >= 1, got %d", o.maxBatch)
+	}
+	if o.window < 0 {
+		return fmt.Errorf("-batch-window must be >= 0, got %v", o.window)
+	}
+	if o.cache < 1 {
+		return fmt.Errorf("-cache must be >= 1, got %d", o.cache)
+	}
+	if o.maxReqBat < 1 {
+		return fmt.Errorf("-max-request-batch must be >= 1, got %d", o.maxReqBat)
+	}
+	if o.sweepCap < 1 {
+		return fmt.Errorf("-sweep-points must be >= 1, got %d", o.sweepCap)
+	}
+	if o.retryAfter <= 0 {
+		return fmt.Errorf("-retry-after must be > 0, got %v", o.retryAfter)
+	}
+	if o.linger < 0 {
+		return fmt.Errorf("-http-linger must be >= 0, got %v", o.linger)
+	}
+	return nil
+}
+
+func run(o options) error {
+	if err := validate(o); err != nil {
+		return err
+	}
+
+	reg := obs.NewRegistry(obs.NewLogger(os.Stderr, o.verbose))
+	prog := engine.NewProgress()
+
+	// hardCtx is the second-signal abort: cancelling it abandons engine
+	// batch items that have not started.
+	hardCtx, hardCancel := context.WithCancel(context.Background())
+	defer hardCancel()
+
+	svc := serve.New(serve.Options{
+		Workers:         o.jobs,
+		QueueDepth:      o.queue,
+		MaxBatch:        o.maxBatch,
+		BatchWindow:     o.window,
+		CacheEntries:    o.cache,
+		MaxRequestBatch: o.maxReqBat,
+		MaxSweepPoints:  o.sweepCap,
+		RetryAfter:      o.retryAfter,
+		Recorder:        reg,
+		Progress:        prog,
+	})
+	svc.Start(hardCtx)
+
+	srv, err := server.Start(o.httpAddr, server.Options{
+		Registry: reg,
+		Progress: prog,
+		Mount:    svc.Routes,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "spacx-serve: serving http://%s/v1/ (metrics on /metrics)\n", srv.Addr())
+
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	sig := <-sigs
+	fmt.Fprintf(os.Stderr, "spacx-serve: received %s, draining (again to abort)\n", sig)
+
+	// Graceful half: stop advertising readiness, refuse new simulations,
+	// finish what is queued. A second signal during the drain hard-cancels.
+	srv.SetReady(false)
+	go func() {
+		s := <-sigs
+		fmt.Fprintf(os.Stderr, "spacx-serve: received %s, abandoning queued work\n", s)
+		hardCancel()
+	}()
+	svc.Close()
+
+	// Keep /metrics up for a final scrape, then exit.
+	return srv.DrainAndShutdown(o.linger, 200*time.Millisecond)
+}

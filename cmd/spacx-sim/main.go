@@ -15,14 +15,19 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"spacx"
 	"spacx/internal/dataflow"
+	"spacx/internal/dnn"
 	"spacx/internal/exp"
 	"spacx/internal/obs"
 	"spacx/internal/sim"
@@ -95,9 +100,30 @@ func parseMode(name string) (spacx.Mode, error) {
 	}
 }
 
+// validate fails fast on out-of-range or mutually inconsistent flags, before
+// any simulation work starts.
+func validate(o options) error {
+	if o.format != "text" && o.format != "json" {
+		return fmt.Errorf("unknown format %q (text, json)", o.format)
+	}
+	if o.explain && o.format == "json" {
+		return fmt.Errorf("-explain is incompatible with -format json (mapping explanations are text-only; drop one)")
+	}
+	if o.batch < 1 {
+		return fmt.Errorf("batch must be >= 1, got %d", o.batch)
+	}
+	if o.probePackets < 1 {
+		return fmt.Errorf("probe-packets must be >= 1, got %d", o.probePackets)
+	}
+	return nil
+}
+
 func run(o options) error {
-	// Validate every enum flag before simulating so a typo fails fast
-	// instead of after a full run.
+	// Validate every flag before simulating so a typo fails fast instead of
+	// after a full run.
+	if err := validate(o); err != nil {
+		return err
+	}
 	m, err := spacx.ModelByName(o.model)
 	if err != nil {
 		return err
@@ -109,12 +135,6 @@ func run(o options) error {
 	mode, err := parseMode(o.mode)
 	if err != nil {
 		return err
-	}
-	if o.format != "text" && o.format != "json" {
-		return fmt.Errorf("unknown format %q (text, json)", o.format)
-	}
-	if o.batch < 1 {
-		return fmt.Errorf("batch must be >= 1, got %d", o.batch)
 	}
 
 	stopProfiles, err := obs.StartProfiles(o.cpuProfile, o.memProfile)
@@ -135,17 +155,30 @@ func run(o options) error {
 		exp.SetRecorder(rec)
 	}
 
+	// Batch the model in place (rather than via Request.Batch) so the
+	// -metrics network probe below sees the same batched traffic.
 	if o.batch > 1 {
 		for i := range m.Layers {
 			m.Layers[i] = m.Layers[i].WithBatch(o.batch)
 		}
 	}
 
-	res, err := sim.RunObserved(acc, m, mode, rec)
-	if err != nil {
-		return err
+	// SIGINT/SIGTERM cancels between layers: the run stops where it is and
+	// the collected metrics still flush below.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	runner := func(a sim.Accelerator, l dnn.Layer, md sim.Mode) (sim.LayerResult, error) {
+		if err := ctx.Err(); err != nil {
+			return sim.LayerResult{}, err
+		}
+		return sim.RunLayerObserved(a, l, md, rec)
 	}
-	if o.trace != "" {
+	res, simErr := sim.Request{Accel: acc, Model: m, Mode: mode}.RunObserved(rec, runner)
+	interrupted := errors.Is(simErr, context.Canceled)
+	if simErr != nil && !interrupted {
+		return simErr
+	}
+	if o.trace != "" && simErr == nil {
 		create := func(p string) (io.WriteCloser, error) { return os.Create(p) }
 		if err := trace.ExportFile(create, o.trace, res); err != nil {
 			return err
@@ -153,15 +186,20 @@ func run(o options) error {
 		fmt.Fprintf(os.Stderr, "trace written to %s\n", o.trace)
 	}
 	if o.metrics != "" {
-		// Packet-level probe so the snapshot includes eventsim latency and
-		// utilization data for this model's traffic.
-		if _, err := exp.NetworkProbe(acc, m, o.probePackets, rec); err != nil {
-			return err
+		if simErr == nil {
+			// Packet-level probe so the snapshot includes eventsim latency
+			// and utilization data for this model's traffic.
+			if _, err := exp.NetworkProbe(acc, m, o.probePackets, rec); err != nil {
+				return err
+			}
 		}
 		if err := reg.WriteFile(o.metrics); err != nil {
 			return err
 		}
 		fmt.Fprintf(os.Stderr, "metrics written to %s\n", o.metrics)
+	}
+	if interrupted {
+		return fmt.Errorf("interrupted: %w", simErr)
 	}
 
 	if o.format == "json" {

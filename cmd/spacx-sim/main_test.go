@@ -9,7 +9,7 @@ import (
 )
 
 func opts(model, accel, mode, format string) options {
-	return options{model: model, accel: accel, mode: mode, format: format, batch: 1}
+	return options{model: model, accel: accel, mode: mode, format: format, batch: 1, probePackets: 20000}
 }
 
 // silencing run's stdout keeps `go test` output readable.
@@ -50,6 +50,46 @@ func TestRunRejectsBadInputs(t *testing.T) {
 	o.trace = "/no/such/dir/trace.json"
 	if err := runQuiet(t, o); err == nil {
 		t.Error("unwritable trace path should fail")
+	}
+}
+
+func TestValidateFlagConsistency(t *testing.T) {
+	base := opts("resnet50", "spacx", "whole", "text")
+	if err := validate(base); err != nil {
+		t.Fatalf("baseline options should validate: %v", err)
+	}
+
+	cases := []struct {
+		name   string
+		mutate func(*options)
+		want   string
+	}{
+		{"explain with json", func(o *options) { o.explain = true; o.format = "json" }, "-explain"},
+		{"bad format", func(o *options) { o.format = "yaml" }, "format"},
+		{"zero batch", func(o *options) { o.batch = 0 }, "batch"},
+		{"negative batch", func(o *options) { o.batch = -4 }, "batch"},
+		{"zero probe packets", func(o *options) { o.probePackets = 0 }, "probe-packets"},
+		{"negative probe packets", func(o *options) { o.probePackets = -1 }, "probe-packets"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			o := base
+			tc.mutate(&o)
+			err := validate(o)
+			if err == nil {
+				t.Fatal("validate accepted inconsistent flags")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q should name %q", err, tc.want)
+			}
+		})
+	}
+
+	// -explain with the default text format stays valid.
+	o := base
+	o.explain = true
+	if err := validate(o); err != nil {
+		t.Errorf("-explain with text format should validate: %v", err)
 	}
 }
 

@@ -26,10 +26,14 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
+	"syscall"
 	"time"
 
 	"spacx"
@@ -114,6 +118,14 @@ func run(o options) error {
 	}
 	exp.SetParallelism(o.jobs)
 
+	// SIGINT/SIGTERM cancels the sweep: in-flight points are abandoned at
+	// the engine's next claim, and whatever was collected still flushes to
+	// -metrics and -ledger below.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	exp.SetContext(ctx)
+	defer exp.SetContext(nil)
+
 	stopProfiles, err := obs.StartProfiles(o.cpuProfile, o.memProfile)
 	if err != nil {
 		return err
@@ -181,8 +193,12 @@ func run(o options) error {
 		}
 	}
 	stopTicker()
-	if sweepErr != nil {
+	interrupted := errors.Is(sweepErr, context.Canceled)
+	if sweepErr != nil && !interrupted {
 		return sweepErr
+	}
+	if interrupted {
+		fmt.Fprintln(os.Stderr, "spacx-sweep: interrupted; flushing metrics and ledger")
 	}
 
 	if o.verbose {
@@ -221,6 +237,9 @@ func run(o options) error {
 		if err := srv.DrainAndShutdown(o.httpLinger, 200*time.Millisecond); err != nil {
 			fmt.Fprintln(os.Stderr, "spacx-sweep: observability server:", err)
 		}
+	}
+	if interrupted {
+		return sweepErr
 	}
 	return nil
 }

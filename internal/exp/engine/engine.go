@@ -9,9 +9,17 @@
 // results sequentially into rows. Normalizations, arithmetic means, and any
 // other cross-point arithmetic live in the fold, so the floating-point
 // operation order never depends on goroutine scheduling.
+//
+// Cancellation: every fan-out takes a context.Context. Cancelling it
+// abandons work that has not started — already-claimed points run to
+// completion, unclaimed indices are marked with the context's error — so a
+// long sweep interrupted by a signal (or a serving layer's shutdown) stops
+// promptly without tearing down mid-point. An uncancelled context changes
+// nothing: results remain bit-identical to the pre-context engine.
 package engine
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -22,16 +30,21 @@ import (
 // worker runs inline with no goroutines. Every index is evaluated even when
 // some fail, and the error of the lowest failing index is returned — the
 // same error a sequential run-to-completion loop would report, regardless of
-// scheduling.
-func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
-	return MapPhase(nil, workers, n, fn)
+// scheduling. Cancelling ctx (nil means context.Background) abandons indices
+// that have not started; they report the context's error.
+func Map[T any](ctx context.Context, workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	return MapPhase(ctx, nil, workers, n, fn)
 }
 
 // ForEach is Map without result collection: fn(i) runs once per index across
-// the worker pool, and the lowest-index error is returned.
-func ForEach(workers, n int, fn func(i int) error) error {
+// the worker pool, and the lowest-index error is returned. Cancelling ctx
+// abandons unstarted indices.
+func ForEach(ctx context.Context, workers, n int, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -42,6 +55,10 @@ func ForEach(workers, n int, fn func(i int) error) error {
 	errs := make([]error, n)
 	if workers == 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				errs[i] = err
+				continue
+			}
 			errs[i] = fn(i)
 		}
 	} else {
@@ -55,6 +72,14 @@ func ForEach(workers, n int, fn func(i int) error) error {
 					i := int(next.Add(1)) - 1
 					if i >= n {
 						return
+					}
+					// The claim is unconditional, the evaluation is not:
+					// after cancellation the workers burn through the
+					// remaining indices marking them abandoned, which
+					// keeps the "lowest failing index" fold below exact.
+					if err := ctx.Err(); err != nil {
+						errs[i] = err
+						continue
 					}
 					errs[i] = fn(i)
 				}

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -15,7 +16,7 @@ func TestMapOrderIndependentOfWorkers(t *testing.T) {
 		want[i] = i * i
 	}
 	for _, workers := range []int{0, 1, 2, 7, 64, n + 5} {
-		got, err := Map(workers, n, func(i int) (int, error) { return i * i, nil })
+		got, err := Map(context.Background(), workers, n, func(i int) (int, error) { return i * i, nil })
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}
@@ -30,7 +31,7 @@ func TestMapOrderIndependentOfWorkers(t *testing.T) {
 func TestMapReturnsLowestIndexError(t *testing.T) {
 	failAt := map[int]bool{3: true, 40: true, 97: true}
 	for _, workers := range []int{1, 8} {
-		_, err := Map(workers, 100, func(i int) (int, error) {
+		_, err := Map(context.Background(), workers, 100, func(i int) (int, error) {
 			if failAt[i] {
 				return 0, fmt.Errorf("point %d failed", i)
 			}
@@ -44,7 +45,7 @@ func TestMapReturnsLowestIndexError(t *testing.T) {
 
 func TestMapEveryIndexRunsDespiteErrors(t *testing.T) {
 	var ran atomic.Int64
-	_, err := Map(4, 50, func(i int) (int, error) {
+	_, err := Map(context.Background(), 4, 50, func(i int) (int, error) {
 		ran.Add(1)
 		if i == 0 {
 			return 0, errors.New("first point fails")
@@ -60,7 +61,7 @@ func TestMapEveryIndexRunsDespiteErrors(t *testing.T) {
 }
 
 func TestForEachEmpty(t *testing.T) {
-	if err := ForEach(4, 0, func(int) error { return errors.New("never") }); err != nil {
+	if err := ForEach(context.Background(), 4, 0, func(int) error { return errors.New("never") }); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -68,7 +69,7 @@ func TestForEachEmpty(t *testing.T) {
 func TestMapUsesBoundedWorkers(t *testing.T) {
 	var inFlight, peak atomic.Int64
 	workers := 3
-	_, err := Map(workers, 64, func(i int) (int, error) {
+	_, err := Map(context.Background(), workers, 64, func(i int) (int, error) {
 		cur := inFlight.Add(1)
 		for {
 			p := peak.Load()
@@ -91,7 +92,7 @@ func TestMapUsesBoundedWorkers(t *testing.T) {
 func TestCacheComputesOncePerKey(t *testing.T) {
 	var c Cache[int, int]
 	var computes atomic.Int64
-	err := ForEach(8, 100, func(i int) error {
+	err := ForEach(context.Background(), 8, 100, func(i int) error {
 		v, err := c.Do(i%5, func() (int, error) {
 			computes.Add(1)
 			return (i % 5) * 10, nil
@@ -147,5 +148,63 @@ func TestCacheReset(t *testing.T) {
 	}
 	if !recomputed {
 		t.Error("reset did not drop the entry")
+	}
+}
+
+func TestMapNilContextMeansBackground(t *testing.T) {
+	got, err := Map(nil, 4, 10, func(i int) (int, error) { return i, nil })
+	if err != nil || len(got) != 10 {
+		t.Fatalf("nil ctx: %v %v", got, err)
+	}
+}
+
+func TestForEachCancelAbandonsUnstartedWork(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var ran atomic.Int64
+		release := make(chan struct{})
+		err := ForEach(ctx, workers, 100, func(i int) error {
+			if ran.Add(1) == int64(workers) {
+				cancel()       // cancel once every worker has claimed a point
+				close(release) // then let the claimed points finish
+			}
+			<-release
+			return nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if ran.Load() >= 100 {
+			t.Errorf("workers=%d: all 100 points ran despite cancellation", workers)
+		}
+	}
+}
+
+func TestForEachCancelPrefersLowerIndexRealError(t *testing.T) {
+	// A real failure at index 0 outranks the cancellation error of the
+	// abandoned higher indices, matching the sequential fold.
+	ctx, cancel := context.WithCancel(context.Background())
+	err := ForEach(ctx, 1, 10, func(i int) error {
+		if i == 0 {
+			cancel()
+			return errors.New("point 0 failed")
+		}
+		return nil
+	})
+	if err == nil || err.Error() != "point 0 failed" {
+		t.Errorf("err = %v, want the index-0 failure", err)
+	}
+}
+
+func TestForEachPreCancelledRunsNothing(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int64
+	err := ForEach(ctx, 4, 50, func(i int) error { ran.Add(1); return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran.Load() != 0 {
+		t.Errorf("%d points ran under a pre-cancelled context", ran.Load())
 	}
 }

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sync"
@@ -229,14 +230,15 @@ func (p *Progress) summaryLine() string {
 
 // ForEachPhase is ForEach with per-point progress accounting: the phase sees
 // n submitted points up front, then a start/done pair around every fn call.
-// A nil phase is exactly ForEach.
-func ForEachPhase(ph *Phase, workers, n int, fn func(i int) error) error {
+// A nil phase is exactly ForEach; indices abandoned on cancellation never
+// reach fn, so they show as submitted-but-not-started in the phase.
+func ForEachPhase(ctx context.Context, ph *Phase, workers, n int, fn func(i int) error) error {
 	if ph == nil {
-		return ForEach(workers, n, fn)
+		return ForEach(ctx, workers, n, fn)
 	}
 	ph.Begin(n)
 	defer ph.End()
-	return ForEach(workers, n, func(i int) error {
+	return ForEach(ctx, workers, n, func(i int) error {
 		ph.PointStart()
 		defer ph.PointDone()
 		return fn(i)
@@ -244,9 +246,9 @@ func ForEachPhase(ph *Phase, workers, n int, fn func(i int) error) error {
 }
 
 // MapPhase is Map with per-point progress accounting through ph (nil = none).
-func MapPhase[T any](ph *Phase, workers, n int, fn func(i int) (T, error)) ([]T, error) {
+func MapPhase[T any](ctx context.Context, ph *Phase, workers, n int, fn func(i int) (T, error)) ([]T, error) {
 	out := make([]T, n)
-	err := ForEachPhase(ph, workers, n, func(i int) error {
+	err := ForEachPhase(ctx, ph, workers, n, func(i int) error {
 		v, err := fn(i)
 		if err != nil {
 			return err

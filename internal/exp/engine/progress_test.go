@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"encoding/json"
 	"strings"
 	"sync"
@@ -12,7 +13,7 @@ func TestProgressCountsAcrossWorkers(t *testing.T) {
 	p := NewProgress()
 	ph := p.Phase("sweep")
 	n := 137
-	if _, err := MapPhase(ph, 8, n, func(i int) (int, error) { return i, nil }); err != nil {
+	if _, err := MapPhase(context.Background(), ph, 8, n, func(i int) (int, error) { return i, nil }); err != nil {
 		t.Fatal(err)
 	}
 	st := p.Status()
@@ -45,7 +46,7 @@ func TestProgressPhaseIdentity(t *testing.T) {
 	// Two Begin/End spans on one phase accumulate totals and wall time.
 	ph := p.Phase("a")
 	for range [2]int{} {
-		if err := ForEachPhase(ph, 2, 5, func(int) error { return nil }); err != nil {
+		if err := ForEachPhase(context.Background(), ph, 2, 5, func(int) error { return nil }); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -69,7 +70,7 @@ func TestProgressNilSafe(t *testing.T) {
 	}
 	stop := p.StartTicker(nil, time.Millisecond)
 	stop()
-	if out, err := MapPhase(ph, 4, 3, func(i int) (int, error) { return i, nil }); err != nil || len(out) != 3 {
+	if out, err := MapPhase(context.Background(), ph, 4, 3, func(i int) (int, error) { return i, nil }); err != nil || len(out) != 3 {
 		t.Errorf("MapPhase with nil phase: %v %v", out, err)
 	}
 }
@@ -103,7 +104,7 @@ func TestProgressRateAndETA(t *testing.T) {
 
 func TestProgressStatusSerializes(t *testing.T) {
 	p := NewProgress()
-	if err := ForEachPhase(p.Phase("s"), 1, 2, func(int) error { return nil }); err != nil {
+	if err := ForEachPhase(context.Background(), p.Phase("s"), 1, 2, func(int) error { return nil }); err != nil {
 		t.Fatal(err)
 	}
 	b, err := json.Marshal(p.Status())
@@ -121,7 +122,7 @@ func TestTickerEmitsAndStops(t *testing.T) {
 	p := NewProgress()
 	var buf syncBuffer
 	stop := p.StartTicker(&buf, time.Millisecond)
-	if err := ForEachPhase(p.Phase("s"), 2, 50, func(int) error {
+	if err := ForEachPhase(context.Background(), p.Phase("s"), 2, 50, func(int) error {
 		time.Sleep(100 * time.Microsecond)
 		return nil
 	}); err != nil {

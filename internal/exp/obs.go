@@ -1,6 +1,8 @@
 package exp
 
 import (
+	"context"
+
 	"spacx/internal/exp/engine"
 	"spacx/internal/obs"
 )
@@ -29,6 +31,24 @@ var progress *engine.Progress
 // concurrently with a running driver; CLIs set it once at startup.
 func SetProgress(p *engine.Progress) { progress = p }
 
+// baseCtx is the context every driver fan-out runs under. The default
+// Background context never cancels, so untracked runs behave exactly as
+// before contexts existed.
+var baseCtx = context.Background()
+
+// SetContext installs the cancellation context threaded into every driver's
+// engine fan-out (nil restores context.Background). Cancelling it abandons
+// sweep points that have not started — claimed points run to completion, so
+// partial results and metrics stay internally consistent. Like SetRecorder,
+// it is not safe to call concurrently with a running driver; CLIs set it
+// once at startup from their signal context.
+func SetContext(ctx context.Context) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	baseCtx = ctx
+}
+
 // mapPoints fans a driver's n independent points across the worker pool,
 // tracking them as the named progress phase and timing each one into the
 // spacx_exp_point_seconds histogram. Every driver funnels its grid through
@@ -36,7 +56,7 @@ func SetProgress(p *engine.Progress) { progress = p }
 // run regardless of which artifacts were selected.
 func mapPoints[T any](sweep string, n int, fn func(i int) (T, error)) ([]T, error) {
 	lbl := obs.Label{Key: "sweep", Value: sweep}
-	return engine.MapPhase(progress.Phase(sweep), parallelism, n, func(i int) (T, error) {
+	return engine.MapPhase(baseCtx, progress.Phase(sweep), parallelism, n, func(i int) (T, error) {
 		stop := recorder.Time("spacx_exp_point_seconds", lbl)
 		v, err := fn(i)
 		stop()

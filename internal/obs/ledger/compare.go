@@ -22,14 +22,29 @@ type Report struct {
 	Threshold float64       `json:"threshold"`
 	Deltas    []DriverDelta `json:"deltas"`
 	Regressed bool          `json:"regressed"`
+	// SchemaMismatch is set when the two records were written by different
+	// ledger schema versions; no deltas are computed and nothing is flagged,
+	// because the fields being compared may not mean the same thing.
+	SchemaMismatch bool `json:"schema_mismatch,omitempty"`
+	PrevSchema     int  `json:"prev_schema,omitempty"`
+	CurSchema      int  `json:"cur_schema,omitempty"`
 }
 
 // Compare matches cur's drivers against prev by name and flags every driver
 // whose wall-time ratio exceeds threshold (<= 0 disables flagging; 1.5
 // means "fifty percent slower fails"). Drivers only present in one record
 // appear with a zero ratio and are never flagged — a changed driver set is
-// a different experiment, not a regression.
+// a different experiment, not a regression. Records from different schema
+// versions are never compared: the report carries only the mismatch.
 func Compare(prev, cur Record, threshold float64) Report {
+	if prev.Schema != cur.Schema {
+		return Report{
+			Threshold:      threshold,
+			SchemaMismatch: true,
+			PrevSchema:     prev.Schema,
+			CurSchema:      cur.Schema,
+		}
+	}
 	prevBy := make(map[string]DriverStat, len(prev.Drivers))
 	for _, d := range prev.Drivers {
 		prevBy[d.Name] = d
@@ -61,6 +76,11 @@ func Compare(prev, cur Record, threshold float64) Report {
 // line, newest run against the previous one.
 func (r Report) String() string {
 	var b strings.Builder
+	if r.SchemaMismatch {
+		fmt.Fprintf(&b, "ledger comparison skipped: schema mismatch (previous v%d, current v%d)\n",
+			r.PrevSchema, r.CurSchema)
+		return b.String()
+	}
 	fmt.Fprintf(&b, "ledger comparison vs previous run (threshold %.2fx):\n", r.Threshold)
 	for _, d := range r.Deltas {
 		switch {

@@ -12,6 +12,7 @@ import (
 	"bufio"
 	"encoding/json"
 	"fmt"
+	"math"
 	"os"
 	"runtime"
 	"sync"
@@ -90,17 +91,38 @@ func (r *Record) FillProgress(st engine.Status) {
 	}
 }
 
+// finite clamps non-finite values to zero. encoding/json rejects NaN and
+// ±Inf outright, so a single poisoned sample (an empty histogram's ±Inf
+// min/max, a divide-by-zero mean) would otherwise make the whole record
+// unwritable.
+func finite(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return v
+}
+
 // FillSnapshot records the final counter values and histogram summaries.
+// Every statistic is sanitized through finite so the record always marshals.
 func (r *Record) FillSnapshot(snap obs.Snapshot) {
-	r.Counters = snap.Counters
+	if len(snap.Counters) > 0 {
+		r.Counters = make([]obs.Point, len(snap.Counters))
+		for i, p := range snap.Counters {
+			p.Value = finite(p.Value)
+			r.Counters[i] = p
+		}
+	}
 	for _, h := range snap.Histograms {
 		r.Histograms = append(r.Histograms, HistogramSummary{
 			Name: h.Name, Labels: h.Labels,
-			Count: h.Count, Sum: h.Sum, Min: h.Min, Max: h.Max,
-			Mean: h.Mean(),
-			P50:  h.Quantile(0.50),
-			P95:  h.Quantile(0.95),
-			P99:  h.Quantile(0.99),
+			Count: h.Count,
+			Sum:   finite(h.Sum),
+			Min:   finite(h.Min),
+			Max:   finite(h.Max),
+			Mean:  finite(h.Mean()),
+			P50:   finite(h.Quantile(0.50)),
+			P95:   finite(h.Quantile(0.95)),
+			P99:   finite(h.Quantile(0.99)),
 		})
 	}
 }

@@ -1,7 +1,9 @@
 package ledger
 
 import (
+	"context"
 	"encoding/json"
+	"math"
 	"os"
 	"path/filepath"
 	"strings"
@@ -73,7 +75,7 @@ func TestReadRejectsMalformedLine(t *testing.T) {
 
 func TestFillProgressAndSnapshot(t *testing.T) {
 	prog := engine.NewProgress()
-	if _, err := engine.MapPhase(prog.Phase("fig13"), 4, 20, func(i int) (int, error) {
+	if _, err := engine.MapPhase(context.Background(), prog.Phase("fig13"), 4, 20, func(i int) (int, error) {
 		return i, nil
 	}); err != nil {
 		t.Fatal(err)
@@ -156,6 +158,126 @@ func TestCompareFlagsRegressions(t *testing.T) {
 	}
 	if rep2 := Compare(prev, cur, 0); rep2.Regressed {
 		t.Error("threshold <= 0 must disable flagging")
+	}
+}
+
+func TestEmptyLedgerEdgeCases(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "runs.jsonl")
+
+	// A missing ledger: no records, Last reports absence, neither errors.
+	if recs, err := Read(path); err != nil || recs != nil {
+		t.Fatalf("missing ledger: recs=%v err=%v", recs, err)
+	}
+	if _, ok, err := Last(path); ok || err != nil {
+		t.Fatalf("Last on a missing ledger: ok=%v err=%v", ok, err)
+	}
+
+	// An existing-but-empty file (including blank lines) behaves the same.
+	if err := os.WriteFile(path, []byte("\n\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if recs, err := Read(path); err != nil || len(recs) != 0 {
+		t.Fatalf("blank-line ledger: recs=%v err=%v", recs, err)
+	}
+	if _, ok, err := Last(path); ok || err != nil {
+		t.Fatalf("Last on a blank ledger: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestSingleRunLedgerHasNoBaseline(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "runs.jsonl")
+	rec := New("spacx-report", "fig13", 2)
+	rec.Drivers = []DriverStat{{Name: "fig13", Points: 10, WallSec: 1.0}}
+	if err := Append(path, rec); err != nil {
+		t.Fatal(err)
+	}
+
+	// The CLI regression flow: Last before Append finds the only record;
+	// comparing a record against itself flags nothing at any threshold.
+	prev, ok, err := Last(path)
+	if err != nil || !ok {
+		t.Fatalf("Last: ok=%v err=%v", ok, err)
+	}
+	rep := Compare(prev, rec, 1.01)
+	if rep.Regressed || rep.SchemaMismatch || len(rep.Deltas) != 1 {
+		t.Fatalf("self-comparison report wrong: %+v", rep)
+	}
+	if d := rep.Deltas[0]; d.Ratio != 1.0 || d.Regressed {
+		t.Errorf("self-comparison delta wrong: %+v", d)
+	}
+
+	// Comparing a run with no drivers produces an empty, unflagged report.
+	empty := Compare(Record{Schema: rec.Schema}, Record{Schema: rec.Schema}, 1.5)
+	if empty.Regressed || len(empty.Deltas) != 0 {
+		t.Errorf("empty comparison report wrong: %+v", empty)
+	}
+}
+
+func TestCompareSchemaMismatchSkipsDeltas(t *testing.T) {
+	prev := Record{Schema: SchemaVersion, Drivers: []DriverStat{{Name: "fig13", WallSec: 1.0}}}
+	cur := Record{Schema: SchemaVersion + 1, Drivers: []DriverStat{{Name: "fig13", WallSec: 100.0}}}
+
+	rep := Compare(prev, cur, 1.5)
+	if !rep.SchemaMismatch {
+		t.Fatal("schema mismatch must be reported")
+	}
+	if rep.Regressed || len(rep.Deltas) != 0 {
+		t.Fatalf("mismatched records must not be compared: %+v", rep)
+	}
+	if rep.PrevSchema != SchemaVersion || rep.CurSchema != SchemaVersion+1 {
+		t.Errorf("report must carry both versions: %+v", rep)
+	}
+	out := rep.String()
+	if !strings.Contains(out, "schema mismatch") || strings.Contains(out, "REGRESSED") {
+		t.Errorf("mismatch report text wrong:\n%s", out)
+	}
+
+	// Matching schemas (including both-zero, for hand-built records) compare
+	// normally.
+	if rep := Compare(Record{}, Record{}, 1.5); rep.SchemaMismatch {
+		t.Error("equal schemas must compare")
+	}
+}
+
+func TestFillSnapshotSanitizesNonFiniteValues(t *testing.T) {
+	nan := math.NaN()
+	snap := obs.Snapshot{
+		Counters: []obs.Point{
+			{Name: "spacx_bad_gauge", Value: nan},
+			{Name: "spacx_inf_gauge", Value: math.Inf(1)},
+			{Name: "spacx_ok_counter", Value: 7},
+		},
+		Histograms: []obs.HistogramData{{
+			Name: "spacx_bad_hist",
+			Min:  math.Inf(1), Max: math.Inf(-1), Sum: nan,
+		}},
+	}
+	var rec Record
+	rec.FillSnapshot(snap)
+
+	if v := rec.Counters[0].Value; v != 0 {
+		t.Errorf("NaN counter sanitized to %v, want 0", v)
+	}
+	if v := rec.Counters[1].Value; v != 0 {
+		t.Errorf("+Inf counter sanitized to %v, want 0", v)
+	}
+	if v := rec.Counters[2].Value; v != 7 {
+		t.Errorf("finite counter changed to %v, want 7", v)
+	}
+	h := rec.Histograms[0]
+	for name, v := range map[string]float64{
+		"min": h.Min, "max": h.Max, "sum": h.Sum,
+		"mean": h.Mean, "p50": h.P50, "p95": h.P95, "p99": h.P99,
+	} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Errorf("histogram %s = %v, want finite", name, v)
+		}
+	}
+
+	// The sanitized record must marshal — the property the clamping exists
+	// to guarantee (encoding/json rejects non-finite numbers).
+	if _, err := json.Marshal(rec); err != nil {
+		t.Fatalf("sanitized record does not marshal: %v", err)
 	}
 }
 

@@ -36,6 +36,11 @@ type Options struct {
 	// Runs loads the ledger for /runs, oldest-first; the handler reverses
 	// it. Nil serves an empty list.
 	Runs func() ([]ledger.Record, error)
+	// Mount, when non-nil, registers additional routes on the server's mux
+	// before it starts serving — the hook spacx-serve uses to put its /v1
+	// API on the same listener as /metrics, /readyz, and the drain
+	// machinery.
+	Mount func(mux *http.ServeMux)
 }
 
 // Server is a running observability endpoint.
@@ -90,6 +95,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	if s.opts.Mount != nil {
+		s.opts.Mount(mux)
+	}
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		mux.ServeHTTP(w, r)
 		s.lastRequest.Store(time.Now().UnixNano())

@@ -1,8 +1,10 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -100,7 +102,7 @@ func TestMetricsWithoutRegistry(t *testing.T) {
 
 func TestProgressEndpoint(t *testing.T) {
 	prog := engine.NewProgress()
-	if err := engine.ForEachPhase(prog.Phase("fig13"), 4, 12, func(int) error { return nil }); err != nil {
+	if err := engine.ForEachPhase(context.Background(), prog.Phase("fig13"), 4, 12, func(int) error { return nil }); err != nil {
 		t.Fatal(err)
 	}
 	h := testServer(t, Options{Progress: prog}).Handler()
@@ -260,6 +262,30 @@ func TestDrainLingerExpires(t *testing.T) {
 	}
 	if waited := time.Since(start); waited < 50*time.Millisecond || waited > 2*time.Second {
 		t.Errorf("linger expiry took %v, want roughly the 50ms window", waited)
+	}
+}
+
+func TestMountAddsRoutesWithoutShadowingBuiltins(t *testing.T) {
+	reg := obs.NewRegistry(nil)
+	reg.Count("spacx_serve_requests_total", 3)
+	h := testServer(t, Options{
+		Registry: reg,
+		Mount: func(mux *http.ServeMux) {
+			mux.HandleFunc("/v1/ping", func(w http.ResponseWriter, _ *http.Request) {
+				fmt.Fprintln(w, "pong")
+			})
+		},
+	}).Handler()
+
+	if w := get(t, h, "/v1/ping"); w.Code != http.StatusOK || !strings.Contains(w.Body.String(), "pong") {
+		t.Errorf("mounted route = %d %q", w.Code, w.Body.String())
+	}
+	// The built-in endpoints still serve on the same mux.
+	if w := get(t, h, "/metrics"); w.Code != http.StatusOK || !strings.Contains(w.Body.String(), "spacx_serve_requests_total") {
+		t.Errorf("/metrics after Mount = %d", w.Code)
+	}
+	if w := get(t, h, "/healthz"); w.Code != http.StatusOK {
+		t.Errorf("/healthz after Mount = %d", w.Code)
 	}
 }
 

@@ -1,0 +1,99 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// flight is one in-flight computation of a cache key. Waiters block on done;
+// body and err are written exactly once, before done is closed, and read
+// only after it.
+type flight struct {
+	done chan struct{}
+	body []byte
+	err  error
+}
+
+// resultCache is the response store: a bounded LRU of completed bodies plus
+// the singleflight table of in-flight computations. Both live under one
+// lock so a lookup can atomically either hit the LRU, join an existing
+// flight, or become the leader of a new one — the invariant that makes
+// "N concurrent identical queries run one simulation" hold.
+type resultCache struct {
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List               // front = most recently used
+	entries  map[string]*list.Element // key -> ll element holding *centry
+	flights  map[string]*flight
+}
+
+// centry is one LRU slot.
+type centry struct {
+	key  string
+	body []byte
+}
+
+func newResultCache(capacity int) *resultCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &resultCache{
+		capacity: capacity,
+		ll:       list.New(),
+		entries:  map[string]*list.Element{},
+		flights:  map[string]*flight{},
+	}
+}
+
+// lookup resolves key atomically: a cached body (hit), or a flight to wait
+// on. leader reports whether the caller created the flight and therefore
+// owns enqueueing the work (and completing the flight on admission
+// failure).
+func (c *resultCache) lookup(key string) (body []byte, f *flight, leader bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.ll.MoveToFront(el)
+		return el.Value.(*centry).body, nil, false
+	}
+	if f, ok := c.flights[key]; ok {
+		return nil, f, false
+	}
+	f = &flight{done: make(chan struct{})}
+	c.flights[key] = f
+	return nil, f, true
+}
+
+// complete finishes a flight: the result is published to every waiter and,
+// on success, stored in the LRU (evicting the least-recently-used entries
+// past capacity; the count of evictions is returned). Must be called
+// exactly once per flight, by whoever owns its outcome.
+func (c *resultCache) complete(key string, f *flight, body []byte, err error) (evicted int) {
+	c.mu.Lock()
+	delete(c.flights, key)
+	if err == nil {
+		if el, ok := c.entries[key]; ok {
+			el.Value.(*centry).body = body
+			c.ll.MoveToFront(el)
+		} else {
+			c.entries[key] = c.ll.PushFront(&centry{key: key, body: body})
+			for c.ll.Len() > c.capacity {
+				last := c.ll.Back()
+				c.ll.Remove(last)
+				delete(c.entries, last.Value.(*centry).key)
+				evicted++
+			}
+		}
+	}
+	c.mu.Unlock()
+	f.body, f.err = body, err
+	close(f.done)
+	return evicted
+}
+
+// len reports the number of cached responses.
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

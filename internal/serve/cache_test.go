@@ -1,0 +1,124 @@
+package serve
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestCacheLookupRolesAndCompletion(t *testing.T) {
+	c := newResultCache(4)
+
+	body, f1, leader := c.lookup("k")
+	if body != nil || f1 == nil || !leader {
+		t.Fatalf("first lookup: body %v, flight %v, leader %v; want nil, non-nil, true", body, f1, leader)
+	}
+	body, f2, leader := c.lookup("k")
+	if body != nil || f2 != f1 || leader {
+		t.Fatalf("second lookup should join the existing flight as a waiter")
+	}
+
+	want := []byte(`{"x": 1}`)
+	if evicted := c.complete("k", f1, want, nil); evicted != 0 {
+		t.Fatalf("complete evicted %d entries from an underfull cache", evicted)
+	}
+	<-f2.done
+	if !bytes.Equal(f2.body, want) || f2.err != nil {
+		t.Fatalf("waiter saw body %q err %v", f2.body, f2.err)
+	}
+
+	body, f3, leader := c.lookup("k")
+	if !bytes.Equal(body, want) || f3 != nil || leader {
+		t.Fatalf("post-completion lookup should hit: body %q, flight %v, leader %v", body, f3, leader)
+	}
+	if c.len() != 1 {
+		t.Fatalf("cache len = %d, want 1", c.len())
+	}
+}
+
+func TestCacheErrorIsNotCached(t *testing.T) {
+	c := newResultCache(4)
+	_, f, leader := c.lookup("k")
+	if !leader {
+		t.Fatal("expected to lead the first flight")
+	}
+	sentinel := errors.New("boom")
+	c.complete("k", f, nil, sentinel)
+	if f.err != sentinel {
+		t.Fatalf("flight error = %v, want sentinel", f.err)
+	}
+	if c.len() != 0 {
+		t.Fatalf("failed result was cached: len = %d", c.len())
+	}
+	// The key is retryable: the next lookup leads a fresh flight.
+	_, f2, leader := c.lookup("k")
+	if !leader || f2 == f {
+		t.Fatal("retry after failure should lead a new flight")
+	}
+	c.complete("k", f2, []byte("ok"), nil)
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := newResultCache(2)
+	put := func(key string) {
+		_, f, leader := c.lookup(key)
+		if !leader {
+			t.Fatalf("expected to lead flight for %s", key)
+		}
+		c.complete(key, f, []byte(key), nil)
+	}
+	put("a")
+	put("b")
+	// Touch a so b becomes least recently used.
+	if body, _, _ := c.lookup("a"); body == nil {
+		t.Fatal("a should be cached")
+	}
+	put("c") // evicts b
+
+	if body, _, _ := c.lookup("a"); body == nil {
+		t.Fatal("a should have survived eviction")
+	}
+	if body, _, _ := c.lookup("c"); body == nil {
+		t.Fatal("c should be cached")
+	}
+	if body, f, leader := c.lookup("b"); body != nil || !leader {
+		t.Fatalf("b should have been evicted: body %q, leader %v", body, leader)
+	} else {
+		c.complete("b", f, []byte("b"), nil)
+	}
+}
+
+func TestCacheConcurrentLookups(t *testing.T) {
+	c := newResultCache(8)
+	const workers = 32
+	leaders := make(chan *flight, workers)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				key := fmt.Sprintf("k%d", j%4)
+				body, f, leader := c.lookup(key)
+				switch {
+				case body != nil:
+				case leader:
+					c.complete(key, f, []byte(key), nil)
+					leaders <- f
+				default:
+					<-f.done
+					if f.err != nil {
+						t.Errorf("waiter on %s: %v", key, f.err)
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(leaders)
+	if c.len() != 4 {
+		t.Fatalf("cache len = %d, want 4", c.len())
+	}
+}

@@ -1,0 +1,405 @@
+// Package serve is the simulation-as-a-service layer: a long-running,
+// stdlib-only HTTP surface that answers what-if queries (accelerator ×
+// model × residency mode × batch) from a shared, concurrency-safe
+// simulation core built on the pieces the batch CLIs already use — the
+// experiment engine's worker pool, fingerprint-keyed memoization, and the
+// observability registry.
+//
+// Architecture, request path first:
+//
+//   - Admission: every query is answered from a bounded-depth queue. When
+//     the queue is full the request is rejected immediately with 429 and a
+//     Retry-After hint — goroutine growth stays bounded under overload.
+//   - Caching: completed responses live in an LRU keyed on the network
+//     fingerprint × model × mode × batch. A repeat of a served query
+//     returns the byte-identical cached body without simulating.
+//   - Singleflight: duplicate queries that arrive while the first is still
+//     in flight coalesce onto one computation; everyone gets the one
+//     result.
+//   - Micro-batching: a scheduler goroutine coalesces queued jobs (up to
+//     MaxBatch, waiting BatchWindow for stragglers) and fans each batch
+//     across the experiment engine's worker pool — the latency/throughput
+//     knob of the service.
+//   - Layer memoization: inside a simulation, per-layer evaluations are
+//     memoized exactly like the experiment drivers', so distinct queries
+//     that share (accelerator, layer, mode) points share the work.
+//
+// Lifecycle: Start launches the scheduler under a context; Close stops
+// admission, drains every queued job, and returns once the scheduler has
+// exited — the graceful half of a SIGTERM. Cancelling the Start context is
+// the hard half: unstarted batch items are abandoned via the engine's
+// context plumbing and their waiters get a shutdown error.
+package serve
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"time"
+
+	"spacx/internal/dnn"
+	"spacx/internal/exp/engine"
+	"spacx/internal/network"
+	"spacx/internal/obs"
+	"spacx/internal/sim"
+)
+
+// Options tunes the service; every zero field gets a sensible default.
+type Options struct {
+	// Workers is the engine worker count per micro-batch (<= 0 means
+	// runtime.GOMAXPROCS(0)).
+	Workers int
+	// QueueDepth bounds the admission queue; enqueue attempts beyond it are
+	// rejected with 429 (<= 0 means 64).
+	QueueDepth int
+	// MaxBatch is the most requests one engine batch coalesces (<= 0 means
+	// 16; 1 disables micro-batching).
+	MaxBatch int
+	// BatchWindow is how long the scheduler waits for stragglers after the
+	// first job of a batch arrives. 0 dispatches immediately, coalescing
+	// only what is already queued — lowest latency; larger windows trade
+	// latency for throughput.
+	BatchWindow time.Duration
+	// CacheEntries is the response LRU capacity (<= 0 means 512).
+	CacheEntries int
+	// LayerCacheMax bounds the per-layer memoization cache; when exceeded
+	// the memo is dropped wholesale and rebuilt (<= 0 means 65536 entries).
+	LayerCacheMax int
+	// MaxRequestBatch is the largest accepted per-request batch size
+	// (<= 0 means 256).
+	MaxRequestBatch int
+	// MaxSweepPoints caps the /v1/sweep grid (<= 0 means 64).
+	MaxSweepPoints int
+	// RetryAfter is the backpressure hint returned with 429/503 responses
+	// (<= 0 means 1s; rounded up to whole seconds on the wire).
+	RetryAfter time.Duration
+	// Recorder receives the service's metrics (nil means none). Use the
+	// same *obs.Registry the observability server exposes so queue depths,
+	// cache ratios, batch sizes, and latencies land on /metrics.
+	Recorder obs.Recorder
+	// Progress optionally tracks served points as the "serve" phase of the
+	// live /progress endpoint.
+	Progress *engine.Progress
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 64
+	}
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 16
+	}
+	if o.BatchWindow < 0 {
+		o.BatchWindow = 0
+	}
+	if o.CacheEntries <= 0 {
+		o.CacheEntries = 512
+	}
+	if o.LayerCacheMax <= 0 {
+		o.LayerCacheMax = 65536
+	}
+	if o.MaxRequestBatch <= 0 {
+		o.MaxRequestBatch = 256
+	}
+	if o.MaxSweepPoints <= 0 {
+		o.MaxSweepPoints = 64
+	}
+	if o.RetryAfter <= 0 {
+		o.RetryAfter = time.Second
+	}
+	if o.Recorder == nil {
+		o.Recorder = obs.Nop()
+	}
+	return o
+}
+
+// Sentinel admission errors; the handlers map them to 429 and 503.
+var (
+	errQueueFull = errors.New("serve: simulation queue full")
+	errDraining  = errors.New("serve: server is draining")
+)
+
+// Service is the shared simulation core behind the /v1 endpoints.
+type Service struct {
+	opts  Options
+	rec   obs.Recorder
+	phase *engine.Phase
+
+	cache  *resultCache
+	layers engine.Cache[layerKey, sim.LayerResult]
+	queue  chan *job
+
+	ctx      context.Context
+	quit     chan struct{}
+	done     chan struct{}
+	draining chan struct{} // closed by Close before quit
+}
+
+// job is one admitted query travelling from the handler to the scheduler.
+type job struct {
+	q         query
+	f         *flight
+	delivered bool // set by the batch worker; read after the batch barrier
+}
+
+// New builds a stopped service; call Start before serving requests.
+func New(opts Options) *Service {
+	opts = opts.withDefaults()
+	return &Service{
+		opts:     opts,
+		rec:      opts.Recorder,
+		phase:    opts.Progress.Phase("serve"),
+		cache:    newResultCache(opts.CacheEntries),
+		queue:    make(chan *job, opts.QueueDepth),
+		quit:     make(chan struct{}),
+		done:     make(chan struct{}),
+		draining: make(chan struct{}),
+	}
+}
+
+// Start launches the micro-batching scheduler. ctx is the hard-shutdown
+// context: cancelling it abandons batch items that have not started. Start
+// must be called exactly once.
+func (s *Service) Start(ctx context.Context) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	s.ctx = ctx
+	go s.scheduler()
+}
+
+// Close stops admission (new queries get 503), drains every queued job to
+// completion, and returns once the scheduler has exited. Safe to call once,
+// after Start.
+func (s *Service) Close() {
+	close(s.draining)
+	close(s.quit)
+	<-s.done
+}
+
+// Draining reports whether Close has begun.
+func (s *Service) Draining() bool {
+	select {
+	case <-s.draining:
+		return true
+	default:
+		return false
+	}
+}
+
+// CacheLen reports the response-cache entry count (a test convenience).
+func (s *Service) CacheLen() int { return s.cache.len() }
+
+// resolve answers one validated query: from the response LRU, by joining an
+// in-flight identical computation, or by enqueueing a new job and waiting.
+// src reports how the bytes were obtained: "hit", "coalesced", or "miss".
+func (s *Service) resolve(ctx context.Context, q query) (body []byte, src string, err error) {
+	body, f, leader := s.cache.lookup(q.key)
+	if body != nil {
+		s.rec.Count("spacx_serve_cache_hits_total", 1)
+		return body, "hit", nil
+	}
+	if leader {
+		s.rec.Count("spacx_serve_cache_misses_total", 1)
+		if s.Draining() {
+			s.cache.complete(q.key, f, nil, errDraining)
+			return nil, "", errDraining
+		}
+		j := &job{q: q, f: f}
+		select {
+		case s.queue <- j:
+			s.rec.Gauge("spacx_serve_queue_depth", float64(len(s.queue)))
+		default:
+			// Bounded backpressure: reject now rather than queue without
+			// limit. The flight is failed so any coalesced waiters that
+			// joined in the meantime are released with the same answer.
+			s.cache.complete(q.key, f, nil, errQueueFull)
+			s.rec.Count("spacx_serve_queue_rejected_total", 1)
+			return nil, "", errQueueFull
+		}
+	} else {
+		s.rec.Count("spacx_serve_coalesced_total", 1)
+	}
+	select {
+	case <-f.done:
+		if f.err != nil {
+			return nil, "", f.err
+		}
+		if leader {
+			return f.body, "miss", nil
+		}
+		return f.body, "coalesced", nil
+	case <-ctx.Done():
+		// The client went away; the computation continues for any other
+		// waiter and still lands in the cache.
+		return nil, "", ctx.Err()
+	}
+}
+
+// scheduler is the micro-batching loop: one goroutine coalescing queued
+// jobs into engine batches until Close (then it drains) or the hard
+// context cancels (then remaining waiters get the cancellation).
+func (s *Service) scheduler() {
+	defer close(s.done)
+	for {
+		select {
+		case first := <-s.queue:
+			s.runBatch(s.collect(first))
+		case <-s.quit:
+			for {
+				select {
+				case j := <-s.queue:
+					s.runBatch(s.collect(j))
+				default:
+					return
+				}
+			}
+		case <-s.ctx.Done():
+			s.failQueued(context.Cause(s.ctx))
+			return
+		}
+	}
+}
+
+// collect coalesces jobs queued behind first into one batch: up to MaxBatch
+// jobs, waiting at most BatchWindow for stragglers (zero window takes only
+// what is already queued).
+func (s *Service) collect(first *job) []*job {
+	batch := append(make([]*job, 0, s.opts.MaxBatch), first)
+	var window <-chan time.Time
+	if s.opts.BatchWindow > 0 {
+		t := time.NewTimer(s.opts.BatchWindow)
+		defer t.Stop()
+		window = t.C
+	}
+	for len(batch) < s.opts.MaxBatch {
+		if window == nil {
+			select {
+			case j := <-s.queue:
+				batch = append(batch, j)
+			default:
+				return batch
+			}
+			continue
+		}
+		select {
+		case j := <-s.queue:
+			batch = append(batch, j)
+		case <-window:
+			return batch
+		case <-s.quit:
+			return batch
+		}
+	}
+	return batch
+}
+
+// runBatch fans one coalesced batch across the engine worker pool and
+// delivers each job's result as soon as it is computed. Jobs abandoned by a
+// hard cancellation are failed with the context's error.
+func (s *Service) runBatch(batch []*job) {
+	s.rec.Observe("spacx_serve_batch_size", float64(len(batch)))
+	s.rec.Count("spacx_serve_batches_total", 1)
+	s.rec.Gauge("spacx_serve_queue_depth", float64(len(s.queue)))
+	_ = engine.ForEachPhase(s.ctx, s.phase, s.opts.Workers, len(batch), func(i int) error {
+		j := batch[i]
+		body, err := s.execute(j.q)
+		j.delivered = true
+		s.finish(j, body, err)
+		return nil
+	})
+	for _, j := range batch {
+		if !j.delivered {
+			s.finish(j, nil, context.Cause(s.ctx))
+		}
+	}
+}
+
+// failQueued fails every job still sitting in the queue with err — the
+// hard-shutdown path, where nothing more will be simulated.
+func (s *Service) failQueued(err error) {
+	for {
+		select {
+		case j := <-s.queue:
+			s.finish(j, nil, err)
+		default:
+			return
+		}
+	}
+}
+
+// finish completes a job's flight and keeps the cache gauges current.
+func (s *Service) finish(j *job, body []byte, err error) {
+	evicted := s.cache.complete(j.q.key, j.f, body, err)
+	if evicted > 0 {
+		s.rec.Count("spacx_serve_cache_evictions_total", float64(evicted))
+	}
+	s.rec.Gauge("spacx_serve_cache_entries", float64(s.cache.len()))
+}
+
+// execute runs one simulation through the memoized layer runner and encodes
+// the response body.
+func (s *Service) execute(q query) ([]byte, error) {
+	stop := s.rec.Time("spacx_serve_sim_seconds")
+	res, err := q.req.Run(s.runLayer)
+	stop()
+	s.rec.Count("spacx_serve_engine_runs_total", 1)
+	if err != nil {
+		return nil, err
+	}
+	return encodeSimulateResponse(q, res)
+}
+
+// layerKey identifies one memoizable layer evaluation, mirroring the
+// experiment drivers' memoization: every field that can change a
+// LayerResult — the architecture geometry, buffer sizes, dataflow, network
+// fingerprint, layer shape (batch included), and residency mode — is part
+// of the key.
+type layerKey struct {
+	arch     string
+	net      string
+	flow     string
+	m, n     int
+	vecWidth int
+	clockHz  float64
+	peBuf    int
+	gb       int
+	gef, gk  int
+	layer    dnn.Layer
+	mode     sim.Mode
+}
+
+func keyForLayer(acc sim.Accelerator, l dnn.Layer, mode sim.Mode) (layerKey, bool) {
+	fp, ok := network.FingerprintOf(acc.Arch.Net)
+	if !ok {
+		return layerKey{}, false
+	}
+	return layerKey{
+		arch: acc.Arch.Name, net: fp, flow: acc.Flow.Name(),
+		m: acc.Arch.M, n: acc.Arch.N,
+		vecWidth: acc.Arch.VectorWidth, clockHz: acc.Arch.ClockHz,
+		peBuf: acc.Arch.PEBufBytes, gb: acc.Arch.GBBytes,
+		gef: acc.Arch.GEF, gk: acc.Arch.GK,
+		layer: l, mode: mode,
+	}, true
+}
+
+// runLayer is the memoized sim.RunLayer shared by every query. The memo is
+// epoch-bounded: past LayerCacheMax entries it is dropped wholesale, which
+// keeps a long-running server's memory flat at the cost of occasional
+// recomputation.
+func (s *Service) runLayer(acc sim.Accelerator, l dnn.Layer, mode sim.Mode) (sim.LayerResult, error) {
+	k, ok := keyForLayer(acc, l, mode)
+	if !ok {
+		return sim.RunLayer(acc, l, mode)
+	}
+	if s.layers.Len() > s.opts.LayerCacheMax {
+		s.layers.Reset()
+	}
+	return s.layers.Do(k, func() (sim.LayerResult, error) {
+		return sim.RunLayer(acc, l, mode)
+	})
+}

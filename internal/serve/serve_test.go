@@ -1,0 +1,434 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"spacx/internal/obs"
+)
+
+// newService builds a started service on a registry-backed recorder and a
+// mux with the /v1 routes. Close is registered as cleanup.
+func newService(t *testing.T, opts Options) (*Service, *obs.Registry, *http.ServeMux) {
+	t.Helper()
+	reg := obs.NewRegistry(nil)
+	opts.Recorder = reg
+	s := New(opts)
+	s.Start(context.Background())
+	t.Cleanup(s.Close)
+	mux := http.NewServeMux()
+	s.Routes(mux)
+	return s, reg, mux
+}
+
+func doReq(mux *http.ServeMux, method, path, body string) *httptest.ResponseRecorder {
+	req := httptest.NewRequest(method, path, strings.NewReader(body))
+	rr := httptest.NewRecorder()
+	mux.ServeHTTP(rr, req)
+	return rr
+}
+
+const alexOnSpacx = `{"model": "alexnet", "accel": "spacx"}`
+
+func TestCachedRepeatIsByteIdenticalAndCountsHit(t *testing.T) {
+	_, reg, mux := newService(t, Options{Workers: 2})
+
+	first := doReq(mux, http.MethodPost, "/v1/simulate", alexOnSpacx)
+	if first.Code != http.StatusOK {
+		t.Fatalf("first request: status %d, body %s", first.Code, first.Body)
+	}
+	if src := first.Header().Get("X-Spacx-Cache"); src != "miss" {
+		t.Fatalf("first request X-Spacx-Cache = %q, want miss", src)
+	}
+
+	second := doReq(mux, http.MethodPost, "/v1/simulate", alexOnSpacx)
+	if second.Code != http.StatusOK {
+		t.Fatalf("second request: status %d, body %s", second.Code, second.Body)
+	}
+	if src := second.Header().Get("X-Spacx-Cache"); src != "hit" {
+		t.Fatalf("second request X-Spacx-Cache = %q, want hit", src)
+	}
+	if !bytes.Equal(first.Body.Bytes(), second.Body.Bytes()) {
+		t.Fatalf("cached repeat is not byte-identical:\n%s\nvs\n%s", first.Body, second.Body)
+	}
+	if got := reg.Counter("spacx_serve_cache_hits_total"); got != 1 {
+		t.Fatalf("cache hits = %v, want 1", got)
+	}
+	if got := reg.Counter("spacx_serve_engine_runs_total"); got != 1 {
+		t.Fatalf("engine runs = %v, want 1", got)
+	}
+
+	var resp SimulateResponse
+	if err := json.Unmarshal(first.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("decode response: %v", err)
+	}
+	if resp.Model != "alexnet" || resp.Accel != "spacx" || resp.Mode != "whole" || resp.Batch != 1 {
+		t.Fatalf("response identity = %+v", resp)
+	}
+	if resp.ExecSec <= 0 || resp.Layers == 0 || resp.DRAMBytes <= 0 {
+		t.Fatalf("response has empty results: %+v", resp)
+	}
+	if resp.WorstCaseLossDB == nil || *resp.WorstCaseLossDB <= 0 {
+		t.Fatalf("spacx response should carry a worst-case loss, got %+v", resp.WorstCaseLossDB)
+	}
+}
+
+func TestConcurrentIdenticalRequestsRunOneSimulation(t *testing.T) {
+	_, reg, mux := newService(t, Options{Workers: 4})
+
+	const n = 16
+	bodies := make([][]byte, n)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer wg.Done()
+			rr := doReq(mux, http.MethodPost, "/v1/simulate", alexOnSpacx)
+			if rr.Code != http.StatusOK {
+				t.Errorf("request %d: status %d, body %s", i, rr.Code, rr.Body)
+				return
+			}
+			bodies[i] = rr.Body.Bytes()
+		}(i)
+	}
+	wg.Wait()
+
+	if got := reg.Counter("spacx_serve_engine_runs_total"); got != 1 {
+		t.Fatalf("engine runs = %v, want exactly 1 for %d identical requests", got, n)
+	}
+	for i := 1; i < n; i++ {
+		if !bytes.Equal(bodies[0], bodies[i]) {
+			t.Fatalf("response %d differs from response 0", i)
+		}
+	}
+}
+
+func TestQueueOverflowRejectsWith429AndRetryAfter(t *testing.T) {
+	// Not started: the queue never drains, so one in-flight job fills it.
+	reg := obs.NewRegistry(nil)
+	s := New(Options{QueueDepth: 1, Recorder: reg})
+	mux := http.NewServeMux()
+	s.Routes(mux)
+
+	occupied := make(chan *httptest.ResponseRecorder, 1)
+	go func() {
+		occupied <- doReq(mux, http.MethodPost, "/v1/simulate", alexOnSpacx)
+	}()
+	// Wait for the first job to land in the queue.
+	deadline := time.Now().Add(5 * time.Second)
+	for len(s.queue) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("first job never reached the queue")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	before := runtime.NumGoroutine()
+	const overflow = 100
+	for i := 0; i < overflow; i++ {
+		body := fmt.Sprintf(`{"model": "alexnet", "accel": "spacx", "batch": %d}`, i+2)
+		rr := doReq(mux, http.MethodPost, "/v1/simulate", body)
+		if rr.Code != http.StatusTooManyRequests {
+			t.Fatalf("overflow request %d: status %d, want 429 (body %s)", i, rr.Code, rr.Body)
+		}
+		if rr.Header().Get("Retry-After") == "" {
+			t.Fatalf("overflow request %d: missing Retry-After header", i)
+		}
+	}
+	// Rejections are synchronous; goroutine count must not scale with the
+	// number of rejected requests.
+	if after := runtime.NumGoroutine(); after > before+10 {
+		t.Fatalf("goroutines grew from %d to %d across %d rejections", before, after, overflow)
+	}
+	if got := reg.Counter("spacx_serve_queue_rejected_total"); got != overflow {
+		t.Fatalf("rejected counter = %v, want %d", got, overflow)
+	}
+
+	// Start the scheduler so the occupied job completes, then drain.
+	s.Start(context.Background())
+	rr := <-occupied
+	if rr.Code != http.StatusOK {
+		t.Fatalf("queued request after start: status %d, body %s", rr.Code, rr.Body)
+	}
+	s.Close()
+}
+
+func TestCloseDrainsQueuedWorkThenRejects(t *testing.T) {
+	reg := obs.NewRegistry(nil)
+	s := New(Options{Workers: 2, Recorder: reg})
+	s.Start(context.Background())
+	mux := http.NewServeMux()
+	s.Routes(mux)
+
+	rr := doReq(mux, http.MethodPost, "/v1/simulate", alexOnSpacx)
+	if rr.Code != http.StatusOK {
+		t.Fatalf("pre-drain request: status %d, body %s", rr.Code, rr.Body)
+	}
+
+	s.Close()
+	if !s.Draining() {
+		t.Fatal("Draining() = false after Close")
+	}
+
+	// Cached responses still serve after drain; new work is refused.
+	hit := doReq(mux, http.MethodPost, "/v1/simulate", alexOnSpacx)
+	if hit.Code != http.StatusOK || hit.Header().Get("X-Spacx-Cache") != "hit" {
+		t.Fatalf("cached request during drain: status %d, cache %q",
+			hit.Code, hit.Header().Get("X-Spacx-Cache"))
+	}
+	fresh := doReq(mux, http.MethodPost, "/v1/simulate", `{"model": "alexnet", "accel": "simba"}`)
+	if fresh.Code != http.StatusServiceUnavailable {
+		t.Fatalf("fresh request during drain: status %d, want 503", fresh.Code)
+	}
+	if fresh.Header().Get("Retry-After") == "" {
+		t.Fatal("503 during drain is missing Retry-After")
+	}
+}
+
+func TestHardCancelFailsWaiters(t *testing.T) {
+	s := New(Options{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	errc := make(chan error, 1)
+	go func() {
+		q, err := buildQuery(SimulateRequest{Model: "alexnet", Accel: "spacx", Mode: "whole", Batch: 1})
+		if err != nil {
+			errc <- err
+			return
+		}
+		_, _, err = s.resolve(context.Background(), q)
+		errc <- err
+	}()
+	// Let the job enqueue, then start the scheduler on a dead context.
+	deadline := time.Now().Add(5 * time.Second)
+	for len(s.queue) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("job never reached the queue")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	s.Start(ctx)
+	select {
+	case err := <-errc:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("waiter error = %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("waiter never released after hard cancel")
+	}
+	<-s.done
+}
+
+func TestSimulateValidation(t *testing.T) {
+	_, _, mux := newService(t, Options{})
+	cases := []struct {
+		name   string
+		method string
+		body   string
+		code   int
+	}{
+		{"bad json", http.MethodPost, `{`, http.StatusBadRequest},
+		{"unknown field", http.MethodPost, `{"model": "alexnet", "accel": "spacx", "nope": 1}`, http.StatusBadRequest},
+		{"trailing data", http.MethodPost, `{"model": "alexnet", "accel": "spacx"} {}`, http.StatusBadRequest},
+		{"missing model", http.MethodPost, `{"accel": "spacx"}`, http.StatusBadRequest},
+		{"unknown model", http.MethodPost, `{"model": "lenet", "accel": "spacx"}`, http.StatusBadRequest},
+		{"missing accel", http.MethodPost, `{"model": "alexnet"}`, http.StatusBadRequest},
+		{"unknown accel", http.MethodPost, `{"model": "alexnet", "accel": "tpu"}`, http.StatusBadRequest},
+		{"bad mode", http.MethodPost, `{"model": "alexnet", "accel": "spacx", "mode": "half"}`, http.StatusBadRequest},
+		{"negative batch", http.MethodPost, `{"model": "alexnet", "accel": "spacx", "batch": -1}`, http.StatusBadRequest},
+		{"oversized batch", http.MethodPost, `{"model": "alexnet", "accel": "spacx", "batch": 100000}`, http.StatusBadRequest},
+		{"negative loss budget", http.MethodPost, `{"model": "alexnet", "accel": "spacx", "loss_budget_db": -1}`, http.StatusBadRequest},
+		{"wrong method", http.MethodGet, ``, http.StatusMethodNotAllowed},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rr := doReq(mux, tc.method, "/v1/simulate", tc.body)
+			if rr.Code != tc.code {
+				t.Fatalf("status %d, want %d (body %s)", rr.Code, tc.code, rr.Body)
+			}
+			var e errorResponse
+			if err := json.Unmarshal(rr.Body.Bytes(), &e); err != nil || e.Error == "" {
+				t.Fatalf("error body %q is not an errorResponse (%v)", rr.Body, err)
+			}
+		})
+	}
+}
+
+func TestLossBudgetEnforcement(t *testing.T) {
+	_, _, mux := newService(t, Options{})
+
+	// An impossibly tight budget rejects photonic SPACX with 422.
+	rr := doReq(mux, http.MethodPost, "/v1/simulate",
+		`{"model": "alexnet", "accel": "spacx", "loss_budget_db": 0.001}`)
+	if rr.Code != http.StatusUnprocessableEntity {
+		t.Fatalf("tight budget on spacx: status %d, want 422 (body %s)", rr.Code, rr.Body)
+	}
+
+	// The same budget is a no-op for an accelerator without a loss model.
+	rr = doReq(mux, http.MethodPost, "/v1/simulate",
+		`{"model": "alexnet", "accel": "simba", "loss_budget_db": 0.001}`)
+	if rr.Code != http.StatusOK {
+		t.Fatalf("tight budget on simba: status %d, want 200 (body %s)", rr.Code, rr.Body)
+	}
+
+	// A generous budget passes.
+	rr = doReq(mux, http.MethodPost, "/v1/simulate",
+		`{"model": "alexnet", "accel": "spacx", "loss_budget_db": 100}`)
+	if rr.Code != http.StatusOK {
+		t.Fatalf("generous budget on spacx: status %d, want 200 (body %s)", rr.Code, rr.Body)
+	}
+}
+
+func TestDiscoveryEndpoints(t *testing.T) {
+	_, _, mux := newService(t, Options{})
+
+	rr := doReq(mux, http.MethodGet, "/v1/models", "")
+	if rr.Code != http.StatusOK {
+		t.Fatalf("/v1/models: status %d", rr.Code)
+	}
+	var models []ModelInfo
+	if err := json.Unmarshal(rr.Body.Bytes(), &models); err != nil {
+		t.Fatalf("decode /v1/models: %v", err)
+	}
+	if len(models) != len(modelCatalog) {
+		t.Fatalf("/v1/models returned %d entries, want %d", len(models), len(modelCatalog))
+	}
+	for _, m := range models {
+		if m.Name == "" || m.Canonical == "" || m.Layers == 0 {
+			t.Fatalf("incomplete model entry: %+v", m)
+		}
+	}
+
+	rr = doReq(mux, http.MethodGet, "/v1/accelerators", "")
+	if rr.Code != http.StatusOK {
+		t.Fatalf("/v1/accelerators: status %d", rr.Code)
+	}
+	var accels []AccelInfo
+	if err := json.Unmarshal(rr.Body.Bytes(), &accels); err != nil {
+		t.Fatalf("decode /v1/accelerators: %v", err)
+	}
+	if len(accels) != len(accelCatalog) {
+		t.Fatalf("/v1/accelerators returned %d entries, want %d", len(accels), len(accelCatalog))
+	}
+	seen := map[string]AccelInfo{}
+	for _, a := range accels {
+		if a.Name == "" || a.Fingerprint == "" {
+			t.Fatalf("incomplete accelerator entry: %+v", a)
+		}
+		seen[a.Name] = a
+	}
+	if seen["spacx"].LossDB == nil || *seen["spacx"].LossDB <= 0 {
+		t.Fatalf("spacx should report a worst-case loss, got %+v", seen["spacx"].LossDB)
+	}
+	if seen["simba"].LossDB != nil {
+		t.Fatalf("simba should not report a loss figure, got %v", *seen["simba"].LossDB)
+	}
+
+	if rr := doReq(mux, http.MethodPost, "/v1/models", ""); rr.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /v1/models: status %d, want 405", rr.Code)
+	}
+}
+
+func TestSweepGridAndCacheWarming(t *testing.T) {
+	_, reg, mux := newService(t, Options{Workers: 4})
+
+	rr := doReq(mux, http.MethodPost, "/v1/sweep",
+		`{"models": ["alexnet"], "accels": ["spacx", "simba"], "batches": [1, 4]}`)
+	if rr.Code != http.StatusOK {
+		t.Fatalf("/v1/sweep: status %d, body %s", rr.Code, rr.Body)
+	}
+	var resp SweepResponse
+	if err := json.Unmarshal(rr.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("decode sweep response: %v", err)
+	}
+	if len(resp.Points) != 4 {
+		t.Fatalf("sweep returned %d points, want 4", len(resp.Points))
+	}
+	// Grid order: models > accels > modes > batches.
+	want := []SweepPoint{
+		{Model: "alexnet", Accel: "spacx", Mode: "whole", Batch: 1},
+		{Model: "alexnet", Accel: "spacx", Mode: "whole", Batch: 4},
+		{Model: "alexnet", Accel: "simba", Mode: "whole", Batch: 1},
+		{Model: "alexnet", Accel: "simba", Mode: "whole", Batch: 4},
+	}
+	for i, p := range resp.Points {
+		if p.Model != want[i].Model || p.Accel != want[i].Accel || p.Mode != want[i].Mode || p.Batch != want[i].Batch {
+			t.Fatalf("point %d identity = (%s,%s,%s,%d), want (%s,%s,%s,%d)",
+				i, p.Model, p.Accel, p.Mode, p.Batch,
+				want[i].Model, want[i].Accel, want[i].Mode, want[i].Batch)
+		}
+		if p.Error != "" || len(p.Result) == 0 {
+			t.Fatalf("point %d failed: error %q, result %d bytes", i, p.Error, len(p.Result))
+		}
+	}
+
+	// The sweep warmed the cache: a point query now hits.
+	runs := reg.Counter("spacx_serve_engine_runs_total")
+	point := doReq(mux, http.MethodPost, "/v1/simulate", alexOnSpacx)
+	if point.Code != http.StatusOK || point.Header().Get("X-Spacx-Cache") != "hit" {
+		t.Fatalf("point query after sweep: status %d, cache %q",
+			point.Code, point.Header().Get("X-Spacx-Cache"))
+	}
+	if got := reg.Counter("spacx_serve_engine_runs_total"); got != runs {
+		t.Fatalf("point query after sweep re-ran the engine (%v -> %v)", runs, got)
+	}
+}
+
+func TestSweepValidation(t *testing.T) {
+	_, _, mux := newService(t, Options{MaxSweepPoints: 4})
+	cases := []struct {
+		name string
+		body string
+	}{
+		{"bad json", `{`},
+		{"empty axes", `{"models": [], "accels": ["spacx"]}`},
+		{"unknown model", `{"models": ["lenet"], "accels": ["spacx"]}`},
+		{"grid too large", `{"models": ["alexnet"], "accels": ["spacx"], "batches": [1,2,3,4,5]}`},
+		{"unknown field", `{"models": ["alexnet"], "accels": ["spacx"], "grid": true}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rr := doReq(mux, http.MethodPost, "/v1/sweep", tc.body)
+			if rr.Code != http.StatusBadRequest {
+				t.Fatalf("status %d, want 400 (body %s)", rr.Code, rr.Body)
+			}
+		})
+	}
+}
+
+func TestDistinctQueriesGetDistinctResults(t *testing.T) {
+	_, _, mux := newService(t, Options{Workers: 4})
+
+	whole := doReq(mux, http.MethodPost, "/v1/simulate", `{"model": "alexnet", "accel": "spacx"}`)
+	layer := doReq(mux, http.MethodPost, "/v1/simulate", `{"model": "alexnet", "accel": "spacx", "mode": "layer"}`)
+	if whole.Code != http.StatusOK || layer.Code != http.StatusOK {
+		t.Fatalf("statuses %d / %d", whole.Code, layer.Code)
+	}
+	if bytes.Equal(whole.Body.Bytes(), layer.Body.Bytes()) {
+		t.Fatal("whole and layer modes returned identical bodies")
+	}
+
+	var rw, rl SimulateResponse
+	if err := json.Unmarshal(whole.Body.Bytes(), &rw); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(layer.Body.Bytes(), &rl); err != nil {
+		t.Fatal(err)
+	}
+	// Layer-by-layer residency must round-trip activations through DRAM, so
+	// it can never move fewer bytes than whole-network residency.
+	if rl.DRAMBytes < rw.DRAMBytes {
+		t.Fatalf("layer mode DRAM %d < whole mode DRAM %d", rl.DRAMBytes, rw.DRAMBytes)
+	}
+}

@@ -119,6 +119,13 @@ func SPACXAccelCustom(m, n, gef, gk int, p photonic.Params, ba bool) (Accelerato
 	}, nil
 }
 
+// SPACXAccelConfig returns the validated photonic network configuration
+// behind the default SPACX accelerator (M=32, N=32, e/f=8, k=16, moderate
+// parameters) — the loss-budget and power breakdowns hang off it.
+func SPACXAccelConfig() (spacxnet.Config, error) {
+	return spacxnet.New(EvalM, EvalN, EvalGEF, EvalGK, photonic.Moderate())
+}
+
 // SPACXArchWithDataflow swaps the dataflow on the SPACX architecture
 // (Figure 17: WS and OS(e/f) on the SPACX photonic network).
 func SPACXArchWithDataflow(df dataflow.Dataflow) Accelerator {

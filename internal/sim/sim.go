@@ -254,31 +254,7 @@ type LayerRunner func(Accelerator, dnn.Layer, Mode) (LayerResult, error)
 // rec can snapshot its state (an *obs.Registry), the snapshot is attached to
 // the result's Metrics field.
 func RunObserved(acc Accelerator, m dnn.Model, mode Mode, rec obs.Recorder) (ModelResult, error) {
-	enabled := rec.Enabled()
-	if enabled {
-		if err := m.Validate(); err != nil {
-			return ModelResult{}, err
-		}
-		rec.Logger().Debug("sim: run start",
-			"model", m.Name, "accel", acc.Name(), "mode", mode.String(), "layers", len(m.Layers))
-	}
-	res, err := RunVia(acc, m, mode, func(acc Accelerator, l dnn.Layer, mode Mode) (LayerResult, error) {
-		return RunLayerObserved(acc, l, mode, rec)
-	})
-	if err != nil {
-		return ModelResult{}, err
-	}
-	if enabled {
-		rec.Logger().Debug("sim: run done",
-			"model", m.Name, "accel", acc.Name(),
-			"execSec", res.ExecSec, "computeSec", res.ComputeSec,
-			"totalJ", res.TotalEnergy, "networkJ", res.NetworkEnergy)
-		if sn, ok := rec.(obs.Snapshotter); ok {
-			s := sn.Snapshot()
-			res.Metrics = &s
-		}
-	}
-	return res, nil
+	return Request{Accel: acc, Model: m, Mode: mode}.RunObserved(rec, nil)
 }
 
 // RunVia aggregates a full model through the given layer runner (nil means
