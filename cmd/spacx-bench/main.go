@@ -23,6 +23,7 @@ import (
 	"os"
 
 	"spacx/internal/bench"
+	"spacx/internal/buildinfo"
 )
 
 func main() {
@@ -31,8 +32,13 @@ func main() {
 	compare := flag.String("compare", "", "compare the parsed record against this committed baseline")
 	nsThreshold := flag.Float64("ns-threshold", 2.0,
 		"warn when ns/op exceeds baseline by this factor (<=0 disables)")
+	version := flag.Bool("version", false, "print build info and exit")
 	flag.Parse()
 
+	if *version {
+		fmt.Println(buildinfo.Get().String())
+		return
+	}
 	if err := run(*area, *out, *compare, *nsThreshold); err != nil {
 		fmt.Fprintln(os.Stderr, "spacx-bench:", err)
 		os.Exit(1)

@@ -9,14 +9,21 @@
 //	spacx-serve -http 127.0.0.1:8080
 //	spacx-serve -http 127.0.0.1:8080 -j 8 -queue 128 -max-batch 32 -batch-window 2ms
 //
-// Endpoints (see README.md "Serving"):
+// Endpoints (see README.md "Serving" and "Jobs & Tracing"):
 //
-//	POST /v1/simulate      one simulation query
-//	POST /v1/sweep         a small parameter grid
-//	GET  /v1/models        servable model catalog
-//	GET  /v1/accelerators  servable accelerator catalog
-//	GET  /metrics          service + simulator metrics (Prometheus text)
-//	GET  /readyz           readiness (503 once draining)
+//	POST   /v1/simulate         one simulation query
+//	POST   /v1/sweep            a small parameter grid, synchronous
+//	POST   /v1/jobs             submit a sweep as an async job (202 + id)
+//	GET    /v1/jobs             job list, newest first (survives restarts)
+//	GET    /v1/jobs/{id}        job status + result once done
+//	DELETE /v1/jobs/{id}        cancel a running job
+//	GET    /v1/jobs/{id}/events SSE progress stream (points done, rate, ETA)
+//	GET    /v1/models           servable model catalog
+//	GET    /v1/accelerators     servable accelerator catalog
+//	GET    /metrics             service + simulator metrics (Prometheus text)
+//	GET    /traces, /traces/{id} request/job span trees (X-Spacx-Trace ids)
+//	GET    /version             build info
+//	GET    /readyz              readiness (503 once draining)
 //
 // Lifecycle: SIGINT/SIGTERM flips /readyz to 503, stops admitting new
 // simulations (503 + Retry-After), drains every queued job to completion,
@@ -28,16 +35,20 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
 	"runtime"
 	"syscall"
 	"time"
 
+	"spacx/internal/buildinfo"
 	"spacx/internal/exp/engine"
 	"spacx/internal/obs"
 	"spacx/internal/obs/server"
+	"spacx/internal/obs/tracing"
 	"spacx/internal/serve"
+	"spacx/internal/serve/jobs"
 )
 
 type options struct {
@@ -51,7 +62,12 @@ type options struct {
 	sweepCap   int
 	retryAfter time.Duration
 	linger     time.Duration
+	jobsLedger string
+	jobsKeep   int
+	maxJobs    int
+	traceKeep  int
 	verbose    bool
+	version    bool
 }
 
 func main() {
@@ -66,9 +82,18 @@ func main() {
 	flag.IntVar(&o.sweepCap, "sweep-points", 64, "largest accepted /v1/sweep grid")
 	flag.DurationVar(&o.retryAfter, "retry-after", time.Second, "Retry-After hint on 429/503 responses")
 	flag.DurationVar(&o.linger, "http-linger", 2*time.Second, "keep serving this long after drain for a final metrics scrape")
+	flag.StringVar(&o.jobsLedger, "jobs-ledger", "", "persist async job state to this JSONL file (survives restarts)")
+	flag.IntVar(&o.jobsKeep, "jobs-keep", 64, "terminal jobs retained in memory and in the jobs ledger")
+	flag.IntVar(&o.maxJobs, "max-jobs", 8, "concurrently live async jobs; beyond it submissions get 429")
+	flag.IntVar(&o.traceKeep, "traces", 256, "recent request/job traces retained for /traces")
 	flag.BoolVar(&o.verbose, "v", false, "log structured request progress to stderr")
+	flag.BoolVar(&o.version, "version", false, "print build info and exit")
 	flag.Parse()
 
+	if o.version {
+		fmt.Println(buildinfo.Get().String())
+		return
+	}
 	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "spacx-serve:", err)
 		os.Exit(1)
@@ -103,6 +128,15 @@ func validate(o options) error {
 	if o.linger < 0 {
 		return fmt.Errorf("-http-linger must be >= 0, got %v", o.linger)
 	}
+	if o.jobsKeep < 1 {
+		return fmt.Errorf("-jobs-keep must be >= 1, got %d", o.jobsKeep)
+	}
+	if o.maxJobs < 1 {
+		return fmt.Errorf("-max-jobs must be >= 1, got %d", o.maxJobs)
+	}
+	if o.traceKeep < 1 {
+		return fmt.Errorf("-traces must be >= 1, got %d", o.traceKeep)
+	}
 	return nil
 }
 
@@ -113,6 +147,7 @@ func run(o options) error {
 
 	reg := obs.NewRegistry(obs.NewLogger(os.Stderr, o.verbose))
 	prog := engine.NewProgress()
+	traces := tracing.NewCollector(o.traceKeep, reg)
 
 	// hardCtx is the second-signal abort: cancelling it abandons engine
 	// batch items that have not started.
@@ -130,13 +165,36 @@ func run(o options) error {
 		RetryAfter:      o.retryAfter,
 		Recorder:        reg,
 		Progress:        prog,
+		Traces:          traces,
 	})
 	svc.Start(hardCtx)
+
+	mgr, err := jobs.NewManager(jobs.Options{
+		Prepare: func(body []byte) (jobs.SweepRun, error) {
+			sr, err := svc.PrepareSweep(body)
+			if err != nil {
+				return nil, err
+			}
+			return sr, nil
+		},
+		Path:     o.jobsLedger,
+		Keep:     o.jobsKeep,
+		MaxLive:  o.maxJobs,
+		Recorder: reg,
+		Traces:   traces,
+	})
+	if err != nil {
+		return fmt.Errorf("job ledger: %w", err)
+	}
 
 	srv, err := server.Start(o.httpAddr, server.Options{
 		Registry: reg,
 		Progress: prog,
-		Mount:    svc.Routes,
+		Traces:   traces,
+		Mount: func(mux *http.ServeMux) {
+			svc.Routes(mux)
+			mgr.Routes(mux, svc.Instrument)
+		},
 	})
 	if err != nil {
 		return err
@@ -150,12 +208,15 @@ func run(o options) error {
 
 	// Graceful half: stop advertising readiness, refuse new simulations,
 	// finish what is queued. A second signal during the drain hard-cancels.
+	// Jobs close first — cancelling them (recorded as failed-by-shutdown in
+	// the ledger) stops them feeding the admission queue the drain empties.
 	srv.SetReady(false)
 	go func() {
 		s := <-sigs
 		fmt.Fprintf(os.Stderr, "spacx-serve: received %s, abandoning queued work\n", s)
 		hardCancel()
 	}()
+	mgr.Close()
 	svc.Close()
 
 	// Keep /metrics up for a final scrape, then exit.

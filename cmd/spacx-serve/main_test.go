@@ -16,6 +16,9 @@ func validOpts() options {
 		sweepCap:   16,
 		retryAfter: time.Second,
 		linger:     time.Second,
+		jobsKeep:   64,
+		maxJobs:    8,
+		traceKeep:  256,
 	}
 }
 
@@ -36,6 +39,9 @@ func TestValidateOptions(t *testing.T) {
 		{"zero sweep points", func(o *options) { o.sweepCap = 0 }},
 		{"zero retry after", func(o *options) { o.retryAfter = 0 }},
 		{"negative linger", func(o *options) { o.linger = -time.Second }},
+		{"zero jobs keep", func(o *options) { o.jobsKeep = 0 }},
+		{"zero max jobs", func(o *options) { o.maxJobs = 0 }},
+		{"zero trace keep", func(o *options) { o.traceKeep = 0 }},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -26,6 +26,7 @@ import (
 	"syscall"
 
 	"spacx"
+	"spacx/internal/buildinfo"
 	"spacx/internal/dataflow"
 	"spacx/internal/dnn"
 	"spacx/internal/exp"
@@ -64,8 +65,13 @@ func main() {
 	flag.StringVar(&o.cpuProfile, "cpuprofile", "", "write a CPU profile to this path")
 	flag.StringVar(&o.memProfile, "memprofile", "", "write a heap profile to this path on exit")
 	flag.BoolVar(&o.verbose, "v", false, "log structured progress to stderr")
+	version := flag.Bool("version", false, "print build info and exit")
 	flag.Parse()
 
+	if *version {
+		fmt.Println(buildinfo.Get().String())
+		return
+	}
 	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "spacx-sim:", err)
 		os.Exit(1)

@@ -37,6 +37,7 @@ import (
 	"time"
 
 	"spacx"
+	"spacx/internal/buildinfo"
 	"spacx/internal/exp"
 	"spacx/internal/exp/engine"
 	"spacx/internal/obs"
@@ -59,8 +60,10 @@ type options struct {
 	httpAddr   string
 	httpLinger time.Duration
 	ledgerPath string
+	ledgerKeep int
 	progress   bool
 	regress    float64
+	version    bool
 }
 
 func main() {
@@ -77,10 +80,16 @@ func main() {
 	flag.StringVar(&o.httpAddr, "http", "", "serve live observability endpoints on this address (e.g. 127.0.0.1:9090)")
 	flag.DurationVar(&o.httpLinger, "http-linger", 2*time.Second, "keep the -http server up this long after the run for a final scrape")
 	flag.StringVar(&o.ledgerPath, "ledger", "", "append a JSON run record to this file (e.g. runs.jsonl)")
+	flag.IntVar(&o.ledgerKeep, "ledger-keep", 0, "on startup, prune the -ledger file to its newest N records, dropping schema-mismatched lines (0 disables)")
 	flag.BoolVar(&o.progress, "progress", false, "print a live progress line to stderr every second")
 	flag.Float64Var(&o.regress, "regress", 0, "report drivers slower than this ratio vs the previous -ledger record (0 disables)")
+	flag.BoolVar(&o.version, "version", false, "print build info and exit")
 	flag.Parse()
 
+	if o.version {
+		fmt.Println(buildinfo.Get().String())
+		return
+	}
 	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "spacx-sweep:", err)
 		os.Exit(1)
@@ -115,6 +124,21 @@ func run(o options) error {
 	}
 	if o.regress > 0 && o.ledgerPath == "" {
 		return fmt.Errorf("-regress needs -ledger to compare against")
+	}
+	if o.ledgerKeep < 0 {
+		return fmt.Errorf("-ledger-keep must be >= 0, got %d", o.ledgerKeep)
+	}
+	if o.ledgerKeep > 0 && o.ledgerPath == "" {
+		return fmt.Errorf("-ledger-keep needs -ledger to prune")
+	}
+	if o.ledgerKeep > 0 {
+		kept, dropped, err := ledger.Prune(o.ledgerPath, ledger.SchemaVersion, o.ledgerKeep)
+		if err != nil {
+			return fmt.Errorf("prune ledger: %w", err)
+		}
+		if dropped > 0 {
+			fmt.Fprintf(os.Stderr, "spacx-sweep: ledger pruned to %d records (%d dropped)\n", kept, dropped)
+		}
 	}
 	exp.SetParallelism(o.jobs)
 

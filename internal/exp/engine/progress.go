@@ -7,6 +7,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"spacx/internal/obs/tracing"
 )
 
 // Progress tracks the live state of a multi-phase sweep: each experiment
@@ -236,6 +238,14 @@ func ForEachPhase(ctx context.Context, ph *Phase, workers, n int, fn func(i int)
 	if ph == nil {
 		return ForEach(ctx, workers, n, fn)
 	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	// A traced caller sees the whole phase fan-out as one span, named after
+	// the phase — on the serving path this is where batch execution time
+	// becomes attributable per request.
+	ctx, sp := tracing.StartSpan(ctx, "engine:"+ph.name)
+	defer sp.End()
 	ph.Begin(n)
 	defer ph.End()
 	return ForEach(ctx, workers, n, func(i int) error {

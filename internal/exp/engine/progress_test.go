@@ -154,3 +154,39 @@ func (s *syncBuffer) String() string {
 	defer s.mu.Unlock()
 	return s.b.String()
 }
+
+func TestProgressETAZeroRatePhase(t *testing.T) {
+	// A phase with submitted work but zero completed points has no rate to
+	// extrapolate: rate and ETA must stay 0 (finite and JSON-safe), not
+	// NaN/Inf from a division by zero done-count or wall time.
+	fake := time.Unix(1000, 0)
+	p := NewProgress()
+	p.now = func() time.Time { return fake }
+	ph := p.Phase("stalled")
+	ph.Begin(10)
+	ph.PointStart() // in flight, nothing done
+	fake = fake.Add(5 * time.Second)
+	st := p.Status().Phases[0]
+	if st.RatePerSec != 0 || st.ETASec != 0 {
+		t.Fatalf("zero-done phase rate/eta = %v/%v, want 0/0", st.RatePerSec, st.ETASec)
+	}
+	if st.InFlight != 1 || st.Total != 10 {
+		t.Fatalf("phase accounting = %+v", st)
+	}
+	b, err := json.Marshal(p.Status())
+	if err != nil {
+		t.Fatalf("zero-rate status must serialize: %v", err)
+	}
+	if strings.Contains(string(b), "null") {
+		t.Fatalf("status JSON has nulls: %s", b)
+	}
+
+	// Zero wall time (phase just began) is equally guarded.
+	p2 := NewProgress()
+	p2.now = func() time.Time { return fake }
+	ph2 := p2.Phase("instant")
+	ph2.Begin(3)
+	if st := p2.Status().Phases[0]; st.RatePerSec != 0 || st.ETASec != 0 {
+		t.Fatalf("zero-wall phase rate/eta = %v/%v, want 0/0", st.RatePerSec, st.ETASec)
+	}
+}

@@ -1,0 +1,132 @@
+package ledger
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+)
+
+// JobSchemaVersion is bumped whenever JobRecord's JSON shape changes
+// incompatibly; readers skip lines with versions they do not know.
+const JobSchemaVersion = 1
+
+// JobRecord is one state transition of an async job: one JSON line of the
+// job ledger. A job writes a line per transition (pending, running, then one
+// terminal state); recovery takes the newest line per id, so a ledger
+// truncated mid-job still yields a usable — if stale — state.
+type JobRecord struct {
+	Schema  int       `json:"schema"`
+	ID      string    `json:"id"`
+	Kind    string    `json:"kind"`  // "sweep"
+	State   string    `json:"state"` // pending | running | done | failed | cancelled
+	TimeUTC time.Time `json:"time_utc"`
+	Created time.Time `json:"created_utc"`
+	Started time.Time `json:"started_utc,omitempty"`
+	Ended   time.Time `json:"ended_utc,omitempty"`
+	TraceID string    `json:"trace_id,omitempty"`
+	Version string    `json:"version,omitempty"` // binary build stamp
+
+	// Request is the submitted sweep body, kept verbatim so a recovered job
+	// can be inspected (and, one day, resubmitted).
+	Request json.RawMessage `json:"request,omitempty"`
+
+	Total  int    `json:"total_points"`
+	Done   int    `json:"done_points"`
+	Failed int    `json:"failed_points,omitempty"`
+	Error  string `json:"error,omitempty"`
+
+	// Result is the final sweep response body of a done job, so a restarted
+	// server can still serve the answer of work it finished in a past life.
+	Result json.RawMessage `json:"result,omitempty"`
+}
+
+// AppendJob writes one job state transition to the job ledger at path.
+func AppendJob(path string, rec JobRecord) error {
+	return AppendLine(path, rec)
+}
+
+// ReadJobs loads the newest record per job id from the job ledger, in
+// first-appearance (oldest-job-first) order. Lines whose schema version is
+// unknown are skipped and counted, not fatal — a downgraded binary must
+// still start against a newer ledger. A missing file is an empty ledger.
+func ReadJobs(path string) (recs []JobRecord, skipped int, err error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil, 0, nil
+	}
+	if err != nil {
+		return nil, 0, fmt.Errorf("ledger: open %s: %w", path, err)
+	}
+	defer f.Close()
+	latest := map[string]int{} // id -> index in recs
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var rec JobRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			return nil, 0, fmt.Errorf("ledger: %s line %d: %w", path, line, err)
+		}
+		if rec.Schema != JobSchemaVersion || rec.ID == "" {
+			skipped++
+			continue
+		}
+		if i, ok := latest[rec.ID]; ok {
+			recs[i] = rec
+			continue
+		}
+		latest[rec.ID] = len(recs)
+		recs = append(recs, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, 0, fmt.Errorf("ledger: read %s: %w", path, err)
+	}
+	return recs, skipped, nil
+}
+
+// WriteJobs replaces the job ledger at path with exactly recs, one line per
+// record, via a same-directory temp file and atomic rename — the compaction
+// half of job garbage collection.
+func WriteJobs(path string, recs []JobRecord) error {
+	tmp, err := os.CreateTemp(dirOf(path), ".jobs-*")
+	if err != nil {
+		return fmt.Errorf("ledger: compact %s: %w", path, err)
+	}
+	defer os.Remove(tmp.Name())
+	bw := bufio.NewWriter(tmp)
+	for _, rec := range recs {
+		b, err := json.Marshal(rec)
+		if err != nil {
+			tmp.Close()
+			return fmt.Errorf("ledger: encode job %s: %w", rec.ID, err)
+		}
+		bw.Write(b)
+		bw.WriteByte('\n')
+	}
+	if err := bw.Flush(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("ledger: compact %s: %w", path, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("ledger: compact %s: %w", path, err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("ledger: compact %s: %w", path, err)
+	}
+	return nil
+}
+
+func dirOf(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			return path[:i]
+		}
+	}
+	return "."
+}

@@ -18,6 +18,7 @@ import (
 	"sync"
 	"time"
 
+	"spacx/internal/buildinfo"
 	"spacx/internal/exp/engine"
 	"spacx/internal/obs"
 )
@@ -54,6 +55,7 @@ type Record struct {
 	Schema         int                `json:"schema"`
 	TimeUTC        time.Time          `json:"time_utc"`
 	Hostname       string             `json:"hostname"`
+	Version        string             `json:"version,omitempty"` // binary build stamp
 	Cmd            string             `json:"cmd"`
 	Target         string             `json:"target,omitempty"` // -only / -sweep selection; empty = everything
 	Jobs           int                `json:"jobs"`
@@ -72,6 +74,7 @@ func New(cmd, target string, jobs int) Record {
 		Schema:   SchemaVersion,
 		TimeUTC:  time.Now().UTC(),
 		Hostname: host,
+		Version:  buildinfo.Get().String(),
 		Cmd:      cmd,
 		Target:   target,
 		Jobs:     jobs,
@@ -131,6 +134,12 @@ func (r *Record) FillSnapshot(snap obs.Snapshot) {
 // on first use. O_APPEND keeps concurrent writers line-atomic on POSIX
 // filesystems for lines under the pipe-buffer size.
 func Append(path string, rec Record) error {
+	return AppendLine(path, rec)
+}
+
+// AppendLine writes any schema-carrying record as one JSON line at the end
+// of path — the shared primitive behind the run ledger and the job ledger.
+func AppendLine(path string, rec any) error {
 	b, err := json.Marshal(rec)
 	if err != nil {
 		return fmt.Errorf("ledger: encode record: %w", err)

@@ -1,0 +1,82 @@
+package ledger
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Prune enforces the retention policy of a JSONL ledger file: only the
+// newest keep records whose "schema" field equals want survive; older
+// matching records are dropped, and so are records carrying a schema
+// version this binary does not know — retention is exactly the moment a
+// ledger written by a newer (or corrupted) binary would otherwise grow
+// without bound, so mismatched lines count as prunable, not fatal.
+// Unparsable lines are likewise dropped and counted. The file is rewritten
+// via a same-directory temp file and atomic rename; a missing file or
+// keep <= 0 is a no-op.
+func Prune(path string, want, keep int) (kept, dropped int, err error) {
+	if keep <= 0 {
+		return 0, 0, nil
+	}
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return 0, 0, nil
+	}
+	if err != nil {
+		return 0, 0, fmt.Errorf("ledger: prune %s: %w", path, err)
+	}
+	var lines [][]byte
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	total := 0
+	for sc.Scan() {
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		total++
+		var probe struct {
+			Schema int `json:"schema"`
+		}
+		if json.Unmarshal(sc.Bytes(), &probe) != nil || probe.Schema != want {
+			dropped++
+			continue
+		}
+		lines = append(lines, append([]byte(nil), sc.Bytes()...))
+	}
+	scanErr := sc.Err()
+	f.Close()
+	if scanErr != nil {
+		return 0, 0, fmt.Errorf("ledger: prune %s: %w", path, scanErr)
+	}
+	if len(lines) > keep {
+		dropped += len(lines) - keep
+		lines = lines[len(lines)-keep:]
+	}
+	kept = len(lines)
+	if dropped == 0 {
+		return kept, 0, nil // nothing to rewrite
+	}
+	tmp, err := os.CreateTemp(dirOf(path), ".prune-*")
+	if err != nil {
+		return 0, 0, fmt.Errorf("ledger: prune %s: %w", path, err)
+	}
+	defer os.Remove(tmp.Name())
+	bw := bufio.NewWriter(tmp)
+	for _, l := range lines {
+		bw.Write(l)
+		bw.WriteByte('\n')
+	}
+	if err := bw.Flush(); err != nil {
+		tmp.Close()
+		return 0, 0, fmt.Errorf("ledger: prune %s: %w", path, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return 0, 0, fmt.Errorf("ledger: prune %s: %w", path, err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return 0, 0, fmt.Errorf("ledger: prune %s: %w", path, err)
+	}
+	return kept, dropped, nil
+}

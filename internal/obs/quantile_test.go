@@ -80,3 +80,32 @@ func TestQuantileThroughRegistry(t *testing.T) {
 			h.Min, p50, p95, p99, h.Max)
 	}
 }
+
+func TestQuantileSingleSample(t *testing.T) {
+	// One observation: every quantile is that value, pinned by Min == Max.
+	r := NewRegistry(nil)
+	r.SetBuckets("lat_seconds", []float64{1, 10})
+	r.Observe("lat_seconds", 3.5)
+	h := r.Snapshot().Histograms[0]
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 3.5 {
+			t.Errorf("single-sample Quantile(%v) = %v, want 3.5", q, got)
+		}
+	}
+}
+
+func TestQuantileAllEqualSamples(t *testing.T) {
+	// Many identical observations land in one bucket with Min == Max; the
+	// interpolation must collapse to the value, never below Min or above Max.
+	r := NewRegistry(nil)
+	r.SetBuckets("lat_seconds", []float64{1, 2, 4, 8})
+	for i := 0; i < 50; i++ {
+		r.Observe("lat_seconds", 3)
+	}
+	h := r.Snapshot().Histograms[0]
+	for _, q := range []float64{0, 0.25, 0.5, 0.95, 1} {
+		if got := h.Quantile(q); got != 3 {
+			t.Errorf("all-equal Quantile(%v) = %v, want exactly 3", q, got)
+		}
+	}
+}

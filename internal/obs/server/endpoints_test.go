@@ -1,0 +1,142 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"spacx/internal/obs"
+	"spacx/internal/obs/tracing"
+)
+
+func TestVersionEndpoint(t *testing.T) {
+	s := testServer(t, Options{})
+	w := get(t, s.Handler(), "/version")
+	if w.Code != http.StatusOK {
+		t.Fatalf("/version = %d", w.Code)
+	}
+	var info struct {
+		Module    string `json:"module"`
+		GoVersion string `json:"go_version"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &info); err != nil {
+		t.Fatalf("/version body is not JSON: %v\n%s", err, w.Body)
+	}
+	if info.Module == "" || info.GoVersion == "" {
+		t.Fatalf("/version missing fields: %s", w.Body)
+	}
+}
+
+func TestTracesEndpoints(t *testing.T) {
+	c := tracing.NewCollector(8, nil)
+	ctx, root := c.StartTrace(context.Background(), "serve:simulate")
+	_, sp := tracing.StartSpan(ctx, "cache:lookup")
+	sp.End()
+	root.End()
+	id := tracing.ID(ctx)
+
+	s := testServer(t, Options{Traces: c})
+	h := s.Handler()
+
+	w := get(t, h, "/traces")
+	if w.Code != http.StatusOK {
+		t.Fatalf("/traces = %d", w.Code)
+	}
+	var list []tracing.TraceSummary
+	if err := json.Unmarshal(w.Body.Bytes(), &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 1 || list[0].ID != id || !list[0].Complete {
+		t.Fatalf("/traces = %+v", list)
+	}
+
+	w = get(t, h, "/traces/"+id)
+	if w.Code != http.StatusOK {
+		t.Fatalf("/traces/{id} = %d", w.Code)
+	}
+	var td tracing.TraceData
+	if err := json.Unmarshal(w.Body.Bytes(), &td); err != nil {
+		t.Fatal(err)
+	}
+	if len(td.Spans) != 1 || td.Spans[0].Name != "serve:simulate" ||
+		len(td.Spans[0].Children) != 1 || td.Spans[0].Children[0].Name != "cache:lookup" {
+		t.Fatalf("span tree = %+v", td.Spans)
+	}
+
+	if w := get(t, h, "/traces/nope"); w.Code != http.StatusNotFound {
+		t.Fatalf("unknown trace = %d, want 404", w.Code)
+	}
+}
+
+func TestTracesWithoutCollector(t *testing.T) {
+	s := testServer(t, Options{})
+	if w := get(t, s.Handler(), "/traces"); w.Code != http.StatusNotFound {
+		t.Fatalf("/traces without collector = %d, want 404", w.Code)
+	}
+}
+
+// blockingWriter simulates a client that accepts headers but never drains
+// the body write: Write parks until released.
+type blockingWriter struct {
+	hdr      http.Header
+	entered  chan struct{}
+	release  chan struct{}
+	enterOne sync.Once
+}
+
+func newBlockingWriter() *blockingWriter {
+	return &blockingWriter{hdr: http.Header{}, entered: make(chan struct{}), release: make(chan struct{})}
+}
+
+func (w *blockingWriter) Header() http.Header { return w.hdr }
+func (w *blockingWriter) WriteHeader(int)     {}
+func (w *blockingWriter) Write(p []byte) (int, error) {
+	w.enterOne.Do(func() { close(w.entered) })
+	<-w.release
+	return len(p), nil
+}
+
+// TestSlowClientDoesNotHoldRegistry is the slow-reader regression test: a
+// /metrics write stalled on the client must not hold the registry lock —
+// the body is rendered from a snapshot before the first byte moves, so
+// concurrent Observe and scrape calls proceed while the slow write blocks.
+func TestSlowClientDoesNotHoldRegistry(t *testing.T) {
+	reg := obs.NewRegistry(nil)
+	reg.Count("spacx_exp_points_total", 1)
+	s := testServer(t, Options{Registry: reg, WriteTimeout: time.Minute})
+
+	bw := newBlockingWriter()
+	handlerDone := make(chan struct{})
+	go func() {
+		defer close(handlerDone)
+		s.handleMetrics(bw, nil)
+	}()
+	select {
+	case <-bw.entered:
+	case <-time.After(2 * time.Second):
+		t.Fatal("handler never started writing")
+	}
+
+	// While the write is stalled, the registry must stay fully usable.
+	opDone := make(chan struct{})
+	go func() {
+		defer close(opDone)
+		reg.Count("spacx_exp_points_total", 1)
+		_ = reg.Snapshot()
+	}()
+	select {
+	case <-opDone:
+	case <-time.After(2 * time.Second):
+		t.Fatal("registry blocked behind a slow client write")
+	}
+
+	close(bw.release)
+	select {
+	case <-handlerDone:
+	case <-time.After(2 * time.Second):
+		t.Fatal("handler never finished after the client drained")
+	}
+}

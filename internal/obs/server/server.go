@@ -12,18 +12,22 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"net/http/pprof"
 	"sync/atomic"
 	"time"
 
+	"spacx/internal/buildinfo"
 	"spacx/internal/exp/engine"
 	"spacx/internal/obs"
 	"spacx/internal/obs/ledger"
+	"spacx/internal/obs/tracing"
 )
 
 // Options wires the server to the run's observability state; every field is
@@ -36,6 +40,14 @@ type Options struct {
 	// Runs loads the ledger for /runs, oldest-first; the handler reverses
 	// it. Nil serves an empty list.
 	Runs func() ([]ledger.Record, error)
+	// Traces backs /traces and /traces/{id} (nil serves 404s).
+	Traces *tracing.Collector
+	// WriteTimeout bounds each response write to a client; a reader slower
+	// than this is disconnected rather than allowed to pin a handler
+	// goroutine (<= 0 means 10s). Every data endpoint renders its full
+	// body from a snapshot first, so no registry or progress lock is ever
+	// held while bytes move to a slow client.
+	WriteTimeout time.Duration
 	// Mount, when non-nil, registers additional routes on the server's mux
 	// before it starts serving — the hook spacx-serve uses to put its /v1
 	// API on the same listener as /metrics, /readyz, and the drain
@@ -59,6 +71,9 @@ type Server struct {
 // Start listens on addr (e.g. "127.0.0.1:0") and serves in a background
 // goroutine. The server starts ready.
 func Start(addr string, opts Options) (*Server, error) {
+	if opts.WriteTimeout <= 0 {
+		opts.WriteTimeout = 10 * time.Second
+	}
 	lis, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("server: listen %s: %w", addr, err)
@@ -90,6 +105,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/metrics.json", s.handleMetricsJSON)
 	mux.HandleFunc("/progress", s.handleProgress)
 	mux.HandleFunc("/runs", s.handleRuns)
+	mux.HandleFunc("/version", s.handleVersion)
+	mux.HandleFunc("/traces", s.handleTraces)
+	mux.HandleFunc("/traces/{id}", s.handleTrace)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -120,6 +138,9 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
   /readyz        readiness (503 before the run and while draining)
   /progress      live sweep progress: per-phase points, rate, ETA
   /runs          run ledger, newest first
+  /version       build info: module version, go version, vcs revision
+  /traces        recent request/job traces, newest first
+  /traces/{id}   one trace as a span tree
   /debug/pprof/  net/http/pprof profiles
 `)
 }
@@ -143,8 +164,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		http.Error(w, "no metrics registry attached", http.StatusServiceUnavailable)
 		return
 	}
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	_ = s.opts.Registry.WritePrometheus(w)
+	s.writeBuffered(w, "text/plain; version=0.0.4; charset=utf-8", func(dst io.Writer) error {
+		return s.opts.Registry.WritePrometheus(dst)
+	})
 }
 
 func (s *Server) handleMetricsJSON(w http.ResponseWriter, _ *http.Request) {
@@ -152,12 +174,13 @@ func (s *Server) handleMetricsJSON(w http.ResponseWriter, _ *http.Request) {
 		http.Error(w, "no metrics registry attached", http.StatusServiceUnavailable)
 		return
 	}
-	w.Header().Set("Content-Type", "application/json")
-	_ = s.opts.Registry.WriteJSON(w)
+	s.writeBuffered(w, "application/json", func(dst io.Writer) error {
+		return s.opts.Registry.WriteJSON(dst)
+	})
 }
 
 func (s *Server) handleProgress(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, s.opts.Progress.Status()) // nil Progress yields the zero Status
+	s.writeJSON(w, s.opts.Progress.Status()) // nil Progress yields the zero Status
 }
 
 func (s *Server) handleRuns(w http.ResponseWriter, _ *http.Request) {
@@ -172,14 +195,56 @@ func (s *Server) handleRuns(w http.ResponseWriter, _ *http.Request) {
 			recs = append(recs, loaded[i])
 		}
 	}
-	writeJSON(w, recs)
+	s.writeJSON(w, recs)
 }
 
-func writeJSON(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	_ = enc.Encode(v)
+func (s *Server) handleVersion(w http.ResponseWriter, _ *http.Request) {
+	s.writeJSON(w, buildinfo.Get())
+}
+
+func (s *Server) handleTraces(w http.ResponseWriter, _ *http.Request) {
+	if s.opts.Traces == nil {
+		http.Error(w, "no trace collector attached", http.StatusNotFound)
+		return
+	}
+	s.writeJSON(w, s.opts.Traces.List())
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if s.opts.Traces == nil {
+		http.Error(w, "no trace collector attached", http.StatusNotFound)
+		return
+	}
+	td, ok := s.opts.Traces.Trace(r.PathValue("id"))
+	if !ok {
+		http.Error(w, "no such trace", http.StatusNotFound)
+		return
+	}
+	s.writeJSON(w, td)
+}
+
+// writeBuffered renders the full body into memory from a point-in-time
+// snapshot, then writes it to the client under WriteTimeout. Rendering never
+// overlaps the client write, so a slow reader stalls only its own (deadline-
+// bounded) connection, never a registry or progress lock.
+func (s *Server) writeBuffered(w http.ResponseWriter, contentType string, render func(io.Writer) error) {
+	var buf bytes.Buffer
+	if err := render(&buf); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	rc := http.NewResponseController(w)
+	_ = rc.SetWriteDeadline(time.Now().Add(s.opts.WriteTimeout)) // best effort: recorders don't support deadlines
+	w.Header().Set("Content-Type", contentType)
+	_, _ = w.Write(buf.Bytes())
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, v any) {
+	s.writeBuffered(w, "application/json", func(dst io.Writer) error {
+		enc := json.NewEncoder(dst)
+		enc.SetIndent("", "  ")
+		return enc.Encode(v)
+	})
 }
 
 // DrainAndShutdown marks the server not-ready and keeps serving until a

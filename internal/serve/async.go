@@ -1,0 +1,107 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"time"
+
+	"spacx/internal/exp/engine"
+)
+
+// SweepRun is one validated asynchronous sweep: the unit of work the jobs
+// subsystem (internal/serve/jobs) executes against the service. Preparing
+// and running are split so that submission can fail fast (400 on a bad
+// grid) while execution happens later, on the job's own context, with its
+// own progress phase.
+type SweepRun struct {
+	svc     *Service
+	req     SweepRequest
+	queries []query
+	points  []SweepPoint
+}
+
+// PrepareSweep decodes and validates an async sweep body (the same JSON
+// shape as POST /v1/sweep) without resolving any point.
+func (s *Service) PrepareSweep(body []byte) (*SweepRun, error) {
+	var req SweepRequest
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		return nil, fmt.Errorf("decode request: %w", err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("trailing data after request object")
+	}
+	queries, points, err := s.expandSweep(&req)
+	if err != nil {
+		return nil, err
+	}
+	return &SweepRun{svc: s, req: req, queries: queries, points: points}, nil
+}
+
+// Len is the sweep's point count.
+func (r *SweepRun) Len() int { return len(r.points) }
+
+// Run executes every grid point through the service's full resolve path —
+// response cache, singleflight, admission queue, micro-batching — so an
+// async sweep warms the same caches interactive queries hit, and each
+// point's queue wait and compute time land as spans on the job's trace
+// (via ctx). Per-point simulation failures land in the point's error field
+// and count toward failed; the run itself only fails when ctx is cancelled
+// or the server is draining. Queue-full rejections are retried with the
+// service's Retry-After backoff rather than failing the point: a job is
+// background work, deliberately last in line behind interactive traffic.
+//
+// ph receives per-point progress accounting (submitted/started/done), which
+// is what the SSE stream reports. The result is the indented JSON encoding
+// of the same SweepResponse a synchronous /v1/sweep would have returned.
+func (r *SweepRun) Run(ctx context.Context, ph *engine.Phase) (result []byte, failed int, err error) {
+	workers := r.svc.opts.MaxBatch
+	runErr := engine.ForEachPhase(ctx, ph, workers, len(r.queries), func(i int) error {
+		q := r.queries[i]
+		if err := q.checkLossBudget(); err != nil {
+			r.points[i].Error = err.Error()
+			return nil
+		}
+		for {
+			body, _, err := r.svc.resolve(ctx, q)
+			switch {
+			case err == nil:
+				r.points[i].Result = json.RawMessage(body)
+				return nil
+			case errors.Is(err, errQueueFull):
+				select {
+				case <-time.After(r.svc.opts.RetryAfter):
+					continue
+				case <-ctx.Done():
+					return ctx.Err()
+				}
+			case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+				return err
+			case errors.Is(err, errDraining):
+				return err
+			default:
+				r.points[i].Error = err.Error()
+				return nil
+			}
+		}
+	})
+	if runErr != nil {
+		return nil, 0, runErr
+	}
+	for i := range r.points {
+		if r.points[i].Error != "" {
+			failed++
+		}
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(SweepResponse{Points: r.points}); err != nil {
+		return nil, 0, fmt.Errorf("serve: encode sweep result: %w", err)
+	}
+	return buf.Bytes(), failed, nil
+}

@@ -13,6 +13,7 @@ import (
 
 	"spacx/internal/network"
 	"spacx/internal/obs"
+	"spacx/internal/obs/tracing"
 )
 
 // maxRequestBody bounds every request body read; simulation queries are a
@@ -40,18 +41,38 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
-// instrument wraps a handler with the request counter and latency
-// histogram, labeled by endpoint and final status code.
-func (s *Service) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+// Unwrap exposes the underlying writer to http.ResponseController, so
+// streaming handlers behind Instrument (the jobs SSE endpoint) can still
+// flush and set per-write deadlines.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
+// Instrument wraps a handler with the request counter, the latency
+// histogram (labeled by endpoint and final status code), and — when the
+// service has a trace collector — a per-request trace: the root span covers
+// the whole handler, the X-Spacx-Trace response header names it, and every
+// downstream layer (admission queue, batch scheduler, engine, simulator)
+// hangs child spans off the request context. The jobs subsystem mounts its
+// endpoints through this same wrapper so every /v1 response is traced.
+func (s *Service) Instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
 	lbl := obs.Label{Key: "endpoint", Value: endpoint}
 	return func(w http.ResponseWriter, r *http.Request) {
+		ctx, root := s.opts.Traces.StartTrace(r.Context(), "serve:"+endpoint)
+		if id := tracing.ID(ctx); id != "" {
+			w.Header().Set("X-Spacx-Trace", id)
+			r = r.WithContext(ctx)
+		}
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
 		stop := s.rec.Time("spacx_serve_request_seconds", lbl)
 		h(sw, r)
 		stop()
+		root.End()
 		s.rec.Count("spacx_serve_requests_total", 1, lbl,
 			obs.Label{Key: "code", Value: strconv.Itoa(sw.code)})
 	}
+}
+
+func (s *Service) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	return s.Instrument(endpoint, h)
 }
 
 // writeJSON writes v as an indented JSON body with the given status.
@@ -187,52 +208,10 @@ func (s *Service) handleSweep(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "decode request: %v", err)
 		return
 	}
-	if len(req.Models) == 0 || len(req.Accels) == 0 {
-		writeErr(w, http.StatusBadRequest, "models and accels must be non-empty")
+	queries, points, err := s.expandSweep(&req)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
-	}
-	if len(req.Modes) == 0 {
-		req.Modes = []string{"whole"}
-	}
-	if len(req.Batches) == 0 {
-		req.Batches = []int{1}
-	}
-	n := len(req.Models) * len(req.Accels) * len(req.Modes) * len(req.Batches)
-	if n > s.opts.MaxSweepPoints {
-		writeErr(w, http.StatusBadRequest, "sweep grid has %d points, cap is %d", n, s.opts.MaxSweepPoints)
-		return
-	}
-
-	// Validate every point before resolving any, so a typo fails the whole
-	// sweep fast instead of after simulating half the grid.
-	queries := make([]query, 0, n)
-	points := make([]SweepPoint, 0, n)
-	for _, model := range req.Models {
-		for _, accel := range req.Accels {
-			for _, mode := range req.Modes {
-				for _, batch := range req.Batches {
-					sr, err := decodeSimulateRequest(mustJSON(SimulateRequest{
-						Model: model, Accel: accel, Mode: mode, Batch: batch,
-						LossBudgetDB: req.LossBudgetDB,
-					}), s.opts.MaxRequestBatch)
-					if err != nil {
-						writeErr(w, http.StatusBadRequest, "point (%s, %s, %s, %d): %v",
-							model, accel, mode, batch, err)
-						return
-					}
-					q, err := buildQuery(sr)
-					if err != nil {
-						writeErr(w, http.StatusBadRequest, "point (%s, %s, %s, %d): %v",
-							model, accel, mode, batch, err)
-						return
-					}
-					queries = append(queries, q)
-					points = append(points, SweepPoint{
-						Model: sr.Model, Accel: sr.Accel, Mode: sr.Mode, Batch: sr.Batch,
-					})
-				}
-			}
-		}
 	}
 
 	var wg sync.WaitGroup
@@ -255,6 +234,55 @@ func (s *Service) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 	wg.Wait()
 	writeJSON(w, http.StatusOK, SweepResponse{Points: points})
+}
+
+// expandSweep validates a sweep request and expands its grid — the cross
+// product of the listed axes, models outermost and batches innermost — into
+// parallel query and point slices. Every point is validated before any is
+// resolved, so a typo fails the whole sweep fast instead of after
+// simulating half the grid. req's empty axes are normalized in place.
+func (s *Service) expandSweep(req *SweepRequest) ([]query, []SweepPoint, error) {
+	if len(req.Models) == 0 || len(req.Accels) == 0 {
+		return nil, nil, fmt.Errorf("models and accels must be non-empty")
+	}
+	if len(req.Modes) == 0 {
+		req.Modes = []string{"whole"}
+	}
+	if len(req.Batches) == 0 {
+		req.Batches = []int{1}
+	}
+	n := len(req.Models) * len(req.Accels) * len(req.Modes) * len(req.Batches)
+	if n > s.opts.MaxSweepPoints {
+		return nil, nil, fmt.Errorf("sweep grid has %d points, cap is %d", n, s.opts.MaxSweepPoints)
+	}
+	queries := make([]query, 0, n)
+	points := make([]SweepPoint, 0, n)
+	for _, model := range req.Models {
+		for _, accel := range req.Accels {
+			for _, mode := range req.Modes {
+				for _, batch := range req.Batches {
+					sr, err := decodeSimulateRequest(mustJSON(SimulateRequest{
+						Model: model, Accel: accel, Mode: mode, Batch: batch,
+						LossBudgetDB: req.LossBudgetDB,
+					}), s.opts.MaxRequestBatch)
+					if err != nil {
+						return nil, nil, fmt.Errorf("point (%s, %s, %s, %d): %w",
+							model, accel, mode, batch, err)
+					}
+					q, err := buildQuery(sr)
+					if err != nil {
+						return nil, nil, fmt.Errorf("point (%s, %s, %s, %d): %w",
+							model, accel, mode, batch, err)
+					}
+					queries = append(queries, q)
+					points = append(points, SweepPoint{
+						Model: sr.Model, Accel: sr.Accel, Mode: sr.Mode, Batch: sr.Batch,
+					})
+				}
+			}
+		}
+	}
+	return queries, points, nil
 }
 
 // mustJSON re-encodes a request struct for the shared decoder's validation

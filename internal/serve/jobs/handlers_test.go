@@ -1,0 +1,226 @@
+package jobs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// newTestServer mounts the manager's routes on a real HTTP server (SSE needs
+// a flushing connection httptest recorders don't provide).
+func newTestServer(t *testing.T, m *Manager) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	m.Routes(mux, nil)
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func postJob(t *testing.T, srv *httptest.Server, body string) Status {
+	t.Helper()
+	resp, err := http.Post(srv.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status = %d", resp.StatusCode)
+	}
+	if loc := resp.Header.Get("Location"); !strings.HasPrefix(loc, "/v1/jobs/") {
+		t.Fatalf("Location = %q", loc)
+	}
+	var st Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// sseEvent is one parsed SSE frame.
+type sseEvent struct {
+	name string
+	st   Status
+}
+
+// readSSE consumes the stream until a terminal-state event (or EOF).
+func readSSE(t *testing.T, body *bufio.Scanner) []sseEvent {
+	t.Helper()
+	var events []sseEvent
+	var name string
+	for body.Scan() {
+		line := body.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			name = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			var st Status
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &st); err != nil {
+				t.Fatalf("bad SSE data %q: %v", line, err)
+			}
+			events = append(events, sseEvent{name: name, st: st})
+			if State(name).Terminal() {
+				return events
+			}
+		}
+	}
+	return events
+}
+
+func TestJobHTTPFlowStreamsMonotonicProgressToDone(t *testing.T) {
+	run := &fakeRun{n: 3, release: make(chan struct{}), result: []byte(`{"points":[]}`)}
+	m := newTestManager(t, Options{PollInterval: 5 * time.Millisecond}, run)
+	srv := newTestServer(t, m)
+
+	st := postJob(t, srv, `{"models":["alexnet"]}`)
+	if st.ID == "" || st.State.Terminal() {
+		t.Fatalf("submitted status = %+v", st)
+	}
+
+	resp, err := http.Get(srv.URL + "/v1/jobs/" + st.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("events Content-Type = %q", ct)
+	}
+
+	// Release the three points gradually so progress events have distinct
+	// counts to report.
+	go func() {
+		for i := 0; i < 3; i++ {
+			time.Sleep(20 * time.Millisecond)
+			run.release <- struct{}{}
+		}
+	}()
+
+	events := readSSE(t, bufio.NewScanner(resp.Body))
+	if len(events) < 2 {
+		t.Fatalf("got %d events, want at least initial progress + terminal", len(events))
+	}
+	last := -1
+	for _, ev := range events {
+		if ev.st.DonePoints < last {
+			t.Fatalf("done_points regressed: %d after %d (%+v)", ev.st.DonePoints, last, events)
+		}
+		last = ev.st.DonePoints
+	}
+	final := events[len(events)-1]
+	if final.name != string(Done) || final.st.DonePoints != 3 {
+		t.Fatalf("final event = %+v, want done with 3 points", final)
+	}
+
+	// The job detail now carries the result; cancelling it conflicts.
+	var detail struct {
+		Status
+		Result json.RawMessage `json:"result"`
+	}
+	get, err := http.Get(srv.URL + "/v1/jobs/" + st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer get.Body.Close()
+	if err := json.NewDecoder(get.Body).Decode(&detail); err != nil {
+		t.Fatal(err)
+	}
+	var compact bytes.Buffer
+	if err := json.Compact(&compact, detail.Result); err != nil {
+		t.Fatal(err)
+	}
+	if detail.State != Done || compact.String() != `{"points":[]}` {
+		t.Fatalf("detail = %+v result %s", detail.Status, detail.Result)
+	}
+
+	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/v1/jobs/"+st.ID, nil)
+	del, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	del.Body.Close()
+	if del.StatusCode != http.StatusConflict {
+		t.Fatalf("cancel of done job status = %d, want 409", del.StatusCode)
+	}
+}
+
+func TestJobHTTPCancelStreamsCancelledEvent(t *testing.T) {
+	run := &fakeRun{n: 2, release: make(chan struct{})}
+	m := newTestManager(t, Options{PollInterval: 5 * time.Millisecond}, run)
+	srv := newTestServer(t, m)
+
+	st := postJob(t, srv, "{}")
+	resp, err := http.Get(srv.URL + "/v1/jobs/" + st.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/v1/jobs/"+st.ID, nil)
+	del, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	del.Body.Close()
+	if del.StatusCode != http.StatusAccepted {
+		t.Fatalf("cancel status = %d, want 202", del.StatusCode)
+	}
+
+	events := readSSE(t, bufio.NewScanner(resp.Body))
+	final := events[len(events)-1]
+	if final.name != string(Cancelled) || final.st.State != Cancelled {
+		t.Fatalf("final event = %+v, want cancelled", final)
+	}
+}
+
+func TestJobHTTPErrors(t *testing.T) {
+	run := &fakeRun{n: 1, release: make(chan struct{})}
+	m := newTestManager(t, Options{MaxLive: 1, PollInterval: 5 * time.Millisecond}, run)
+	srv := newTestServer(t, m)
+
+	// Unknown ids 404 across the detail, cancel, and events endpoints.
+	for _, probe := range []struct{ method, path string }{
+		{http.MethodGet, "/v1/jobs/jnope00000000"},
+		{http.MethodDelete, "/v1/jobs/jnope00000000"},
+		{http.MethodGet, "/v1/jobs/jnope00000000/events"},
+	} {
+		req, _ := http.NewRequest(probe.method, srv.URL+probe.path, nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("%s %s = %d, want 404", probe.method, probe.path, resp.StatusCode)
+		}
+	}
+
+	// A Prepare failure is a 400.
+	resp, err := http.Post(srv.URL+"/v1/jobs", "application/json", strings.NewReader("bad"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad submit = %d, want 400", resp.StatusCode)
+	}
+
+	// Overload is a 429 with a Retry-After hint.
+	first := postJob(t, srv, "{}")
+	resp, err = http.Post(srv.URL+"/v1/jobs", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests || resp.Header.Get("Retry-After") == "" {
+		t.Fatalf("overloaded submit = %d (Retry-After %q), want 429 with hint",
+			resp.StatusCode, resp.Header.Get("Retry-After"))
+	}
+	close(run.release)
+	j, _ := m.Get(first.ID)
+	waitTerminal(t, j)
+}

@@ -1,0 +1,293 @@
+package jobs
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"spacx/internal/exp/engine"
+	"spacx/internal/obs/ledger"
+	"spacx/internal/obs/tracing"
+)
+
+// fakeRun is a controllable SweepRun: n points, each optionally gated on
+// release so tests can hold a job mid-run.
+type fakeRun struct {
+	n       int
+	release chan struct{} // nil = run freely
+	result  []byte
+	failed  int
+	err     error
+}
+
+func (f *fakeRun) Len() int { return f.n }
+
+func (f *fakeRun) Run(ctx context.Context, ph *engine.Phase) ([]byte, int, error) {
+	err := engine.ForEachPhase(ctx, ph, 2, f.n, func(int) error {
+		if f.release != nil {
+			select {
+			case <-f.release:
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	if f.err != nil {
+		return nil, 0, f.err
+	}
+	return f.result, f.failed, nil
+}
+
+// newTestManager builds a manager whose Prepare returns the given run for
+// any body (or its error when the body is literally "bad").
+func newTestManager(t *testing.T, opts Options, run *fakeRun) *Manager {
+	t.Helper()
+	if opts.Prepare == nil {
+		opts.Prepare = func(body []byte) (SweepRun, error) {
+			if string(body) == "bad" {
+				return nil, fmt.Errorf("invalid sweep")
+			}
+			return run, nil
+		}
+	}
+	m, err := NewManager(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(m.Close)
+	return m
+}
+
+func waitTerminal(t *testing.T, j *Job) {
+	t.Helper()
+	select {
+	case <-j.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatalf("job %s never reached a terminal state (state %s)", j.ID(), j.State())
+	}
+}
+
+func TestJobLifecycleToDone(t *testing.T) {
+	run := &fakeRun{n: 3, result: []byte(`{"points":[]}`), failed: 1}
+	m := newTestManager(t, Options{}, run)
+
+	j, err := m.Submit([]byte(`{"models":["alexnet"]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := j.Status(); st.TotalPoints != 3 || st.State.Terminal() && st.State != Done {
+		t.Fatalf("initial status = %+v", st)
+	}
+	waitTerminal(t, j)
+
+	st := j.Status()
+	if st.State != Done || st.DonePoints != 3 || st.FailedPoints != 1 {
+		t.Fatalf("terminal status = %+v, want done with 3 points (1 failed)", st)
+	}
+	if st.StartedUTC == nil || st.EndedUTC == nil {
+		t.Fatalf("terminal job missing timestamps: %+v", st)
+	}
+	if string(j.Result()) != `{"points":[]}` {
+		t.Fatalf("result = %q", j.Result())
+	}
+	list := m.List()
+	if len(list) != 1 || list[0].ID != j.ID() {
+		t.Fatalf("list = %+v", list)
+	}
+}
+
+func TestSubmitRejectsBadBodyAndOverload(t *testing.T) {
+	run := &fakeRun{n: 1, release: make(chan struct{})}
+	m := newTestManager(t, Options{MaxLive: 1}, run)
+
+	if _, err := m.Submit([]byte("bad")); err == nil || errors.Is(err, ErrBusy) {
+		t.Fatalf("bad body error = %v, want the Prepare error", err)
+	}
+
+	j, err := m.Submit([]byte("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Submit([]byte("{}")); !errors.Is(err, ErrBusy) {
+		t.Fatalf("second live submit error = %v, want ErrBusy", err)
+	}
+	close(run.release)
+	waitTerminal(t, j)
+	if _, err := m.Submit([]byte("{}")); err != nil {
+		t.Fatalf("submit after the first finished: %v", err)
+	}
+}
+
+func TestCancelMidRunReachesCancelled(t *testing.T) {
+	run := &fakeRun{n: 4, release: make(chan struct{})}
+	m := newTestManager(t, Options{}, run)
+
+	j, err := m.Submit([]byte("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := m.Cancel(j.ID())
+	if err != nil || !ok {
+		t.Fatalf("cancel = (%v, %v), want (true, nil)", ok, err)
+	}
+	waitTerminal(t, j)
+	if st := j.Status(); st.State != Cancelled || st.Error == "" {
+		t.Fatalf("status after cancel = %+v, want cancelled with a reason", st)
+	}
+	// A second cancel of the now-terminal job reports false, no error.
+	if ok, err := m.Cancel(j.ID()); ok || err != nil {
+		t.Fatalf("cancel of terminal job = (%v, %v), want (false, nil)", ok, err)
+	}
+	if _, err := m.Cancel("jdeadbeef0000"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("cancel of unknown id = %v, want ErrNotFound", err)
+	}
+}
+
+func TestCloseFailsLiveJobsAsInterrupted(t *testing.T) {
+	run := &fakeRun{n: 2, release: make(chan struct{})}
+	m := newTestManager(t, Options{}, run)
+	j, err := m.Submit([]byte("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Close()
+	waitTerminal(t, j)
+	if st := j.Status(); st.State != Failed || st.Error != "interrupted by server shutdown" {
+		t.Fatalf("status after Close = %+v", st)
+	}
+	if _, err := m.Submit([]byte("{}")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("submit after Close = %v, want ErrClosed", err)
+	}
+}
+
+func TestLedgerPersistenceAndRestartRecovery(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "jobs.jsonl")
+
+	run := &fakeRun{n: 2, result: []byte(`{"points":[]}`)}
+	m1 := newTestManager(t, Options{Path: path}, run)
+	j, err := m1.Submit([]byte(`{"models":["alexnet"]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, j)
+	m1.Close()
+
+	// Fake a job a dead process left running, plus a schema-mismatched line
+	// a future version might write.
+	if err := ledger.AppendJob(path, ledger.JobRecord{
+		Schema: ledger.JobSchemaVersion, ID: "jorphan000001", Kind: "sweep",
+		State: string(Running), TimeUTC: time.Now().UTC(), Created: time.Now().UTC(),
+		Total: 9, Done: 4,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ledger.AppendLine(path, map[string]any{"schema": 999, "id": "jfuture"}); err != nil {
+		t.Fatal(err)
+	}
+
+	m2 := newTestManager(t, Options{Path: path}, run)
+	list := m2.List()
+	if len(list) != 2 {
+		t.Fatalf("recovered %d jobs, want 2 (done + interrupted): %+v", len(list), list)
+	}
+	byID := map[string]Status{}
+	for _, st := range list {
+		byID[st.ID] = st
+	}
+	if st := byID[j.ID()]; st.State != Done || !st.Recovered || st.DonePoints != 2 {
+		t.Fatalf("recovered done job = %+v", st)
+	}
+	orphan := byID["jorphan000001"]
+	if orphan.State != Failed || orphan.Error != "interrupted by server restart" {
+		t.Fatalf("orphaned running job = %+v, want failed as interrupted", orphan)
+	}
+	if orphan.DonePoints != 4 || orphan.TotalPoints != 9 {
+		t.Fatalf("orphan progress = %d/%d, want 4/9 from its last line", orphan.DonePoints, orphan.TotalPoints)
+	}
+
+	// Recovery compacted the file: one line per job, no schema-999 line.
+	recs, skipped, err := ledger.ReadJobs(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || skipped != 0 {
+		t.Fatalf("compacted ledger has %d records (%d skipped), want 2 (0)", len(recs), skipped)
+	}
+}
+
+func TestRecoveryKeepsNewestN(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "jobs.jsonl")
+	for i := 0; i < 5; i++ {
+		if err := ledger.AppendJob(path, ledger.JobRecord{
+			Schema: ledger.JobSchemaVersion, ID: fmt.Sprintf("j%012d", i), Kind: "sweep",
+			State: string(Done), TimeUTC: time.Now().UTC(), Created: time.Now().UTC(),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := newTestManager(t, Options{Path: path, Keep: 2}, &fakeRun{n: 1})
+	list := m.List()
+	if len(list) != 2 {
+		t.Fatalf("kept %d jobs, want 2", len(list))
+	}
+	if list[0].ID != "j000000000004" || list[1].ID != "j000000000003" {
+		t.Fatalf("kept wrong jobs: %+v", list)
+	}
+	st, err := os.Stat(path)
+	if err != nil || st.Size() == 0 {
+		t.Fatalf("compacted ledger missing: %v", err)
+	}
+}
+
+func TestJobTraceIDFromCollector(t *testing.T) {
+	c := tracing.NewCollector(8, nil)
+	run := &fakeRun{n: 1, result: []byte("{}")}
+	m := newTestManager(t, Options{Traces: c}, run)
+	j, err := m.Submit([]byte("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, j)
+	id := j.Status().TraceID
+	if id == "" {
+		t.Fatal("job has no trace id despite a collector")
+	}
+	td, ok := c.Trace(id)
+	if !ok || !td.Complete {
+		t.Fatalf("job trace %q not retained/complete: %+v", id, td)
+	}
+	if len(td.Spans) != 1 || td.Spans[0].Name != "job:sweep" {
+		t.Fatalf("job trace spans = %+v, want the job:sweep root", td.Spans)
+	}
+}
+
+func TestStatusSerializesStably(t *testing.T) {
+	run := &fakeRun{n: 1, result: []byte("{}")}
+	m := newTestManager(t, Options{}, run)
+	j, err := m.Submit([]byte("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, j)
+	b, err := json.Marshal(j.Status())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"id"`, `"state":"done"`, `"total_points":1`, `"done_points":1`} {
+		if !strings.Contains(string(b), want) {
+			t.Fatalf("status JSON missing %s: %s", want, b)
+		}
+	}
+}

@@ -41,6 +41,7 @@ import (
 	"spacx/internal/exp/engine"
 	"spacx/internal/network"
 	"spacx/internal/obs"
+	"spacx/internal/obs/tracing"
 	"spacx/internal/sim"
 )
 
@@ -80,6 +81,10 @@ type Options struct {
 	// Progress optionally tracks served points as the "serve" phase of the
 	// live /progress endpoint.
 	Progress *engine.Progress
+	// Traces, when non-nil, gives every /v1 request a trace: the response
+	// carries an X-Spacx-Trace header and the span tree (queue wait, cache
+	// lookup, engine compute, simulator run) lands on /traces/{id}.
+	Traces *tracing.Collector
 }
 
 func (o Options) withDefaults() Options {
@@ -142,7 +147,9 @@ type Service struct {
 type job struct {
 	q         query
 	f         *flight
-	delivered bool // set by the batch worker; read after the batch barrier
+	ctx       context.Context // the admitting request's context: carries its trace
+	qspan     *tracing.Span   // open queue-wait span, ended when a batch picks the job up
+	delivered bool            // set by the batch worker; read after the batch barrier
 }
 
 // New builds a stopped service; call Start before serving requests.
@@ -197,7 +204,9 @@ func (s *Service) CacheLen() int { return s.cache.len() }
 // in-flight identical computation, or by enqueueing a new job and waiting.
 // src reports how the bytes were obtained: "hit", "coalesced", or "miss".
 func (s *Service) resolve(ctx context.Context, q query) (body []byte, src string, err error) {
+	_, csp := tracing.StartSpan(ctx, "cache:lookup")
 	body, f, leader := s.cache.lookup(q.key)
+	csp.End()
 	if body != nil {
 		s.rec.Count("spacx_serve_cache_hits_total", 1)
 		return body, "hit", nil
@@ -208,7 +217,11 @@ func (s *Service) resolve(ctx context.Context, q query) (body []byte, src string
 			s.cache.complete(q.key, f, nil, errDraining)
 			return nil, "", errDraining
 		}
-		j := &job{q: q, f: f}
+		// The queue-wait span is ended by whichever scheduler goroutine
+		// picks the job up (or fails it), attributing admission latency to
+		// this request's trace even though another goroutine measures it.
+		jctx, qsp := tracing.StartSpan(ctx, "queue:wait")
+		j := &job{q: q, f: f, ctx: jctx, qspan: qsp}
 		select {
 		case s.queue <- j:
 			s.rec.Gauge("spacx_serve_queue_depth", float64(len(s.queue)))
@@ -216,12 +229,19 @@ func (s *Service) resolve(ctx context.Context, q query) (body []byte, src string
 			// Bounded backpressure: reject now rather than queue without
 			// limit. The flight is failed so any coalesced waiters that
 			// joined in the meantime are released with the same answer.
+			qsp.End()
 			s.cache.complete(q.key, f, nil, errQueueFull)
 			s.rec.Count("spacx_serve_queue_rejected_total", 1)
 			return nil, "", errQueueFull
 		}
 	} else {
 		s.rec.Count("spacx_serve_coalesced_total", 1)
+	}
+	if !leader {
+		// A coalesced waiter's trace shows the join as one span; the engine
+		// compute itself belongs to the leader's trace.
+		_, wsp := tracing.StartSpan(ctx, "flight:wait")
+		defer wsp.End()
 	}
 	select {
 	case <-f.done:
@@ -306,13 +326,17 @@ func (s *Service) runBatch(batch []*job) {
 	s.rec.Gauge("spacx_serve_queue_depth", float64(len(s.queue)))
 	_ = engine.ForEachPhase(s.ctx, s.phase, s.opts.Workers, len(batch), func(i int) error {
 		j := batch[i]
-		body, err := s.execute(j.q)
+		j.qspan.End()
+		ectx, esp := tracing.StartSpan(j.ctx, "engine:compute")
+		body, err := s.execute(ectx, j.q)
+		esp.End()
 		j.delivered = true
 		s.finish(j, body, err)
 		return nil
 	})
 	for _, j := range batch {
 		if !j.delivered {
+			j.qspan.End()
 			s.finish(j, nil, context.Cause(s.ctx))
 		}
 	}
@@ -324,6 +348,7 @@ func (s *Service) failQueued(err error) {
 	for {
 		select {
 		case j := <-s.queue:
+			j.qspan.End()
 			s.finish(j, nil, err)
 		default:
 			return
@@ -341,10 +366,12 @@ func (s *Service) finish(j *job, body []byte, err error) {
 }
 
 // execute runs one simulation through the memoized layer runner and encodes
-// the response body.
-func (s *Service) execute(q query) ([]byte, error) {
+// the response body. ctx carries the admitting request's trace into the
+// simulator (sim:model span); cancellation is not consulted here — an
+// admitted job always runs to completion so its result lands in the cache.
+func (s *Service) execute(ctx context.Context, q query) ([]byte, error) {
 	stop := s.rec.Time("spacx_serve_sim_seconds")
-	res, err := q.req.Run(s.runLayer)
+	res, err := q.req.RunCtx(ctx, s.runLayer)
 	stop()
 	s.rec.Count("spacx_serve_engine_runs_total", 1)
 	if err != nil {

@@ -1,0 +1,208 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"spacx/internal/exp/engine"
+	"spacx/internal/obs"
+	"spacx/internal/obs/tracing"
+)
+
+// tracedService builds a started service wired to a trace collector.
+func tracedService(t *testing.T, opts Options) (*tracing.Collector, *http.ServeMux) {
+	t.Helper()
+	reg := obs.NewRegistry(nil)
+	traces := tracing.NewCollector(32, reg)
+	opts.Recorder = reg
+	opts.Traces = traces
+	s := New(opts)
+	s.Start(context.Background())
+	t.Cleanup(s.Close)
+	mux := http.NewServeMux()
+	s.Routes(mux)
+	return traces, mux
+}
+
+// spanNames flattens a span tree into its name set.
+func spanNames(spans []tracing.SpanData, into map[string]int) map[string]int {
+	if into == nil {
+		into = map[string]int{}
+	}
+	for _, s := range spans {
+		into[s.Name]++
+		spanNames(s.Children, into)
+	}
+	return into
+}
+
+func TestEveryResponseCarriesTraceHeaderWithLayeredSpans(t *testing.T) {
+	traces, mux := tracedService(t, Options{Workers: 2})
+
+	first := doReq(mux, http.MethodPost, "/v1/simulate", alexOnSpacx)
+	if first.Code != http.StatusOK {
+		t.Fatalf("simulate = %d: %s", first.Code, first.Body)
+	}
+	id := first.Header().Get("X-Spacx-Trace")
+	if id == "" {
+		t.Fatal("miss response has no X-Spacx-Trace header")
+	}
+	td, ok := traces.Trace(id)
+	if !ok || !td.Complete {
+		t.Fatalf("trace %q not retained complete: %+v", id, td)
+	}
+	if len(td.Spans) != 1 || td.Spans[0].Name != "serve:simulate" {
+		t.Fatalf("trace root = %+v, want one serve:simulate span", td.Spans)
+	}
+	names := spanNames(td.Spans, nil)
+	// The cache-miss path must separate its layers: cache lookup, queue
+	// wait, engine compute, and the simulator run inside it.
+	for _, want := range []string{"serve:simulate", "cache:lookup", "queue:wait", "engine:compute", "sim:model"} {
+		if names[want] == 0 {
+			t.Errorf("miss trace lacks span %q (have %v)", want, names)
+		}
+	}
+
+	// The cached repeat gets its own fresh trace that never reaches the
+	// queue or the engine.
+	second := doReq(mux, http.MethodPost, "/v1/simulate", alexOnSpacx)
+	id2 := second.Header().Get("X-Spacx-Trace")
+	if id2 == "" || id2 == id {
+		t.Fatalf("hit trace id = %q (miss was %q), want a distinct id", id2, id)
+	}
+	td2, _ := traces.Trace(id2)
+	names2 := spanNames(td2.Spans, nil)
+	if names2["cache:lookup"] == 0 {
+		t.Errorf("hit trace lacks cache:lookup: %v", names2)
+	}
+	for _, absent := range []string{"queue:wait", "engine:compute"} {
+		if names2[absent] != 0 {
+			t.Errorf("hit trace unexpectedly has %q: %v", absent, names2)
+		}
+	}
+
+	// Catalog GETs are traced too.
+	models := doReq(mux, http.MethodGet, "/v1/models", "")
+	if models.Header().Get("X-Spacx-Trace") == "" {
+		t.Error("/v1/models response has no X-Spacx-Trace header")
+	}
+}
+
+func TestUntracedServiceStillServes(t *testing.T) {
+	_, _, mux := newService(t, Options{Workers: 2}) // no collector wired
+	rr := doReq(mux, http.MethodPost, "/v1/simulate", alexOnSpacx)
+	if rr.Code != http.StatusOK {
+		t.Fatalf("simulate without tracing = %d: %s", rr.Code, rr.Body)
+	}
+	if id := rr.Header().Get("X-Spacx-Trace"); id != "" {
+		t.Fatalf("untraced response has header %q, want none", id)
+	}
+}
+
+func TestAsyncSweepRunMatchesSyncSweep(t *testing.T) {
+	reg := obs.NewRegistry(nil)
+	s := New(Options{Workers: 2, Recorder: reg})
+	s.Start(context.Background())
+	t.Cleanup(s.Close)
+	mux := http.NewServeMux()
+	s.Routes(mux)
+
+	body := `{"models": ["alexnet"], "accels": ["spacx", "simba"], "batches": [1, 4]}`
+	sync := doReq(mux, http.MethodPost, "/v1/sweep", body)
+	if sync.Code != http.StatusOK {
+		t.Fatalf("sync sweep = %d: %s", sync.Code, sync.Body)
+	}
+
+	run, err := s.PrepareSweep([]byte(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Len() != 4 {
+		t.Fatalf("run.Len() = %d, want 4", run.Len())
+	}
+	prog := engine.NewProgress()
+	result, failed, err := run.Run(context.Background(), prog.Phase("points"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failed != 0 {
+		t.Fatalf("async sweep failed points = %d", failed)
+	}
+	if !bytes.Equal(bytes.TrimSpace(result), bytes.TrimSpace(sync.Body.Bytes())) {
+		t.Fatalf("async result differs from sync sweep:\n%s\nvs\n%s", result, sync.Body)
+	}
+	st := prog.Status()
+	if st.Done != 4 || st.Total != 4 {
+		t.Fatalf("progress = %d/%d, want 4/4", st.Done, st.Total)
+	}
+}
+
+func TestPrepareSweepValidation(t *testing.T) {
+	reg := obs.NewRegistry(nil)
+	s := New(Options{Workers: 1, Recorder: reg, MaxSweepPoints: 2})
+	s.Start(context.Background())
+	t.Cleanup(s.Close)
+
+	cases := []struct{ name, body string }{
+		{"not json", "nope"},
+		{"unknown field", `{"models": ["alexnet"], "accels": ["spacx"], "bogus": 1}`},
+		{"trailing data", `{"models": ["alexnet"], "accels": ["spacx"]} extra`},
+		{"missing accels", `{"models": ["alexnet"]}`},
+		{"unknown model", `{"models": ["nope"], "accels": ["spacx"]}`},
+		{"over point cap", `{"models": ["alexnet"], "accels": ["spacx"], "batches": [1, 2, 4]}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := s.PrepareSweep([]byte(tc.body)); err == nil {
+				t.Fatalf("PrepareSweep accepted %q", tc.body)
+			}
+		})
+	}
+}
+
+func TestAsyncSweepRunCancelled(t *testing.T) {
+	reg := obs.NewRegistry(nil)
+	s := New(Options{Workers: 1, Recorder: reg})
+	s.Start(context.Background())
+	t.Cleanup(s.Close)
+
+	run, err := s.PrepareSweep([]byte(`{"models": ["alexnet"], "accels": ["spacx"]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // cancelled before the first point
+	prog := engine.NewProgress()
+	if _, _, err := run.Run(ctx, prog.Phase("points")); err == nil {
+		t.Fatal("cancelled run must report an error")
+	}
+}
+
+// Guard the jobs wiring shape: the result body an async run produces decodes
+// as the same SweepResponse the sync endpoint documents.
+func TestAsyncResultDecodesAsSweepResponse(t *testing.T) {
+	reg := obs.NewRegistry(nil)
+	s := New(Options{Workers: 2, Recorder: reg})
+	s.Start(context.Background())
+	t.Cleanup(s.Close)
+
+	run, err := s.PrepareSweep([]byte(`{"models": ["alexnet"], "accels": ["spacx"]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := engine.NewProgress()
+	result, _, err := run.Run(context.Background(), prog.Phase("points"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var resp SweepResponse
+	if err := json.Unmarshal(result, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Points) != 1 || resp.Points[0].Error != "" || len(resp.Points[0].Result) == 0 {
+		t.Fatalf("async response = %+v", resp)
+	}
+}

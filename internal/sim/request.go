@@ -1,10 +1,12 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"spacx/internal/dnn"
 	"spacx/internal/obs"
+	"spacx/internal/obs/tracing"
 )
 
 // Request bundles the parameters of one simulation query — accelerator,
@@ -49,6 +51,17 @@ func (r Request) Run(run LayerRunner) (ModelResult, error) {
 		return ModelResult{}, err
 	}
 	return RunVia(r.Accel, r.batched(), r.Mode, run)
+}
+
+// RunCtx is Run under a request-scoped trace: when ctx carries a trace (see
+// internal/obs/tracing) the whole model evaluation is wrapped in a
+// "sim:model" span, so the simulator's own compute time is attributable
+// against the queue wait and cache lookups that preceded it. An untraced
+// context costs one context value lookup.
+func (r Request) RunCtx(ctx context.Context, run LayerRunner) (ModelResult, error) {
+	_, sp := tracing.StartSpan(ctx, "sim:model")
+	defer sp.End()
+	return r.Run(run)
 }
 
 // RunObserved is Run with observability: progress logs flow into rec, the

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # End-to-end smoke of spacx-serve under the race detector: concurrent mixed
 # /v1 requests with heavy duplication (so the response cache and
-# singleflight engage), metric assertions, then a SIGTERM drain that must
-# flip /readyz to 503 and exit cleanly within the linger window.
+# singleflight engage), metric assertions, an async job followed over SSE to
+# completion with its trace asserted on /traces/{id}, a kill/restart cycle
+# that must resurrect the job list from the ledger, then a SIGTERM drain
+# that must flip /readyz to 503 and exit cleanly within the linger window.
 #
 # Invoked by `make api-smoke` and the CI workflow; run from the repo root.
 set -euo pipefail
@@ -15,7 +17,8 @@ go build -race -o "$BIN" ./cmd/spacx-serve
 rm -rf "$OUT"
 mkdir -p "$OUT"
 
-"$BIN" -http "$ADDR" -j 4 -queue 128 -http-linger 5s 2>"$OUT/serve.log" &
+LEDGER="$OUT/jobs.jsonl"
+"$BIN" -http "$ADDR" -j 4 -queue 128 -http-linger 5s -jobs-ledger "$LEDGER" 2>"$OUT/serve.log" &
 server=$!
 trap 'kill -9 "$server" 2>/dev/null || true' EXIT
 
@@ -73,6 +76,55 @@ hits=$(awk '$1 == "spacx_serve_cache_hits_total" {print $2}' "$OUT/metrics.prom"
 awk -v h="${hits:-0}" 'BEGIN { if (h + 0 <= 0) { print "no cache hits recorded"; exit 1 } }'
 runs=$(awk '$1 == "spacx_serve_engine_runs_total" {print $2}' "$OUT/metrics.prom")
 awk -v r="${runs:-0}" -v n="$n" 'BEGIN { if (r + 0 <= 0 || r + 0 >= n) { printf "engine runs %s out of bounds (0, %d)\n", r, n; exit 1 } }'
+
+# Every /v1 response carries a trace id whose span tree is retrievable.
+trace=$(curl -sf -D - -o /dev/null -X POST -d '{"model": "alexnet", "accel": "spacx"}' \
+  "http://$ADDR/v1/simulate" | awk 'tolower($1) == "x-spacx-trace:" {print $2}' | tr -d '\r')
+test -n "$trace" || { echo "no X-Spacx-Trace header on /v1/simulate"; exit 1; }
+curl -sf "http://$ADDR/traces/$trace" > "$OUT/trace.json"
+grep -q '"serve:simulate"' "$OUT/trace.json" || { echo "trace $trace has no serve:simulate span"; exit 1; }
+grep -q '"cache:lookup"' "$OUT/trace.json" || { echo "trace $trace has no cache:lookup span"; exit 1; }
+
+# Async job: submit a sweep, follow its SSE stream to the terminal event,
+# then fetch the finished result.
+job=$(curl -sf -X POST -d '{"models": ["alexnet"], "accels": ["spacx", "simba"]}' \
+  "http://$ADDR/v1/jobs" | python3 -c 'import json, sys; print(json.load(sys.stdin)["id"])')
+test -n "$job" || { echo "job submission returned no id"; exit 1; }
+curl -sf -N --max-time 30 "http://$ADDR/v1/jobs/$job/events" > "$OUT/events.sse" || true
+grep -q '^event: progress$' "$OUT/events.sse" || { echo "SSE stream had no progress event"; cat "$OUT/events.sse"; exit 1; }
+grep -q '^event: done$' "$OUT/events.sse" || { echo "SSE stream never reached done"; cat "$OUT/events.sse"; exit 1; }
+curl -sf "http://$ADDR/v1/jobs/$job" > "$OUT/job.json"
+python3 - "$OUT/job.json" <<'PY'
+import json, sys
+j = json.load(open(sys.argv[1]))
+assert j["state"] == "done", j["state"]
+assert j["done_points"] == j["total_points"] == 2, (j["done_points"], j["total_points"])
+assert j["trace_id"], "job has no trace id"
+assert j["result"]["points"], "done job has no result points"
+PY
+jobtrace=$(python3 -c 'import json, sys; print(json.load(open(sys.argv[1]))["trace_id"])' "$OUT/job.json")
+curl -sf "http://$ADDR/traces/$jobtrace" | grep -q '"job:sweep"' \
+  || { echo "job trace $jobtrace has no job:sweep span"; exit 1; }
+
+# Kill the server outright and restart it on the same ledger: the finished
+# job must still be listed (recovered from its newest ledger line).
+kill -9 "$server" 2>/dev/null || true
+wait "$server" 2>/dev/null || true
+"$BIN" -http "$ADDR" -j 4 -queue 128 -http-linger 5s -jobs-ledger "$LEDGER" 2>>"$OUT/serve.log" &
+server=$!
+trap 'kill -9 "$server" 2>/dev/null || true' EXIT
+for _ in $(seq 1 100); do
+  curl -sf "http://$ADDR/healthz" >/dev/null && break
+  sleep 0.1
+done
+curl -sf "http://$ADDR/v1/jobs" > "$OUT/jobs-after-restart.json"
+python3 - "$OUT/jobs-after-restart.json" "$job" <<'PY'
+import json, sys
+jobs = json.load(open(sys.argv[1]))
+match = [j for j in jobs if j["id"] == sys.argv[2]]
+assert match, f"job {sys.argv[2]} missing after restart: {jobs}"
+assert match[0]["state"] == "done" and match[0]["recovered"], match[0]
+PY
 
 # SIGTERM: readiness flips to 503 while the server drains, a final scrape
 # releases the linger, and the process exits 0 well inside the window.
