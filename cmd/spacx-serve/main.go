@@ -20,6 +20,8 @@
 //	GET    /v1/jobs/{id}/events SSE progress stream (points done, rate, ETA)
 //	GET    /v1/models           servable model catalog
 //	GET    /v1/accelerators     servable accelerator catalog
+//	POST   /fabric/v1/...       worker-fleet wire protocol (with -fabric)
+//	GET    /fabric/v1/status    fleet + in-flight sweep snapshot
 //	GET    /metrics             service + simulator metrics (Prometheus text)
 //	GET    /traces, /traces/{id} request/job span trees (X-Spacx-Trace ids)
 //	GET    /version             build info
@@ -48,6 +50,7 @@ import (
 	"spacx/internal/obs/server"
 	"spacx/internal/obs/tracing"
 	"spacx/internal/serve"
+	"spacx/internal/serve/fabric"
 	"spacx/internal/serve/jobs"
 )
 
@@ -66,8 +69,14 @@ type options struct {
 	jobsKeep   int
 	maxJobs    int
 	traceKeep  int
-	verbose    bool
-	version    bool
+
+	fabricOn    bool
+	leaseTTL    time.Duration
+	leasePoints int
+	workerTTL   time.Duration
+
+	verbose bool
+	version bool
 }
 
 func main() {
@@ -86,6 +95,10 @@ func main() {
 	flag.IntVar(&o.jobsKeep, "jobs-keep", 64, "terminal jobs retained in memory and in the jobs ledger")
 	flag.IntVar(&o.maxJobs, "max-jobs", 8, "concurrently live async jobs; beyond it submissions get 429")
 	flag.IntVar(&o.traceKeep, "traces", 256, "recent request/job traces retained for /traces")
+	flag.BoolVar(&o.fabricOn, "fabric", false, "coordinate a spacx-worker fleet on /fabric/v1/; async sweeps fan out when workers are attached")
+	flag.DurationVar(&o.leaseTTL, "lease-ttl", 15*time.Second, "how long a worker may hold a leased point batch before it is re-leased")
+	flag.IntVar(&o.leasePoints, "lease-points", 8, "most sweep points handed out per lease")
+	flag.DurationVar(&o.workerTTL, "worker-ttl", 0, "expire workers silent this long (0 = 4 x heartbeat)")
 	flag.BoolVar(&o.verbose, "v", false, "log structured request progress to stderr")
 	flag.BoolVar(&o.version, "version", false, "print build info and exit")
 	flag.Parse()
@@ -137,6 +150,17 @@ func validate(o options) error {
 	if o.traceKeep < 1 {
 		return fmt.Errorf("-traces must be >= 1, got %d", o.traceKeep)
 	}
+	if o.fabricOn {
+		if o.leaseTTL <= 0 {
+			return fmt.Errorf("-lease-ttl must be > 0, got %v", o.leaseTTL)
+		}
+		if o.leasePoints < 1 {
+			return fmt.Errorf("-lease-points must be >= 1, got %d", o.leasePoints)
+		}
+		if o.workerTTL < 0 {
+			return fmt.Errorf("-worker-ttl must be >= 0, got %v", o.workerTTL)
+		}
+	}
 	return nil
 }
 
@@ -154,6 +178,19 @@ func run(o options) error {
 	hardCtx, hardCancel := context.WithCancel(context.Background())
 	defer hardCancel()
 
+	// The coordinator (when enabled) exists before the service so sweeps can
+	// fan out from the first request; with no workers attached the service
+	// quietly runs sweeps locally.
+	var coord *fabric.Coordinator
+	if o.fabricOn {
+		coord = fabric.New(fabric.Options{
+			LeaseTTL:    o.leaseTTL,
+			LeasePoints: o.leasePoints,
+			WorkerTTL:   o.workerTTL,
+			Recorder:    reg,
+		})
+	}
+
 	svc := serve.New(serve.Options{
 		Workers:         o.jobs,
 		QueueDepth:      o.queue,
@@ -166,6 +203,7 @@ func run(o options) error {
 		Recorder:        reg,
 		Progress:        prog,
 		Traces:          traces,
+		Fabric:          coord,
 	})
 	svc.Start(hardCtx)
 
@@ -194,6 +232,9 @@ func run(o options) error {
 		Mount: func(mux *http.ServeMux) {
 			svc.Routes(mux)
 			mgr.Routes(mux, svc.Instrument)
+			if coord != nil {
+				coord.Routes(mux, fabric.Instrumenter(svc.Instrument))
+			}
 		},
 	})
 	if err != nil {
@@ -216,7 +257,13 @@ func run(o options) error {
 		fmt.Fprintf(os.Stderr, "spacx-serve: received %s, abandoning queued work\n", s)
 		hardCancel()
 	}()
+	// The coordinator closes between the jobs and the service: jobs first so
+	// in-flight distributed sweeps settle (or are recorded cancelled), then
+	// the fleet is told to drain, then local admission shuts.
 	mgr.Close()
+	if coord != nil {
+		coord.Close()
+	}
 	svc.Close()
 
 	// Keep /metrics up for a final scrape, then exit.

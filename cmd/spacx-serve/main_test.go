@@ -42,6 +42,14 @@ func TestValidateOptions(t *testing.T) {
 		{"zero jobs keep", func(o *options) { o.jobsKeep = 0 }},
 		{"zero max jobs", func(o *options) { o.maxJobs = 0 }},
 		{"zero trace keep", func(o *options) { o.traceKeep = 0 }},
+		{"fabric zero lease ttl", func(o *options) { o.fabricOn = true; o.leasePoints = 8 }},
+		{"fabric zero lease points", func(o *options) { o.fabricOn = true; o.leaseTTL = time.Second }},
+		{"fabric negative worker ttl", func(o *options) {
+			o.fabricOn = true
+			o.leaseTTL = time.Second
+			o.leasePoints = 8
+			o.workerTTL = -time.Second
+		}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

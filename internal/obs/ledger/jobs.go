@@ -92,8 +92,10 @@ func ReadJobs(path string) (recs []JobRecord, skipped int, err error) {
 
 // WriteJobs replaces the job ledger at path with exactly recs, one line per
 // record, via a same-directory temp file and atomic rename — the compaction
-// half of job garbage collection.
+// half of job garbage collection. The rewrite holds the path's mutating
+// lock, serializing it against concurrent appends.
 func WriteJobs(path string, recs []JobRecord) error {
+	defer lockPath(path)()
 	tmp, err := os.CreateTemp(dirOf(path), ".jobs-*")
 	if err != nil {
 		return fmt.Errorf("ledger: compact %s: %w", path, err)

@@ -139,11 +139,15 @@ func Append(path string, rec Record) error {
 
 // AppendLine writes any schema-carrying record as one JSON line at the end
 // of path — the shared primitive behind the run ledger and the job ledger.
+// Appends are serialized against in-process Prune/WriteJobs rewrites of the
+// same path, so a concurrent retention pass can never drop a line landing
+// mid-rewrite.
 func AppendLine(path string, rec any) error {
 	b, err := json.Marshal(rec)
 	if err != nil {
 		return fmt.Errorf("ledger: encode record: %w", err)
 	}
+	defer lockPath(path)()
 	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
 	if err != nil {
 		return fmt.Errorf("ledger: open %s: %w", path, err)

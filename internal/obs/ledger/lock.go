@@ -1,0 +1,25 @@
+package ledger
+
+import "sync"
+
+// pathLocks serializes the package's mutating operations per ledger path.
+// AppendLine is a single O_APPEND write and atomic on its own, but Prune and
+// WriteJobs rewrite the file via read → temp file → rename: a line appended
+// between the read and the rename would be silently lost with the renamed-over
+// file. Holding the path's lock across both the appends and the whole
+// rewrite window closes that race (see TestAppendPruneConcurrent).
+//
+// Paths are compared as given — callers within one process use a consistent
+// spelling (the jobs manager passes the same Path everywhere), so no
+// canonicalization is attempted. Cross-process appends remain line-atomic
+// via O_APPEND but are not protected against a concurrent in-process prune;
+// the CLIs prune only their own ledgers at startup, where that cannot arise.
+var pathLocks sync.Map // path (string) -> *sync.Mutex
+
+// lockPath takes the mutating lock for path and returns its release.
+func lockPath(path string) (unlock func()) {
+	m, _ := pathLocks.LoadOrStore(path, &sync.Mutex{})
+	mu := m.(*sync.Mutex)
+	mu.Lock()
+	return mu.Unlock
+}

@@ -16,10 +16,14 @@ import (
 // Unparsable lines are likewise dropped and counted. The file is rewritten
 // via a same-directory temp file and atomic rename; a missing file or
 // keep <= 0 is a no-op.
+// The whole read → temp → rename window holds the path's mutating lock, so
+// an in-process append landing mid-prune survives instead of being renamed
+// over.
 func Prune(path string, want, keep int) (kept, dropped int, err error) {
 	if keep <= 0 {
 		return 0, 0, nil
 	}
+	defer lockPath(path)()
 	f, err := os.Open(path)
 	if os.IsNotExist(err) {
 		return 0, 0, nil

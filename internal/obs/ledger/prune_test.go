@@ -1,8 +1,10 @@
 package ledger
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
 	"time"
 )
@@ -123,5 +125,75 @@ func TestJobRecordsRoundTripNewestLineWins(t *testing.T) {
 	}
 	if skipped != 1 {
 		t.Fatalf("skipped = %d, want 1 schema-mismatched line", skipped)
+	}
+}
+
+// TestAppendPruneConcurrent hammers one ledger path with concurrent appends
+// and prunes (run under -race in CI via `make fabric-race`). Every appender
+// interleaves real records with schema-mismatched chaff so each prune pass
+// actually rewrites the file; without the per-path lock in lockPath, an
+// append landing inside a prune's read → temp → rename window is renamed
+// over and silently lost.
+func TestAppendPruneConcurrent(t *testing.T) {
+	path := prunePath(t)
+	const writers, perWriter = 4, 50
+
+	stop := make(chan struct{})
+	var pruner sync.WaitGroup
+	pruner.Add(1)
+	go func() {
+		defer pruner.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, _, err := Prune(path, SchemaVersion, 1<<30); err != nil {
+				t.Errorf("concurrent prune: %v", err)
+				return
+			}
+		}
+	}()
+
+	var appenders sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		appenders.Add(1)
+		go func(w int) {
+			defer appenders.Done()
+			for i := 0; i < perWriter; i++ {
+				if err := Append(path, New("spacx-report", fmt.Sprintf("t%d-%d", w, i), 1)); err != nil {
+					t.Errorf("concurrent append: %v", err)
+					return
+				}
+				// Prunable chaff: forces the racing prune to rewrite.
+				if err := AppendLine(path, map[string]int{"schema": -1}); err != nil {
+					t.Errorf("append chaff: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	appenders.Wait()
+	close(stop)
+	pruner.Wait()
+
+	if _, _, err := Prune(path, SchemaVersion, 1<<30); err != nil {
+		t.Fatalf("final prune: %v", err)
+	}
+	recs, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != writers*perWriter {
+		t.Fatalf("%d records survived, want %d — appends lost to a racing prune rewrite",
+			len(recs), writers*perWriter)
+	}
+	targets := map[string]bool{}
+	for _, r := range recs {
+		if targets[r.Target] {
+			t.Fatalf("record %q appears twice", r.Target)
+		}
+		targets[r.Target] = true
 	}
 }

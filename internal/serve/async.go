@@ -45,53 +45,84 @@ func (s *Service) PrepareSweep(body []byte) (*SweepRun, error) {
 // Len is the sweep's point count.
 func (r *SweepRun) Len() int { return len(r.points) }
 
-// Run executes every grid point through the service's full resolve path —
-// response cache, singleflight, admission queue, micro-batching — so an
-// async sweep warms the same caches interactive queries hit, and each
-// point's queue wait and compute time land as spans on the job's trace
-// (via ctx). Per-point simulation failures land in the point's error field
-// and count toward failed; the run itself only fails when ctx is cancelled
-// or the server is draining. Queue-full rejections are retried with the
-// service's Retry-After backoff rather than failing the point: a job is
-// background work, deliberately last in line behind interactive traffic.
-//
-// ph receives per-point progress accounting (submitted/started/done), which
-// is what the SSE stream reports. The result is the indented JSON encoding
-// of the same SweepResponse a synchronous /v1/sweep would have returned.
-func (r *SweepRun) Run(ctx context.Context, ph *engine.Phase) (result []byte, failed int, err error) {
-	workers := r.svc.opts.MaxBatch
-	runErr := engine.ForEachPhase(ctx, ph, workers, len(r.queries), func(i int) error {
-		q := r.queries[i]
-		if err := q.checkLossBudget(); err != nil {
-			r.points[i].Error = err.Error()
-			return nil
-		}
-		for {
-			body, _, err := r.svc.resolve(ctx, q)
-			switch {
-			case err == nil:
-				r.points[i].Result = json.RawMessage(body)
-				return nil
-			case errors.Is(err, errQueueFull):
-				select {
-				case <-time.After(r.svc.opts.RetryAfter):
-					continue
-				case <-ctx.Done():
-					return ctx.Err()
-				}
-			case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
-				return err
-			case errors.Is(err, errDraining):
-				return err
-			default:
-				r.points[i].Error = err.Error()
-				return nil
+// resolvePoint answers one sweep point through the service's full resolve
+// path — loss budget, response cache, singleflight, admission queue,
+// micro-batching. Queue-full rejections are retried with the Retry-After
+// backoff: background sweep work is deliberately last in line behind
+// interactive traffic. The three outcomes are disjoint: a body (success), a
+// deterministic point-level error string (the same string every replica of
+// this point would produce), or an abort error (cancellation or drain —
+// the point was not answered and the sweep must stop).
+func (s *Service) resolvePoint(ctx context.Context, q query) (body []byte, pointErr string, err error) {
+	if err := q.checkLossBudget(); err != nil {
+		return nil, err.Error(), nil
+	}
+	for {
+		body, _, err := s.resolve(ctx, q)
+		switch {
+		case err == nil:
+			return body, "", nil
+		case errors.Is(err, errQueueFull):
+			select {
+			case <-time.After(s.opts.RetryAfter):
+				continue
+			case <-ctx.Done():
+				return nil, "", ctx.Err()
 			}
+		case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+			return nil, "", err
+		case errors.Is(err, errDraining):
+			return nil, "", err
+		default:
+			return nil, err.Error(), nil
 		}
+	}
+}
+
+// Run executes every grid point and encodes the indented SweepResponse a
+// synchronous /v1/sweep would have returned. With a fabric coordinator
+// configured and workers attached the point space is sharded across the
+// fleet (see runFabric); otherwise every point goes through the local
+// resolve path. Both paths fill the same index-addressed points slice from
+// the same deterministic per-point bytes, so the result is byte-identical
+// either way.
+//
+// Per-point simulation failures land in the point's error field and count
+// toward failed; the run itself only fails when ctx is cancelled or the
+// server is draining. ph receives per-point progress accounting
+// (submitted/started/done), which is what the SSE stream reports.
+func (r *SweepRun) Run(ctx context.Context, ph *engine.Phase) (result []byte, failed int, err error) {
+	if c := r.svc.opts.Fabric; c != nil && c.Workers() > 0 {
+		return r.runFabric(ctx, ph, c)
+	}
+	runErr := engine.ForEachPhase(ctx, ph, r.svc.opts.MaxBatch, len(r.queries), func(i int) error {
+		return r.resolveInto(ctx, i)
 	})
 	if runErr != nil {
 		return nil, 0, runErr
 	}
+	return r.encodeResult()
+}
+
+// resolveInto answers point i into the points slice; a non-nil error aborts
+// the sweep (cancellation or drain), anything deterministic lands in the
+// point itself.
+func (r *SweepRun) resolveInto(ctx context.Context, i int) error {
+	body, pointErr, err := r.svc.resolvePoint(ctx, r.queries[i])
+	if err != nil {
+		return err
+	}
+	if pointErr != "" {
+		r.points[i].Error = pointErr
+	} else {
+		r.points[i].Result = json.RawMessage(body)
+	}
+	return nil
+}
+
+// encodeResult renders the terminal sweep artifact and its failed count.
+func (r *SweepRun) encodeResult() ([]byte, int, error) {
+	failed := 0
 	for i := range r.points {
 		if r.points[i].Error != "" {
 			failed++

@@ -1,0 +1,713 @@
+package fabric
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"spacx/internal/buildinfo"
+	"spacx/internal/exp/engine"
+	"spacx/internal/obs"
+	"spacx/internal/obs/tracing"
+)
+
+// Options tunes a Coordinator; every zero field gets a sensible default.
+type Options struct {
+	// LeaseTTL is how long a worker has to upload a leased batch before its
+	// points are re-leased to survivors (<= 0 means 15s).
+	LeaseTTL time.Duration
+	// Heartbeat is the cadence advertised to workers (<= 0 means 3s).
+	Heartbeat time.Duration
+	// WorkerTTL is how long a silent worker is kept before its shard and
+	// leases are redistributed (<= 0 means 4 × Heartbeat).
+	WorkerTTL time.Duration
+	// LeasePoints is the most points handed out per lease (<= 0 means 8).
+	LeasePoints int
+	// MaxWait caps a lease request's long-poll (<= 0 means 10s).
+	MaxWait time.Duration
+	// Replicas is the consistent-hash virtual-node count per worker
+	// (<= 0 means 64).
+	Replicas int
+	// Janitor is the lease/worker expiry scan cadence (<= 0 derives it from
+	// the TTLs, clamped to [25ms, 1s]).
+	Janitor time.Duration
+	// Recorder receives fabric metrics (nil means none).
+	Recorder obs.Recorder
+}
+
+func (o Options) withDefaults() Options {
+	if o.LeaseTTL <= 0 {
+		o.LeaseTTL = 15 * time.Second
+	}
+	if o.Heartbeat <= 0 {
+		o.Heartbeat = 3 * time.Second
+	}
+	if o.WorkerTTL <= 0 {
+		o.WorkerTTL = 4 * o.Heartbeat
+	}
+	if o.LeasePoints <= 0 {
+		o.LeasePoints = 8
+	}
+	if o.MaxWait <= 0 {
+		o.MaxWait = 10 * time.Second
+	}
+	if o.Replicas <= 0 {
+		o.Replicas = 64
+	}
+	if o.Janitor <= 0 {
+		o.Janitor = o.LeaseTTL / 4
+		if o.WorkerTTL < o.LeaseTTL {
+			o.Janitor = o.WorkerTTL / 4
+		}
+		if o.Janitor < 25*time.Millisecond {
+			o.Janitor = 25 * time.Millisecond
+		}
+		if o.Janitor > time.Second {
+			o.Janitor = time.Second
+		}
+	}
+	if o.Recorder == nil {
+		o.Recorder = obs.Nop()
+	}
+	return o
+}
+
+// Sentinel sweep errors. ErrNoWorkers and ErrWorkersLost tell the caller to
+// finish the sweep (or its remainder) locally; both come with whatever
+// outcomes the fleet did deliver.
+var (
+	ErrNoWorkers   = errors.New("fabric: no workers registered")
+	ErrWorkersLost = errors.New("fabric: every worker was lost mid-sweep")
+	ErrClosed      = errors.New("fabric: coordinator is closed")
+)
+
+// errUnknownWorker maps to 404 on the wire; a worker seeing it re-registers
+// (the coordinator restarted, or expired it).
+var errUnknownWorker = errors.New("fabric: unknown worker")
+
+// Coordinator owns the fleet: worker registration and liveness, per-sweep
+// shard queues, lease issue/expiry/requeue, and first-write-wins result
+// merging. One Coordinator serves many concurrent sweeps.
+type Coordinator struct {
+	opts Options
+	rec  obs.Recorder
+
+	mu      sync.Mutex
+	workers map[string]*workerState
+	sweeps  map[string]*sweepState
+	order   []string // live sweep ids, submission order
+	leases  map[string]*lease
+	workSig chan struct{} // closed-and-replaced when work appears
+	closed  bool
+
+	janitorStop chan struct{}
+	janitorDone chan struct{}
+}
+
+type workerState struct {
+	id       string
+	name     string
+	version  string
+	jobs     int
+	lastSeen time.Time
+	leases   map[string]struct{}
+}
+
+// sweepState is one in-flight distributed sweep. All fields are guarded by
+// the coordinator mutex; outcomes is index-addressed so the merge order
+// never depends on upload order.
+type sweepState struct {
+	id        string
+	ctx       context.Context // the submitting job's context: carries its trace
+	points    []Point
+	outcomes  []Outcome
+	started   []bool // phase PointStart fired (once per point, at first lease)
+	done      []bool // outcome recorded; later deliveries are duplicates
+	remaining int
+
+	queues map[string][]int // preferred worker id -> pending point indices
+	orphan []int            // pending indices whose preferred worker vanished
+
+	phase    *engine.Phase
+	failure  error
+	terminal bool
+	finished chan struct{}
+}
+
+type lease struct {
+	id       string
+	sweepID  string
+	workerID string
+	indices  []int
+	expires  time.Time
+	span     *tracing.Span
+}
+
+// SweepResult is what RunSweep hands back: outcomes index-aligned with the
+// submitted points (a zero Outcome means the point was never computed — only
+// possible alongside ErrWorkersLost), plus which points already had their
+// phase PointStart accounted, so a local fallback can keep the progress
+// counters exact.
+type SweepResult struct {
+	Outcomes []Outcome
+	Started  []bool
+}
+
+// New builds a coordinator and starts its expiry janitor; Close stops it.
+func New(opts Options) *Coordinator {
+	opts = opts.withDefaults()
+	c := &Coordinator{
+		opts:        opts,
+		rec:         opts.Recorder,
+		workers:     map[string]*workerState{},
+		sweeps:      map[string]*sweepState{},
+		leases:      map[string]*lease{},
+		workSig:     make(chan struct{}),
+		janitorStop: make(chan struct{}),
+		janitorDone: make(chan struct{}),
+	}
+	go c.janitor()
+	return c
+}
+
+// Close fails every live sweep with ErrClosed, wakes long-polling workers
+// (their next heartbeat sees drain), and stops the janitor. Idempotent.
+func (c *Coordinator) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	for _, sid := range append([]string(nil), c.order...) {
+		if sw := c.sweeps[sid]; sw != nil {
+			c.finishSweepLocked(sw, ErrClosed)
+		}
+	}
+	c.signalWorkLocked()
+	c.mu.Unlock()
+	close(c.janitorStop)
+	<-c.janitorDone
+}
+
+// Workers reports the registered (not yet expired) worker count.
+func (c *Coordinator) Workers() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.workers)
+}
+
+// newID returns a random identifier with the given prefix; process-random so
+// ids never collide across coordinator restarts.
+func newID(prefix string) string {
+	var b [6]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return fmt.Sprintf("%s%012x", prefix, time.Now().UnixNano())
+	}
+	return prefix + hex.EncodeToString(b[:])
+}
+
+// Register adds a worker to the fleet and hands it its identity plus the
+// lease/heartbeat cadences. A build-version mismatch is recorded (and
+// logged) but accepted: the protocol version, not the build stamp, is the
+// compatibility contract.
+func (c *Coordinator) Register(req RegisterRequest) (RegisterResponse, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return RegisterResponse{}, ErrClosed
+	}
+	w := &workerState{
+		id:       newID("w"),
+		name:     req.Name,
+		version:  req.Version,
+		jobs:     req.Jobs,
+		lastSeen: time.Now(),
+		leases:   map[string]struct{}{},
+	}
+	c.workers[w.id] = w
+	if own := buildinfo.Get().String(); req.Version != "" && req.Version != own {
+		c.rec.Count("spacx_fabric_version_mismatch_total", 1)
+		c.rec.Logger().Warn("fabric worker version skew", "worker", w.id, "worker_version", req.Version, "coordinator_version", own)
+	}
+	c.rec.Count("spacx_fabric_registrations_total", 1)
+	c.rec.Gauge("spacx_fabric_workers", float64(len(c.workers)))
+	return RegisterResponse{
+		Proto:        ProtoVersion,
+		WorkerID:     w.id,
+		LeaseTTLSec:  c.opts.LeaseTTL.Seconds(),
+		HeartbeatSec: c.opts.Heartbeat.Seconds(),
+	}, nil
+}
+
+// Heartbeat refreshes a worker's liveness and reconciles leases: any lease
+// id the worker reports that the coordinator no longer holds for it
+// (expired, requeued, sweep cancelled or finished) comes back cancelled so
+// the worker stops computing it.
+func (c *Coordinator) Heartbeat(req HeartbeatRequest) (HeartbeatResponse, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w, ok := c.workers[req.WorkerID]
+	if !ok {
+		return HeartbeatResponse{}, errUnknownWorker
+	}
+	w.lastSeen = time.Now()
+	resp := HeartbeatResponse{Proto: ProtoVersion, Drain: c.closed}
+	for _, lid := range req.Leases {
+		if l, ok := c.leases[lid]; !ok || l.workerID != req.WorkerID {
+			resp.Cancelled = append(resp.Cancelled, lid)
+		}
+	}
+	return resp, nil
+}
+
+// RunSweep shards points across the registered workers and blocks until
+// every point has an outcome, ctx is cancelled, or the fleet is lost.
+// Outcomes are index-addressed, so the caller's merge is deterministic
+// regardless of which worker computed what, in what order.
+//
+// ph (nil-safe) receives PointStart as points are first leased and
+// PointDone as outcomes arrive — the counters the jobs SSE stream reports.
+// The caller owns ph.Begin/End.
+func (c *Coordinator) RunSweep(ctx context.Context, ph *engine.Phase, points []Point) (SweepResult, error) {
+	if len(points) == 0 {
+		return SweepResult{}, nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return SweepResult{}, ErrClosed
+	}
+	ids := c.workerIDsLocked()
+	if len(ids) == 0 {
+		c.mu.Unlock()
+		return SweepResult{}, ErrNoWorkers
+	}
+	sw := &sweepState{
+		id:        newID("s"),
+		ctx:       ctx,
+		points:    points,
+		outcomes:  make([]Outcome, len(points)),
+		started:   make([]bool, len(points)),
+		done:      make([]bool, len(points)),
+		remaining: len(points),
+		queues:    map[string][]int{},
+		phase:     ph,
+		finished:  make(chan struct{}),
+	}
+	r := newRing(ids, c.opts.Replicas)
+	for i, p := range points {
+		owner := r.owner(p.Key)
+		sw.queues[owner] = append(sw.queues[owner], i)
+	}
+	c.sweeps[sw.id] = sw
+	c.order = append(c.order, sw.id)
+	c.signalWorkLocked()
+	c.mu.Unlock()
+	c.rec.Count("spacx_fabric_sweeps_total", 1)
+
+	select {
+	case <-sw.finished:
+	case <-ctx.Done():
+		c.mu.Lock()
+		c.finishSweepLocked(sw, ctx.Err())
+		c.mu.Unlock()
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return SweepResult{Outcomes: sw.outcomes, Started: sw.started}, sw.failure
+}
+
+// workerIDsLocked snapshots the registered worker ids, sorted for
+// reproducible sharding.
+func (c *Coordinator) workerIDsLocked() []string {
+	ids := make([]string, 0, len(c.workers))
+	for id := range c.workers {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// signalWorkLocked wakes every long-polling lease request.
+func (c *Coordinator) signalWorkLocked() {
+	close(c.workSig)
+	c.workSig = make(chan struct{})
+}
+
+// finishSweepLocked moves a sweep to its terminal state exactly once:
+// records the failure (nil for success), releases its leases (their ids
+// come back cancelled on the owning workers' next heartbeat), and wakes the
+// submitting RunSweep.
+func (c *Coordinator) finishSweepLocked(sw *sweepState, failure error) {
+	if sw.terminal {
+		return
+	}
+	sw.terminal = true
+	sw.failure = failure
+	delete(c.sweeps, sw.id)
+	kept := c.order[:0]
+	for _, sid := range c.order {
+		if sid != sw.id {
+			kept = append(kept, sid)
+		}
+	}
+	c.order = kept
+	for lid, l := range c.leases {
+		if l.sweepID != sw.id {
+			continue
+		}
+		l.span.End()
+		if w := c.workers[l.workerID]; w != nil {
+			delete(w.leases, lid)
+		}
+		delete(c.leases, lid)
+	}
+	close(sw.finished)
+}
+
+// Lease answers one pull for work, long-polling up to req.WaitSec (capped
+// by MaxWait) when none is available. A nil response with nil error means
+// no work (the 204 of the wire protocol).
+func (c *Coordinator) Lease(ctx context.Context, req LeaseRequest) (*LeaseResponse, error) {
+	deadline := time.Now().Add(min(time.Duration(req.WaitSec*float64(time.Second)), c.opts.MaxWait))
+	for {
+		resp, sig, err := c.tryLease(req)
+		if err != nil || resp != nil {
+			return resp, err
+		}
+		wait := time.Until(deadline)
+		if wait <= 0 || sig == nil {
+			return nil, nil
+		}
+		t := time.NewTimer(wait)
+		select {
+		case <-sig:
+			t.Stop()
+		case <-t.C:
+			return nil, nil
+		case <-ctx.Done():
+			t.Stop()
+			return nil, nil
+		case <-c.janitorStop:
+			t.Stop()
+			return nil, nil
+		}
+	}
+}
+
+// tryLease attempts one grant; a nil lease with a non-nil signal channel
+// means "no work right now, wait on the signal".
+func (c *Coordinator) tryLease(req LeaseRequest) (*LeaseResponse, chan struct{}, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w, ok := c.workers[req.WorkerID]
+	if !ok {
+		return nil, nil, errUnknownWorker
+	}
+	w.lastSeen = time.Now()
+	if c.closed {
+		return nil, nil, nil
+	}
+	limit := c.opts.LeasePoints
+	if req.MaxPoints > 0 && req.MaxPoints < limit {
+		limit = req.MaxPoints
+	}
+	for _, sid := range c.order {
+		sw := c.sweeps[sid]
+		if sw == nil {
+			continue
+		}
+		idxs := sw.takeLocked(req.WorkerID, limit)
+		if len(idxs) == 0 {
+			continue
+		}
+		l := &lease{
+			id:       newID("l"),
+			sweepID:  sid,
+			workerID: req.WorkerID,
+			indices:  idxs,
+			expires:  time.Now().Add(c.opts.LeaseTTL),
+		}
+		_, l.span = tracing.StartSpan(sw.ctx, "fabric:lease")
+		c.leases[l.id] = l
+		w.leases[l.id] = struct{}{}
+		pts := make([]Point, len(idxs))
+		for k, i := range idxs {
+			pts[k] = sw.points[i]
+			if !sw.started[i] {
+				sw.started[i] = true
+				sw.phase.PointStart()
+			}
+		}
+		c.rec.Count("spacx_fabric_leases_total", 1)
+		c.rec.Observe("spacx_fabric_lease_points", float64(len(pts)))
+		return &LeaseResponse{
+			Proto:   ProtoVersion,
+			LeaseID: l.id,
+			SweepID: sid,
+			TTLSec:  c.opts.LeaseTTL.Seconds(),
+			Points:  pts,
+		}, nil, nil
+	}
+	return nil, c.workSig, nil
+}
+
+// takeLocked pops up to limit pending indices for a worker: its own shard
+// queue first (cache locality), then orphaned points, then — only when both
+// are empty — it steals from the longest other queue so a slow or dead
+// worker never strands the sweep.
+func (sw *sweepState) takeLocked(workerID string, limit int) []int {
+	var out []int
+	out, sw.queues[workerID] = popPending(sw.queues[workerID], sw.done, limit)
+	if len(out) < limit {
+		var more []int
+		more, sw.orphan = popPending(sw.orphan, sw.done, limit-len(out))
+		out = append(out, more...)
+	}
+	if len(out) == 0 {
+		victim := ""
+		for id, q := range sw.queues {
+			if id != workerID && len(q) > len(sw.queues[victim]) {
+				victim = id
+			}
+		}
+		if victim != "" {
+			out, sw.queues[victim] = popPending(sw.queues[victim], sw.done, limit)
+		}
+	}
+	return out
+}
+
+// popPending takes up to limit not-yet-done indices off the front of q,
+// silently dropping indices completed in the meantime (a stale upload can
+// finish a queued point).
+func popPending(q []int, done []bool, limit int) (out, rest []int) {
+	for len(q) > 0 && len(out) < limit {
+		i := q[0]
+		q = q[1:]
+		if done[i] {
+			continue
+		}
+		out = append(out, i)
+	}
+	return out, q
+}
+
+// Upload merges one batch of outcomes, first-write-wins per point: a point
+// already completed counts as a duplicate and changes nothing (compute is
+// deterministic, so either copy is byte-identical anyway — dropping the
+// second keeps the done-count exact). Outcomes from an expired or unknown
+// lease are still accepted for pending points — the work is valid even if
+// the lease died — and flagged Stale.
+func (c *Coordinator) Upload(up ResultUpload) (ResultResponse, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	resp := ResultResponse{Proto: ProtoVersion}
+	if w, ok := c.workers[up.WorkerID]; ok {
+		w.lastSeen = time.Now()
+	}
+	sw, ok := c.sweeps[up.SweepID]
+	if !ok {
+		resp.Cancelled = true
+		return resp, nil
+	}
+	l, leaseLive := c.leases[up.LeaseID]
+	if !leaseLive || l.sweepID != up.SweepID || l.workerID != up.WorkerID {
+		resp.Stale = true
+		leaseLive = false
+		c.rec.Count("spacx_fabric_stale_uploads_total", 1)
+	}
+	for _, o := range up.Outcomes {
+		if o.Index >= len(sw.points) {
+			c.rec.Count("spacx_fabric_invalid_outcomes_total", 1)
+			continue
+		}
+		if sw.done[o.Index] {
+			resp.Duplicates++
+			c.rec.Count("spacx_fabric_duplicate_results_total", 1)
+			continue
+		}
+		sw.done[o.Index] = true
+		sw.outcomes[o.Index] = o
+		sw.remaining--
+		resp.Accepted++
+		if !sw.started[o.Index] {
+			sw.started[o.Index] = true
+			sw.phase.PointStart()
+		}
+		sw.phase.PointDone()
+	}
+	c.rec.Count("spacx_fabric_results_total", float64(resp.Accepted))
+	if leaseLive {
+		l.span.End()
+		if w := c.workers[l.workerID]; w != nil {
+			delete(w.leases, l.id)
+		}
+		delete(c.leases, l.id)
+	}
+	if sw.remaining == 0 {
+		c.finishSweepLocked(sw, nil)
+	}
+	return resp, nil
+}
+
+// janitor periodically expires silent workers and overdue leases, requeues
+// their points, and fails sweeps the whole fleet abandoned.
+func (c *Coordinator) janitor() {
+	defer close(c.janitorDone)
+	t := time.NewTicker(c.opts.Janitor)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			c.expire(time.Now())
+		case <-c.janitorStop:
+			return
+		}
+	}
+}
+
+// expire is one janitor pass at the given instant (split out for tests).
+func (c *Coordinator) expire(now time.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for id, w := range c.workers {
+		if now.Sub(w.lastSeen) <= c.opts.WorkerTTL {
+			continue
+		}
+		delete(c.workers, id)
+		c.rec.Count("spacx_fabric_workers_expired_total", 1)
+		for lid := range w.leases {
+			if l := c.leases[lid]; l != nil {
+				c.expireLeaseLocked(l)
+			}
+		}
+		for _, sw := range c.sweeps {
+			if q := sw.queues[id]; len(q) > 0 {
+				delete(sw.queues, id)
+				c.requeueLocked(sw, q)
+			} else {
+				delete(sw.queues, id)
+			}
+		}
+	}
+	for _, l := range c.leases {
+		if now.After(l.expires) {
+			c.rec.Count("spacx_fabric_leases_expired_total", 1)
+			c.expireLeaseLocked(l)
+		}
+	}
+	if len(c.workers) == 0 {
+		for _, sid := range append([]string(nil), c.order...) {
+			if sw := c.sweeps[sid]; sw != nil && sw.remaining > 0 {
+				c.finishSweepLocked(sw, ErrWorkersLost)
+			}
+		}
+	}
+	c.rec.Gauge("spacx_fabric_workers", float64(len(c.workers)))
+}
+
+// expireLeaseLocked releases a lease and requeues its unfinished points.
+func (c *Coordinator) expireLeaseLocked(l *lease) {
+	delete(c.leases, l.id)
+	if w := c.workers[l.workerID]; w != nil {
+		delete(w.leases, l.id)
+	}
+	l.span.End()
+	sw := c.sweeps[l.sweepID]
+	if sw == nil {
+		return
+	}
+	var undone []int
+	for _, i := range l.indices {
+		if !sw.done[i] {
+			undone = append(undone, i)
+		}
+	}
+	if len(undone) > 0 {
+		c.rec.Count("spacx_fabric_points_requeued_total", float64(len(undone)))
+		c.requeueLocked(sw, undone)
+	}
+}
+
+// requeueLocked routes orphaned points back onto the live workers' shard
+// queues (or the orphan list when the fleet is momentarily empty) and wakes
+// long-polling lease requests.
+func (c *Coordinator) requeueLocked(sw *sweepState, idxs []int) {
+	ids := c.workerIDsLocked()
+	if len(ids) == 0 {
+		sw.orphan = append(sw.orphan, idxs...)
+	} else {
+		r := newRing(ids, c.opts.Replicas)
+		for _, i := range idxs {
+			owner := r.owner(sw.points[i].Key)
+			sw.queues[owner] = append(sw.queues[owner], i)
+		}
+	}
+	c.signalWorkLocked()
+}
+
+// WorkerStatus is one registered worker of a Status snapshot.
+type WorkerStatus struct {
+	ID          string  `json:"id"`
+	Name        string  `json:"name,omitempty"`
+	Version     string  `json:"version,omitempty"`
+	Jobs        int     `json:"jobs,omitempty"`
+	LastSeenSec float64 `json:"last_seen_sec"`
+	Leases      int     `json:"leases"`
+}
+
+// SweepStatus is one in-flight sweep of a Status snapshot.
+type SweepStatus struct {
+	ID     string `json:"id"`
+	Total  int    `json:"total"`
+	Done   int    `json:"done"`
+	Leased int    `json:"leased"`
+}
+
+// StatusData answers GET /fabric/v1/status.
+type StatusData struct {
+	Proto   int            `json:"proto"`
+	Workers []WorkerStatus `json:"workers"`
+	Sweeps  []SweepStatus  `json:"sweeps"`
+	Drain   bool           `json:"drain,omitempty"`
+}
+
+// Status snapshots the fleet and its in-flight sweeps, id-sorted.
+func (c *Coordinator) Status() StatusData {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := time.Now()
+	st := StatusData{Proto: ProtoVersion, Workers: []WorkerStatus{}, Sweeps: []SweepStatus{}, Drain: c.closed}
+	for _, id := range c.workerIDsLocked() {
+		w := c.workers[id]
+		st.Workers = append(st.Workers, WorkerStatus{
+			ID: w.id, Name: w.name, Version: w.version, Jobs: w.jobs,
+			LastSeenSec: now.Sub(w.lastSeen).Seconds(),
+			Leases:      len(w.leases),
+		})
+	}
+	for _, sid := range c.order {
+		sw := c.sweeps[sid]
+		if sw == nil {
+			continue
+		}
+		ss := SweepStatus{ID: sw.id, Total: len(sw.points), Done: len(sw.points) - sw.remaining}
+		for _, l := range c.leases {
+			if l.sweepID == sw.id {
+				ss.Leased += len(l.indices)
+			}
+		}
+		st.Sweeps = append(st.Sweeps, ss)
+	}
+	return st
+}

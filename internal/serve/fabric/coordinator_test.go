@@ -1,0 +1,386 @@
+package fabric
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"spacx/internal/exp/engine"
+)
+
+func newTestCoordinator(t *testing.T, opts Options) *Coordinator {
+	t.Helper()
+	c := New(opts)
+	t.Cleanup(c.Close)
+	return c
+}
+
+func register(t *testing.T, c *Coordinator, name string) string {
+	t.Helper()
+	resp, err := c.Register(RegisterRequest{Proto: ProtoVersion, Name: name, Jobs: 2})
+	if err != nil {
+		t.Fatalf("register %s: %v", name, err)
+	}
+	if resp.WorkerID == "" || resp.LeaseTTLSec <= 0 || resp.HeartbeatSec <= 0 {
+		t.Fatalf("register %s: bad response %+v", name, resp)
+	}
+	return resp.WorkerID
+}
+
+func testPoints(n int) []Point {
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i] = Point{
+			Index: i,
+			Key:   fmt.Sprintf("fp|spacx|model%d|whole|1", i),
+			Spec:  json.RawMessage(fmt.Sprintf(`{"model":"model%d"}`, i)),
+		}
+	}
+	return pts
+}
+
+// startSweep launches RunSweep in the background and returns a channel with
+// its result.
+type sweepOut struct {
+	res SweepResult
+	err error
+}
+
+func startSweep(ctx context.Context, c *Coordinator, ph *engine.Phase, pts []Point) chan sweepOut {
+	out := make(chan sweepOut, 1)
+	go func() {
+		res, err := c.RunSweep(ctx, ph, pts)
+		out <- sweepOut{res, err}
+	}()
+	return out
+}
+
+// drainLeases pulls leases for worker id and answers each with successful
+// outcomes until the coordinator has no work, tagging each body with tag.
+func drainLeases(t *testing.T, c *Coordinator, id, tag string) int {
+	t.Helper()
+	served := 0
+	for {
+		l, err := c.Lease(context.Background(), LeaseRequest{Proto: ProtoVersion, WorkerID: id})
+		if err != nil {
+			t.Fatalf("lease for %s: %v", id, err)
+		}
+		if l == nil {
+			return served
+		}
+		up := ResultUpload{Proto: ProtoVersion, WorkerID: id, LeaseID: l.LeaseID, SweepID: l.SweepID}
+		for _, p := range l.Points {
+			up.Outcomes = append(up.Outcomes, Outcome{Index: p.Index, Body: []byte(tag + ":" + p.Key)})
+			served++
+		}
+		if _, err := c.Upload(up); err != nil {
+			t.Fatalf("upload for %s: %v", id, err)
+		}
+	}
+}
+
+func TestRunSweepNoWorkers(t *testing.T) {
+	c := newTestCoordinator(t, Options{})
+	_, err := c.RunSweep(context.Background(), nil, testPoints(3))
+	if !errors.Is(err, ErrNoWorkers) {
+		t.Fatalf("RunSweep with empty fleet: err = %v, want ErrNoWorkers", err)
+	}
+}
+
+func TestSingleWorkerSweep(t *testing.T) {
+	c := newTestCoordinator(t, Options{LeasePoints: 2})
+	id := register(t, c, "w1")
+	prog := engine.NewProgress()
+	ph := prog.Phase("points")
+
+	const n = 7
+	ph.Begin(n)
+	out := startSweep(context.Background(), c, ph, testPoints(n))
+	time.Sleep(10 * time.Millisecond) // let RunSweep enqueue
+	if served := drainLeases(t, c, id, "w1"); served != n {
+		t.Fatalf("worker served %d points, want %d", served, n)
+	}
+	res := <-out
+	ph.End()
+	if res.err != nil {
+		t.Fatalf("RunSweep: %v", res.err)
+	}
+	for i, o := range res.res.Outcomes {
+		want := "w1:" + fmt.Sprintf("fp|spacx|model%d|whole|1", i)
+		if string(o.Body) != want {
+			t.Fatalf("outcome %d = %q, want %q (merge must be index-addressed)", i, o.Body, want)
+		}
+	}
+	st := prog.Status()
+	if st.Done != n || st.Total != n {
+		t.Fatalf("phase counters done=%d total=%d, want %d/%d", st.Done, st.Total, n, n)
+	}
+}
+
+func TestLeaseRespectsMaxPoints(t *testing.T) {
+	c := newTestCoordinator(t, Options{LeasePoints: 8})
+	id := register(t, c, "w1")
+	out := startSweep(context.Background(), c, nil, testPoints(6))
+	time.Sleep(10 * time.Millisecond)
+	l, err := c.Lease(context.Background(), LeaseRequest{Proto: ProtoVersion, WorkerID: id, MaxPoints: 2})
+	if err != nil || l == nil {
+		t.Fatalf("lease: %v, %v", l, err)
+	}
+	if len(l.Points) != 2 {
+		t.Fatalf("lease granted %d points, want the requested cap of 2", len(l.Points))
+	}
+	drainLeases(t, c, id, "w1")
+	up := ResultUpload{Proto: ProtoVersion, WorkerID: id, LeaseID: l.LeaseID, SweepID: l.SweepID}
+	for _, p := range l.Points {
+		up.Outcomes = append(up.Outcomes, Outcome{Index: p.Index, Body: []byte("late")})
+	}
+	if _, err := c.Upload(up); err != nil {
+		t.Fatalf("upload: %v", err)
+	}
+	if res := <-out; res.err != nil {
+		t.Fatalf("RunSweep: %v", res.err)
+	}
+}
+
+func TestUnknownWorkerIsRejected(t *testing.T) {
+	c := newTestCoordinator(t, Options{})
+	if _, err := c.Lease(context.Background(), LeaseRequest{Proto: ProtoVersion, WorkerID: "ghost"}); !errors.Is(err, errUnknownWorker) {
+		t.Fatalf("lease for ghost: err = %v, want errUnknownWorker", err)
+	}
+	if _, err := c.Heartbeat(HeartbeatRequest{Proto: ProtoVersion, WorkerID: "ghost"}); !errors.Is(err, errUnknownWorker) {
+		t.Fatalf("heartbeat for ghost: err = %v, want errUnknownWorker", err)
+	}
+}
+
+func TestHeartbeatReconcilesLeases(t *testing.T) {
+	c := newTestCoordinator(t, Options{})
+	id := register(t, c, "w1")
+	resp, err := c.Heartbeat(HeartbeatRequest{Proto: ProtoVersion, WorkerID: id, Leases: []string{"l-dead", "l-gone"}})
+	if err != nil {
+		t.Fatalf("heartbeat: %v", err)
+	}
+	if len(resp.Cancelled) != 2 {
+		t.Fatalf("heartbeat cancelled %v, want both unknown leases back", resp.Cancelled)
+	}
+	if resp.Drain {
+		t.Fatal("heartbeat reports drain on a live coordinator")
+	}
+}
+
+func TestUploadDuplicateIsIgnored(t *testing.T) {
+	c := newTestCoordinator(t, Options{LeasePoints: 8})
+	id := register(t, c, "w1")
+	out := startSweep(context.Background(), c, nil, testPoints(2))
+	time.Sleep(10 * time.Millisecond)
+	l, err := c.Lease(context.Background(), LeaseRequest{Proto: ProtoVersion, WorkerID: id})
+	if err != nil || l == nil {
+		t.Fatalf("lease: %v, %v", l, err)
+	}
+	up := ResultUpload{Proto: ProtoVersion, WorkerID: id, LeaseID: l.LeaseID, SweepID: l.SweepID,
+		Outcomes: []Outcome{{Index: 0, Body: []byte("first")}, {Index: 1, Body: []byte("first")}}}
+	r1, err := c.Upload(up)
+	if err != nil || r1.Accepted != 2 {
+		t.Fatalf("first upload: %+v, %v", r1, err)
+	}
+	res := <-out
+	if res.err != nil {
+		t.Fatalf("RunSweep: %v", res.err)
+	}
+	// A duplicate delivery after the sweep finished reports cancelled (the
+	// sweep is gone), and the merged outcomes keep the first write.
+	r2, err := c.Upload(ResultUpload{Proto: ProtoVersion, WorkerID: id, LeaseID: l.LeaseID, SweepID: l.SweepID,
+		Outcomes: []Outcome{{Index: 0, Body: []byte("second")}}})
+	if err != nil {
+		t.Fatalf("duplicate upload: %v", err)
+	}
+	if !r2.Cancelled {
+		t.Fatalf("post-completion upload = %+v, want Cancelled", r2)
+	}
+	if string(res.res.Outcomes[0].Body) != "first" {
+		t.Fatalf("outcome 0 = %q, first write must win", res.res.Outcomes[0].Body)
+	}
+}
+
+func TestExpiredLeaseRequeuesAndStaleUploadStillCounts(t *testing.T) {
+	c := newTestCoordinator(t, Options{LeaseTTL: 50 * time.Millisecond, LeasePoints: 8, Janitor: time.Hour})
+	id := register(t, c, "w1")
+	out := startSweep(context.Background(), c, nil, testPoints(2))
+	time.Sleep(10 * time.Millisecond)
+	l, err := c.Lease(context.Background(), LeaseRequest{Proto: ProtoVersion, WorkerID: id})
+	if err != nil || l == nil || len(l.Points) != 2 {
+		t.Fatalf("lease: %v, %v", l, err)
+	}
+	// Force the lease past its TTL (janitor is parked at an hour so expiry
+	// happens exactly here, not racily in the background).
+	c.expire(time.Now().Add(time.Second))
+	// The worker heartbeats and learns its lease is gone.
+	hb, err := c.Heartbeat(HeartbeatRequest{Proto: ProtoVersion, WorkerID: id, Leases: []string{l.LeaseID}})
+	if err != nil || len(hb.Cancelled) != 1 {
+		t.Fatalf("heartbeat after expiry: %+v, %v", hb, err)
+	}
+	// The zombie still delivers: accepted for the still-pending points,
+	// flagged stale, and no point is double-counted when the re-leased copy
+	// arrives later.
+	r1, err := c.Upload(ResultUpload{Proto: ProtoVersion, WorkerID: id, LeaseID: l.LeaseID, SweepID: l.SweepID,
+		Outcomes: []Outcome{{Index: 0, Body: []byte("zombie")}}})
+	if err != nil || !r1.Stale || r1.Accepted != 1 {
+		t.Fatalf("stale upload: %+v, %v (want stale, 1 accepted)", r1, err)
+	}
+	// Point 0 was requeued by the expiry but is done now; a fresh lease must
+	// hand out only point 1.
+	l2, err := c.Lease(context.Background(), LeaseRequest{Proto: ProtoVersion, WorkerID: id})
+	if err != nil || l2 == nil {
+		t.Fatalf("second lease: %v, %v", l2, err)
+	}
+	if len(l2.Points) != 1 || l2.Points[0].Index != 1 {
+		t.Fatalf("second lease points = %+v, want exactly the pending point 1", l2.Points)
+	}
+	r2, err := c.Upload(ResultUpload{Proto: ProtoVersion, WorkerID: id, LeaseID: l2.LeaseID, SweepID: l2.SweepID,
+		Outcomes: []Outcome{{Index: 0, Body: []byte("release")}, {Index: 1, Body: []byte("release")}}})
+	if err != nil {
+		t.Fatalf("second upload: %v", err)
+	}
+	if r2.Accepted != 1 || r2.Duplicates != 1 {
+		t.Fatalf("second upload = %+v, want 1 accepted + 1 duplicate", r2)
+	}
+	res := <-out
+	if res.err != nil {
+		t.Fatalf("RunSweep: %v", res.err)
+	}
+	if string(res.res.Outcomes[0].Body) != "zombie" || string(res.res.Outcomes[1].Body) != "release" {
+		t.Fatalf("merged outcomes %q/%q, want first-write-wins zombie/release",
+			res.res.Outcomes[0].Body, res.res.Outcomes[1].Body)
+	}
+}
+
+func TestWorkerExpiryFailsAbandonedSweep(t *testing.T) {
+	c := newTestCoordinator(t, Options{WorkerTTL: 50 * time.Millisecond, Janitor: time.Hour})
+	id := register(t, c, "w1")
+	out := startSweep(context.Background(), c, nil, testPoints(3))
+	time.Sleep(10 * time.Millisecond)
+	l, err := c.Lease(context.Background(), LeaseRequest{Proto: ProtoVersion, WorkerID: id})
+	if err != nil || l == nil {
+		t.Fatalf("lease: %v, %v", l, err)
+	}
+	c.expire(time.Now().Add(time.Second)) // worker silent past WorkerTTL, fleet now empty
+	res := <-out
+	if !errors.Is(res.err, ErrWorkersLost) {
+		t.Fatalf("sweep err = %v, want ErrWorkersLost", res.err)
+	}
+	if c.Workers() != 0 {
+		t.Fatalf("expired worker still registered: %d", c.Workers())
+	}
+	// Started tracking survives for the local fallback's accounting.
+	started := 0
+	for _, s := range res.res.Started {
+		if s {
+			started++
+		}
+	}
+	if started == 0 {
+		t.Fatal("no point marked started though a lease was granted")
+	}
+}
+
+func TestWorkerStealsFromOverloadedPeer(t *testing.T) {
+	c := newTestCoordinator(t, Options{LeasePoints: 8})
+	a := register(t, c, "a")
+	b := register(t, c, "b")
+	// Every point shares one key, so consistent hashing puts the whole sweep
+	// on a single worker's queue; the other worker must steal to help.
+	pts := testPoints(4)
+	for i := range pts {
+		pts[i].Key = "same-key-for-everyone"
+	}
+	out := startSweep(context.Background(), c, nil, pts)
+	time.Sleep(10 * time.Millisecond)
+	got := drainLeases(t, c, a, "a") + drainLeases(t, c, b, "b")
+	if got != 4 {
+		t.Fatalf("fleet served %d points, want 4 (steal must cover the idle worker)", got)
+	}
+	if res := <-out; res.err != nil {
+		t.Fatalf("RunSweep: %v", res.err)
+	}
+}
+
+func TestRunSweepCancellation(t *testing.T) {
+	c := newTestCoordinator(t, Options{})
+	register(t, c, "w1")
+	ctx, cancel := context.WithCancel(context.Background())
+	out := startSweep(ctx, c, nil, testPoints(3))
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	res := <-out
+	if !errors.Is(res.err, context.Canceled) {
+		t.Fatalf("cancelled sweep err = %v, want context.Canceled", res.err)
+	}
+}
+
+func TestCloseDrainsFleet(t *testing.T) {
+	c := New(Options{})
+	id := register(t, c, "w1")
+	out := startSweep(context.Background(), c, nil, testPoints(2))
+	time.Sleep(10 * time.Millisecond)
+	c.Close()
+	res := <-out
+	if !errors.Is(res.err, ErrClosed) {
+		t.Fatalf("sweep err after Close = %v, want ErrClosed", res.err)
+	}
+	hb, err := c.Heartbeat(HeartbeatRequest{Proto: ProtoVersion, WorkerID: id})
+	if err != nil {
+		t.Fatalf("heartbeat after Close: %v", err)
+	}
+	if !hb.Drain {
+		t.Fatal("heartbeat after Close must tell the worker to drain")
+	}
+	c.Close() // idempotent
+}
+
+func TestLongPollPicksUpLateWork(t *testing.T) {
+	c := newTestCoordinator(t, Options{MaxWait: 5 * time.Second})
+	id := register(t, c, "w1")
+	type leaseOut struct {
+		l   *LeaseResponse
+		err error
+	}
+	got := make(chan leaseOut, 1)
+	go func() {
+		l, err := c.Lease(context.Background(), LeaseRequest{Proto: ProtoVersion, WorkerID: id, WaitSec: 5})
+		got <- leaseOut{l, err}
+	}()
+	time.Sleep(20 * time.Millisecond) // the poll is parked before work exists
+	out := startSweep(context.Background(), c, nil, testPoints(1))
+	lo := <-got
+	if lo.err != nil || lo.l == nil {
+		t.Fatalf("long-poll lease: %v, %v", lo.l, lo.err)
+	}
+	if _, err := c.Upload(ResultUpload{Proto: ProtoVersion, WorkerID: id, LeaseID: lo.l.LeaseID, SweepID: lo.l.SweepID,
+		Outcomes: []Outcome{{Index: 0, Body: []byte("x")}}}); err != nil {
+		t.Fatalf("upload: %v", err)
+	}
+	if res := <-out; res.err != nil {
+		t.Fatalf("RunSweep: %v", res.err)
+	}
+}
+
+func TestStatusSnapshot(t *testing.T) {
+	c := newTestCoordinator(t, Options{})
+	register(t, c, "w1")
+	out := startSweep(context.Background(), c, nil, testPoints(2))
+	time.Sleep(10 * time.Millisecond)
+	st := c.Status()
+	if len(st.Workers) != 1 || st.Workers[0].Name != "w1" {
+		t.Fatalf("status workers = %+v", st.Workers)
+	}
+	if len(st.Sweeps) != 1 || st.Sweeps[0].Total != 2 {
+		t.Fatalf("status sweeps = %+v", st.Sweeps)
+	}
+	id := st.Workers[0].ID
+	drainLeases(t, c, id, "w1")
+	if res := <-out; res.err != nil {
+		t.Fatalf("RunSweep: %v", res.err)
+	}
+}

@@ -1,0 +1,151 @@
+package fabric
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// Instrumenter matches serve.Service.Instrument: the middleware that gives
+// every fabric endpoint the request counter, latency histogram, and trace.
+type Instrumenter func(endpoint string, h http.HandlerFunc) http.HandlerFunc
+
+// Routes mounts the fabric wire protocol on mux. Pass serve.Service's
+// Instrument so fabric traffic is counted and traced like every other /v1
+// endpoint; nil mounts the bare handlers.
+func (c *Coordinator) Routes(mux *http.ServeMux, instrument Instrumenter) {
+	if instrument == nil {
+		instrument = func(_ string, h http.HandlerFunc) http.HandlerFunc { return h }
+	}
+	mux.HandleFunc("POST /fabric/v1/register", instrument("fabric_register", c.handleRegister))
+	mux.HandleFunc("POST /fabric/v1/heartbeat", instrument("fabric_heartbeat", c.handleHeartbeat))
+	mux.HandleFunc("POST /fabric/v1/lease", instrument("fabric_lease", c.handleLease))
+	mux.HandleFunc("POST /fabric/v1/result", instrument("fabric_result", c.handleResult))
+	mux.HandleFunc("GET /fabric/v1/status", instrument("fabric_status", c.handleStatus))
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, struct {
+		Error string `json:"error"`
+	}{Error: fmt.Sprintf(format, args...)})
+}
+
+// readWireBody reads a bounded protocol body.
+func readWireBody(w http.ResponseWriter, r *http.Request) ([]byte, error) {
+	defer r.Body.Close()
+	return io.ReadAll(http.MaxBytesReader(w, r.Body, maxWireBody))
+}
+
+// writeFabricErr maps coordinator errors onto wire status codes: unknown
+// worker is 404 (the worker re-registers), a closed coordinator is 503, and
+// anything else — which is always a malformed message here — is 400.
+func writeFabricErr(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, errUnknownWorker):
+		writeErr(w, http.StatusNotFound, "%v", err)
+	case errors.Is(err, ErrClosed):
+		writeErr(w, http.StatusServiceUnavailable, "%v", err)
+	default:
+		writeErr(w, http.StatusBadRequest, "%v", err)
+	}
+}
+
+// handleRegister answers POST /fabric/v1/register.
+func (c *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
+	data, err := readWireBody(w, r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "read request: %v", err)
+		return
+	}
+	req, err := DecodeRegisterRequest(data)
+	if err != nil {
+		writeFabricErr(w, err)
+		return
+	}
+	resp, err := c.Register(req)
+	if err != nil {
+		writeFabricErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleHeartbeat answers POST /fabric/v1/heartbeat.
+func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	data, err := readWireBody(w, r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "read request: %v", err)
+		return
+	}
+	req, err := DecodeHeartbeatRequest(data)
+	if err != nil {
+		writeFabricErr(w, err)
+		return
+	}
+	resp, err := c.Heartbeat(req)
+	if err != nil {
+		writeFabricErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleLease answers POST /fabric/v1/lease: 200 with a leased batch, or
+// 204 when no work is available within the request's long-poll window.
+func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
+	data, err := readWireBody(w, r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "read request: %v", err)
+		return
+	}
+	req, err := DecodeLeaseRequest(data)
+	if err != nil {
+		writeFabricErr(w, err)
+		return
+	}
+	resp, err := c.Lease(r.Context(), req)
+	if err != nil {
+		writeFabricErr(w, err)
+		return
+	}
+	if resp == nil {
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleResult answers POST /fabric/v1/result.
+func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
+	data, err := readWireBody(w, r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "read request: %v", err)
+		return
+	}
+	up, err := DecodeResultUpload(data)
+	if err != nil {
+		writeFabricErr(w, err)
+		return
+	}
+	resp, err := c.Upload(up)
+	if err != nil {
+		writeFabricErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleStatus answers GET /fabric/v1/status with the fleet snapshot.
+func (c *Coordinator) handleStatus(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, c.Status())
+}

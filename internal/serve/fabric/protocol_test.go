@@ -1,0 +1,179 @@
+package fabric
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestDecodeRegisterRequest(t *testing.T) {
+	good := `{"proto":1,"name":"w1","version":"v","jobs":4}`
+	req, err := DecodeRegisterRequest([]byte(good))
+	if err != nil {
+		t.Fatalf("valid register rejected: %v", err)
+	}
+	if req.Name != "w1" || req.Jobs != 4 {
+		t.Fatalf("register decoded wrong: %+v", req)
+	}
+	for name, body := range map[string]string{
+		"wrong proto":   `{"proto":2}`,
+		"missing proto": `{"name":"w1"}`,
+		"negative jobs": `{"proto":1,"jobs":-1}`,
+		"unknown field": `{"proto":1,"surprise":true}`,
+		"trailing data": `{"proto":1} {"proto":1}`,
+		"not an object": `[1,2,3]`,
+		"empty":         ``,
+	} {
+		if _, err := DecodeRegisterRequest([]byte(body)); err == nil {
+			t.Errorf("%s: %q accepted, want error", name, body)
+		}
+	}
+}
+
+func TestDecodeHeartbeatRequest(t *testing.T) {
+	req, err := DecodeHeartbeatRequest([]byte(`{"proto":1,"worker_id":"w1","leases":["l1","l2"]}`))
+	if err != nil {
+		t.Fatalf("valid heartbeat rejected: %v", err)
+	}
+	if req.WorkerID != "w1" || len(req.Leases) != 2 {
+		t.Fatalf("heartbeat decoded wrong: %+v", req)
+	}
+	for name, body := range map[string]string{
+		"missing worker": `{"proto":1}`,
+		"wrong proto":    `{"proto":0,"worker_id":"w1"}`,
+	} {
+		if _, err := DecodeHeartbeatRequest([]byte(body)); err == nil {
+			t.Errorf("%s: %q accepted, want error", name, body)
+		}
+	}
+}
+
+func TestDecodeLeaseRequest(t *testing.T) {
+	req, err := DecodeLeaseRequest([]byte(`{"proto":1,"worker_id":"w1","max_points":3,"wait_sec":2.5}`))
+	if err != nil {
+		t.Fatalf("valid lease rejected: %v", err)
+	}
+	if req.MaxPoints != 3 || req.WaitSec != 2.5 {
+		t.Fatalf("lease decoded wrong: %+v", req)
+	}
+	for name, body := range map[string]string{
+		"missing worker":      `{"proto":1}`,
+		"negative max_points": `{"proto":1,"worker_id":"w1","max_points":-1}`,
+		"negative wait":       `{"proto":1,"worker_id":"w1","wait_sec":-1}`,
+		"version skew":        `{"proto":99,"worker_id":"w1"}`,
+	} {
+		if _, err := DecodeLeaseRequest([]byte(body)); err == nil {
+			t.Errorf("%s: %q accepted, want error", name, body)
+		}
+	}
+}
+
+func TestDecodeResultUpload(t *testing.T) {
+	up, err := DecodeResultUpload([]byte(
+		`{"proto":1,"worker_id":"w1","lease_id":"l1","sweep_id":"s1",` +
+			`"outcomes":[{"index":0,"body":"aGk="},{"index":1,"error":"boom"}]}`))
+	if err != nil {
+		t.Fatalf("valid upload rejected: %v", err)
+	}
+	if len(up.Outcomes) != 2 || string(up.Outcomes[0].Body) != "hi" {
+		t.Fatalf("upload decoded wrong: %+v", up)
+	}
+	for name, body := range map[string]string{
+		"missing lease":   `{"proto":1,"worker_id":"w1","sweep_id":"s1"}`,
+		"missing sweep":   `{"proto":1,"worker_id":"w1","lease_id":"l1"}`,
+		"negative index":  `{"proto":1,"worker_id":"w1","lease_id":"l1","sweep_id":"s1","outcomes":[{"index":-1,"error":"x"}]}`,
+		"empty outcome":   `{"proto":1,"worker_id":"w1","lease_id":"l1","sweep_id":"s1","outcomes":[{"index":0}]}`,
+		"duplicate index": `{"proto":1,"worker_id":"w1","lease_id":"l1","sweep_id":"s1","outcomes":[{"index":0,"error":"x"},{"index":0,"error":"y"}]}`,
+	} {
+		if _, err := DecodeResultUpload([]byte(body)); err == nil {
+			t.Errorf("%s: accepted, want error", name)
+		}
+	}
+}
+
+func TestDecodeStrictSizeCap(t *testing.T) {
+	huge := `{"proto":1,"worker_id":"` + strings.Repeat("x", maxWireBody) + `"}`
+	if _, err := DecodeLeaseRequest([]byte(huge)); err == nil {
+		t.Fatal("oversized message accepted, want error")
+	}
+}
+
+// FuzzLeaseRequest hardens the work-pull decoder the same way
+// FuzzSimulateRequest hardens the query decoder: no input may panic, and any
+// accepted input must satisfy every invariant the coordinator relies on.
+func FuzzLeaseRequest(f *testing.F) {
+	f.Add([]byte(`{"proto":1,"worker_id":"w1"}`))
+	f.Add([]byte(`{"proto":1,"worker_id":"w1","max_points":8,"wait_sec":5}`))
+	f.Add([]byte(`{"proto":2,"worker_id":"w1"}`))                 // version skew
+	f.Add([]byte(`{"proto":1,"worker_id":"w1","max_po`))          // truncated
+	f.Add([]byte(`{"proto":1,"worker_id":"w1"}{"proto":1}`))      // trailing
+	f.Add([]byte(`{"proto":1,"worker_id":"w1","surprise":true}`)) // unknown field
+	f.Add([]byte(`{"proto":1,"worker_id":"\xff\xfe"}`))           // invalid UTF-8 escape
+	f.Add([]byte(`null`))
+	f.Add([]byte(``))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := DecodeLeaseRequest(data)
+		if err != nil {
+			return
+		}
+		if req.Proto != ProtoVersion {
+			t.Fatalf("accepted lease with proto %d", req.Proto)
+		}
+		if req.WorkerID == "" {
+			t.Fatal("accepted lease without worker_id")
+		}
+		if req.MaxPoints < 0 || req.WaitSec < 0 {
+			t.Fatalf("accepted lease with negative limits: %+v", req)
+		}
+	})
+}
+
+// FuzzResultUpload covers the security-relevant half of the protocol: result
+// bodies are attacker-shaped bytes merged into sweep artifacts, so the
+// decoder must reject duplicate-delivery corruption (two outcomes for one
+// index in a single message), empty outcomes, and negative indices without
+// ever panicking.
+func FuzzResultUpload(f *testing.F) {
+	f.Add([]byte(`{"proto":1,"worker_id":"w1","lease_id":"l1","sweep_id":"s1","outcomes":[{"index":0,"body":"aGk="}]}`))
+	f.Add([]byte(`{"proto":1,"worker_id":"w1","lease_id":"l1","sweep_id":"s1","outcomes":[{"index":0,"error":"x"},{"index":0,"error":"x"}]}`)) // duplicate delivery
+	f.Add([]byte(`{"proto":1,"worker_id":"w1","lease_id":"l1","sweep_id":"s1","outcomes":[{"index":-1,"body":"aGk="}]}`))
+	f.Add([]byte(`{"proto":3,"worker_id":"w1","lease_id":"l1","sweep_id":"s1"}`))
+	f.Add([]byte(`{"proto":1,"worker_id":"w1","lease_id":"l1","sweep_id":"s1","outcomes":[{"index":0,"bo`)) // truncated mid-outcome
+	f.Add([]byte(`{"proto":1,"worker_id":"w1","lease_id":"l1","sweep_id":"s1","outcomes":[]}`))
+	f.Add([]byte(`{}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		up, err := DecodeResultUpload(data)
+		if err != nil {
+			return
+		}
+		if up.Proto != ProtoVersion || up.WorkerID == "" || up.LeaseID == "" || up.SweepID == "" {
+			t.Fatalf("accepted upload missing identity: %+v", up)
+		}
+		seen := map[int]bool{}
+		for _, o := range up.Outcomes {
+			if o.Index < 0 {
+				t.Fatalf("accepted negative index %d", o.Index)
+			}
+			if len(o.Body) == 0 && o.Error == "" {
+				t.Fatalf("accepted empty outcome at index %d", o.Index)
+			}
+			if seen[o.Index] {
+				t.Fatalf("accepted duplicate outcome for index %d", o.Index)
+			}
+			seen[o.Index] = true
+		}
+		// Accepted messages must round-trip: re-encoding and re-decoding
+		// yields the same message (the wire is canonical JSON).
+		b, err := json.Marshal(up)
+		if err != nil {
+			t.Fatalf("accepted upload does not re-encode: %v", err)
+		}
+		again, err := DecodeResultUpload(b)
+		if err != nil {
+			t.Fatalf("re-encoded upload rejected: %v", err)
+		}
+		if len(again.Outcomes) != len(up.Outcomes) {
+			t.Fatalf("round trip changed outcome count: %d -> %d", len(up.Outcomes), len(again.Outcomes))
+		}
+	})
+}

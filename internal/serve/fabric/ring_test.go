@@ -1,0 +1,61 @@
+package fabric
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingOwnerDeterministic(t *testing.T) {
+	ids := []string{"w-a", "w-b", "w-c"}
+	r1 := newRing(ids, 64)
+	r2 := newRing([]string{"w-c", "w-a", "w-b"}, 64) // order must not matter
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("fp%03d|spacx|resnet50|whole|1", i)
+		if got1, got2 := r1.owner(key), r2.owner(key); got1 != got2 {
+			t.Fatalf("owner(%q): %q vs %q for identical id sets", key, got1, got2)
+		}
+	}
+}
+
+func TestRingEmpty(t *testing.T) {
+	if got := newRing(nil, 64).owner("anything"); got != "" {
+		t.Fatalf("empty ring owner = %q, want \"\"", got)
+	}
+}
+
+func TestRingSpreadsKeys(t *testing.T) {
+	ids := []string{"w-a", "w-b", "w-c", "w-d"}
+	r := newRing(ids, 64)
+	counts := map[string]int{}
+	for i := 0; i < 2000; i++ {
+		counts[r.owner(fmt.Sprintf("key-%d", i))]++
+	}
+	for _, id := range ids {
+		if counts[id] == 0 {
+			t.Fatalf("worker %s owns zero of 2000 keys: %v", id, counts)
+		}
+	}
+}
+
+// Removing one worker must only reassign that worker's keys; everyone else's
+// shard — and therefore their warmed caches — stays put. This is the property
+// plain modulo hashing lacks and the reason the fabric uses a ring.
+func TestRingRemovalOnlyMovesVictimKeys(t *testing.T) {
+	before := newRing([]string{"w-a", "w-b", "w-c"}, 64)
+	after := newRing([]string{"w-a", "w-c"}, 64)
+	moved := 0
+	for i := 0; i < 2000; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		was, is := before.owner(key), after.owner(key)
+		if was == "w-b" {
+			moved++
+			continue // had to move somewhere
+		}
+		if was != is {
+			t.Fatalf("key %q moved %s -> %s though its owner survived", key, was, is)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("test is vacuous: w-b owned zero keys")
+	}
+}

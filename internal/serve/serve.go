@@ -42,6 +42,7 @@ import (
 	"spacx/internal/network"
 	"spacx/internal/obs"
 	"spacx/internal/obs/tracing"
+	"spacx/internal/serve/fabric"
 	"spacx/internal/sim"
 )
 
@@ -85,6 +86,11 @@ type Options struct {
 	// carries an X-Spacx-Trace header and the span tree (queue wait, cache
 	// lookup, engine compute, simulator run) lands on /traces/{id}.
 	Traces *tracing.Collector
+	// Fabric, when non-nil, fans async sweeps out across the coordinator's
+	// worker fleet whenever workers are attached; with none the sweep runs
+	// locally, so a coordinator with an empty fleet is never slower than no
+	// coordinator at all.
+	Fabric *fabric.Coordinator
 }
 
 func (o Options) withDefaults() Options {

@@ -1,0 +1,327 @@
+package worker
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"spacx/internal/serve/fabric"
+)
+
+func writeJSON(t *testing.T, w http.ResponseWriter, v any) {
+	t.Helper()
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		t.Errorf("encode response: %v", err)
+	}
+}
+
+// runWorker starts w.Run in a goroutine and returns its cancel plus a
+// buffered channel carrying the eventual return value. Readers must push
+// the value back after inspecting it so the cleanup also sees it.
+func runWorker(t *testing.T, w *Worker) (context.CancelFunc, chan error) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- w.Run(ctx) }()
+	t.Cleanup(func() {
+		cancel()
+		select {
+		case err := <-done:
+			done <- err
+		case <-time.After(5 * time.Second):
+			t.Error("worker did not stop")
+		}
+	})
+	return cancel, done
+}
+
+// TestWorkerReregistersAfterCoordinatorRestart scripts the restart-survival
+// path: the coordinator 404s a lease request (it no longer knows the
+// worker), and the worker must come back under a fresh id and then serve
+// work normally — the lease and upload both carry the second-life id.
+func TestWorkerReregistersAfterCoordinatorRestart(t *testing.T) {
+	var mu sync.Mutex
+	regs := 0
+	leased := false
+	uploads := make(chan fabric.ResultUpload, 1)
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /fabric/v1/register", func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		regs++
+		id := fmt.Sprintf("life%d", regs)
+		mu.Unlock()
+		writeJSON(t, w, fabric.RegisterResponse{Proto: fabric.ProtoVersion, WorkerID: id, LeaseTTLSec: 60, HeartbeatSec: 60})
+	})
+	mux.HandleFunc("POST /fabric/v1/heartbeat", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(t, w, fabric.HeartbeatResponse{Proto: fabric.ProtoVersion})
+	})
+	mux.HandleFunc("POST /fabric/v1/lease", func(w http.ResponseWriter, r *http.Request) {
+		body, _ := io.ReadAll(r.Body)
+		req, err := fabric.DecodeLeaseRequest(body)
+		if err != nil {
+			t.Errorf("worker sent invalid lease request: %v", err)
+			w.WriteHeader(http.StatusBadRequest)
+			return
+		}
+		if req.WorkerID == "life1" {
+			w.WriteHeader(http.StatusNotFound) // "coordinator restarted"
+			return
+		}
+		mu.Lock()
+		first := !leased
+		leased = true
+		mu.Unlock()
+		if !first {
+			w.WriteHeader(http.StatusNoContent)
+			return
+		}
+		writeJSON(t, w, fabric.LeaseResponse{
+			Proto:   fabric.ProtoVersion,
+			LeaseID: "l1",
+			SweepID: "s1",
+			TTLSec:  60,
+			Points:  []fabric.Point{{Index: 3, Key: "k3", Spec: json.RawMessage(`{}`)}},
+		})
+	})
+	mux.HandleFunc("POST /fabric/v1/result", func(w http.ResponseWriter, r *http.Request) {
+		body, _ := io.ReadAll(r.Body)
+		up, err := fabric.DecodeResultUpload(body)
+		if err != nil {
+			t.Errorf("worker sent invalid upload: %v", err)
+			w.WriteHeader(http.StatusBadRequest)
+			return
+		}
+		uploads <- up
+		writeJSON(t, w, fabric.ResultResponse{Proto: fabric.ProtoVersion, Accepted: len(up.Outcomes)})
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	w, err := New(Options{
+		URL: ts.URL,
+		Compute: func(_ context.Context, p fabric.Point) (fabric.Outcome, error) {
+			return fabric.Outcome{Index: p.Index, Body: []byte("ok:" + p.Key)}, nil
+		},
+		Jobs:  1,
+		Retry: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel, done := runWorker(t, w)
+
+	select {
+	case up := <-uploads:
+		if up.WorkerID != "life2" {
+			t.Errorf("upload under id %q, want the second life's id \"life2\"", up.WorkerID)
+		}
+		if len(up.Outcomes) != 1 || up.Outcomes[0].Index != 3 || string(up.Outcomes[0].Body) != "ok:k3" {
+			t.Errorf("upload outcomes = %+v, want one outcome for point 3", up.Outcomes)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("worker never uploaded after re-registration")
+	}
+	mu.Lock()
+	if regs != 2 {
+		t.Errorf("registrations = %d, want 2 (initial + after 404)", regs)
+	}
+	mu.Unlock()
+	if got := w.ID(); got != "life2" {
+		t.Errorf("worker id = %q, want \"life2\"", got)
+	}
+
+	cancel()
+	err = <-done
+	done <- err
+	if err != context.Canceled {
+		t.Errorf("Run returned %v after ctx cancel, want context.Canceled", err)
+	}
+}
+
+// TestWorkerUploadsOnlyComputedPoints leases a two-point batch whose second
+// point fails with a transport-style error: the upload must carry only the
+// computed point, so the coordinator can re-lease the other.
+func TestWorkerUploadsOnlyComputedPoints(t *testing.T) {
+	var mu sync.Mutex
+	leased := false
+	uploadSeen := false
+	uploads := make(chan fabric.ResultUpload, 1)
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /fabric/v1/register", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(t, w, fabric.RegisterResponse{Proto: fabric.ProtoVersion, WorkerID: "w1", LeaseTTLSec: 60, HeartbeatSec: 0.02})
+	})
+	mux.HandleFunc("POST /fabric/v1/heartbeat", func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		drain := uploadSeen // once the upload landed, wind the worker down
+		mu.Unlock()
+		writeJSON(t, w, fabric.HeartbeatResponse{Proto: fabric.ProtoVersion, Drain: drain})
+	})
+	mux.HandleFunc("POST /fabric/v1/lease", func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		first := !leased
+		leased = true
+		mu.Unlock()
+		if !first {
+			w.WriteHeader(http.StatusNoContent)
+			return
+		}
+		writeJSON(t, w, fabric.LeaseResponse{
+			Proto:   fabric.ProtoVersion,
+			LeaseID: "l1",
+			SweepID: "s1",
+			TTLSec:  60,
+			Points: []fabric.Point{
+				{Index: 0, Key: "k0", Spec: json.RawMessage(`{}`)},
+				{Index: 1, Key: "k1", Spec: json.RawMessage(`{}`)},
+			},
+		})
+	})
+	mux.HandleFunc("POST /fabric/v1/result", func(w http.ResponseWriter, r *http.Request) {
+		body, _ := io.ReadAll(r.Body)
+		up, err := fabric.DecodeResultUpload(body)
+		if err != nil {
+			t.Errorf("worker sent invalid upload: %v", err)
+			w.WriteHeader(http.StatusBadRequest)
+			return
+		}
+		mu.Lock()
+		uploadSeen = true
+		mu.Unlock()
+		uploads <- up
+		writeJSON(t, w, fabric.ResultResponse{Proto: fabric.ProtoVersion, Accepted: len(up.Outcomes)})
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	w, err := New(Options{
+		URL: ts.URL,
+		Compute: func(_ context.Context, p fabric.Point) (fabric.Outcome, error) {
+			if p.Index == 1 {
+				return fabric.Outcome{}, fmt.Errorf("injected: point not computed")
+			}
+			return fabric.Outcome{Index: p.Index, Body: []byte("b0")}, nil
+		},
+		Jobs:  2,
+		Retry: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, done := runWorker(t, w)
+
+	select {
+	case up := <-uploads:
+		if len(up.Outcomes) != 1 || up.Outcomes[0].Index != 0 {
+			t.Errorf("upload outcomes = %+v, want exactly the computed point 0", up.Outcomes)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("worker never uploaded")
+	}
+	select {
+	case err := <-done:
+		done <- err
+		if err != nil {
+			t.Errorf("Run returned %v after drain, want nil", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("worker did not drain")
+	}
+}
+
+// TestWorkerHeartbeatCancellationReachesCompute verifies the ctx plumbing a
+// cancelled sweep depends on: a heartbeat response naming a lease as
+// cancelled must cancel that lease's in-flight compute context.
+func TestWorkerHeartbeatCancellationReachesCompute(t *testing.T) {
+	var mu sync.Mutex
+	leased := false
+	computeCancelled := make(chan struct{})
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /fabric/v1/register", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(t, w, fabric.RegisterResponse{Proto: fabric.ProtoVersion, WorkerID: "w1", LeaseTTLSec: 60, HeartbeatSec: 0.02})
+	})
+	mux.HandleFunc("POST /fabric/v1/heartbeat", func(w http.ResponseWriter, r *http.Request) {
+		body, _ := io.ReadAll(r.Body)
+		req, err := fabric.DecodeHeartbeatRequest(body)
+		if err != nil {
+			t.Errorf("worker sent invalid heartbeat: %v", err)
+			w.WriteHeader(http.StatusBadRequest)
+			return
+		}
+		resp := fabric.HeartbeatResponse{Proto: fabric.ProtoVersion}
+		for _, id := range req.Leases {
+			if id == "l1" {
+				resp.Cancelled = append(resp.Cancelled, id)
+			}
+		}
+		select {
+		case <-computeCancelled:
+			resp.Drain = true // cancellation observed; wind the worker down
+		default:
+		}
+		writeJSON(t, w, resp)
+	})
+	mux.HandleFunc("POST /fabric/v1/lease", func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		first := !leased
+		leased = true
+		mu.Unlock()
+		if !first {
+			w.WriteHeader(http.StatusNoContent)
+			return
+		}
+		writeJSON(t, w, fabric.LeaseResponse{
+			Proto:   fabric.ProtoVersion,
+			LeaseID: "l1",
+			SweepID: "s1",
+			TTLSec:  60,
+			Points:  []fabric.Point{{Index: 0, Key: "k0", Spec: json.RawMessage(`{}`)}},
+		})
+	})
+	mux.HandleFunc("POST /fabric/v1/result", func(w http.ResponseWriter, r *http.Request) {
+		t.Error("cancelled batch must not upload")
+		w.WriteHeader(http.StatusBadRequest)
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	var closeOnce sync.Once
+	w, err := New(Options{
+		URL: ts.URL,
+		Compute: func(ctx context.Context, _ fabric.Point) (fabric.Outcome, error) {
+			<-ctx.Done() // hang until the heartbeat cancellation lands
+			closeOnce.Do(func() { close(computeCancelled) })
+			return fabric.Outcome{}, ctx.Err()
+		},
+		Jobs:  1,
+		Retry: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, done := runWorker(t, w)
+
+	select {
+	case <-computeCancelled:
+	case <-time.After(10 * time.Second):
+		t.Fatal("heartbeat cancellation never reached the in-flight compute")
+	}
+	select {
+	case err := <-done:
+		done <- err
+		if err != nil {
+			t.Errorf("Run returned %v after drain, want nil", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("worker did not drain")
+	}
+}
