@@ -28,7 +28,7 @@ obs-race:
 # The distributed sweep fabric under the race detector: coordinator,
 # worker client, and the multi-worker fault-injection harness.
 fabric-race:
-	go test -race -count=1 ./internal/serve/fabric/... ./internal/worker/...
+	go test -race -count=1 ./internal/serve/fabric/... ./internal/worker/... ./internal/obs/flightrec/...
 
 # End-to-end smoke of the live observability server and the run ledger:
 # serve a real run, scrape every endpoint, then check the appended record.

@@ -22,7 +22,9 @@
 //	GET    /v1/accelerators     servable accelerator catalog
 //	POST   /fabric/v1/...       worker-fleet wire protocol (with -fabric)
 //	GET    /fabric/v1/status    fleet + in-flight sweep snapshot
-//	GET    /metrics             service + simulator metrics (Prometheus text)
+//	GET    /fleet               per-worker liveness, throughput, version skew
+//	GET    /fleet/events        flight-recorder dump (fabric lifecycle events)
+//	GET    /metrics             service + simulator + federated worker metrics
 //	GET    /traces, /traces/{id} request/job span trees (X-Spacx-Trace ids)
 //	GET    /version             build info
 //	GET    /readyz              readiness (503 once draining)
@@ -47,6 +49,7 @@ import (
 	"spacx/internal/buildinfo"
 	"spacx/internal/exp/engine"
 	"spacx/internal/obs"
+	"spacx/internal/obs/flightrec"
 	"spacx/internal/obs/server"
 	"spacx/internal/obs/tracing"
 	"spacx/internal/serve"
@@ -74,6 +77,8 @@ type options struct {
 	leaseTTL    time.Duration
 	leasePoints int
 	workerTTL   time.Duration
+	flightRec   int
+	flightDump  string
 
 	verbose bool
 	version bool
@@ -99,6 +104,8 @@ func main() {
 	flag.DurationVar(&o.leaseTTL, "lease-ttl", 15*time.Second, "how long a worker may hold a leased point batch before it is re-leased")
 	flag.IntVar(&o.leasePoints, "lease-points", 8, "most sweep points handed out per lease")
 	flag.DurationVar(&o.workerTTL, "worker-ttl", 0, "expire workers silent this long (0 = 4 x heartbeat)")
+	flag.IntVar(&o.flightRec, "flightrec", 1024, "fabric flight-recorder ring capacity (events retained for /fleet/events; 0 disables)")
+	flag.StringVar(&o.flightDump, "flightrec-dump", "", "write the flight-recorder events to this JSONL file at exit")
 	flag.BoolVar(&o.verbose, "v", false, "log structured request progress to stderr")
 	flag.BoolVar(&o.version, "version", false, "print build info and exit")
 	flag.Parse()
@@ -160,6 +167,9 @@ func validate(o options) error {
 		if o.workerTTL < 0 {
 			return fmt.Errorf("-worker-ttl must be >= 0, got %v", o.workerTTL)
 		}
+		if o.flightRec < 0 {
+			return fmt.Errorf("-flightrec must be >= 0, got %d", o.flightRec)
+		}
 	}
 	return nil
 }
@@ -182,12 +192,18 @@ func run(o options) error {
 	// fan out from the first request; with no workers attached the service
 	// quietly runs sweeps locally.
 	var coord *fabric.Coordinator
+	var flight *flightrec.Recorder
 	if o.fabricOn {
+		if o.flightRec > 0 {
+			flight = flightrec.New(o.flightRec)
+		}
 		coord = fabric.New(fabric.Options{
 			LeaseTTL:    o.leaseTTL,
 			LeasePoints: o.leasePoints,
 			WorkerTTL:   o.workerTTL,
 			Recorder:    reg,
+			Traces:      traces,
+			Flight:      flight,
 		})
 	}
 
@@ -225,18 +241,22 @@ func run(o options) error {
 		return fmt.Errorf("job ledger: %w", err)
 	}
 
-	srv, err := server.Start(o.httpAddr, server.Options{
+	srvOpts := server.Options{
 		Registry: reg,
 		Progress: prog,
 		Traces:   traces,
-		Mount: func(mux *http.ServeMux) {
-			svc.Routes(mux)
-			mgr.Routes(mux, svc.Instrument)
-			if coord != nil {
-				coord.Routes(mux, fabric.Instrumenter(svc.Instrument))
-			}
-		},
-	})
+	}
+	if coord != nil {
+		srvOpts.Federate = coord.FleetMetrics
+	}
+	srvOpts.Mount = func(mux *http.ServeMux) {
+		svc.Routes(mux)
+		mgr.Routes(mux, svc.Instrument)
+		if coord != nil {
+			coord.Routes(mux, fabric.Instrumenter(svc.Instrument))
+		}
+	}
+	srv, err := server.Start(o.httpAddr, srvOpts)
 	if err != nil {
 		return err
 	}
@@ -265,6 +285,17 @@ func run(o options) error {
 		coord.Close()
 	}
 	svc.Close()
+
+	if o.flightDump != "" && flight != nil {
+		if f, err := os.Create(o.flightDump); err != nil {
+			fmt.Fprintf(os.Stderr, "spacx-serve: flightrec dump: %v\n", err)
+		} else {
+			if err := flight.WriteJSONL(f); err != nil {
+				fmt.Fprintf(os.Stderr, "spacx-serve: flightrec dump: %v\n", err)
+			}
+			_ = f.Close()
+		}
+	}
 
 	// Keep /metrics up for a final scrape, then exit.
 	return srv.DrainAndShutdown(o.linger, 200*time.Millisecond)

@@ -29,6 +29,7 @@ import (
 
 	"spacx/internal/buildinfo"
 	"spacx/internal/obs"
+	"spacx/internal/obs/flightrec"
 	"spacx/internal/obs/server"
 	"spacx/internal/obs/tracing"
 	"spacx/internal/serve"
@@ -45,6 +46,8 @@ type options struct {
 	cache       int
 	httpAddr    string
 	traceKeep   int
+	flightRec   int
+	flightDump  string
 	verbose     bool
 	version     bool
 }
@@ -60,6 +63,8 @@ func main() {
 	flag.IntVar(&o.cache, "cache", 512, "response cache capacity (entries)")
 	flag.StringVar(&o.httpAddr, "http", "", "also serve /metrics, /progress, and /traces on this address (off by default)")
 	flag.IntVar(&o.traceKeep, "traces", 256, "recent compute traces retained for /traces")
+	flag.IntVar(&o.flightRec, "flightrec", 0, "worker-side flight-recorder ring capacity (0 disables)")
+	flag.StringVar(&o.flightDump, "flightrec-dump", "", "write the flight-recorder events to this JSONL file at exit")
 	flag.BoolVar(&o.verbose, "v", false, "log structured progress to stderr")
 	flag.BoolVar(&o.version, "version", false, "print build info and exit")
 	flag.Parse()
@@ -96,6 +101,9 @@ func validate(o options) error {
 	if o.traceKeep < 1 {
 		return fmt.Errorf("-traces must be >= 1, got %d", o.traceKeep)
 	}
+	if o.flightRec < 0 {
+		return fmt.Errorf("-flightrec must be >= 0, got %d", o.flightRec)
+	}
 	return nil
 }
 
@@ -109,6 +117,10 @@ func run(o options) error {
 
 	reg := obs.NewRegistry(obs.NewLogger(os.Stderr, o.verbose))
 	traces := tracing.NewCollector(o.traceKeep, reg)
+	var flight *flightrec.Recorder
+	if o.flightRec > 0 {
+		flight = flightrec.New(o.flightRec)
+	}
 
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
@@ -136,6 +148,8 @@ func run(o options) error {
 		Retry:     o.retry,
 		Recorder:  reg,
 		Traces:    traces,
+		Metrics:   reg,
+		Flight:    flight,
 	})
 	if err != nil {
 		return err
@@ -168,6 +182,16 @@ func run(o options) error {
 	}
 	if srv != nil {
 		_ = srv.DrainAndShutdown(0, 100*time.Millisecond)
+	}
+	if o.flightDump != "" && flight != nil {
+		if f, ferr := os.Create(o.flightDump); ferr != nil {
+			fmt.Fprintf(os.Stderr, "spacx-worker: flightrec dump: %v\n", ferr)
+		} else {
+			if werr := flight.WriteJSONL(f); werr != nil {
+				fmt.Fprintf(os.Stderr, "spacx-worker: flightrec dump: %v\n", werr)
+			}
+			_ = f.Close()
+		}
 	}
 	if err != nil {
 		return err

@@ -1,0 +1,176 @@
+// Package flightrec is a bounded structured event ring — a flight recorder
+// for the distributed sweep fabric. The coordinator and the workers record
+// fabric lifecycle events (worker join/leave, lease grant/expiry/steal,
+// stale uploads, merge conflicts, sweep start/finish/cancel) as they happen;
+// a postmortem of a killed worker or a zombie delivery then reads the
+// recorded sequence from GET /fleet/events (or a -flightrec dump) instead of
+// scraping logs, and test harnesses assert against events instead of timing.
+//
+// Timestamps are dual: WallUTC for humans, UptimeSec measured on the
+// monotonic clock since the recorder started — event ordering and spacing
+// stay exact across wall-clock steps. Seq is a gapless per-recorder sequence
+// number, so a reader can tell "ring wrapped" (Dropped > 0, seq gap at the
+// front) from "nothing happened".
+//
+// The nil *Recorder is a valid no-op: Record on nil returns immediately and
+// allocates nothing, so fabric hot paths call it unconditionally and pay
+// only a nil check when flight recording is off.
+package flightrec
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Event is one recorded fabric lifecycle event. Kind is a small stable
+// vocabulary ("worker:join", "lease:expire", "upload:stale", ...); the
+// Worker/Sweep/Lease/Trace fields carry whichever correlation ids the event
+// has, so a trace id links recorded events to the stitched span tree of the
+// job they belong to.
+type Event struct {
+	Seq       uint64    `json:"seq"`
+	WallUTC   time.Time `json:"wall_utc"`
+	UptimeSec float64   `json:"uptime_sec"`
+	Kind      string    `json:"kind"`
+	Worker    string    `json:"worker,omitempty"`
+	Sweep     string    `json:"sweep,omitempty"`
+	Lease     string    `json:"lease,omitempty"`
+	Trace     string    `json:"trace,omitempty"`
+	Detail    string    `json:"detail,omitempty"`
+}
+
+// Recorder is the bounded ring. Create with New; the nil Recorder discards.
+type Recorder struct {
+	start time.Time // monotonic anchor
+
+	mu      sync.Mutex
+	buf     []Event
+	head    int // index of the oldest retained event
+	size    int
+	seq     uint64
+	dropped uint64
+}
+
+// New builds a recorder retaining the most recent capacity events
+// (<= 0 means 1024). The ring is allocated up front so recording never
+// allocates.
+func New(capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	return &Recorder{start: time.Now(), buf: make([]Event, capacity)}
+}
+
+// Record stamps e (Seq, WallUTC, UptimeSec) and appends it, overwriting the
+// oldest event once the ring is full. A nil Recorder records nothing and
+// allocates nothing.
+func (r *Recorder) Record(e Event) {
+	if r == nil {
+		return
+	}
+	now := time.Now()
+	r.mu.Lock()
+	r.seq++
+	e.Seq = r.seq
+	e.WallUTC = now.UTC()
+	e.UptimeSec = now.Sub(r.start).Seconds()
+	if r.size < len(r.buf) {
+		r.buf[(r.head+r.size)%len(r.buf)] = e
+		r.size++
+	} else {
+		r.buf[r.head] = e
+		r.head = (r.head + 1) % len(r.buf)
+		r.dropped++
+	}
+	r.mu.Unlock()
+}
+
+// Events returns the retained events, oldest first. Nil-safe.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, 0, r.size)
+	for i := 0; i < r.size; i++ {
+		out = append(out, r.buf[(r.head+i)%len(r.buf)])
+	}
+	return out
+}
+
+// Len reports the number of retained events. Nil-safe.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.size
+}
+
+// Dropped reports how many events the ring has overwritten. Nil-safe.
+func (r *Recorder) Dropped() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// DumpData is the JSON document GET /fleet/events serves: the retained
+// events plus enough framing to interpret them.
+type DumpData struct {
+	StartUTC time.Time `json:"start_utc"`
+	Total    uint64    `json:"total"`   // events ever recorded
+	Dropped  uint64    `json:"dropped"` // overwritten by ring wrap
+	Events   []Event   `json:"events"`
+}
+
+// Dump snapshots the recorder. A nil Recorder dumps an empty document.
+func (r *Recorder) Dump() DumpData {
+	if r == nil {
+		return DumpData{Events: []Event{}}
+	}
+	r.mu.Lock()
+	total, dropped := r.seq, r.dropped
+	r.mu.Unlock()
+	return DumpData{
+		StartUTC: r.start.UTC(),
+		Total:    total,
+		Dropped:  dropped,
+		Events:   r.Events(),
+	}
+}
+
+// WriteJSONL writes the retained events one JSON object per line — the
+// -flightrec file dump format, greppable and ingestible line by line.
+// Nil-safe (writes nothing).
+func (r *Recorder) WriteJSONL(w io.Writer) error {
+	for _, e := range r.Events() {
+		b, err := json.Marshal(e)
+		if err != nil {
+			return err
+		}
+		b = append(b, '\n')
+		if _, err := w.Write(b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Find returns the retained events of one kind, oldest first — the harness
+// assertion helper ("did a lease:expire for sweep X happen?"). Nil-safe.
+func (r *Recorder) Find(kind string) []Event {
+	var out []Event
+	for _, e := range r.Events() {
+		if e.Kind == kind {
+			out = append(out, e)
+		}
+	}
+	return out
+}

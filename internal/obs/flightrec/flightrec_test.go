@@ -1,0 +1,156 @@
+package flightrec
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestRecordRetainsInOrderWithGaplessSeq(t *testing.T) {
+	r := New(8)
+	for i := 0; i < 5; i++ {
+		r.Record(Event{Kind: "lease:grant", Lease: fmt.Sprintf("l%d", i)})
+	}
+	evs := r.Events()
+	if len(evs) != 5 || r.Len() != 5 || r.Dropped() != 0 {
+		t.Fatalf("len=%d/%d dropped=%d, want 5/5/0", len(evs), r.Len(), r.Dropped())
+	}
+	for i, e := range evs {
+		if e.Seq != uint64(i+1) {
+			t.Fatalf("event %d Seq = %d, want %d", i, e.Seq, i+1)
+		}
+		if e.Lease != fmt.Sprintf("l%d", i) {
+			t.Fatalf("event %d out of order: %+v", i, e)
+		}
+		if e.WallUTC.IsZero() || e.UptimeSec < 0 {
+			t.Fatalf("event %d missing timestamps: %+v", i, e)
+		}
+		if i > 0 && e.UptimeSec < evs[i-1].UptimeSec {
+			t.Fatalf("monotonic uptime went backwards: %v then %v", evs[i-1].UptimeSec, e.UptimeSec)
+		}
+	}
+}
+
+func TestRingWrapOverwritesOldestAndCounts(t *testing.T) {
+	r := New(4)
+	for i := 0; i < 10; i++ {
+		r.Record(Event{Kind: "worker:join", Worker: fmt.Sprintf("w%d", i)})
+	}
+	evs := r.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained %d events, want 4", len(evs))
+	}
+	if r.Dropped() != 6 {
+		t.Fatalf("Dropped = %d, want 6", r.Dropped())
+	}
+	// The retained window is the most recent four, oldest first.
+	for i, e := range evs {
+		if want := fmt.Sprintf("w%d", 6+i); e.Worker != want {
+			t.Fatalf("retained[%d] = %q, want %q", i, e.Worker, want)
+		}
+	}
+	d := r.Dump()
+	if d.Total != 10 || d.Dropped != 6 || len(d.Events) != 4 {
+		t.Fatalf("Dump = total %d dropped %d events %d, want 10/6/4", d.Total, d.Dropped, len(d.Events))
+	}
+}
+
+func TestNilRecorderIsSafeAndDumpsEmpty(t *testing.T) {
+	var r *Recorder
+	r.Record(Event{Kind: "worker:join"})
+	if r.Len() != 0 || r.Dropped() != 0 || r.Events() != nil {
+		t.Fatal("nil recorder must retain nothing")
+	}
+	d := r.Dump()
+	if d.Events == nil || len(d.Events) != 0 || d.Total != 0 {
+		t.Fatalf("nil Dump = %+v, want empty document with non-nil Events", d)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteJSONL(&buf); err != nil || buf.Len() != 0 {
+		t.Fatalf("nil WriteJSONL wrote %q err %v, want nothing", buf.String(), err)
+	}
+	if got := r.Find("worker:join"); got != nil {
+		t.Fatalf("nil Find = %v, want nil", got)
+	}
+}
+
+// TestDisabledRecorderRecordsWithZeroAllocs is the bench-check contract in
+// unit-test form: with flight recording off (nil recorder), the fabric hot
+// paths that call Record unconditionally must not allocate — the Event is
+// built on the stack and the nil check returns immediately.
+func TestDisabledRecorderRecordsWithZeroAllocs(t *testing.T) {
+	var r *Recorder
+	allocs := testing.AllocsPerRun(1000, func() {
+		r.Record(Event{Kind: "lease:grant", Worker: "w1", Sweep: "s1", Lease: "l1", Trace: "t1"})
+	})
+	if allocs != 0 {
+		t.Fatalf("nil-recorder Record allocates %v per call, want 0", allocs)
+	}
+}
+
+func TestWriteJSONLRoundTrips(t *testing.T) {
+	r := New(8)
+	r.Record(Event{Kind: "worker:join", Worker: "w1", Detail: "v1"})
+	r.Record(Event{Kind: "lease:expire", Worker: "w1", Sweep: "s1", Lease: "l1", Trace: "t-1"})
+	var buf bytes.Buffer
+	if err := r.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	var lines []Event
+	for sc.Scan() {
+		var e Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("line %d not JSON: %v", len(lines), err)
+		}
+		lines = append(lines, e)
+	}
+	if len(lines) != 2 || lines[0].Kind != "worker:join" || lines[1].Trace != "t-1" {
+		t.Fatalf("round trip = %+v", lines)
+	}
+}
+
+func TestFindFiltersByKind(t *testing.T) {
+	r := New(8)
+	r.Record(Event{Kind: "worker:join", Worker: "a"})
+	r.Record(Event{Kind: "lease:grant", Worker: "a"})
+	r.Record(Event{Kind: "worker:join", Worker: "b"})
+	got := r.Find("worker:join")
+	if len(got) != 2 || got[0].Worker != "a" || got[1].Worker != "b" {
+		t.Fatalf("Find = %+v, want both joins oldest first", got)
+	}
+	if r.Find("sweep:cancel") != nil {
+		t.Fatal("Find of an absent kind must return nil")
+	}
+}
+
+func TestConcurrentRecordKeepsInvariants(t *testing.T) {
+	r := New(32)
+	var wg sync.WaitGroup
+	const writers, each = 8, 100
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				r.Record(Event{Kind: "lease:grant"})
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Len() != 32 {
+		t.Fatalf("Len = %d, want the full ring (32)", r.Len())
+	}
+	if got := r.Dropped(); got != writers*each-32 {
+		t.Fatalf("Dropped = %d, want %d", got, writers*each-32)
+	}
+	evs := r.Events()
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq != evs[i-1].Seq+1 {
+			t.Fatalf("retained window has a seq gap: %d then %d", evs[i-1].Seq, evs[i].Seq)
+		}
+	}
+}

@@ -1,0 +1,188 @@
+package obs
+
+import (
+	"sort"
+	"strings"
+)
+
+// This file is the federation half of the metrics layer: a coordinator that
+// receives registry Snapshots pushed from remote workers merges them into
+// one fleet-wide Snapshot for re-export on its own /metrics page.
+//
+// Merge semantics per series identity (name + full label set):
+//
+//	counters    summed
+//	gauges      last value wins (argument order = arrival order)
+//	histograms  merged bucketwise when the bucket bounds agree: Count and
+//	            Sum add, per-bucket cumulative counts add, Min/Max combine
+//
+// Because Quantile interpolates from Count, the cumulative Buckets, and the
+// recorded Min/Max only — all of which merge exactly (integer adds and
+// min/max, no floating-point re-bucketing) — quantiles of a merged histogram
+// equal quantiles computed over the union of the underlying samples, as long
+// as every input used the same bounds. bucketsFor derives bounds from the
+// metric name alone, so snapshots of the same metric taken in different
+// processes of the same build always merge exactly.
+
+// snapKey is the canonical series identity of an exported point: the same
+// name{k="v",...} rendering seriesKey produces inside a Registry.
+func snapKey(name string, labels map[string]string) string {
+	if len(labels) == 0 {
+		return name
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(labels[k]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// MergeSnapshots combines snapshots series-by-series: counters sum, gauges
+// keep the last value seen, histograms merge bucketwise. A histogram whose
+// bucket bounds disagree with the first-seen series of the same identity is
+// skipped (merging across different bucket layouts would silently corrupt
+// quantiles). The result is deterministic: series sorted by canonical key.
+func MergeSnapshots(snaps ...Snapshot) Snapshot {
+	counters := map[string]*Point{}
+	gauges := map[string]*Point{}
+	hists := map[string]*HistogramData{}
+	var cOrder, gOrder, hOrder []string
+	for _, sn := range snaps {
+		for _, p := range sn.Counters {
+			k := snapKey(p.Name, p.Labels)
+			if have, ok := counters[k]; ok {
+				have.Value += p.Value
+			} else {
+				cp := p
+				counters[k] = &cp
+				cOrder = append(cOrder, k)
+			}
+		}
+		for _, p := range sn.Gauges {
+			k := snapKey(p.Name, p.Labels)
+			if have, ok := gauges[k]; ok {
+				have.Value = p.Value
+			} else {
+				cp := p
+				gauges[k] = &cp
+				gOrder = append(gOrder, k)
+			}
+		}
+		for _, h := range sn.Histograms {
+			k := snapKey(h.Name, h.Labels)
+			if have, ok := hists[k]; ok {
+				mergeHistogram(have, h)
+			} else {
+				cp := h
+				cp.Buckets = append([]Bucket(nil), h.Buckets...)
+				hists[k] = &cp
+				hOrder = append(hOrder, k)
+			}
+		}
+	}
+	var out Snapshot
+	sort.Strings(cOrder)
+	for _, k := range cOrder {
+		out.Counters = append(out.Counters, *counters[k])
+	}
+	sort.Strings(gOrder)
+	for _, k := range gOrder {
+		out.Gauges = append(out.Gauges, *gauges[k])
+	}
+	sort.Strings(hOrder)
+	for _, k := range hOrder {
+		out.Histograms = append(out.Histograms, *hists[k])
+	}
+	return out
+}
+
+// mergeHistogram folds src into dst when their bucket bounds agree,
+// reporting whether it did. An empty src is a trivial success.
+func mergeHistogram(dst *HistogramData, src HistogramData) bool {
+	if len(dst.Buckets) != len(src.Buckets) {
+		return false
+	}
+	for i := range dst.Buckets {
+		if dst.Buckets[i].LE != src.Buckets[i].LE {
+			return false
+		}
+	}
+	if src.Count == 0 {
+		return true
+	}
+	if dst.Count == 0 {
+		dst.Min, dst.Max = src.Min, src.Max
+	} else {
+		if src.Min < dst.Min {
+			dst.Min = src.Min
+		}
+		if src.Max > dst.Max {
+			dst.Max = src.Max
+		}
+	}
+	dst.Count += src.Count
+	dst.Sum += src.Sum
+	for i := range dst.Buckets {
+		dst.Buckets[i].Count += src.Buckets[i].Count
+	}
+	return true
+}
+
+// WithLabel returns a copy of the snapshot with one label added to every
+// series — how a coordinator scopes a pushed worker snapshot to
+// worker="name" before merging it into the federated export, so same-named
+// series from different workers stay distinct.
+func (s Snapshot) WithLabel(key, value string) Snapshot {
+	relabel := func(labels map[string]string) map[string]string {
+		m := make(map[string]string, len(labels)+1)
+		for k, v := range labels {
+			m[k] = v
+		}
+		m[key] = value
+		return m
+	}
+	var out Snapshot
+	for _, p := range s.Counters {
+		p.Labels = relabel(p.Labels)
+		out.Counters = append(out.Counters, p)
+	}
+	for _, p := range s.Gauges {
+		p.Labels = relabel(p.Labels)
+		out.Gauges = append(out.Gauges, p)
+	}
+	for _, h := range s.Histograms {
+		h.Labels = relabel(h.Labels)
+		h.Buckets = append([]Bucket(nil), h.Buckets...)
+		out.Histograms = append(out.Histograms, h)
+	}
+	return out
+}
+
+// CounterValue looks one counter series up by name, summing across label
+// sets — how the coordinator reads a worker's points-total out of a pushed
+// snapshot without caring which labels the worker attached.
+func (s Snapshot) CounterValue(name string) (float64, bool) {
+	var total float64
+	found := false
+	for _, p := range s.Counters {
+		if p.Name == name {
+			total += p.Value
+			found = true
+		}
+	}
+	return total, found
+}

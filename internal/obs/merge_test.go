@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestMergeSnapshotsCountersSumGaugesLastWin(t *testing.T) {
+	a := NewRegistry(nil)
+	a.Count("spacx_worker_points_total", 3)
+	a.Count("spacx_worker_points_total", 2, Label{Key: "model", Value: "resnet"})
+	a.Gauge("spacx_worker_inflight", 4)
+	b := NewRegistry(nil)
+	b.Count("spacx_worker_points_total", 5)
+	b.Gauge("spacx_worker_inflight", 1)
+
+	m := MergeSnapshots(a.Snapshot(), b.Snapshot())
+	var plain, labelled float64
+	for _, p := range m.Counters {
+		if p.Name != "spacx_worker_points_total" {
+			continue
+		}
+		if len(p.Labels) == 0 {
+			plain = p.Value
+		} else {
+			labelled = p.Value
+		}
+	}
+	if plain != 8 || labelled != 2 {
+		t.Fatalf("merged counters = %v/%v, want 8 (summed) and 2 (distinct labels)", plain, labelled)
+	}
+	for _, p := range m.Gauges {
+		if p.Name == "spacx_worker_inflight" && p.Value != 1 {
+			t.Fatalf("merged gauge = %v, want 1 (last value wins)", p.Value)
+		}
+	}
+}
+
+func TestMergeSkipsMismatchedBucketLayouts(t *testing.T) {
+	mk := func(bounds []float64) Snapshot {
+		r := NewRegistry(nil)
+		r.SetBuckets("custom_hist", bounds)
+		r.Observe("custom_hist", 0.5)
+		return r.Snapshot()
+	}
+	m := MergeSnapshots(mk([]float64{1, 2}), mk([]float64{1, 2, 4}))
+	if len(m.Histograms) != 1 || m.Histograms[0].Count != 1 {
+		t.Fatalf("mismatched layouts must keep the first series untouched: %+v", m.Histograms)
+	}
+}
+
+func TestWithLabelScopesEverySeries(t *testing.T) {
+	r := NewRegistry(nil)
+	r.Count("spacx_worker_points_total", 7)
+	r.Observe("spacx_worker_batch_seconds", 0.1)
+	s := r.Snapshot().WithLabel("worker", "rack1")
+	for _, p := range s.Counters {
+		if p.Labels["worker"] != "rack1" {
+			t.Fatalf("counter missing worker label: %+v", p)
+		}
+	}
+	for _, h := range s.Histograms {
+		if h.Labels["worker"] != "rack1" {
+			t.Fatalf("histogram missing worker label: %+v", h)
+		}
+	}
+	// The relabel is a copy: the source snapshot stays label-free.
+	if src := r.Snapshot(); len(src.Counters[0].Labels) != 0 {
+		t.Fatalf("WithLabel mutated the source: %+v", src.Counters[0])
+	}
+}
+
+// TestMergedQuantilesEqualUnionQuantiles is the federation correctness
+// property: for two worker snapshots of the same histogram, quantiles of the
+// merged series must EXACTLY equal quantiles computed over the union of the
+// underlying samples. This holds because Quantile interpolates from Count,
+// the cumulative bucket counts, and Min/Max only — all of which merge by
+// integer addition and min/max, with no floating-point re-bucketing.
+func TestMergedQuantilesEqualUnionQuantiles(t *testing.T) {
+	const name = "spacx_worker_batch_seconds"
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		wa, wb, union := NewRegistry(nil), NewRegistry(nil), NewRegistry(nil)
+		nA, nB := 1+rng.Intn(200), 1+rng.Intn(200)
+		sample := func() float64 {
+			// Span several orders of magnitude so samples land across the
+			// log-spaced bucket layout, including below and above its ends.
+			return math.Pow(10, -5+10*rng.Float64())
+		}
+		for i := 0; i < nA; i++ {
+			v := sample()
+			wa.Observe(name, v)
+			union.Observe(name, v)
+		}
+		for i := 0; i < nB; i++ {
+			v := sample()
+			wb.Observe(name, v)
+			union.Observe(name, v)
+		}
+		merged := MergeSnapshots(wa.Snapshot(), wb.Snapshot())
+		if len(merged.Histograms) != 1 {
+			t.Fatalf("trial %d: merged histograms = %d, want 1", trial, len(merged.Histograms))
+		}
+		mh := merged.Histograms[0]
+		uh := union.Snapshot().Histograms[0]
+		if mh.Count != uh.Count || mh.Min != uh.Min || mh.Max != uh.Max {
+			t.Fatalf("trial %d: merged count/min/max = %d/%v/%v, union = %d/%v/%v",
+				trial, mh.Count, mh.Min, mh.Max, uh.Count, uh.Min, uh.Max)
+		}
+		for _, q := range []float64{0, 0.01, 0.25, 0.5, 0.9, 0.95, 0.99, 1} {
+			if got, want := mh.Quantile(q), uh.Quantile(q); got != want {
+				t.Fatalf("trial %d: merged p%v = %v, union p%v = %v (must be exactly equal)",
+					trial, q*100, got, q*100, want)
+			}
+		}
+	}
+}
+
+func TestCounterValueSumsAcrossLabelSets(t *testing.T) {
+	r := NewRegistry(nil)
+	r.Count("spacx_worker_points_total", 3, Label{Key: "model", Value: "a"})
+	r.Count("spacx_worker_points_total", 4, Label{Key: "model", Value: "b"})
+	s := r.Snapshot()
+	if v, ok := s.CounterValue("spacx_worker_points_total"); !ok || v != 7 {
+		t.Fatalf("CounterValue = %v/%v, want 7/true", v, ok)
+	}
+	if _, ok := s.CounterValue("absent"); ok {
+		t.Fatal("CounterValue must report absent counters")
+	}
+}

@@ -2,6 +2,7 @@ package tracing
 
 import (
 	"context"
+	"sync"
 	"testing"
 	"time"
 
@@ -144,5 +145,182 @@ func TestOrphanedSpansSurfaceAtTopLevel(t *testing.T) {
 	tree := buildTree(flat)
 	if len(tree) != 2 || tree[0].Name != "root" || tree[1].Name != "orphan" {
 		t.Fatalf("tree = %+v, want root then orphan at top level", tree)
+	}
+}
+
+func TestEndAnnotatedTagsTheExportedSpan(t *testing.T) {
+	c := NewCollector(4, nil)
+	ctx, root := c.StartTrace(context.Background(), "job:sweep")
+	_, sp := StartSpan(ctx, "fabric:lease")
+	sp.EndAnnotated("expired")
+	sp.EndAnnotated("late") // only the first completion wins
+	root.End()
+	spans, ok := c.Export(ID(ctx))
+	if !ok {
+		t.Fatal("trace not retained")
+	}
+	var note string
+	for _, s := range spans {
+		if s.Name == "fabric:lease" {
+			note = s.Note
+		}
+	}
+	if note != "expired" {
+		t.Fatalf("lease span note = %q, want %q", note, "expired")
+	}
+}
+
+// TestIngestStitchesRemoteSpansUnderParent is the cross-process stitching
+// contract: a worker's exported spans graft under the coordinator's lease
+// span with fresh local ids, intra-batch parent links preserved (including a
+// child exported before its parent), batch roots reparented onto the lease
+// span, and the worker attribution stamped on.
+func TestIngestStitchesRemoteSpansUnderParent(t *testing.T) {
+	c := NewCollector(4, nil)
+	ctx, root := c.StartTrace(context.Background(), "job:sweep")
+	_, leaseSp := StartSpan(ctx, "fabric:lease")
+
+	// A worker-local trace exported flat in end order: the point span (child)
+	// ends before the compute span and the worker root — forward references.
+	remote := []SpanData{
+		{ID: 3, Parent: 2, Name: "worker:point"},
+		{ID: 2, Parent: 1, Name: "worker:compute"},
+		{ID: 1, Parent: 0, Name: "worker:lease"},
+	}
+	added, dropped := c.Ingest(ID(ctx), leaseSp.ID(), "rack1", remote)
+	if added != 3 || dropped != 0 {
+		t.Fatalf("Ingest = (%d added, %d dropped), want (3, 0)", added, dropped)
+	}
+	leaseSp.End()
+	root.End()
+
+	td, ok := c.Trace(ID(ctx))
+	if !ok {
+		t.Fatal("trace not retained")
+	}
+	if len(td.Spans) != 1 {
+		t.Fatalf("top level = %+v, want the single job root", td.Spans)
+	}
+	var lease SpanData
+	for _, s := range td.Spans[0].Children {
+		if s.Name == "fabric:lease" {
+			lease = s
+		}
+	}
+	if lease.Name == "" {
+		t.Fatalf("no fabric:lease under the root: %+v", td.Spans[0].Children)
+	}
+	if len(lease.Children) != 1 || lease.Children[0].Name != "worker:lease" {
+		t.Fatalf("lease children = %+v, want [worker:lease]", lease.Children)
+	}
+	wl := lease.Children[0]
+	if wl.Worker != "rack1" {
+		t.Fatalf("stitched span worker = %q, want rack1", wl.Worker)
+	}
+	if len(wl.Children) != 1 || wl.Children[0].Name != "worker:compute" {
+		t.Fatalf("worker:lease children = %+v, want [worker:compute]", wl.Children)
+	}
+	if len(wl.Children[0].Children) != 1 || wl.Children[0].Children[0].Name != "worker:point" {
+		t.Fatalf("worker:compute children = %+v, want [worker:point]", wl.Children[0].Children)
+	}
+}
+
+func TestIngestIntoEvictedTraceDropsEverything(t *testing.T) {
+	c := NewCollector(1, nil)
+	ctx1, root1 := c.StartTrace(context.Background(), "job:a")
+	root1.End()
+	evicted := ID(ctx1)
+	_, root2 := c.StartTrace(context.Background(), "job:b") // evicts job:a
+	root2.End()
+	added, dropped := c.Ingest(evicted, 1, "w", []SpanData{{ID: 1, Name: "x"}, {ID: 2, Name: "y"}})
+	if added != 0 || dropped != 2 {
+		t.Fatalf("Ingest into evicted trace = (%d, %d), want (0, 2)", added, dropped)
+	}
+}
+
+// TestIngestRespectsSpanCapExactly fills a trace to the 512-span cap and
+// checks Ingest accounts every span past it into Dropped, exactly.
+func TestIngestRespectsSpanCapExactly(t *testing.T) {
+	c := NewCollector(2, nil)
+	ctx, root := c.StartTrace(context.Background(), "job:sweep")
+	for i := 0; i < maxSpansPerTrace-10; i++ {
+		_, sp := StartSpan(ctx, "engine:compute")
+		sp.End()
+	}
+	// 10 slots left; ingest 25 remote spans: 10 stitch, 15 drop.
+	remote := make([]SpanData, 25)
+	for i := range remote {
+		remote[i] = SpanData{ID: int64(i + 1), Name: "worker:point"}
+	}
+	added, dropped := c.Ingest(ID(ctx), 1, "w", remote)
+	if added != 10 || dropped != 15 {
+		t.Fatalf("Ingest at cap = (%d added, %d dropped), want (10, 15)", added, dropped)
+	}
+	root.End() // past the cap too: counts into Dropped
+	td, _ := c.Trace(ID(ctx))
+	if td.Dropped != 16 {
+		t.Fatalf("trace Dropped = %d, want 16 (15 ingested + the root)", td.Dropped)
+	}
+}
+
+// TestConcurrentDistributedJobsNeverPanic hammers the collector the way a
+// busy coordinator is hammered: many concurrent traces starting (FIFO
+// evicting older ones), local spans ending, and worker batches ingesting into
+// traces that may already be evicted — stitching and rendering must never
+// panic, and rendered trees must stay well-formed.
+func TestConcurrentDistributedJobsNeverPanic(t *testing.T) {
+	c := NewCollector(4, nil) // tiny retention so eviction races ingestion
+	var wg sync.WaitGroup
+	ids := make([]string, 16)
+	for i := range ids {
+		ctx, root := c.StartTrace(context.Background(), "job:sweep")
+		ids[i] = ID(ctx)
+		root.End()
+	}
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				switch g % 4 {
+				case 0: // new traces force FIFO eviction
+					ctx, root := c.StartTrace(context.Background(), "job:sweep")
+					_, sp := StartSpan(ctx, "fabric:lease")
+					sp.End()
+					root.End()
+				case 1: // ingest into possibly-evicted traces
+					c.Ingest(ids[(g*50+i)%len(ids)], 2, "w", []SpanData{
+						{ID: 3, Parent: 1, Name: "worker:point"},
+						{ID: 1, Name: "worker:lease"},
+					})
+				case 2: // render everything retained
+					for _, s := range c.List() {
+						c.Trace(s.ID)
+					}
+				case 3: // export everything retained
+					for _, s := range c.List() {
+						c.Export(s.ID)
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for _, s := range c.List() {
+		td, ok := c.Trace(s.ID)
+		if !ok {
+			continue
+		}
+		var walk func([]SpanData) int
+		walk = func(spans []SpanData) int {
+			n := len(spans)
+			for _, sp := range spans {
+				n += walk(sp.Children)
+			}
+			return n
+		}
+		if n := walk(td.Spans); n > maxSpansPerTrace {
+			t.Fatalf("trace %s renders %d spans, cap is %d", s.ID, n, maxSpansPerTrace)
+		}
 	}
 }

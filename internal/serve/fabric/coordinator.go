@@ -13,6 +13,7 @@ import (
 	"spacx/internal/buildinfo"
 	"spacx/internal/exp/engine"
 	"spacx/internal/obs"
+	"spacx/internal/obs/flightrec"
 	"spacx/internal/obs/tracing"
 )
 
@@ -38,6 +39,15 @@ type Options struct {
 	Janitor time.Duration
 	// Recorder receives fabric metrics (nil means none).
 	Recorder obs.Recorder
+	// Traces, when non-nil, receives worker-side spans stitched under the
+	// lease spans of the traces submitting jobs carry — the coordinator half
+	// of cross-process trace stitching. It must be the same collector the
+	// serving stack records into.
+	Traces *tracing.Collector
+	// Flight, when non-nil, records fabric lifecycle events into the flight
+	// recorder served on GET /fleet/events. Nil disables recording at zero
+	// cost (the nil recorder is a no-op).
+	Flight *flightrec.Recorder
 }
 
 func (o Options) withDefaults() Options {
@@ -94,8 +104,12 @@ var errUnknownWorker = errors.New("fabric: unknown worker")
 // shard queues, lease issue/expiry/requeue, and first-write-wins result
 // merging. One Coordinator serves many concurrent sweeps.
 type Coordinator struct {
-	opts Options
-	rec  obs.Recorder
+	opts   Options
+	rec    obs.Recorder
+	traces *tracing.Collector
+	flight *flightrec.Recorder
+	// version is this process's build stamp, cached for skew checks.
+	version string
 
 	mu      sync.Mutex
 	workers map[string]*workerState
@@ -110,12 +124,33 @@ type Coordinator struct {
 }
 
 type workerState struct {
-	id       string
-	name     string
-	version  string
-	jobs     int
-	lastSeen time.Time
-	leases   map[string]struct{}
+	id        string
+	name      string
+	version   string
+	goVersion string
+	revision  string
+	skew      bool // build stamp differs from the coordinator's
+	jobs      int
+	joined    time.Time
+	lastSeen  time.Time
+	leases    map[string]struct{}
+
+	// Federation state: the worker's last pushed registry snapshot plus a
+	// points/sec rate derived from consecutive pushes.
+	metrics      *obs.Snapshot
+	metricsAt    time.Time
+	prevPoints   float64
+	prevPointsAt time.Time
+	rate         float64
+}
+
+// label is the worker's operator-facing identity for federated series and
+// flight events: the registration name when set, else the assigned id.
+func (w *workerState) label() string {
+	if w.name != "" {
+		return w.name
+	}
+	return w.id
 }
 
 // sweepState is one in-flight distributed sweep. All fields are guarded by
@@ -123,6 +158,7 @@ type workerState struct {
 // never depends on upload order.
 type sweepState struct {
 	id        string
+	trace     string          // the submitting job's trace id ("" untraced)
 	ctx       context.Context // the submitting job's context: carries its trace
 	points    []Point
 	outcomes  []Outcome
@@ -143,6 +179,7 @@ type lease struct {
 	id       string
 	sweepID  string
 	workerID string
+	trace    string // the sweep's trace id, for flight-event correlation
 	indices  []int
 	expires  time.Time
 	span     *tracing.Span
@@ -164,6 +201,9 @@ func New(opts Options) *Coordinator {
 	c := &Coordinator{
 		opts:        opts,
 		rec:         opts.Recorder,
+		traces:      opts.Traces,
+		flight:      opts.Flight,
+		version:     buildinfo.Get().String(),
 		workers:     map[string]*workerState{},
 		sweeps:      map[string]*sweepState{},
 		leases:      map[string]*lease{},
@@ -222,19 +262,26 @@ func (c *Coordinator) Register(req RegisterRequest) (RegisterResponse, error) {
 	if c.closed {
 		return RegisterResponse{}, ErrClosed
 	}
+	now := time.Now()
 	w := &workerState{
-		id:       newID("w"),
-		name:     req.Name,
-		version:  req.Version,
-		jobs:     req.Jobs,
-		lastSeen: time.Now(),
-		leases:   map[string]struct{}{},
+		id:        newID("w"),
+		name:      req.Name,
+		version:   req.Version,
+		goVersion: req.GoVersion,
+		revision:  req.Revision,
+		jobs:      req.Jobs,
+		joined:    now,
+		lastSeen:  now,
+		leases:    map[string]struct{}{},
 	}
 	c.workers[w.id] = w
-	if own := buildinfo.Get().String(); req.Version != "" && req.Version != own {
+	if req.Version != "" && req.Version != c.version {
+		w.skew = true
 		c.rec.Count("spacx_fabric_version_mismatch_total", 1)
-		c.rec.Logger().Warn("fabric worker version skew", "worker", w.id, "worker_version", req.Version, "coordinator_version", own)
+		c.rec.Logger().Warn("fabric worker version skew", "worker", w.id, "worker_version", req.Version, "coordinator_version", c.version)
 	}
+	c.updateSkewGaugeLocked()
+	c.flight.Record(flightrec.Event{Kind: "worker:join", Worker: w.label(), Detail: req.Version})
 	c.rec.Count("spacx_fabric_registrations_total", 1)
 	c.rec.Gauge("spacx_fabric_workers", float64(len(c.workers)))
 	return RegisterResponse{
@@ -251,19 +298,67 @@ func (c *Coordinator) Register(req RegisterRequest) (RegisterResponse, error) {
 // the worker stops computing it.
 func (c *Coordinator) Heartbeat(req HeartbeatRequest) (HeartbeatResponse, error) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	w, ok := c.workers[req.WorkerID]
 	if !ok {
+		c.mu.Unlock()
 		return HeartbeatResponse{}, errUnknownWorker
 	}
-	w.lastSeen = time.Now()
+	now := time.Now()
+	w.lastSeen = now
+	if req.Metrics != nil {
+		w.metrics = req.Metrics
+		w.metricsAt = now
+		// Derive a points/sec rate from consecutive pushes of the worker's
+		// monotonic points counter; the first push just anchors the window.
+		if pts, ok := req.Metrics.CounterValue("spacx_worker_points_total"); ok {
+			if dt := now.Sub(w.prevPointsAt).Seconds(); !w.prevPointsAt.IsZero() && dt > 0 && pts >= w.prevPoints {
+				w.rate = (pts - w.prevPoints) / dt
+			}
+			w.prevPoints, w.prevPointsAt = pts, now
+		}
+	}
+	label := w.label()
 	resp := HeartbeatResponse{Proto: ProtoVersion, Drain: c.closed}
 	for _, lid := range req.Leases {
 		if l, ok := c.leases[lid]; !ok || l.workerID != req.WorkerID {
 			resp.Cancelled = append(resp.Cancelled, lid)
 		}
 	}
+	c.mu.Unlock()
+	// Span stitching happens outside the coordinator lock: the collector has
+	// its own locking and never calls back into the fabric.
+	for _, b := range req.Spans {
+		c.ingestSpans(label, b.Trace, b.Span, b.Spans)
+	}
 	return resp, nil
+}
+
+// ingestSpans grafts one worker span batch into the coordinator's trace
+// collector, counting what stitched and what was dropped (trace evicted or
+// span cap reached).
+func (c *Coordinator) ingestSpans(worker, trace string, parent int64, spans []tracing.SpanData) {
+	if c.traces == nil || trace == "" || len(spans) == 0 {
+		return
+	}
+	added, dropped := c.traces.Ingest(trace, parent, worker, spans)
+	if added > 0 {
+		c.rec.Count("spacx_fabric_spans_stitched_total", float64(added))
+	}
+	if dropped > 0 {
+		c.rec.Count("spacx_fabric_spans_dropped_total", float64(dropped))
+	}
+}
+
+// updateSkewGaugeLocked republishes the count of registered workers whose
+// build stamp differs from the coordinator's.
+func (c *Coordinator) updateSkewGaugeLocked() {
+	skewed := 0
+	for _, w := range c.workers {
+		if w.skew {
+			skewed++
+		}
+	}
+	c.rec.Gauge("spacx_fabric_version_skew", float64(skewed))
 }
 
 // RunSweep shards points across the registered workers and blocks until
@@ -293,6 +388,7 @@ func (c *Coordinator) RunSweep(ctx context.Context, ph *engine.Phase, points []P
 	}
 	sw := &sweepState{
 		id:        newID("s"),
+		trace:     tracing.ID(ctx),
 		ctx:       ctx,
 		points:    points,
 		outcomes:  make([]Outcome, len(points)),
@@ -312,6 +408,10 @@ func (c *Coordinator) RunSweep(ctx context.Context, ph *engine.Phase, points []P
 	c.order = append(c.order, sw.id)
 	c.signalWorkLocked()
 	c.mu.Unlock()
+	c.flight.Record(flightrec.Event{
+		Kind: "sweep:start", Sweep: sw.id, Trace: sw.trace,
+		Detail: fmt.Sprintf("%d points across %d workers", len(points), len(ids)),
+	})
 	c.rec.Count("spacx_fabric_sweeps_total", 1)
 
 	select {
@@ -353,6 +453,14 @@ func (c *Coordinator) finishSweepLocked(sw *sweepState, failure error) {
 	}
 	sw.terminal = true
 	sw.failure = failure
+	switch {
+	case failure == nil:
+		c.flight.Record(flightrec.Event{Kind: "sweep:finish", Sweep: sw.id, Trace: sw.trace})
+	case errors.Is(failure, context.Canceled):
+		c.flight.Record(flightrec.Event{Kind: "sweep:cancel", Sweep: sw.id, Trace: sw.trace})
+	default:
+		c.flight.Record(flightrec.Event{Kind: "sweep:fail", Sweep: sw.id, Trace: sw.trace, Detail: failure.Error()})
+	}
 	delete(c.sweeps, sw.id)
 	kept := c.order[:0]
 	for _, sid := range c.order {
@@ -426,7 +534,7 @@ func (c *Coordinator) tryLease(req LeaseRequest) (*LeaseResponse, chan struct{},
 		if sw == nil {
 			continue
 		}
-		idxs := sw.takeLocked(req.WorkerID, limit)
+		idxs, stole := sw.takeLocked(req.WorkerID, limit)
 		if len(idxs) == 0 {
 			continue
 		}
@@ -434,6 +542,7 @@ func (c *Coordinator) tryLease(req LeaseRequest) (*LeaseResponse, chan struct{},
 			id:       newID("l"),
 			sweepID:  sid,
 			workerID: req.WorkerID,
+			trace:    sw.trace,
 			indices:  idxs,
 			expires:  time.Now().Add(c.opts.LeaseTTL),
 		}
@@ -448,6 +557,15 @@ func (c *Coordinator) tryLease(req LeaseRequest) (*LeaseResponse, chan struct{},
 				sw.phase.PointStart()
 			}
 		}
+		detail := fmt.Sprintf("%d points", len(pts))
+		if stole {
+			detail += " (stolen)"
+			c.rec.Count("spacx_fabric_leases_stolen_total", 1)
+		}
+		c.flight.Record(flightrec.Event{
+			Kind: "lease:grant", Worker: w.label(), Sweep: sid, Lease: l.id,
+			Trace: sw.trace, Detail: detail,
+		})
 		c.rec.Count("spacx_fabric_leases_total", 1)
 		c.rec.Observe("spacx_fabric_lease_points", float64(len(pts)))
 		return &LeaseResponse{
@@ -456,6 +574,8 @@ func (c *Coordinator) tryLease(req LeaseRequest) (*LeaseResponse, chan struct{},
 			SweepID: sid,
 			TTLSec:  c.opts.LeaseTTL.Seconds(),
 			Points:  pts,
+			Trace:   sw.trace,
+			Span:    l.span.ID(),
 		}, nil, nil
 	}
 	return nil, c.workSig, nil
@@ -464,9 +584,9 @@ func (c *Coordinator) tryLease(req LeaseRequest) (*LeaseResponse, chan struct{},
 // takeLocked pops up to limit pending indices for a worker: its own shard
 // queue first (cache locality), then orphaned points, then — only when both
 // are empty — it steals from the longest other queue so a slow or dead
-// worker never strands the sweep.
-func (sw *sweepState) takeLocked(workerID string, limit int) []int {
-	var out []int
+// worker never strands the sweep. stole reports whether the grant came from
+// another worker's queue (the flight recorder distinguishes steals).
+func (sw *sweepState) takeLocked(workerID string, limit int) (out []int, stole bool) {
 	out, sw.queues[workerID] = popPending(sw.queues[workerID], sw.done, limit)
 	if len(out) < limit {
 		var more []int
@@ -482,9 +602,10 @@ func (sw *sweepState) takeLocked(workerID string, limit int) []int {
 		}
 		if victim != "" {
 			out, sw.queues[victim] = popPending(sw.queues[victim], sw.done, limit)
+			stole = len(out) > 0
 		}
 	}
-	return out
+	return out, stole
 }
 
 // popPending takes up to limit not-yet-done indices off the front of q,
@@ -510,13 +631,18 @@ func popPending(q []int, done []bool, limit int) (out, rest []int) {
 // the lease died — and flagged Stale.
 func (c *Coordinator) Upload(up ResultUpload) (ResultResponse, error) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	resp := ResultResponse{Proto: ProtoVersion}
+	label := up.WorkerID
 	if w, ok := c.workers[up.WorkerID]; ok {
 		w.lastSeen = time.Now()
+		label = w.label()
 	}
 	sw, ok := c.sweeps[up.SweepID]
 	if !ok {
+		c.mu.Unlock()
+		// The sweep is gone (finished or cancelled); the spans are still real
+		// work worth stitching if the trace is retained.
+		c.ingestSpans(label, up.Trace, up.Span, up.Spans)
 		resp.Cancelled = true
 		return resp, nil
 	}
@@ -525,6 +651,10 @@ func (c *Coordinator) Upload(up ResultUpload) (ResultResponse, error) {
 		resp.Stale = true
 		leaseLive = false
 		c.rec.Count("spacx_fabric_stale_uploads_total", 1)
+		c.flight.Record(flightrec.Event{
+			Kind: "upload:stale", Worker: label, Sweep: up.SweepID, Lease: up.LeaseID,
+			Trace: sw.trace, Detail: fmt.Sprintf("%d outcomes after lease death", len(up.Outcomes)),
+		})
 	}
 	for _, o := range up.Outcomes {
 		if o.Index >= len(sw.points) {
@@ -546,6 +676,14 @@ func (c *Coordinator) Upload(up ResultUpload) (ResultResponse, error) {
 		}
 		sw.phase.PointDone()
 	}
+	if resp.Duplicates > 0 {
+		// First-write-wins merge dropped re-deliveries of already-done points
+		// (a stale worker raced a requeue). One event per upload, not per point.
+		c.flight.Record(flightrec.Event{
+			Kind: "merge:conflict", Worker: label, Sweep: up.SweepID, Lease: up.LeaseID,
+			Trace: sw.trace, Detail: fmt.Sprintf("%d duplicate outcomes dropped", resp.Duplicates),
+		})
+	}
 	c.rec.Count("spacx_fabric_results_total", float64(resp.Accepted))
 	if leaseLive {
 		l.span.End()
@@ -557,6 +695,8 @@ func (c *Coordinator) Upload(up ResultUpload) (ResultResponse, error) {
 	if sw.remaining == 0 {
 		c.finishSweepLocked(sw, nil)
 	}
+	c.mu.Unlock()
+	c.ingestSpans(label, up.Trace, up.Span, up.Spans)
 	return resp, nil
 }
 
@@ -586,6 +726,10 @@ func (c *Coordinator) expire(now time.Time) {
 		}
 		delete(c.workers, id)
 		c.rec.Count("spacx_fabric_workers_expired_total", 1)
+		c.flight.Record(flightrec.Event{
+			Kind: "worker:leave", Worker: w.label(),
+			Detail: fmt.Sprintf("ttl expired, silent %.1fs", now.Sub(w.lastSeen).Seconds()),
+		})
 		for lid := range w.leases {
 			if l := c.leases[lid]; l != nil {
 				c.expireLeaseLocked(l)
@@ -613,16 +757,25 @@ func (c *Coordinator) expire(now time.Time) {
 			}
 		}
 	}
+	c.updateSkewGaugeLocked()
 	c.rec.Gauge("spacx_fabric_workers", float64(len(c.workers)))
 }
 
-// expireLeaseLocked releases a lease and requeues its unfinished points.
+// expireLeaseLocked releases a lease and requeues its unfinished points. The
+// lease span finishes annotated "expired" so a stitched trace distinguishes
+// a TTL lapse from a clean upload.
 func (c *Coordinator) expireLeaseLocked(l *lease) {
 	delete(c.leases, l.id)
+	wlabel := l.workerID
 	if w := c.workers[l.workerID]; w != nil {
 		delete(w.leases, l.id)
+		wlabel = w.label()
 	}
-	l.span.End()
+	l.span.EndAnnotated("expired")
+	c.flight.Record(flightrec.Event{
+		Kind: "lease:expire", Worker: wlabel, Sweep: l.sweepID, Lease: l.id,
+		Trace: l.trace, Detail: fmt.Sprintf("%d points leased", len(l.indices)),
+	})
 	sw := c.sweeps[l.sweepID]
 	if sw == nil {
 		return
@@ -710,4 +863,124 @@ func (c *Coordinator) Status() StatusData {
 		st.Sweeps = append(st.Sweeps, ss)
 	}
 	return st
+}
+
+// FleetWorker is one worker of a Fleet snapshot: the liveness, throughput,
+// and version facts an operator asks about first.
+type FleetWorker struct {
+	ID           string  `json:"id"`
+	Name         string  `json:"name,omitempty"`
+	Live         bool    `json:"live"`
+	LastSeenSec  float64 `json:"last_seen_sec"`
+	JoinedSec    float64 `json:"joined_sec"`
+	Jobs         int     `json:"jobs,omitempty"`
+	Leases       int     `json:"leases"`
+	LeasedPoints int     `json:"leased_points"`
+	PointsTotal  float64 `json:"points_total"`
+	PointsPerSec float64 `json:"points_per_sec"`
+	Version      string  `json:"version,omitempty"`
+	GoVersion    string  `json:"go_version,omitempty"`
+	Revision     string  `json:"revision,omitempty"`
+	VersionSkew  bool    `json:"version_skew,omitempty"`
+	// MetricsAgeSec is how stale the worker's last pushed snapshot is
+	// (negative when it never pushed one).
+	MetricsAgeSec float64 `json:"metrics_age_sec"`
+}
+
+// FleetData answers GET /fleet: per-worker liveness and throughput plus the
+// fleet-level version-skew and drain flags.
+type FleetData struct {
+	Proto              int           `json:"proto"`
+	CoordinatorVersion string        `json:"coordinator_version"`
+	Drain              bool          `json:"drain,omitempty"`
+	VersionSkew        int           `json:"version_skew"`
+	Workers            []FleetWorker `json:"workers"`
+	Sweeps             []SweepStatus `json:"sweeps"`
+}
+
+// Fleet snapshots the fleet for GET /fleet. A worker is live when it has been
+// heard from within WorkerTTL; a killed worker flips to dead here within one
+// TTL even before the janitor removes it.
+func (c *Coordinator) Fleet() FleetData {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := time.Now()
+	fd := FleetData{
+		Proto:              ProtoVersion,
+		CoordinatorVersion: c.version,
+		Drain:              c.closed,
+		Workers:            []FleetWorker{},
+		Sweeps:             []SweepStatus{},
+	}
+	for _, id := range c.workerIDsLocked() {
+		w := c.workers[id]
+		fw := FleetWorker{
+			ID:            w.id,
+			Name:          w.name,
+			Live:          now.Sub(w.lastSeen) <= c.opts.WorkerTTL,
+			LastSeenSec:   now.Sub(w.lastSeen).Seconds(),
+			JoinedSec:     now.Sub(w.joined).Seconds(),
+			Jobs:          w.jobs,
+			Leases:        len(w.leases),
+			PointsPerSec:  w.rate,
+			Version:       w.version,
+			GoVersion:     w.goVersion,
+			Revision:      w.revision,
+			VersionSkew:   w.skew,
+			MetricsAgeSec: -1,
+		}
+		if w.skew {
+			fd.VersionSkew++
+		}
+		for lid := range w.leases {
+			if l := c.leases[lid]; l != nil {
+				fw.LeasedPoints += len(l.indices)
+			}
+		}
+		if w.metrics != nil {
+			fw.MetricsAgeSec = now.Sub(w.metricsAt).Seconds()
+			if pts, ok := w.metrics.CounterValue("spacx_worker_points_total"); ok {
+				fw.PointsTotal = pts
+			}
+		}
+		fd.Workers = append(fd.Workers, fw)
+	}
+	for _, sid := range c.order {
+		sw := c.sweeps[sid]
+		if sw == nil {
+			continue
+		}
+		ss := SweepStatus{ID: sw.id, Total: len(sw.points), Done: len(sw.points) - sw.remaining}
+		for _, l := range c.leases {
+			if l.sweepID == sw.id {
+				ss.Leased += len(l.indices)
+			}
+		}
+		fd.Sweeps = append(fd.Sweeps, ss)
+	}
+	return fd
+}
+
+// FleetMetrics merges every worker's last pushed registry snapshot into one
+// Snapshot, each series relabelled worker=<label> so same-named series from
+// different workers (and the coordinator's own registry) stay distinct — the
+// federation feed the obs server folds into GET /metrics.
+func (c *Coordinator) FleetMetrics() obs.Snapshot {
+	c.mu.Lock()
+	snaps := make([]obs.Snapshot, 0, len(c.workers))
+	for _, id := range c.workerIDsLocked() {
+		w := c.workers[id]
+		if w.metrics == nil {
+			continue
+		}
+		snaps = append(snaps, w.metrics.WithLabel("worker", w.label()))
+	}
+	c.mu.Unlock()
+	return obs.MergeSnapshots(snaps...)
+}
+
+// FlightDump snapshots the flight recorder for GET /fleet/events (empty when
+// flight recording is off).
+func (c *Coordinator) FlightDump() flightrec.DumpData {
+	return c.flight.Dump()
 }

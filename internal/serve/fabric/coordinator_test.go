@@ -9,6 +9,9 @@ import (
 	"time"
 
 	"spacx/internal/exp/engine"
+	"spacx/internal/obs"
+	"spacx/internal/obs/flightrec"
+	"spacx/internal/obs/tracing"
 )
 
 func newTestCoordinator(t *testing.T, opts Options) *Coordinator {
@@ -382,5 +385,224 @@ func TestStatusSnapshot(t *testing.T) {
 	drainLeases(t, c, id, "w1")
 	if res := <-out; res.err != nil {
 		t.Fatalf("RunSweep: %v", res.err)
+	}
+}
+
+// TestExpiredLeaseSpanAnnotated pins the span-leak fix: a lease that dies by
+// TTL lapse must still finish its fabric:lease span, annotated "expired", so
+// traces of partially-failed distributed jobs render complete trees.
+func TestExpiredLeaseSpanAnnotated(t *testing.T) {
+	traces := tracing.NewCollector(8, nil)
+	c := newTestCoordinator(t, Options{LeaseTTL: 50 * time.Millisecond, Janitor: time.Hour, Traces: traces})
+	id := register(t, c, "w1")
+	ctx, root := traces.StartTrace(context.Background(), "job:sweep")
+	out := startSweep(ctx, c, nil, testPoints(1))
+	time.Sleep(10 * time.Millisecond)
+	l, err := c.Lease(context.Background(), LeaseRequest{Proto: ProtoVersion, WorkerID: id})
+	if err != nil || l == nil {
+		t.Fatalf("lease: %v, %v", l, err)
+	}
+	if l.Trace != tracing.ID(ctx) || l.Span == 0 {
+		t.Fatalf("lease response trace/span = %q/%d, want the submitting job's trace and a span id", l.Trace, l.Span)
+	}
+	c.expire(time.Now().Add(time.Second)) // TTL lapse, not upload
+	spans, ok := traces.Export(tracing.ID(ctx))
+	if !ok {
+		t.Fatal("job trace not retained")
+	}
+	var note string
+	found := false
+	for _, s := range spans {
+		if s.Name == "fabric:lease" {
+			found, note = true, s.Note
+		}
+	}
+	if !found {
+		t.Fatal("expired lease leaked its span: fabric:lease never completed")
+	}
+	if note != "expired" {
+		t.Fatalf("expired lease span note = %q, want %q", note, "expired")
+	}
+	drainLeases(t, c, id, "w1")
+	if res := <-out; res.err != nil {
+		t.Fatalf("RunSweep: %v", res.err)
+	}
+	root.End()
+}
+
+// TestHeartbeatFederatesMetricsAndStitchesSpans covers the worker→coordinator
+// observability payloads: a pushed registry snapshot shows up worker-labelled
+// in FleetMetrics (and drives /fleet points accounting), and piggybacked span
+// batches stitch into the submitting job's trace with worker attribution.
+func TestHeartbeatFederatesMetricsAndStitchesSpans(t *testing.T) {
+	traces := tracing.NewCollector(8, nil)
+	c := newTestCoordinator(t, Options{Traces: traces})
+	id := register(t, c, "rack1")
+
+	ctx, root := traces.StartTrace(context.Background(), "job:sweep")
+	out := startSweep(ctx, c, nil, testPoints(1))
+	time.Sleep(10 * time.Millisecond)
+	l, err := c.Lease(context.Background(), LeaseRequest{Proto: ProtoVersion, WorkerID: id})
+	if err != nil || l == nil {
+		t.Fatalf("lease: %v, %v", l, err)
+	}
+
+	wreg := obs.NewRegistry(nil)
+	wreg.Count("spacx_worker_points_total", 5)
+	snap := wreg.Snapshot()
+	hb, err := c.Heartbeat(HeartbeatRequest{
+		Proto:    ProtoVersion,
+		WorkerID: id,
+		Metrics:  &snap,
+		Spans: []SpanBatch{{
+			Trace: l.Trace,
+			Span:  l.Span,
+			Spans: []tracing.SpanData{{ID: 1, Name: "worker:lease"}},
+		}},
+	})
+	if err != nil {
+		t.Fatalf("heartbeat: %v", err)
+	}
+	_ = hb
+
+	fm := c.FleetMetrics()
+	if v, ok := fm.CounterValue("spacx_worker_points_total"); !ok || v != 5 {
+		t.Fatalf("federated points counter = %v/%v, want 5", v, ok)
+	}
+	for _, p := range fm.Counters {
+		if p.Labels["worker"] != "rack1" {
+			t.Fatalf("federated series not worker-labelled: %+v", p)
+		}
+	}
+	fd := c.Fleet()
+	if len(fd.Workers) != 1 || !fd.Workers[0].Live || fd.Workers[0].PointsTotal != 5 {
+		t.Fatalf("fleet = %+v, want one live worker with 5 points", fd.Workers)
+	}
+	if fd.Workers[0].MetricsAgeSec < 0 {
+		t.Fatal("fleet worker must report a metrics age after a push")
+	}
+
+	spans, _ := traces.Export(l.Trace)
+	stitched := false
+	for _, s := range spans {
+		if s.Name == "worker:lease" && s.Worker == "rack1" {
+			stitched = true
+		}
+	}
+	if !stitched {
+		t.Fatalf("heartbeat spans not stitched into the job trace: %+v", spans)
+	}
+
+	if _, err := c.Upload(ResultUpload{Proto: ProtoVersion, WorkerID: id, LeaseID: l.LeaseID, SweepID: l.SweepID,
+		Outcomes: []Outcome{{Index: 0, Body: []byte("x")}}}); err != nil {
+		t.Fatalf("upload: %v", err)
+	}
+	if res := <-out; res.err != nil {
+		t.Fatalf("RunSweep: %v", res.err)
+	}
+	root.End()
+}
+
+// TestFleetReflectsSilentWorkerWithinTTL is the /fleet liveness contract: a
+// kill-9'd worker flips Live=false as soon as its silence exceeds WorkerTTL,
+// even before the janitor removes it.
+func TestFleetReflectsSilentWorkerWithinTTL(t *testing.T) {
+	c := newTestCoordinator(t, Options{WorkerTTL: 50 * time.Millisecond, Janitor: time.Hour})
+	silent := register(t, c, "doomed")
+	live := register(t, c, "survivor")
+	time.Sleep(60 * time.Millisecond)
+	if _, err := c.Heartbeat(HeartbeatRequest{Proto: ProtoVersion, WorkerID: live}); err != nil {
+		t.Fatalf("heartbeat: %v", err)
+	}
+	byName := map[string]FleetWorker{}
+	for _, w := range c.Fleet().Workers {
+		byName[w.Name] = w
+	}
+	if w := byName["doomed"]; w.Live {
+		t.Fatalf("silent worker %s still Live after TTL", silent)
+	}
+	if w := byName["survivor"]; !w.Live {
+		t.Fatal("heartbeating worker reported dead")
+	}
+}
+
+// TestVersionSkewGaugeAndFleetFlag: a worker registering with a different
+// build stamp is accepted but flagged, the spacx_fabric_version_skew gauge
+// counts it, and expiry brings the gauge back down.
+func TestVersionSkewGaugeAndFleetFlag(t *testing.T) {
+	reg := obs.NewRegistry(nil)
+	c := newTestCoordinator(t, Options{WorkerTTL: 50 * time.Millisecond, Janitor: time.Hour, Recorder: reg})
+	if _, err := c.Register(RegisterRequest{Proto: ProtoVersion, Name: "old", Version: "spacx v0.0.1 go1.0"}); err != nil {
+		t.Fatalf("register skewed: %v", err)
+	}
+	register(t, c, "same") // empty version: no skew judgement possible
+
+	skewGauge := func() float64 {
+		for _, g := range reg.Snapshot().Gauges {
+			if g.Name == "spacx_fabric_version_skew" {
+				return g.Value
+			}
+		}
+		return -1
+	}
+	if got := skewGauge(); got != 1 {
+		t.Fatalf("skew gauge = %v, want 1", got)
+	}
+	fd := c.Fleet()
+	if fd.VersionSkew != 1 {
+		t.Fatalf("fleet VersionSkew = %d, want 1", fd.VersionSkew)
+	}
+	skewFlags := map[string]bool{}
+	for _, w := range fd.Workers {
+		skewFlags[w.Name] = w.VersionSkew
+	}
+	if !skewFlags["old"] || skewFlags["same"] {
+		t.Fatalf("fleet skew flags = %v, want only the old-build worker flagged", skewFlags)
+	}
+	c.expire(time.Now().Add(time.Second)) // both workers silent past TTL
+	if got := skewGauge(); got != 0 {
+		t.Fatalf("skew gauge after expiry = %v, want 0", got)
+	}
+}
+
+// TestFlightRecorderCapturesFabricLifecycle walks a sweep with one expiry
+// through a recorder-equipped coordinator and asserts the event sequence a
+// postmortem relies on, with trace correlation on the lease events.
+func TestFlightRecorderCapturesFabricLifecycle(t *testing.T) {
+	fr := flightrec.New(128)
+	traces := tracing.NewCollector(8, nil)
+	c := newTestCoordinator(t, Options{
+		LeaseTTL: 50 * time.Millisecond, WorkerTTL: time.Hour, Janitor: time.Hour,
+		Traces: traces, Flight: fr,
+	})
+	id := register(t, c, "w1")
+	ctx, root := traces.StartTrace(context.Background(), "job:sweep")
+	defer root.End()
+	out := startSweep(ctx, c, nil, testPoints(2))
+	time.Sleep(10 * time.Millisecond)
+	l, err := c.Lease(context.Background(), LeaseRequest{Proto: ProtoVersion, WorkerID: id})
+	if err != nil || l == nil {
+		t.Fatalf("lease: %v, %v", l, err)
+	}
+	c.expire(time.Now().Add(time.Second)) // lease TTL lapses; worker survives (WorkerTTL is an hour)
+	// The zombie delivers anyway: upload:stale must be recorded.
+	if _, err := c.Upload(ResultUpload{Proto: ProtoVersion, WorkerID: id, LeaseID: l.LeaseID, SweepID: l.SweepID,
+		Outcomes: []Outcome{{Index: 0, Body: []byte("z")}}}); err != nil {
+		t.Fatalf("stale upload: %v", err)
+	}
+	drainLeases(t, c, id, "w1")
+	if res := <-out; res.err != nil {
+		t.Fatalf("RunSweep: %v", res.err)
+	}
+
+	for _, kind := range []string{"worker:join", "sweep:start", "lease:grant", "lease:expire", "upload:stale", "sweep:finish"} {
+		if len(fr.Find(kind)) == 0 {
+			t.Errorf("no %s event recorded; have %+v", kind, fr.Events())
+		}
+	}
+	for _, e := range fr.Find("lease:expire") {
+		if e.Trace != tracing.ID(ctx) {
+			t.Fatalf("lease:expire trace = %q, want the job's trace %q", e.Trace, tracing.ID(ctx))
+		}
 	}
 }

@@ -24,6 +24,8 @@ func (c *Coordinator) Routes(mux *http.ServeMux, instrument Instrumenter) {
 	mux.HandleFunc("POST /fabric/v1/lease", instrument("fabric_lease", c.handleLease))
 	mux.HandleFunc("POST /fabric/v1/result", instrument("fabric_result", c.handleResult))
 	mux.HandleFunc("GET /fabric/v1/status", instrument("fabric_status", c.handleStatus))
+	mux.HandleFunc("GET /fleet", instrument("fleet", c.handleFleet))
+	mux.HandleFunc("GET /fleet/events", instrument("fleet_events", c.handleFleetEvents))
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -122,6 +124,12 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusNoContent)
 		return
 	}
+	if resp.Trace != "" {
+		// Mirror the body's stitching coordinates in the response header the
+		// serving stack already uses, so curl -i shows which trace the lease
+		// belongs to without parsing JSON.
+		w.Header().Set("X-Spacx-Trace", resp.Trace)
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -148,4 +156,16 @@ func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
 // handleStatus answers GET /fabric/v1/status with the fleet snapshot.
 func (c *Coordinator) handleStatus(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, c.Status())
+}
+
+// handleFleet answers GET /fleet with per-worker liveness, throughput, and
+// version-skew facts.
+func (c *Coordinator) handleFleet(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, c.Fleet())
+}
+
+// handleFleetEvents answers GET /fleet/events with the flight-recorder dump
+// (an empty document when flight recording is off).
+func (c *Coordinator) handleFleetEvents(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, c.FlightDump())
 }

@@ -23,6 +23,9 @@ import (
 	"time"
 
 	"spacx/internal/exp/engine"
+	"spacx/internal/obs"
+	"spacx/internal/obs/flightrec"
+	"spacx/internal/obs/tracing"
 	"spacx/internal/serve"
 	"spacx/internal/serve/fabric"
 	"spacx/internal/serve/jobs"
@@ -73,10 +76,12 @@ type clusterWorker struct {
 // HTTP server and K worker clients running their full register/heartbeat/
 // lease/upload loops over the wire.
 type cluster struct {
-	t     *testing.T
-	coord *fabric.Coordinator
-	ts    *httptest.Server
-	ws    []*clusterWorker
+	t      *testing.T
+	coord  *fabric.Coordinator
+	ts     *httptest.Server
+	traces *tracing.Collector
+	flight *flightrec.Recorder
+	ws     []*clusterWorker
 }
 
 // startCluster brings up a coordinator with fault-friendly cadences and k
@@ -84,16 +89,20 @@ type cluster struct {
 // wraps worker i's compute.
 func startCluster(t *testing.T, k int, hooks map[int]computeHook) *cluster {
 	t.Helper()
+	traces := tracing.NewCollector(64, nil)
+	flight := flightrec.New(512)
 	coord := fabric.New(fabric.Options{
 		LeaseTTL:    time.Second,
 		Heartbeat:   50 * time.Millisecond,
 		WorkerTTL:   500 * time.Millisecond,
 		LeasePoints: 2,
+		Traces:      traces,
+		Flight:      flight,
 	})
 	mux := http.NewServeMux()
 	coord.Routes(mux, nil)
 	ts := httptest.NewServer(mux)
-	c := &cluster{t: t, coord: coord, ts: ts}
+	c := &cluster{t: t, coord: coord, ts: ts, traces: traces, flight: flight}
 	t.Cleanup(func() {
 		for i := range c.ws {
 			c.kill(i)
@@ -127,13 +136,20 @@ func (c *cluster) addWorker(i int, hook computeHook) {
 		}
 		return o, err
 	}
+	// Each worker carries the full observability kit: its own trace collector
+	// (spans ship back for stitching) and its own registry (snapshots federate
+	// on heartbeats).
+	wreg := obs.NewRegistry(nil)
 	w, err := worker.New(worker.Options{
-		URL:     c.ts.URL,
-		Name:    fmt.Sprintf("w%d", i),
-		Compute: compute,
-		Jobs:    2,
-		Poll:    200 * time.Millisecond,
-		Retry:   50 * time.Millisecond,
+		URL:      c.ts.URL,
+		Name:     fmt.Sprintf("w%d", i),
+		Compute:  compute,
+		Jobs:     2,
+		Poll:     200 * time.Millisecond,
+		Retry:    50 * time.Millisecond,
+		Recorder: wreg,
+		Metrics:  wreg,
+		Traces:   tracing.NewCollector(64, nil),
 	})
 	if err != nil {
 		c.t.Fatalf("worker %d: %v", i, err)
@@ -258,6 +274,20 @@ func TestWorkerKilledMidBatch(t *testing.T) {
 	if st := prog.Status(); st.Done != 8 {
 		t.Fatalf("phase done=%d after recovery, want 8 (no double count)", st.Done)
 	}
+	// The flight recorder must have captured the fault chronology: the
+	// victim's lease lapsed (that expiry is what let the sweep finish, so the
+	// event is already there) and the silent victim was declared gone.
+	if len(c.flight.Find("lease:expire")) == 0 {
+		t.Fatal("no lease:expire flight event after killing a lease-holding worker")
+	}
+	waitFor(t, 3*time.Second, "worker:leave flight event for the victim", func() bool {
+		for _, e := range c.flight.Find("worker:leave") {
+			if e.Worker == "w1" {
+				return true
+			}
+		}
+		return false
+	})
 }
 
 // TestStaleResultDeliveredAfterExpiry lets a slow worker outlive its lease
@@ -266,8 +296,31 @@ func TestWorkerKilledMidBatch(t *testing.T) {
 // matter which copy lands first.
 func TestStaleResultDeliveredAfterExpiry(t *testing.T) {
 	golden := goldenSweep(t)
+	start := time.Now()
 	var slowed atomic.Bool
-	hook := func(ctx context.Context, p fabric.Point, next worker.ComputeFunc) (fabric.Outcome, error) {
+	var cl atomic.Pointer[cluster]
+	staleSeen := func() bool {
+		c := cl.Load()
+		return c != nil && len(c.flight.Find("upload:stale")) > 0
+	}
+	// gate holds any compute that starts after the slow lease has expired
+	// (reclaimed copies of its points) until the zombie upload has landed, so
+	// the sweep is provably still live when the stale delivery arrives and
+	// the flight recorder must capture it. Early computes pass straight
+	// through; the wall-clock escape keeps a pathological scheduler from
+	// hanging the test.
+	gate := func(ctx context.Context, p fabric.Point, next worker.ComputeFunc) (fabric.Outcome, error) {
+		for slowed.Load() && time.Since(start) > 900*time.Millisecond &&
+			time.Since(start) < 6*time.Second && !staleSeen() {
+			select {
+			case <-ctx.Done():
+				return fabric.Outcome{}, ctx.Err()
+			case <-time.After(10 * time.Millisecond):
+			}
+		}
+		return next(ctx, p)
+	}
+	slowHook := func(ctx context.Context, p fabric.Point, next worker.ComputeFunc) (fabric.Outcome, error) {
 		// First point only: compute the real result immune to cancellation,
 		// then sit on it past the lease TTL before handing it back.
 		if slowed.CompareAndSwap(false, true) {
@@ -278,9 +331,10 @@ func TestStaleResultDeliveredAfterExpiry(t *testing.T) {
 			time.Sleep(1500 * time.Millisecond) // LeaseTTL is 1s
 			return o, nil
 		}
-		return next(ctx, p)
+		return gate(ctx, p, next)
 	}
-	c := startCluster(t, 2, map[int]computeHook{0: hook})
+	c := startCluster(t, 2, map[int]computeHook{0: slowHook, 1: gate})
+	cl.Store(c)
 	svc := newService(t, c.coord)
 	sr, err := svc.PrepareSweep(sweepBody)
 	if err != nil {
@@ -296,6 +350,109 @@ func TestStaleResultDeliveredAfterExpiry(t *testing.T) {
 	}
 	if st := prog.Status(); st.Done != 8 {
 		t.Fatalf("phase done=%d, want exactly 8 (stale + recomputed copies must not double count)", st.Done)
+	}
+	stale := c.flight.Find("upload:stale")
+	if len(stale) == 0 {
+		t.Fatal("flight recorder captured no upload:stale event for the zombie delivery")
+	}
+	if stale[0].Lease == "" || stale[0].Sweep == "" {
+		t.Fatalf("upload:stale event missing correlation ids: %+v", stale[0])
+	}
+}
+
+// TestStitchedTraceShowsWorkerSpans drives a distributed sweep under a live
+// trace and asserts the cross-process stitching contract end to end: the
+// coordinator's exported trace must contain worker-originated spans —
+// attributed to every worker that computed points — hanging under the
+// coordinator's own lease spans, and the fleet endpoints must reflect the
+// run over plain HTTP.
+func TestStitchedTraceShowsWorkerSpans(t *testing.T) {
+	c := startCluster(t, 2, nil)
+	svc := newService(t, c.coord)
+	sr, err := svc.PrepareSweep(sweepBody)
+	if err != nil {
+		t.Fatalf("prepare: %v", err)
+	}
+	ctx, root := c.traces.StartTrace(context.Background(), "job:sweep")
+	out, failed, err := sr.Run(ctx, nil)
+	root.End()
+	if err != nil || failed != 0 || len(out) == 0 {
+		t.Fatalf("distributed sweep: failed=%d err=%v len=%d", failed, err, len(out))
+	}
+	participated := map[string]bool{}
+	for i, cw := range c.ws {
+		if cw.computed.Load() > 0 {
+			participated[fmt.Sprintf("w%d", i)] = true
+		}
+	}
+	if len(participated) == 0 {
+		t.Fatal("no worker computed anything")
+	}
+	// The final batch's spans ride the upload that completes the sweep and
+	// are stitched just after the sweep unblocks, so poll briefly.
+	waitFor(t, 3*time.Second, "one stitched span per participating worker", func() bool {
+		spans, ok := c.traces.Export(root.TraceID())
+		if !ok {
+			return false
+		}
+		seen := map[string]bool{}
+		var leaseSpans, pointSpans int
+		for _, s := range spans {
+			if s.Worker != "" {
+				seen[s.Worker] = true
+			}
+			switch s.Name {
+			case "worker:lease":
+				leaseSpans++
+			case "worker:point":
+				pointSpans++
+			}
+		}
+		for w := range participated {
+			if !seen[w] {
+				return false
+			}
+		}
+		return leaseSpans > 0 && pointSpans >= 8
+	})
+
+	// The same run must be visible over the fleet endpoints.
+	var fd fabric.FleetData
+	getJSON(t, c.ts.URL+"/fleet", &fd)
+	if len(fd.Workers) != 2 {
+		t.Fatalf("/fleet lists %d workers, want 2", len(fd.Workers))
+	}
+	for _, w := range fd.Workers {
+		if !w.Live {
+			t.Fatalf("/fleet reports %s dead while its loop is running", w.Name)
+		}
+	}
+	var dump flightrec.DumpData
+	getJSON(t, c.ts.URL+"/fleet/events", &dump)
+	kinds := map[string]bool{}
+	for _, e := range dump.Events {
+		kinds[e.Kind] = true
+	}
+	for _, want := range []string{"worker:join", "sweep:start", "lease:grant", "sweep:finish"} {
+		if !kinds[want] {
+			t.Fatalf("/fleet/events missing %q; got kinds %v", want, kinds)
+		}
+	}
+}
+
+// getJSON fetches url and decodes the response body into v.
+func getJSON(t *testing.T, url string, v any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatalf("GET %s: decode: %v", url, err)
 	}
 }
 

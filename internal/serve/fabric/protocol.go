@@ -30,12 +30,20 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+
+	"spacx/internal/obs"
+	"spacx/internal/obs/tracing"
 )
 
 // ProtoVersion is bumped whenever a wire message changes incompatibly; both
 // sides reject messages carrying a version they do not speak, so a skewed
 // worker fails loudly at register time instead of corrupting a sweep.
-const ProtoVersion = 1
+//
+// v2 added fleet observability: trace/span propagation on lease and result
+// messages, span batches and a metrics snapshot piggybacked on heartbeats,
+// and structured build info at registration. decodeStrict rejects unknown
+// fields, so the additions are wire-incompatible with v1 peers by design.
+const ProtoVersion = 2
 
 // maxWireBody bounds every decoded protocol body. Result uploads carry
 // point bodies (a few KiB each, LeasePoints per message), so 8 MiB is
@@ -50,6 +58,11 @@ type RegisterRequest struct {
 	Name string `json:"name,omitempty"`
 	// Version is the worker's build stamp, recorded for skew diagnostics.
 	Version string `json:"version,omitempty"`
+	// GoVersion and Revision carry the worker's structured build info
+	// (internal/buildinfo), surfaced per worker on GET /fleet so version skew
+	// is attributable to a toolchain or a commit, not just a stamp mismatch.
+	GoVersion string `json:"go_version,omitempty"`
+	Revision  string `json:"revision,omitempty"`
 	// Jobs is the worker's intra-batch parallelism, informational.
 	Jobs int `json:"jobs,omitempty"`
 }
@@ -74,6 +87,22 @@ type HeartbeatRequest struct {
 	WorkerID string `json:"worker_id"`
 	// Leases are the lease ids the worker is still computing.
 	Leases []string `json:"leases,omitempty"`
+	// Spans are worker-side span batches that missed their upload (the lease
+	// was cancelled, nothing was computed, or the upload failed) riding the
+	// next heartbeat so the coordinator can still stitch them.
+	Spans []SpanBatch `json:"spans,omitempty"`
+	// Metrics is the worker's registry snapshot, pushed every beat for
+	// coordinator-side federation (nil when the worker has no registry).
+	Metrics *obs.Snapshot `json:"metrics,omitempty"`
+}
+
+// SpanBatch is one worker-recorded span set bound for stitching: the
+// coordinator-trace id and parent span id (echoed from the LeaseResponse
+// that carried them) plus the worker's flat completed spans.
+type SpanBatch struct {
+	Trace string             `json:"trace"`
+	Span  int64              `json:"span,omitempty"`
+	Spans []tracing.SpanData `json:"spans"`
 }
 
 // HeartbeatResponse tells the worker which of its leases are no longer
@@ -114,6 +143,13 @@ type LeaseResponse struct {
 	SweepID string  `json:"sweep_id"`
 	TTLSec  float64 `json:"ttl_sec"`
 	Points  []Point `json:"points"`
+	// Trace and Span propagate the submitting job's trace id and the
+	// coordinator's fabric:lease span id (also carried as the X-Spacx-Trace
+	// response header); the worker records its own spans under a local trace
+	// and ships them back tagged with this pair for stitching. Empty when the
+	// sweep was submitted untraced.
+	Trace string `json:"trace,omitempty"`
+	Span  int64  `json:"span,omitempty"`
 }
 
 // Outcome is one computed point travelling worker → coordinator. Body is
@@ -135,6 +171,13 @@ type ResultUpload struct {
 	LeaseID  string    `json:"lease_id"`
 	SweepID  string    `json:"sweep_id"`
 	Outcomes []Outcome `json:"outcomes"`
+	// Trace and Span echo the LeaseResponse's stitching coordinates, and
+	// Spans carries the worker's completed spans for this batch. Echoing the
+	// pair (rather than having the coordinator re-derive it from the lease)
+	// keeps stale uploads stitchable after their lease is gone.
+	Trace string             `json:"trace,omitempty"`
+	Span  int64              `json:"span,omitempty"`
+	Spans []tracing.SpanData `json:"spans,omitempty"`
 }
 
 // ResultResponse acknowledges an upload. Stale reports that the lease had
@@ -201,6 +244,14 @@ func DecodeHeartbeatRequest(data []byte) (HeartbeatRequest, error) {
 	if req.WorkerID == "" {
 		return HeartbeatRequest{}, fmt.Errorf("fabric: missing worker_id")
 	}
+	for i, b := range req.Spans {
+		if b.Trace == "" {
+			return HeartbeatRequest{}, fmt.Errorf("fabric: span batch %d has no trace id", i)
+		}
+		if len(b.Spans) == 0 {
+			return HeartbeatRequest{}, fmt.Errorf("fabric: span batch %d for trace %s is empty", i, b.Trace)
+		}
+	}
 	return req, nil
 }
 
@@ -259,6 +310,9 @@ func DecodeResultUpload(data []byte) (ResultUpload, error) {
 			return ResultUpload{}, fmt.Errorf("fabric: duplicate outcome for point %d", o.Index)
 		}
 		seen[o.Index] = true
+	}
+	if len(up.Spans) > 0 && up.Trace == "" {
+		return ResultUpload{}, fmt.Errorf("fabric: upload carries %d spans but no trace id", len(up.Spans))
 	}
 	return up, nil
 }

@@ -7,7 +7,7 @@ import (
 )
 
 func TestDecodeRegisterRequest(t *testing.T) {
-	good := `{"proto":1,"name":"w1","version":"v","jobs":4}`
+	good := `{"proto":2,"name":"w1","version":"v","jobs":4}`
 	req, err := DecodeRegisterRequest([]byte(good))
 	if err != nil {
 		t.Fatalf("valid register rejected: %v", err)
@@ -16,11 +16,11 @@ func TestDecodeRegisterRequest(t *testing.T) {
 		t.Fatalf("register decoded wrong: %+v", req)
 	}
 	for name, body := range map[string]string{
-		"wrong proto":   `{"proto":2}`,
+		"wrong proto":   `{"proto":1}`,
 		"missing proto": `{"name":"w1"}`,
-		"negative jobs": `{"proto":1,"jobs":-1}`,
-		"unknown field": `{"proto":1,"surprise":true}`,
-		"trailing data": `{"proto":1} {"proto":1}`,
+		"negative jobs": `{"proto":2,"jobs":-1}`,
+		"unknown field": `{"proto":2,"surprise":true}`,
+		"trailing data": `{"proto":2} {"proto":2}`,
 		"not an object": `[1,2,3]`,
 		"empty":         ``,
 	} {
@@ -31,7 +31,7 @@ func TestDecodeRegisterRequest(t *testing.T) {
 }
 
 func TestDecodeHeartbeatRequest(t *testing.T) {
-	req, err := DecodeHeartbeatRequest([]byte(`{"proto":1,"worker_id":"w1","leases":["l1","l2"]}`))
+	req, err := DecodeHeartbeatRequest([]byte(`{"proto":2,"worker_id":"w1","leases":["l1","l2"]}`))
 	if err != nil {
 		t.Fatalf("valid heartbeat rejected: %v", err)
 	}
@@ -39,8 +39,8 @@ func TestDecodeHeartbeatRequest(t *testing.T) {
 		t.Fatalf("heartbeat decoded wrong: %+v", req)
 	}
 	for name, body := range map[string]string{
-		"missing worker": `{"proto":1}`,
-		"wrong proto":    `{"proto":0,"worker_id":"w1"}`,
+		"missing worker": `{"proto":2}`,
+		"wrong proto":    `{"proto":1,"worker_id":"w1"}`,
 	} {
 		if _, err := DecodeHeartbeatRequest([]byte(body)); err == nil {
 			t.Errorf("%s: %q accepted, want error", name, body)
@@ -49,7 +49,7 @@ func TestDecodeHeartbeatRequest(t *testing.T) {
 }
 
 func TestDecodeLeaseRequest(t *testing.T) {
-	req, err := DecodeLeaseRequest([]byte(`{"proto":1,"worker_id":"w1","max_points":3,"wait_sec":2.5}`))
+	req, err := DecodeLeaseRequest([]byte(`{"proto":2,"worker_id":"w1","max_points":3,"wait_sec":2.5}`))
 	if err != nil {
 		t.Fatalf("valid lease rejected: %v", err)
 	}
@@ -57,9 +57,9 @@ func TestDecodeLeaseRequest(t *testing.T) {
 		t.Fatalf("lease decoded wrong: %+v", req)
 	}
 	for name, body := range map[string]string{
-		"missing worker":      `{"proto":1}`,
-		"negative max_points": `{"proto":1,"worker_id":"w1","max_points":-1}`,
-		"negative wait":       `{"proto":1,"worker_id":"w1","wait_sec":-1}`,
+		"missing worker":      `{"proto":2}`,
+		"negative max_points": `{"proto":2,"worker_id":"w1","max_points":-1}`,
+		"negative wait":       `{"proto":2,"worker_id":"w1","wait_sec":-1}`,
 		"version skew":        `{"proto":99,"worker_id":"w1"}`,
 	} {
 		if _, err := DecodeLeaseRequest([]byte(body)); err == nil {
@@ -70,7 +70,7 @@ func TestDecodeLeaseRequest(t *testing.T) {
 
 func TestDecodeResultUpload(t *testing.T) {
 	up, err := DecodeResultUpload([]byte(
-		`{"proto":1,"worker_id":"w1","lease_id":"l1","sweep_id":"s1",` +
+		`{"proto":2,"worker_id":"w1","lease_id":"l1","sweep_id":"s1",` +
 			`"outcomes":[{"index":0,"body":"aGk="},{"index":1,"error":"boom"}]}`))
 	if err != nil {
 		t.Fatalf("valid upload rejected: %v", err)
@@ -79,11 +79,11 @@ func TestDecodeResultUpload(t *testing.T) {
 		t.Fatalf("upload decoded wrong: %+v", up)
 	}
 	for name, body := range map[string]string{
-		"missing lease":   `{"proto":1,"worker_id":"w1","sweep_id":"s1"}`,
-		"missing sweep":   `{"proto":1,"worker_id":"w1","lease_id":"l1"}`,
-		"negative index":  `{"proto":1,"worker_id":"w1","lease_id":"l1","sweep_id":"s1","outcomes":[{"index":-1,"error":"x"}]}`,
-		"empty outcome":   `{"proto":1,"worker_id":"w1","lease_id":"l1","sweep_id":"s1","outcomes":[{"index":0}]}`,
-		"duplicate index": `{"proto":1,"worker_id":"w1","lease_id":"l1","sweep_id":"s1","outcomes":[{"index":0,"error":"x"},{"index":0,"error":"y"}]}`,
+		"missing lease":   `{"proto":2,"worker_id":"w1","sweep_id":"s1"}`,
+		"missing sweep":   `{"proto":2,"worker_id":"w1","lease_id":"l1"}`,
+		"negative index":  `{"proto":2,"worker_id":"w1","lease_id":"l1","sweep_id":"s1","outcomes":[{"index":-1,"error":"x"}]}`,
+		"empty outcome":   `{"proto":2,"worker_id":"w1","lease_id":"l1","sweep_id":"s1","outcomes":[{"index":0}]}`,
+		"duplicate index": `{"proto":2,"worker_id":"w1","lease_id":"l1","sweep_id":"s1","outcomes":[{"index":0,"error":"x"},{"index":0,"error":"y"}]}`,
 	} {
 		if _, err := DecodeResultUpload([]byte(body)); err == nil {
 			t.Errorf("%s: accepted, want error", name)
@@ -92,7 +92,7 @@ func TestDecodeResultUpload(t *testing.T) {
 }
 
 func TestDecodeStrictSizeCap(t *testing.T) {
-	huge := `{"proto":1,"worker_id":"` + strings.Repeat("x", maxWireBody) + `"}`
+	huge := `{"proto":2,"worker_id":"` + strings.Repeat("x", maxWireBody) + `"}`
 	if _, err := DecodeLeaseRequest([]byte(huge)); err == nil {
 		t.Fatal("oversized message accepted, want error")
 	}
@@ -102,13 +102,13 @@ func TestDecodeStrictSizeCap(t *testing.T) {
 // FuzzSimulateRequest hardens the query decoder: no input may panic, and any
 // accepted input must satisfy every invariant the coordinator relies on.
 func FuzzLeaseRequest(f *testing.F) {
-	f.Add([]byte(`{"proto":1,"worker_id":"w1"}`))
-	f.Add([]byte(`{"proto":1,"worker_id":"w1","max_points":8,"wait_sec":5}`))
-	f.Add([]byte(`{"proto":2,"worker_id":"w1"}`))                 // version skew
-	f.Add([]byte(`{"proto":1,"worker_id":"w1","max_po`))          // truncated
-	f.Add([]byte(`{"proto":1,"worker_id":"w1"}{"proto":1}`))      // trailing
-	f.Add([]byte(`{"proto":1,"worker_id":"w1","surprise":true}`)) // unknown field
-	f.Add([]byte(`{"proto":1,"worker_id":"\xff\xfe"}`))           // invalid UTF-8 escape
+	f.Add([]byte(`{"proto":2,"worker_id":"w1"}`))
+	f.Add([]byte(`{"proto":2,"worker_id":"w1","max_points":8,"wait_sec":5}`))
+	f.Add([]byte(`{"proto":1,"worker_id":"w1"}`))                 // version skew
+	f.Add([]byte(`{"proto":2,"worker_id":"w1","max_po`))          // truncated
+	f.Add([]byte(`{"proto":2,"worker_id":"w1"}{"proto":2}`))      // trailing
+	f.Add([]byte(`{"proto":2,"worker_id":"w1","surprise":true}`)) // unknown field
+	f.Add([]byte(`{"proto":2,"worker_id":"\xff\xfe"}`))           // invalid UTF-8 escape
 	f.Add([]byte(`null`))
 	f.Add([]byte(``))
 	f.Fuzz(func(t *testing.T, data []byte) {
@@ -134,12 +134,14 @@ func FuzzLeaseRequest(f *testing.F) {
 // index in a single message), empty outcomes, and negative indices without
 // ever panicking.
 func FuzzResultUpload(f *testing.F) {
-	f.Add([]byte(`{"proto":1,"worker_id":"w1","lease_id":"l1","sweep_id":"s1","outcomes":[{"index":0,"body":"aGk="}]}`))
-	f.Add([]byte(`{"proto":1,"worker_id":"w1","lease_id":"l1","sweep_id":"s1","outcomes":[{"index":0,"error":"x"},{"index":0,"error":"x"}]}`)) // duplicate delivery
-	f.Add([]byte(`{"proto":1,"worker_id":"w1","lease_id":"l1","sweep_id":"s1","outcomes":[{"index":-1,"body":"aGk="}]}`))
+	f.Add([]byte(`{"proto":2,"worker_id":"w1","lease_id":"l1","sweep_id":"s1","outcomes":[{"index":0,"body":"aGk="}]}`))
+	f.Add([]byte(`{"proto":2,"worker_id":"w1","lease_id":"l1","sweep_id":"s1","outcomes":[{"index":0,"error":"x"},{"index":0,"error":"x"}]}`)) // duplicate delivery
+	f.Add([]byte(`{"proto":2,"worker_id":"w1","lease_id":"l1","sweep_id":"s1","outcomes":[{"index":-1,"body":"aGk="}]}`))
 	f.Add([]byte(`{"proto":3,"worker_id":"w1","lease_id":"l1","sweep_id":"s1"}`))
-	f.Add([]byte(`{"proto":1,"worker_id":"w1","lease_id":"l1","sweep_id":"s1","outcomes":[{"index":0,"bo`)) // truncated mid-outcome
-	f.Add([]byte(`{"proto":1,"worker_id":"w1","lease_id":"l1","sweep_id":"s1","outcomes":[]}`))
+	f.Add([]byte(`{"proto":2,"worker_id":"w1","lease_id":"l1","sweep_id":"s1","outcomes":[{"index":0,"bo`)) // truncated mid-outcome
+	f.Add([]byte(`{"proto":2,"worker_id":"w1","lease_id":"l1","sweep_id":"s1","outcomes":[]}`))
+	f.Add([]byte(`{"proto":2,"worker_id":"w1","lease_id":"l1","sweep_id":"s1","trace":"t-1","span":1,"spans":[{"id":1,"name":"worker:lease","start_utc":"2026-01-01T00:00:00Z"}]}`))
+	f.Add([]byte(`{"proto":2,"worker_id":"w1","lease_id":"l1","sweep_id":"s1","spans":[{"id":1,"name":"x","start_utc":"2026-01-01T00:00:00Z"}]}`)) // spans without trace
 	f.Add([]byte(`{}`))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		up, err := DecodeResultUpload(data)
@@ -148,6 +150,9 @@ func FuzzResultUpload(f *testing.F) {
 		}
 		if up.Proto != ProtoVersion || up.WorkerID == "" || up.LeaseID == "" || up.SweepID == "" {
 			t.Fatalf("accepted upload missing identity: %+v", up)
+		}
+		if len(up.Spans) > 0 && up.Trace == "" {
+			t.Fatal("accepted piggybacked spans without a trace id to stitch them into")
 		}
 		seen := map[int]bool{}
 		for _, o := range up.Outcomes {

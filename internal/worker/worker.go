@@ -35,6 +35,7 @@ import (
 	"spacx/internal/buildinfo"
 	"spacx/internal/exp/engine"
 	"spacx/internal/obs"
+	"spacx/internal/obs/flightrec"
 	"spacx/internal/obs/tracing"
 	"spacx/internal/serve/fabric"
 )
@@ -67,8 +68,15 @@ type Options struct {
 	Client *http.Client
 	// Recorder receives worker metrics (nil means none).
 	Recorder obs.Recorder
-	// Traces, when non-nil, records a worker:compute trace per leased batch.
+	// Traces, when non-nil, records a worker:lease trace per leased batch and
+	// ships its completed spans back to the coordinator for stitching.
 	Traces *tracing.Collector
+	// Metrics, when non-nil, is snapshotted on every heartbeat and pushed to
+	// the coordinator for fleet-wide federation (normally the same registry
+	// Recorder writes into).
+	Metrics obs.Snapshotter
+	// Flight, when non-nil, records worker-side fabric lifecycle events.
+	Flight *flightrec.Recorder
 	// Version is the build stamp sent at registration (defaults to this
 	// binary's).
 	Version string
@@ -110,7 +118,15 @@ type Worker struct {
 	heartbeat time.Duration
 	inflight  map[string]context.CancelFunc // lease id -> compute cancel
 	drain     bool
+	// pend holds span batches that missed their upload (failed POST, or a
+	// batch with zero computed points); the next heartbeat piggybacks them.
+	pend []fabric.SpanBatch
 }
+
+// maxPendingSpanBatches bounds the span stash: past it, the oldest batches
+// are dropped — observability must never hold worker memory hostage when the
+// coordinator is unreachable.
+const maxPendingSpanBatches = 64
 
 // New validates opts and builds a stopped worker.
 func New(opts Options) (*Worker, error) {
@@ -201,11 +217,14 @@ func (w *Worker) sleep(ctx context.Context, d time.Duration) bool {
 // dies. A draining coordinator (503) is treated like any other retryable
 // failure — the worker keeps trying until told to stop.
 func (w *Worker) register(ctx context.Context) error {
+	bi := buildinfo.Get()
 	req := fabric.RegisterRequest{
-		Proto:   fabric.ProtoVersion,
-		Name:    w.opts.Name,
-		Version: w.opts.Version,
-		Jobs:    w.opts.Jobs,
+		Proto:     fabric.ProtoVersion,
+		Name:      w.opts.Name,
+		Version:   w.opts.Version,
+		GoVersion: bi.GoVersion,
+		Revision:  bi.Revision,
+		Jobs:      w.opts.Jobs,
 	}
 	for {
 		var resp fabric.RegisterResponse
@@ -219,6 +238,7 @@ func (w *Worker) register(ctx context.Context) error {
 			}
 			w.mu.Unlock()
 			w.rec.Count("spacx_worker_registrations_total", 1)
+			w.opts.Flight.Record(flightrec.Event{Kind: "fabric:register", Worker: resp.WorkerID, Detail: w.opts.URL})
 			w.rec.Logger().Info("worker registered", "id", resp.WorkerID, "coordinator", w.opts.URL)
 			return nil
 		}
@@ -273,22 +293,37 @@ func (w *Worker) serveLease(ctx context.Context, l *fabric.LeaseResponse) {
 		cancel()
 	}()
 
-	tctx, sp := w.opts.Traces.StartTrace(lctx, "worker:compute")
+	// The batch runs under its own LOCAL trace: worker:lease root,
+	// worker:compute child, one worker:point grandchild per point. After the
+	// batch, the completed spans are exported flat and shipped to the
+	// coordinator, which stitches them under the distributed job's fabric:lease
+	// span using the (Trace, Span) coordinates echoed from the lease response.
+	tctx, root := w.opts.Traces.StartTrace(lctx, "worker:lease")
 	outcomes := make([]fabric.Outcome, len(l.Points))
 	computed := make([]bool, len(l.Points))
 	stop := w.rec.Time("spacx_worker_batch_seconds")
-	_ = engine.ForEach(tctx, w.opts.Jobs, len(l.Points), func(i int) error {
-		o, err := w.opts.Compute(tctx, l.Points[i])
+	cctx, csp := tracing.StartSpan(tctx, "worker:compute")
+	_ = engine.ForEach(cctx, w.opts.Jobs, len(l.Points), func(i int) error {
+		pctx, psp := tracing.StartSpan(cctx, "worker:point")
+		o, err := w.opts.Compute(pctx, l.Points[i])
 		if err != nil {
+			psp.EndAnnotated("abandoned")
 			return err
 		}
+		psp.End()
 		outcomes[i] = o
 		computed[i] = true
 		return nil
 	})
+	csp.End()
 	stop()
-	sp.End()
+	root.End()
 	w.rec.Count("spacx_worker_leases_total", 1)
+
+	var spans []tracing.SpanData
+	if l.Trace != "" {
+		spans, _ = w.opts.Traces.Export(root.TraceID())
+	}
 
 	ups := make([]fabric.Outcome, 0, len(outcomes))
 	for i, ok := range computed {
@@ -297,6 +332,9 @@ func (w *Worker) serveLease(ctx context.Context, l *fabric.LeaseResponse) {
 		}
 	}
 	if len(ups) == 0 {
+		// Nothing to upload (cancelled before any point finished); the spans
+		// still describe real work — stash them for the next heartbeat.
+		w.stashSpans(l, spans)
 		return
 	}
 	w.rec.Count("spacx_worker_points_total", float64(len(ups)))
@@ -306,6 +344,9 @@ func (w *Worker) serveLease(ctx context.Context, l *fabric.LeaseResponse) {
 		LeaseID:  l.LeaseID,
 		SweepID:  l.SweepID,
 		Outcomes: ups,
+		Trace:    l.Trace,
+		Span:     l.Span,
+		Spans:    spans,
 	}
 	// Upload under the worker context, not the lease context: even a
 	// cancelled lease's finished points are valid, deterministic results the
@@ -314,12 +355,40 @@ func (w *Worker) serveLease(ctx context.Context, l *fabric.LeaseResponse) {
 	status, err := w.post(ctx, "/fabric/v1/result", up, &resp)
 	if err != nil || status != http.StatusOK {
 		w.rec.Count("spacx_worker_upload_failures_total", 1)
+		w.opts.Flight.Record(flightrec.Event{
+			Kind: "upload:fail", Worker: w.ID(), Lease: l.LeaseID, Trace: l.Trace,
+			Detail: fmt.Sprintf("status %d err %v", status, err),
+		})
 		w.rec.Logger().Warn("result upload failed; coordinator will re-lease", "lease", l.LeaseID, "status", status, "err", err)
+		w.stashSpans(l, spans)
 		return
 	}
 	if resp.Stale {
 		w.rec.Count("spacx_worker_stale_uploads_total", 1)
 	}
+}
+
+// stashSpans queues a lease's exported spans for heartbeat piggyback when
+// they missed their upload. Bounded: the oldest batches fall off first.
+func (w *Worker) stashSpans(l *fabric.LeaseResponse, spans []tracing.SpanData) {
+	if l.Trace == "" || len(spans) == 0 {
+		return
+	}
+	w.mu.Lock()
+	w.pend = append(w.pend, fabric.SpanBatch{Trace: l.Trace, Span: l.Span, Spans: spans})
+	if over := len(w.pend) - maxPendingSpanBatches; over > 0 {
+		w.pend = append(w.pend[:0:0], w.pend[over:]...)
+	}
+	w.mu.Unlock()
+}
+
+// takePendingSpans drains the span stash for one heartbeat.
+func (w *Worker) takePendingSpans() []fabric.SpanBatch {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := w.pend
+	w.pend = nil
+	return out
 }
 
 // heartbeatLoop keeps the coordinator's liveness view fresh and applies its
@@ -343,19 +412,31 @@ func (w *Worker) heartbeatLoop(ctx context.Context) {
 		}
 		id := w.id
 		w.mu.Unlock()
-		req := fabric.HeartbeatRequest{Proto: fabric.ProtoVersion, WorkerID: id, Leases: ids}
+		req := fabric.HeartbeatRequest{
+			Proto:    fabric.ProtoVersion,
+			WorkerID: id,
+			Leases:   ids,
+			Spans:    w.takePendingSpans(),
+		}
+		if w.opts.Metrics != nil {
+			snap := w.opts.Metrics.Snapshot()
+			req.Metrics = &snap
+		}
 		var resp fabric.HeartbeatResponse
 		status, err := w.post(ctx, "/fabric/v1/heartbeat", req, &resp)
 		if err != nil {
+			w.restashSpans(req.Spans)
 			continue // transient; the coordinator's WorkerTTL is the judge
 		}
 		if status == http.StatusNotFound {
 			// Coordinator restarted: whatever we are computing belongs to a
 			// dead life. The main loop re-registers on its next lease call.
+			// Pending spans reference traces of that dead life — drop them.
 			w.cancelAllInflight()
 			continue
 		}
 		if status != http.StatusOK {
+			w.restashSpans(req.Spans)
 			continue
 		}
 		for _, lid := range resp.Cancelled {
@@ -365,10 +446,25 @@ func (w *Worker) heartbeatLoop(ctx context.Context) {
 			w.mu.Lock()
 			w.drain = true
 			w.mu.Unlock()
+			w.opts.Flight.Record(flightrec.Event{Kind: "fabric:drain", Worker: id})
 			w.cancelAllInflight()
 			return
 		}
 	}
+}
+
+// restashSpans puts span batches back after a failed heartbeat, behind any
+// batches stashed in the meantime (order matters less than not losing them).
+func (w *Worker) restashSpans(batches []fabric.SpanBatch) {
+	if len(batches) == 0 {
+		return
+	}
+	w.mu.Lock()
+	w.pend = append(w.pend, batches...)
+	if over := len(w.pend) - maxPendingSpanBatches; over > 0 {
+		w.pend = append(w.pend[:0:0], w.pend[over:]...)
+	}
+	w.mu.Unlock()
 }
 
 // cancelLease cancels one in-flight lease's compute context.
@@ -378,6 +474,7 @@ func (w *Worker) cancelLease(id string) {
 	w.mu.Unlock()
 	if cancel != nil {
 		w.rec.Count("spacx_worker_cancelled_leases_total", 1)
+		w.opts.Flight.Record(flightrec.Event{Kind: "lease:cancel", Worker: w.ID(), Lease: id})
 		cancel()
 	}
 }

@@ -190,6 +190,17 @@ for _ in $(seq 1 100); do
 done
 test "$fleet" = 2 || { echo "fleet never reached 2 workers"; exit 1; }
 
+# /fleet must agree: both workers present and live, with build info echoed.
+curl -sf "http://$FADDR/fleet" > "$OUT/fleet.json"
+python3 - "$OUT/fleet.json" <<'PY'
+import json, sys
+f = json.load(open(sys.argv[1]))
+names = sorted(w["name"] for w in f["workers"])
+assert names == ["w1", "w2"], names
+assert all(w["live"] for w in f["workers"]), f["workers"]
+assert all(w.get("go_version") for w in f["workers"]), "workers registered without build info"
+PY
+
 # The same sweep, distributed; kill -9 one worker as soon as points are
 # moving through the fleet.
 job=$(curl -sf -X POST -d "$sweep" "http://$FADDR/v1/jobs" \
@@ -217,6 +228,51 @@ assert dist["done_points"] == dist["total_points"] == gold["total_points"], dist
 g, d = json.dumps(gold["result"]), json.dumps(dist["result"])
 assert g == d, "distributed sweep result differs from local golden"
 PY
+
+# The distributed job's trace must be one stitched tree: worker-originated
+# spans (shipped back over the fabric protocol) hanging under the
+# coordinator's lease spans. The final batch's spans ride the upload that
+# completes the job, so poll briefly.
+jobtrace=$(python3 -c 'import json, sys; print(json.load(open(sys.argv[1]))["trace_id"])' "$OUT/fabric-job.json")
+test -n "$jobtrace" || { echo "fabric job has no trace id"; exit 1; }
+stitched=0
+for _ in $(seq 1 50); do
+  curl -sf "http://$FADDR/traces/$jobtrace" > "$OUT/fabric-trace.json" || true
+  if grep -q '"worker:lease"' "$OUT/fabric-trace.json" && grep -q '"worker": *"w1"' "$OUT/fabric-trace.json"; then
+    stitched=1
+    break
+  fi
+  sleep 0.1
+done
+test "$stitched" = 1 || { echo "trace $jobtrace has no stitched worker spans:"; cat "$OUT/fabric-trace.json"; exit 1; }
+
+# The flight recorder saw the whole story: grants for both workers, and —
+# once the killed worker's TTL lapses — its departure (or at least the
+# expiry of a lease it still held).
+deadseen=0
+for _ in $(seq 1 100); do
+  curl -sf "http://$FADDR/fleet/events" > "$OUT/fleet-events.json" || true
+  if grep -q '"lease:grant"' "$OUT/fleet-events.json" \
+    && grep -Eq '"(worker:leave|lease:expire)"' "$OUT/fleet-events.json"; then
+    deadseen=1
+    break
+  fi
+  sleep 0.1
+done
+test "$deadseen" = 1 || { echo "flight recorder missing fabric lifecycle events:"; cat "$OUT/fleet-events.json"; exit 1; }
+
+# Within one worker TTL, /fleet must report the killed worker dead.
+w2dead=0
+for _ in $(seq 1 100); do
+  w2dead=$(curl -sf "http://$FADDR/fleet" | python3 -c '
+import json, sys
+f = json.load(sys.stdin)
+dead = [w for w in f["workers"] if w["name"] == "w2" and not w["live"]]
+print(1 if dead or not any(w["name"] == "w2" for w in f["workers"]) else 0)' || echo 0)
+  [ "$w2dead" = 1 ] && break
+  sleep 0.1
+done
+test "$w2dead" = 1 || { echo "/fleet never marked killed worker w2 dead"; exit 1; }
 
 kill -9 "$w1" 2>/dev/null || true
 kill -TERM "$server"
