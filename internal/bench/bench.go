@@ -6,10 +6,16 @@
 // ns/op, B/op, allocs/op, and custom metrics commit over commit.
 //
 // The comparison policy mirrors what is actually machine-independent:
-// allocs/op is a property of the code (a steady-state-zero hot loop
-// allocates zero everywhere), so an allocation regression fails; ns/op
-// depends on the host, so time regressions only warn, and only beyond a
-// generous threshold.
+// allocs/op and B/op are properties of the code (a steady-state-zero hot
+// loop allocates zero everywhere), so allocation and byte regressions fail;
+// ns/op depends on the host, so time regressions only warn, and only beyond
+// a generous threshold.
+//
+// A benchmark can honestly report nonzero B/op with zero allocs/op: slab
+// carving (internal/dataflow) pays one block allocation per ~hundred calls
+// and hands out permanently-owned sub-slices, so the amortized byte cost
+// per op stays visible while the amortized allocation count rounds to
+// zero. The byte guard keeps that accounting from silently growing.
 package bench
 
 import (
@@ -164,12 +170,16 @@ type Delta struct {
 	PrevAllocsPerOp float64 `json:"prev_allocs_per_op"`
 	CurAllocsPerOp  float64 `json:"cur_allocs_per_op"`
 	AllocsRegressed bool    `json:"allocs_regressed"`
+
+	PrevBytesPerOp float64 `json:"prev_bytes_per_op"`
+	CurBytesPerOp  float64 `json:"cur_bytes_per_op"`
+	BytesRegressed bool    `json:"bytes_regressed"`
 }
 
 // Report is the regression comparison of a run against the committed
 // baseline. Warned means some benchmark blew the (machine-dependent) time
-// threshold; Failed means allocs/op regressed, which is machine-independent
-// and should fail CI.
+// threshold; Failed means allocs/op or B/op regressed, which is
+// machine-independent and should fail CI.
 type Report struct {
 	NsThreshold float64 `json:"ns_threshold"`
 	Deltas      []Delta `json:"deltas"`
@@ -177,19 +187,23 @@ type Report struct {
 	Failed      bool    `json:"failed"`
 }
 
-// Allocation comparisons tolerate a little jitter: allocs/op is an integer
-// average that can wobble when amortized slab/pool refills land unevenly
-// across iterations, so only a clear increase counts as a regression.
+// Allocation comparisons tolerate a little jitter: allocs/op and B/op are
+// averages that can wobble when amortized slab/pool refills land unevenly
+// across iterations, so only a clear increase counts as a regression. The
+// byte allowance is wider because one slab refill landing inside a short
+// benchmark window moves B/op by the carve size.
 const (
 	allocsFactor = 1.10
 	allocsSlack  = 16.0
+	bytesFactor  = 1.15
+	bytesSlack   = 256.0
 )
 
 // Compare matches cur's benchmarks against the baseline by name. ns/op
-// beyond nsThreshold (cur/prev; <=0 disables) sets TimeWarn; allocs/op
-// beyond the jitter allowance sets AllocsRegressed. Benchmarks present in
-// only one record get a zero ratio and are never flagged — a changed
-// benchmark set is a different suite, not a regression.
+// beyond nsThreshold (cur/prev; <=0 disables) sets TimeWarn; allocs/op and
+// B/op beyond their jitter allowances set AllocsRegressed/BytesRegressed.
+// Benchmarks present in only one record get a zero ratio and are never
+// flagged — a changed benchmark set is a different suite, not a regression.
 func Compare(prev, cur Record, nsThreshold float64) Report {
 	prevBy := make(map[string]Benchmark, len(prev.Benchmarks))
 	for _, b := range prev.Benchmarks {
@@ -197,18 +211,20 @@ func Compare(prev, cur Record, nsThreshold float64) Report {
 	}
 	rep := Report{NsThreshold: nsThreshold}
 	for _, b := range cur.Benchmarks {
-		d := Delta{Name: b.Name, CurNsPerOp: b.NsPerOp, CurAllocsPerOp: b.AllocsPerOp}
+		d := Delta{Name: b.Name, CurNsPerOp: b.NsPerOp, CurAllocsPerOp: b.AllocsPerOp, CurBytesPerOp: b.BytesPerOp}
 		if p, ok := prevBy[b.Name]; ok {
 			d.PrevNsPerOp = p.NsPerOp
 			d.PrevAllocsPerOp = p.AllocsPerOp
+			d.PrevBytesPerOp = p.BytesPerOp
 			if p.NsPerOp > 0 {
 				d.NsRatio = b.NsPerOp / p.NsPerOp
 				d.TimeWarn = nsThreshold > 0 && d.NsRatio > nsThreshold
 			}
 			d.AllocsRegressed = b.AllocsPerOp > p.AllocsPerOp*allocsFactor+allocsSlack
+			d.BytesRegressed = b.BytesPerOp > p.BytesPerOp*bytesFactor+bytesSlack
 		}
 		rep.Warned = rep.Warned || d.TimeWarn
-		rep.Failed = rep.Failed || d.AllocsRegressed
+		rep.Failed = rep.Failed || d.AllocsRegressed || d.BytesRegressed
 		rep.Deltas = append(rep.Deltas, d)
 	}
 	return rep
@@ -217,12 +233,12 @@ func Compare(prev, cur Record, nsThreshold float64) Report {
 // String renders the report as a stderr-friendly table.
 func (r Report) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "bench comparison vs baseline (time warn threshold %.2fx, allocs fail):\n", r.NsThreshold)
+	fmt.Fprintf(&b, "bench comparison vs baseline (time warn threshold %.2fx, allocs/bytes fail):\n", r.NsThreshold)
 	for _, d := range r.Deltas {
 		switch {
 		case d.NsRatio == 0:
-			fmt.Fprintf(&b, "  %-44s %12.0f ns/op %8.0f allocs/op — no baseline\n",
-				d.Name, d.CurNsPerOp, d.CurAllocsPerOp)
+			fmt.Fprintf(&b, "  %-44s %12.0f ns/op %8.0f allocs/op %8.0f B/op — no baseline\n",
+				d.Name, d.CurNsPerOp, d.CurAllocsPerOp, d.CurBytesPerOp)
 		default:
 			status := ""
 			if d.TimeWarn {
@@ -231,9 +247,12 @@ func (r Report) String() string {
 			if d.AllocsRegressed {
 				status += " ALLOCS-REGRESSED"
 			}
-			fmt.Fprintf(&b, "  %-44s %12.0f -> %12.0f ns/op (%.2fx) %8.0f -> %8.0f allocs/op%s\n",
+			if d.BytesRegressed {
+				status += " BYTES-REGRESSED"
+			}
+			fmt.Fprintf(&b, "  %-44s %12.0f -> %12.0f ns/op (%.2fx) %8.0f -> %8.0f allocs/op %8.0f -> %8.0f B/op%s\n",
 				d.Name, d.PrevNsPerOp, d.CurNsPerOp, d.NsRatio,
-				d.PrevAllocsPerOp, d.CurAllocsPerOp, status)
+				d.PrevAllocsPerOp, d.CurAllocsPerOp, d.PrevBytesPerOp, d.CurBytesPerOp, status)
 		}
 	}
 	return b.String()

@@ -96,6 +96,23 @@ func TestCompareTimeWarnsAllocsFail(t *testing.T) {
 		t.Errorf("jitter flagged: %+v", rep)
 	}
 
+	t.Run("bytes", func(t *testing.T) {
+		prev := mkRecord(Benchmark{Name: "S", NsPerOp: 100, BytesPerOp: 216})
+		// Amortized slab bytes within factor+slack: pass.
+		rep := Compare(prev, mkRecord(Benchmark{Name: "S", NsPerOp: 100, BytesPerOp: 400}), 2.0)
+		if rep.Failed {
+			t.Errorf("byte jitter flagged: %+v", rep)
+		}
+		// A clear byte growth fails even with zero allocs/op.
+		rep = Compare(prev, mkRecord(Benchmark{Name: "S", NsPerOp: 100, BytesPerOp: 2000}), 2.0)
+		if !rep.Failed || !rep.Deltas[0].BytesRegressed {
+			t.Errorf("byte regression not flagged: %+v", rep.Deltas[0])
+		}
+		if !strings.Contains(rep.String(), "BYTES-REGRESSED") {
+			t.Errorf("report should name the byte regression:\n%s", rep.String())
+		}
+	})
+
 	// New benchmark without a baseline: never flagged.
 	rep = Compare(prev, mkRecord(Benchmark{Name: "C", NsPerOp: 9e9, AllocsPerOp: 9e9}), 2.0)
 	if rep.Failed || rep.Warned {

@@ -1,0 +1,161 @@
+package exp
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+
+	"spacx/internal/dnn"
+	"spacx/internal/exp/engine"
+	"spacx/internal/sim"
+)
+
+// Batch-kernel engagement policy. Driver grids can route their layer
+// evaluations through sim.RunBatch — hoisting each mapping cohort's tiling
+// and flow-geometry work once — instead of the scalar per-point path. The
+// batched and scalar paths are bit-identical (enforced by the differential
+// fuzzer in internal/sim), so the mode is purely a performance knob.
+const (
+	batchAuto int32 = iota
+	batchOn
+	batchOff
+
+	// minBatchPoints is the smallest sweep the auto policy will batch: below
+	// it the partition bookkeeping costs more than the hoisting saves.
+	minBatchPoints = 32
+	// minCohortSharing is the auto policy's required mean cohort size: a grid
+	// whose points are mostly cohort singletons (every point a distinct
+	// mapping) gains nothing from hoisting and stays on the scalar path.
+	minCohortSharing = 2
+)
+
+var batchMode atomic.Int32
+
+// SetBatchMode selects how driver grids engage the batched layer kernel:
+// "auto" (the default; batch when the sweep is large enough and its points
+// actually share mapping cohorts), "on" (always batch), or "off" (always
+// scalar). Like SetParallelism it is a startup-time knob, not safe to flip
+// concurrently with a running driver.
+func SetBatchMode(mode string) error {
+	switch mode {
+	case "", "auto":
+		batchMode.Store(batchAuto)
+	case "on":
+		batchMode.Store(batchOn)
+	case "off":
+		batchMode.Store(batchOff)
+	default:
+		return fmt.Errorf("exp: unknown batch mode %q (auto, on, off)", mode)
+	}
+	return nil
+}
+
+// BatchMode reports the current engagement policy.
+func BatchMode() string {
+	switch batchMode.Load() {
+	case batchOn:
+		return "on"
+	case batchOff:
+		return "off"
+	default:
+		return "auto"
+	}
+}
+
+// useBatch decides whether a sweep's point set goes through the batched
+// kernel under the current policy.
+func useBatch(pts []sim.Point) bool {
+	switch batchMode.Load() {
+	case batchOn:
+		return len(pts) > 0
+	case batchOff:
+		return false
+	}
+	if len(pts) < minBatchPoints {
+		return false
+	}
+	cohorts := make(map[string]struct{}, len(pts))
+	keyed := 0
+	for _, p := range pts {
+		if k, ok := p.CohortKey(); ok {
+			keyed++
+			cohorts[k] = struct{}{}
+		}
+	}
+	return len(cohorts) > 0 && keyed >= minCohortSharing*len(cohorts)
+}
+
+// gridPoints expands a runGrid sweep into the batch kernel's point set: every
+// (layer, accelerator) pair of the grid, deduplicated later by the prime
+// pass.
+func gridPoints(models []dnn.Model, accs []sim.Accelerator, mode sim.Mode) []sim.Point {
+	n := 0
+	for _, m := range models {
+		n += len(m.Layers)
+	}
+	pts := make([]sim.Point, 0, n*len(accs))
+	for _, m := range models {
+		for _, acc := range accs {
+			for _, l := range m.Layers {
+				pts = append(pts, sim.Point{Accel: acc, Layer: l, Mode: mode})
+			}
+		}
+	}
+	return pts
+}
+
+// primeLayers evaluates a sweep's distinct, not-yet-memoized layer points
+// through sim.RunBatch across the worker pool and seeds layerCache with the
+// results. The grid that follows then hits the cache for every point, so its
+// output — including its error behavior — is unchanged: a chunk that fails
+// primes nothing, leaving the scalar path to reproduce the identical
+// deterministic error at the identical grid position.
+func primeLayers(pts []sim.Point) {
+	type keyed struct {
+		p sim.Point
+		k layerKey
+		c string
+	}
+	seen := make(map[layerKey]struct{}, len(pts))
+	work := make([]keyed, 0, len(pts))
+	for _, p := range pts {
+		k, ok := keyFor(p.Accel, p.Layer, p.Mode)
+		if !ok {
+			continue // unfingerprintable: never cached, nothing to prime
+		}
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		if _, hit := layerCache.Cached(k); hit {
+			continue
+		}
+		c, _ := p.CohortKey()
+		work = append(work, keyed{p: p, k: k, c: c})
+	}
+	if len(work) == 0 {
+		return
+	}
+	// Sort by cohort so members land in the same chunk and actually share
+	// their hoisted mapping; the sort is stable on the (deterministic)
+	// dedup order, so the chunking is a pure function of the input.
+	sort.SliceStable(work, func(i, j int) bool { return work[i].c < work[j].c })
+	chunk := (len(work) + parallelism - 1) / parallelism
+	if chunk < minBatchPoints {
+		chunk = minBatchPoints
+	}
+	batchPts := make([]sim.Point, len(work))
+	for i, w := range work {
+		batchPts[i] = w.p
+	}
+	engine.MapBatch(baseCtx, parallelism, len(work), chunk,
+		func(lo, hi int) ([]struct{}, error) {
+			res, err := sim.RunBatchObserved(batchPts[lo:hi], recorder)
+			if err == nil {
+				for i := lo; i < hi; i++ {
+					layerCache.Put(work[i].k, res[i-lo], nil)
+				}
+			}
+			return make([]struct{}, hi-lo), nil
+		})
+}

@@ -1,0 +1,112 @@
+package exp
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"spacx/internal/dnn"
+	"spacx/internal/sim"
+)
+
+func TestSetBatchMode(t *testing.T) {
+	defer SetBatchMode("auto")
+	for _, mode := range []string{"", "auto", "on", "off"} {
+		if err := SetBatchMode(mode); err != nil {
+			t.Errorf("SetBatchMode(%q) = %v", mode, err)
+		}
+	}
+	if BatchMode() != "off" {
+		t.Fatalf("BatchMode() = %q after off", BatchMode())
+	}
+	if err := SetBatchMode("always"); err == nil {
+		t.Fatal("invalid mode must error")
+	}
+}
+
+func TestUseBatchPolicy(t *testing.T) {
+	defer SetBatchMode("auto")
+	// A mode sweep over one model shares cohorts heavily: every layer
+	// appears once per mode but maps identically.
+	m := dnn.ResNet50()
+	shared := gridPoints([]dnn.Model{m}, []sim.Accelerator{sim.SPACXAccel()}, sim.LayerByLayer)
+	shared = append(shared, gridPoints([]dnn.Model{m}, []sim.Accelerator{sim.SPACXAccel()}, sim.WholeInference)...)
+	if !useBatch(shared) {
+		t.Error("auto must batch a cohort-sharing sweep")
+	}
+	// A single-mode single-accelerator grid is all cohort singletons.
+	if useBatch(shared[:len(shared)/2]) {
+		t.Error("auto must not batch a singleton-cohort sweep")
+	}
+	if useBatch(shared[:4]) {
+		t.Error("auto must not batch a tiny sweep")
+	}
+	SetBatchMode("on")
+	if !useBatch(shared[:1]) {
+		t.Error("on must always batch")
+	}
+	SetBatchMode("off")
+	if useBatch(shared) {
+		t.Error("off must never batch")
+	}
+}
+
+// TestGoldenBatchKernel forces every driver grid through the batched kernel
+// from a cold cache and compares against the committed golden files: the
+// batch path must reproduce them byte for byte.
+func TestGoldenBatchKernel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full driver sweep")
+	}
+	if err := SetBatchMode("on"); err != nil {
+		t.Fatal(err)
+	}
+	defer SetBatchMode("auto")
+	ResetCaches()
+	defer ResetCaches()
+	for _, d := range goldenDrivers {
+		t.Run(d.name, func(t *testing.T) {
+			v, err := d.run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := goldenBytes(t, v)
+			path := filepath.Join("testdata", d.name+".golden.json")
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file: %v", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("%s diverges under the batch kernel\n%s", d.name, goldenDiff(want, got))
+			}
+		})
+	}
+}
+
+// TestPrimeLayersSeedsCache pins the prepass mechanics: after primeLayers,
+// the grid's keys are memoized and runLayerCached returns the batch results
+// without recomputation.
+func TestPrimeLayersSeedsCache(t *testing.T) {
+	ResetCaches()
+	defer ResetCaches()
+	pts := gridPoints([]dnn.Model{dnn.ResNet50()}, []sim.Accelerator{sim.SPACXAccel()}, sim.WholeInference)
+	primeLayers(pts)
+	for _, p := range pts {
+		k, ok := keyFor(p.Accel, p.Layer, p.Mode)
+		if !ok {
+			t.Fatal("eval accelerators must fingerprint")
+		}
+		cached, hit := layerCache.Cached(k)
+		if !hit {
+			t.Fatalf("layer %s not primed", p.Layer.Name)
+		}
+		want, err := sim.RunLayer(p.Accel, p.Layer, p.Mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cached.ExecSec != want.ExecSec || cached.TotalEnergy != want.TotalEnergy {
+			t.Fatalf("primed result differs for %s", p.Layer.Name)
+		}
+	}
+}

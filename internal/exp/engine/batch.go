@@ -1,0 +1,94 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// MapBatch is the chunked variant of Map: fn evaluates a contiguous index
+// range [lo, hi) in one call and returns its hi-lo results in range order.
+// It exists for batch-aware kernels (sim.RunBatch) where evaluating a span
+// of adjacent points together is much cheaper than evaluating them one at a
+// time — callers sort their work so related points are adjacent, and each
+// chunk becomes one kernel invocation.
+//
+// chunk <= 0 picks ceil(n/workers) — one chunk per worker. Results stay
+// index-addressed and bit-identical to a sequential run; like Map, every
+// chunk is evaluated even when some fail, the error of the lowest failing
+// chunk wins, and cancelling ctx abandons chunks that have not started.
+// Failed chunks leave their result range zero.
+func MapBatch[T any](ctx context.Context, workers, n, chunk int, fn func(lo, hi int) ([]T, error)) ([]T, error) {
+	out := make([]T, n)
+	if n <= 0 {
+		return out, nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if chunk <= 0 {
+		chunk = (n + workers - 1) / workers
+	}
+	nchunks := (n + chunk - 1) / chunk
+	if workers > nchunks {
+		workers = nchunks
+	}
+	run := func(ci int) error {
+		lo := ci * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		res, err := fn(lo, hi)
+		if err != nil {
+			return err
+		}
+		if len(res) != hi-lo {
+			return fmt.Errorf("engine: batch fn returned %d results for range [%d,%d)", len(res), lo, hi)
+		}
+		copy(out[lo:hi], res)
+		return nil
+	}
+	errs := make([]error, nchunks)
+	if workers == 1 {
+		for ci := 0; ci < nchunks; ci++ {
+			if err := ctx.Err(); err != nil {
+				errs[ci] = err
+				continue
+			}
+			errs[ci] = run(ci)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					ci := int(next.Add(1)) - 1
+					if ci >= nchunks {
+						return
+					}
+					if err := ctx.Err(); err != nil {
+						errs[ci] = err
+						continue
+					}
+					errs[ci] = run(ci)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,132 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestMapBatchIndexAddressed(t *testing.T) {
+	for _, workers := range []int{1, 4, 16} {
+		for _, chunk := range []int{0, 1, 3, 7, 100} {
+			out, err := MapBatch(context.Background(), workers, 25, chunk, func(lo, hi int) ([]int, error) {
+				res := make([]int, hi-lo)
+				for i := range res {
+					res[i] = (lo + i) * (lo + i)
+				}
+				return res, nil
+			})
+			if err != nil {
+				t.Fatalf("workers=%d chunk=%d: %v", workers, chunk, err)
+			}
+			for i, v := range out {
+				if v != i*i {
+					t.Fatalf("workers=%d chunk=%d: out[%d]=%d", workers, chunk, i, v)
+				}
+			}
+		}
+	}
+}
+
+func TestMapBatchEmpty(t *testing.T) {
+	out, err := MapBatch(context.Background(), 4, 0, 8, func(lo, hi int) ([]int, error) {
+		t.Fatal("fn must not run for n=0")
+		return nil, nil
+	})
+	if err != nil || len(out) != 0 {
+		t.Fatalf("got %v, %v", out, err)
+	}
+}
+
+func TestMapBatchLowestChunkErrorWins(t *testing.T) {
+	errLow, errHigh := errors.New("low"), errors.New("high")
+	_, err := MapBatch(context.Background(), 8, 40, 5, func(lo, hi int) ([]int, error) {
+		switch lo {
+		case 10:
+			return nil, errLow
+		case 30:
+			return nil, errHigh
+		}
+		return make([]int, hi-lo), nil
+	})
+	if err != errLow {
+		t.Fatalf("want lowest-chunk error %v, got %v", errLow, err)
+	}
+}
+
+func TestMapBatchLengthMismatch(t *testing.T) {
+	_, err := MapBatch(context.Background(), 2, 10, 5, func(lo, hi int) ([]int, error) {
+		return make([]int, hi-lo-1), nil
+	})
+	if err == nil {
+		t.Fatal("short result slice must error")
+	}
+}
+
+func TestMapBatchCancelAbandonsUnstarted(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := MapBatch(ctx, 4, 20, 2, func(lo, hi int) ([]int, error) {
+		t.Fatal("fn must not run under a cancelled context")
+		return nil, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+func TestCachePutAndCached(t *testing.T) {
+	var c Cache[string, int]
+	if _, ok := c.Cached("a"); ok {
+		t.Fatal("empty cache must miss")
+	}
+	c.Put("a", 42, nil)
+	if v, ok := c.Cached("a"); !ok || v != 42 {
+		t.Fatalf("Cached after Put = %d, %v", v, ok)
+	}
+	// A Put result short-circuits Do without recomputing.
+	v, err := c.Do("a", func() (int, error) {
+		t.Fatal("Do must not recompute a seeded key")
+		return 0, nil
+	})
+	if err != nil || v != 42 {
+		t.Fatalf("Do after Put = %d, %v", v, err)
+	}
+	// First writer wins; a later Put loses to the existing entry.
+	c.Put("a", 7, nil)
+	if v, _ := c.Cached("a"); v != 42 {
+		t.Fatalf("second Put must lose: got %d", v)
+	}
+	// Errored entries report a miss but Do still returns the cached error.
+	boom := errors.New("boom")
+	c.Put("b", 0, boom)
+	if _, ok := c.Cached("b"); ok {
+		t.Fatal("errored entry must report a miss")
+	}
+	if _, err := c.Do("b", func() (int, error) { return 1, nil }); err != boom {
+		t.Fatalf("Do must return the seeded error, got %v", err)
+	}
+}
+
+func TestCachePutConcurrentWithDo(t *testing.T) {
+	var c Cache[int, int]
+	var wg sync.WaitGroup
+	for g := 0; g < 32; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			if g%2 == 0 {
+				c.Put(1, 5, nil)
+			} else {
+				if v, err := c.Do(1, func() (int, error) { return 5, nil }); err != nil || v != 5 {
+					t.Errorf("Do = %d, %v", v, err)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if v, ok := c.Cached(1); !ok || v != 5 {
+		t.Fatalf("Cached = %d, %v", v, ok)
+	}
+}

@@ -76,11 +76,13 @@ var layerCache engine.Cache[layerKey, sim.LayerResult]
 // EngineAgreement pairs with the analytical ones.
 var detailedCache engine.Cache[layerKey, sim.LayerResult]
 
-// ResetCaches drops all memoized layer evaluations. Tests use it to time
-// cold sweeps and to prove parallel == sequential from a cold start.
+// ResetCaches drops all memoized layer and packet-simulation evaluations.
+// Tests use it to time cold sweeps and to prove parallel == sequential from
+// a cold start.
 func ResetCaches() {
 	layerCache.Reset()
 	detailedCache.Reset()
+	packetCache.Reset()
 }
 
 // CacheSize reports how many layer evaluations are currently memoized.
@@ -122,6 +124,12 @@ func runModelCached(acc sim.Accelerator, m dnn.Model, mode sim.Mode) (sim.ModelR
 // normalization folds then walk the grid in the original sequential order;
 // sweep names the progress phase and metric labels the points land under.
 func runGrid(sweep string, models []dnn.Model, accs []sim.Accelerator, mode sim.Mode) ([][]sim.ModelResult, error) {
+	// Batched prepass: when the grid's points share mapping cohorts, evaluate
+	// the distinct uncached layers through sim.RunBatch and seed the layer
+	// cache; the per-model aggregation below then only replays cache hits.
+	if pts := gridPoints(models, accs, mode); useBatch(pts) {
+		primeLayers(pts)
+	}
 	flat, err := mapPoints(sweep, len(models)*len(accs), func(i int) (sim.ModelResult, error) {
 		m := models[i/len(accs)]
 		acc := accs[i%len(accs)]

@@ -1,0 +1,84 @@
+package serve
+
+import (
+	"sort"
+
+	"spacx/internal/exp/engine"
+	"spacx/internal/sim"
+)
+
+// defaultBatchPoints is the scheduler's default priming threshold: below it
+// the batched kernel's partition bookkeeping costs more than its hoisting
+// saves.
+const defaultBatchPoints = 32
+
+// primeBatch routes a coalesced micro-batch's layer evaluations through the
+// batched kernel when the cohort structure warrants it: the distinct
+// uncached layer points across all jobs are collected, and when there are at
+// least BatchPoints of them with meaningful cohort sharing (points that
+// differ only in residency mode or GB capacity map identically), they are
+// evaluated via sim.RunBatch across the worker pool and seeded into the
+// layer cache. The per-job runs that follow replay cache hits, so responses
+// are byte-identical to the scalar path — a chunk that fails primes nothing
+// and leaves the jobs' own sim.RunVia calls to reproduce the identical
+// deterministic errors.
+func (s *Service) primeBatch(batch []*job) {
+	if s.opts.BatchPoints < 0 {
+		return
+	}
+	type keyed struct {
+		p sim.Point
+		k layerKey
+		c string
+	}
+	seen := make(map[layerKey]struct{})
+	var work []keyed
+	cohorts := make(map[string]struct{})
+	for _, j := range batch {
+		for _, p := range j.q.req.Points() {
+			k, ok := keyForLayer(p.Accel, p.Layer, p.Mode)
+			if !ok {
+				continue // unfingerprintable: never cached, nothing to prime
+			}
+			if _, dup := seen[k]; dup {
+				continue
+			}
+			seen[k] = struct{}{}
+			if _, hit := s.layers.Cached(k); hit {
+				continue
+			}
+			c, _ := p.CohortKey()
+			work = append(work, keyed{p: p, k: k, c: c})
+			cohorts[c] = struct{}{}
+		}
+	}
+	if len(work) < s.opts.BatchPoints || len(work) < 2*len(cohorts) {
+		return
+	}
+	// Same epoch bound as runLayer: prime into a fresh epoch rather than one
+	// about to be dropped wholesale.
+	if s.layers.Len() > s.opts.LayerCacheMax {
+		s.layers.Reset()
+	}
+	sort.SliceStable(work, func(i, j int) bool { return work[i].c < work[j].c })
+	chunk := (len(work) + s.opts.Workers - 1) / s.opts.Workers
+	if chunk < defaultBatchPoints {
+		chunk = defaultBatchPoints
+	}
+	pts := make([]sim.Point, len(work))
+	for i, w := range work {
+		pts[i] = w.p
+	}
+	s.rec.Count("spacx_serve_batch_primes_total", 1)
+	s.rec.Count("spacx_serve_batch_primed_points_total", float64(len(work)))
+	engine.MapBatch(s.ctx, s.opts.Workers, len(work), chunk,
+		func(lo, hi int) ([]struct{}, error) {
+			res, err := sim.RunBatchObserved(pts[lo:hi], s.rec)
+			if err == nil {
+				for i := lo; i < hi; i++ {
+					s.layers.Put(work[i].k, res[i-lo], nil)
+				}
+			}
+			return make([]struct{}, hi-lo), nil
+		})
+}

@@ -1,0 +1,55 @@
+package serve
+
+import (
+	"bytes"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// TestBatchPrimingIsByteIdentical runs the same mode sweep against a
+// batched-priming service (BatchPoints: 1 plus a batch window so the sweep's
+// jobs coalesce into one micro-batch) and a scalar-only one (BatchPoints:
+// -1), and requires byte-identical responses plus evidence the primed
+// service actually went through the batch kernel.
+func TestBatchPrimingIsByteIdentical(t *testing.T) {
+	// A mode sweep maximizes cohort sharing: each layer appears under both
+	// residency modes but maps identically.
+	sweep := `{"models": ["resnet50"], "accels": ["spacx"], "modes": ["whole", "layer"]}`
+
+	_, breg, bmux := newService(t, Options{Workers: 2, BatchPoints: 1, BatchWindow: 50 * time.Millisecond})
+	_, sreg, smux := newService(t, Options{Workers: 2, BatchPoints: -1})
+
+	b := doReq(bmux, http.MethodPost, "/v1/sweep", sweep)
+	s := doReq(smux, http.MethodPost, "/v1/sweep", sweep)
+	if b.Code != http.StatusOK || s.Code != http.StatusOK {
+		t.Fatalf("status %d / %d", b.Code, s.Code)
+	}
+	if !bytes.Equal(b.Body.Bytes(), s.Body.Bytes()) {
+		t.Fatalf("batched and scalar sweep responses differ:\n%s\nvs\n%s", b.Body, s.Body)
+	}
+	if n := breg.Counter("spacx_serve_batch_primes_total"); n == 0 {
+		t.Fatal("priming service never engaged the batch kernel")
+	}
+	if n := breg.Counter("spacx_sim_batch_runs_total"); n == 0 {
+		t.Fatal("batch kernel telemetry missing from the service recorder")
+	}
+	if n := sreg.Counter("spacx_serve_batch_primes_total"); n != 0 {
+		t.Fatalf("BatchPoints < 0 must disable priming, got %v primes", n)
+	}
+}
+
+// TestPrimeBatchSkipsSingletonCohorts pins the sharing guard: a micro-batch
+// whose points are all cohort singletons stays on the scalar path even above
+// the point threshold.
+func TestPrimeBatchSkipsSingletonCohorts(t *testing.T) {
+	_, reg, mux := newService(t, Options{Workers: 2, BatchPoints: 1})
+	// One model, one accel, one mode: every distinct layer is its own cohort.
+	rr := doReq(mux, http.MethodPost, "/v1/simulate", `{"model": "vgg16", "accel": "simba"}`)
+	if rr.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rr.Code, rr.Body)
+	}
+	if n := reg.Counter("spacx_serve_batch_primes_total"); n != 0 {
+		t.Fatalf("singleton-cohort batch must not prime, got %v", n)
+	}
+}

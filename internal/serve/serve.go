@@ -70,6 +70,12 @@ type Options struct {
 	// MaxRequestBatch is the largest accepted per-request batch size
 	// (<= 0 means 256).
 	MaxRequestBatch int
+	// BatchPoints is the smallest number of distinct uncached layer points a
+	// coalesced micro-batch must carry before the scheduler primes the layer
+	// cache through the batched kernel (sim.RunBatch) instead of letting the
+	// per-job runs evaluate them one by one. 0 means the default (32); < 0
+	// disables the batched path entirely.
+	BatchPoints int
 	// MaxSweepPoints caps the /v1/sweep grid (<= 0 means 64).
 	MaxSweepPoints int
 	// RetryAfter is the backpressure hint returned with 429/503 responses
@@ -114,6 +120,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxRequestBatch <= 0 {
 		o.MaxRequestBatch = 256
+	}
+	if o.BatchPoints == 0 {
+		o.BatchPoints = defaultBatchPoints
 	}
 	if o.MaxSweepPoints <= 0 {
 		o.MaxSweepPoints = 64
@@ -330,6 +339,7 @@ func (s *Service) runBatch(batch []*job) {
 	s.rec.Observe("spacx_serve_batch_size", float64(len(batch)))
 	s.rec.Count("spacx_serve_batches_total", 1)
 	s.rec.Gauge("spacx_serve_queue_depth", float64(len(s.queue)))
+	s.primeBatch(batch)
 	_ = engine.ForEachPhase(s.ctx, s.phase, s.opts.Workers, len(batch), func(i int) error {
 		j := batch[i]
 		j.qspan.End()

@@ -1,0 +1,84 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"spacx/internal/dnn"
+)
+
+// FuzzRunBatch is the batch kernel's differential fuzzer: an arbitrary byte
+// string decodes into a mixed point set (four bytes per point — accelerator
+// pick including a failing zero-PE-buffer variant and a GB-capacity ladder,
+// bounded layer geometry, residency mode), and the batched results must be
+// bit-identical to per-point scalar runs, with matching error behavior. The
+// empty input exercises the zero-point batch.
+func FuzzRunBatch(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{7, 130, 200, 0xFF, 7, 131, 200, 0xFF})
+	f.Add([]byte{0x20, 1, 2, 3, 0x40, 1, 2, 3, 0x80, 1, 2, 3, 0xE0, 1, 2, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const maxPoints = 48
+		n := len(data) / 4
+		if n > maxPoints {
+			n = maxPoints
+		}
+		pts := make([]Point, 0, n)
+		for i := 0; i < n; i++ {
+			a, b, c, d := data[4*i], data[4*i+1], data[4*i+2], data[4*i+3]
+			var acc Accelerator
+			switch a & 0x7 {
+			case 0:
+				acc = SPACXAccel()
+			case 1:
+				acc = SPACXAccelNoBA()
+			case 2:
+				acc = SimbaAccel()
+			case 3:
+				acc = POPSTARAccel()
+			case 4:
+				acc = SPACXAccel()
+				acc.Arch.PEBufBytes = 0 // deterministic mapping failure
+			default:
+				acc = SPACXAccel()
+				acc.Arch.GBBytes = 512 << (10 + uint(a>>5)) // 512 KiB .. 64 MiB
+			}
+			var l dnn.Layer
+			switch b & 0x3 {
+			case 0:
+				l = dnn.NewSameConv("conv", 1+int(c%64), 1+int(b>>2), 1+int(d%64), 1+int(c>>6), 1)
+			case 1:
+				l = dnn.NewFC("fc", 1+int(c)*4, 1+int(d)*4)
+			case 2:
+				l = dnn.NewDepthwise("dw", 1+int(c%64), 1+int(d), 3, 1)
+			default:
+				h := 3 + int(c%32)
+				l = dnn.NewConv("conv", h, h, 3, 3, 1+int(b>>2), 1+int(d%32), 1, 0)
+			}
+			mode := LayerByLayer
+			if d&0x80 != 0 {
+				mode = WholeInference
+			}
+			pts = append(pts, Point{Accel: acc, Layer: l, Mode: mode})
+		}
+
+		got, gotErr := RunBatch(pts)
+		want, wantErr := scalarReference(pts)
+		if (gotErr == nil) != (wantErr == nil) {
+			t.Fatalf("error mismatch: batch=%v scalar=%v", gotErr, wantErr)
+		}
+		if gotErr != nil && gotErr.Error() != wantErr.Error() {
+			t.Fatalf("error text mismatch:\nbatch:  %v\nscalar: %v", gotErr, wantErr)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("length mismatch: %d vs %d", len(got), len(want))
+		}
+		for i := range got {
+			if !reflect.DeepEqual(got[i], want[i]) {
+				t.Fatalf("point %d (%s on %s, %s): batch differs from scalar\nbatch:  %+v\nscalar: %+v",
+					i, pts[i].Layer.Name, pts[i].Accel.Name(), pts[i].Mode, got[i], want[i])
+			}
+		}
+	})
+}

@@ -43,6 +43,20 @@ func (r Request) batched() dnn.Model {
 	return m
 }
 
+// Points expands the request into the batch kernel's sweep points: one per
+// layer of the batched model, in layer order, all sharing the request's
+// accelerator and residency mode. Schedulers use it to collect the distinct
+// layer evaluations a queue of requests will need and prime them through
+// RunBatch before the per-request aggregation runs.
+func (r Request) Points() []Point {
+	m := r.batched()
+	pts := make([]Point, len(m.Layers))
+	for i, l := range m.Layers {
+		pts[i] = Point{Accel: r.Accel, Layer: l, Mode: r.Mode}
+	}
+	return pts
+}
+
 // Run evaluates the request through the given layer runner (nil means
 // RunLayer). The aggregation goes through RunVia, so any deterministic
 // runner — including a memoized one — yields results bit-identical to Run.

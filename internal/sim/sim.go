@@ -128,33 +128,19 @@ func RunLayerObserved(acc Accelerator, l dnn.Layer, mode Mode, rec obs.Recorder)
 	r := LayerResult{Layer: l, Profile: p}
 	r.ComputeSec = float64(p.VectorSteps) / acc.Arch.ClockHz
 
-	// Split flows into the overlappable pools. On a broadcast-capable
-	// photonic network the input classes ride orthogonal wavelength groups
-	// (max); on a shared-medium network they serialize (sum).
-	orthogonal := net.Caps().CrossChipletBroadcast || net.Caps().SingleChipletBroadcast
-	r.FlowSecs = newFloats(len(p.Flows))
-	for i, f := range p.Flows {
-		t := net.TransferTime(f)
-		r.FlowSecs[i] = t
-		switch f.Dir {
-		case network.GBToPE:
-			if orthogonal {
-				if t > r.InputSec {
-					r.InputSec = t
-				}
-			} else {
-				r.InputSec += t
-			}
-		case network.PEToGB, network.PEToPE:
-			r.OutputSec += t
-		}
-		r.NetDynamic = r.NetDynamic.Add(net.DynamicEnergy(f))
-		if enabled {
+	// Fold flows into the overlappable pools. The pooling arithmetic lives
+	// in dataflow.MeasureFlows, shared with the batch kernel's cohort
+	// prelude so the scalar and batched paths cannot drift apart.
+	fc := dataflow.MeasureFlows(net, p.Flows)
+	r.InputSec, r.OutputSec, r.NetDynamic = fc.InputSec, fc.OutputSec, fc.Dynamic
+	r.FlowSecs = fc.Times
+	if enabled {
+		for i, f := range p.Flows {
 			cls := obs.Label{Key: "class", Value: f.Class.String()}
 			dir := obs.Label{Key: "dir", Value: dataflow.DirLabel(f.Dir)}
 			rec.Count("spacx_sim_flow_bytes_total", float64(f.Normalize().UniqueBytes), cls, dir)
 			rec.Count("spacx_sim_flows_total", 1, cls, dir)
-			rec.Count("spacx_sim_flow_transfer_seconds_total", t, cls, dir)
+			rec.Count("spacx_sim_flow_transfer_seconds_total", r.FlowSecs[i], cls, dir)
 		}
 	}
 

@@ -1,36 +1,24 @@
 package sim
 
-import "sync"
-
-// LayerResults are memoized and shared by the experiment engine, so the
-// per-layer FlowSecs slice can never be recycled — but it can be batched.
-// newFloats carves each small slice out of a pooled slab block, replacing
-// one garbage-collected allocation per RunLayer call with one block
-// allocation per ~hundred layers. Carved memory is permanently owned by its
-// LayerResult; the slab only ever advances.
-
-const floatSlabCap = 1024
-
-var floatSlabs = sync.Pool{New: func() interface{} { return new(floatSlab) }}
-
-type floatSlab struct{ buf []float64 }
-
-// newFloats returns a zeroed slice of length n carved from a pooled slab,
-// clipped to full capacity.
-func newFloats(n int) []float64 {
+// The batch kernel writes its per-point outputs as structure-of-arrays
+// columns: one contiguous float64 run per output quantity, each cohort
+// owning an adjacent span of every column. newColumns carves the k columns
+// out of a single backing allocation, so a whole batch costs one block
+// allocation (plus the int64 DRAM column) instead of one result struct's
+// worth of pointer-chased stores per point, and the per-cohort passes are
+// simple induction loops over adjacent memory the compiler can vectorize.
+//
+// The scalar path's FlowSecs slices are carved by the float slab in
+// internal/dataflow (see MeasureFlows), next to the flow slab they ride
+// with.
+func newColumns(n, k int) [][]float64 {
+	cols := make([][]float64, k)
 	if n == 0 {
-		return nil
+		return cols
 	}
-	if n > floatSlabCap {
-		return make([]float64, n)
+	buf := make([]float64, n*k)
+	for i := range cols {
+		cols[i] = buf[i*n : (i+1)*n : (i+1)*n]
 	}
-	s := floatSlabs.Get().(*floatSlab)
-	if cap(s.buf)-len(s.buf) < n {
-		s.buf = make([]float64, 0, floatSlabCap)
-	}
-	lo := len(s.buf)
-	out := s.buf[lo : lo+n : lo+n]
-	s.buf = s.buf[:lo+n]
-	floatSlabs.Put(s)
-	return out
+	return cols
 }
