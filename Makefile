@@ -1,8 +1,8 @@
 # Convenience targets mirroring .github/workflows/ci.yml.
 
-.PHONY: ci fmt vet build test exp-race obs-race fabric-race serve-smoke api-smoke cover fuzz bench bench-json bench-check golden
+.PHONY: ci fmt vet build test exp-race obs-race fabric-race thermal-race serve-smoke api-smoke cover fuzz bench bench-json bench-check golden
 
-ci: fmt vet build test exp-race obs-race fabric-race serve-smoke api-smoke cover fuzz bench-check
+ci: fmt vet build test exp-race obs-race fabric-race thermal-race serve-smoke api-smoke cover fuzz bench-check
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -29,6 +29,13 @@ obs-race:
 # worker client, and the multi-worker fault-injection harness.
 fabric-race:
 	go test -race -count=1 ./internal/serve/fabric/... ./internal/worker/... ./internal/obs/flightrec/...
+
+# The closed-loop thermal co-simulation under the race detector: the RC
+# network and feedback coupler, plus the thermal paths through the
+# simulator, the replay drivers, and the /v1/thermal endpoint.
+thermal-race:
+	go test -race -count=1 ./internal/thermal/...
+	go test -race -count=1 -run 'Thermal' ./internal/sim/ ./internal/exp/ ./internal/serve/
 
 # End-to-end smoke of the live observability server and the run ledger:
 # serve a real run, scrape every endpoint, then check the appended record.

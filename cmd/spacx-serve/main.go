@@ -13,6 +13,7 @@
 //
 //	POST   /v1/simulate         one simulation query
 //	POST   /v1/sweep            a small parameter grid, synchronous
+//	POST   /v1/thermal          closed-loop thermal replay of a traffic profile
 //	POST   /v1/jobs             submit a sweep as an async job (202 + id)
 //	GET    /v1/jobs             job list, newest first (survives restarts)
 //	GET    /v1/jobs/{id}        job status + result once done
@@ -47,6 +48,7 @@ import (
 	"time"
 
 	"spacx/internal/buildinfo"
+	"spacx/internal/exp"
 	"spacx/internal/exp/engine"
 	"spacx/internal/obs"
 	"spacx/internal/obs/flightrec"
@@ -182,6 +184,10 @@ func run(o options) error {
 	reg := obs.NewRegistry(obs.NewLogger(os.Stderr, o.verbose))
 	prog := engine.NewProgress()
 	traces := tracing.NewCollector(o.traceKeep, reg)
+	// /v1/thermal runs through the experiment drivers, whose spacx_thermal_*
+	// gauges land on the package recorder; point it at the registry so they
+	// show up on /metrics alongside the serve metrics.
+	exp.SetRecorder(reg)
 
 	// hardCtx is the second-signal abort: cancelling it abandons engine
 	// batch items that have not started.
@@ -220,6 +226,7 @@ func run(o options) error {
 		Progress:        prog,
 		Traces:          traces,
 		Fabric:          coord,
+		Flight:          flight,
 	})
 	svc.Start(hardCtx)
 

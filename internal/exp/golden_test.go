@@ -46,6 +46,7 @@ var goldenDrivers = []struct {
 	{"batch", func() (any, error) { return BatchScaling() }},
 	{"engines", func() (any, error) { return EngineAgreement() }},
 	{"area", func() (any, error) { return Area() }},
+	{"thermal", func() (any, error) { return ThermalGolden() }},
 }
 
 // goldenBytes marshals driver rows the same way every time: indented JSON

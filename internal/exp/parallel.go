@@ -112,11 +112,27 @@ func runLayerDetailedCached(acc sim.Accelerator, l dnn.Layer, mode sim.Mode) (si
 	})
 }
 
+// layerWrap optionally wraps the memoized layer evaluator every driver
+// aggregates through — the seam the thermal co-simulation uses to derate
+// communication, and the differential suite uses to prove the
+// thermal-aware path is bit-identical to the static one when feedback is
+// off. The wrap runs outside the cache, so cached results stay pristine.
+var layerWrap func(sim.LayerRunner) sim.LayerRunner
+
+// SetLayerWrap installs (or, with nil, removes) the layer-evaluator wrap.
+// Like SetRecorder, it is not safe to call concurrently with a running
+// driver.
+func SetLayerWrap(w func(sim.LayerRunner) sim.LayerRunner) { layerWrap = w }
+
 // runModelCached is sim.Run with every layer evaluation memoized; the
 // aggregation goes through sim.RunVia, so results are bit-identical to
 // sim.Run.
 func runModelCached(acc sim.Accelerator, m dnn.Model, mode sim.Mode) (sim.ModelResult, error) {
-	return sim.RunVia(acc, m, mode, runLayerCached)
+	runner := sim.LayerRunner(runLayerCached)
+	if layerWrap != nil {
+		runner = layerWrap(runner)
+	}
+	return sim.RunVia(acc, m, mode, runner)
 }
 
 // runGrid evaluates every (model, accelerator) pair of a sweep across the

@@ -1,6 +1,7 @@
 package photonic
 
 import (
+	"errors"
 	"fmt"
 	"math"
 )
@@ -27,6 +28,13 @@ const (
 	InsulatedTuningNmPerMw = 1.6
 )
 
+// ErrHeaterSaturated reports that a ring's required heater power exceeds the
+// tuning DAC's provisioned maximum: the heater can no longer pull the ring
+// back on resonance and the uncompensated detuning erodes the link margin.
+// Callers that can degrade gracefully (the thermal feedback coupler) detect
+// it with errors.Is and clamp; strict callers propagate it.
+var ErrHeaterSaturated = errors.New("photonic: heater power exceeds tuning DAC maximum")
+
 // TuningSpec describes the variation a ring population must absorb.
 type TuningSpec struct {
 	// TemperatureSpreadK is the worst-case die temperature excursion the
@@ -37,6 +45,37 @@ type TuningSpec struct {
 	ProcessSigmaNm float64
 	// TuningNmPerMw is the heater efficiency.
 	TuningNmPerMw float64
+	// MaxHeaterMw caps the per-ring heater power the tuning DAC can deliver;
+	// 0 (the default of the static Table III/IV specs) means uncapped, so
+	// the static figure paths never hit the saturation error.
+	MaxHeaterMw float64
+}
+
+// WithTemperature returns the spec with the worst-case die-temperature
+// excursion replaced by spreadK — the dynamic-excursion path the thermal
+// feedback loop drives as the interposer heats. Negative spreads are
+// rejected by the power methods, matching the static constructor contract.
+func (s TuningSpec) WithTemperature(spreadK float64) TuningSpec {
+	s.TemperatureSpreadK = spreadK
+	return s
+}
+
+// WithHeaterCap returns the spec with the per-ring heater DAC cap set
+// (0 restores the uncapped static behavior).
+func (s TuningSpec) WithHeaterCap(maxMw float64) TuningSpec {
+	s.MaxHeaterMw = maxMw
+	return s
+}
+
+// checkCap enforces the DAC cap on a computed heater power.
+func (s TuningSpec) checkCap(p Milliwatt) (Milliwatt, error) {
+	if s.MaxHeaterMw < 0 {
+		return 0, fmt.Errorf("photonic: negative heater cap %v", s.MaxHeaterMw)
+	}
+	if s.MaxHeaterMw > 0 && float64(p) > s.MaxHeaterMw {
+		return p, fmt.Errorf("%w: need %.3f mW, cap %.3f mW", ErrHeaterSaturated, float64(p), s.MaxHeaterMw)
+	}
+	return p, nil
 }
 
 // ModerateTuning mirrors the Table III operating point.
@@ -61,7 +100,7 @@ func (s TuningSpec) MeanHeaterPower() (Milliwatt, error) {
 	}
 	meanOffsetNm := s.TemperatureSpreadK*ResonanceDriftNmPerK/2 +
 		s.ProcessSigmaNm*math.Sqrt(2/math.Pi)
-	return Milliwatt(meanOffsetNm / s.TuningNmPerMw), nil
+	return s.checkCap(Milliwatt(meanOffsetNm / s.TuningNmPerMw))
 }
 
 // WorstCaseHeaterPower budgets three sigma of process variation on top of
@@ -71,5 +110,22 @@ func (s TuningSpec) WorstCaseHeaterPower() (Milliwatt, error) {
 		return 0, fmt.Errorf("photonic: non-positive tuning efficiency %v", s.TuningNmPerMw)
 	}
 	worstNm := s.TemperatureSpreadK*ResonanceDriftNmPerK + 3*s.ProcessSigmaNm
-	return Milliwatt(worstNm / s.TuningNmPerMw), nil
+	return s.checkCap(Milliwatt(worstNm / s.TuningNmPerMw))
+}
+
+// WorstCaseOffsetNm returns the worst-case resonance offset the spec asks a
+// ring to trim: the full thermal excursion plus three sigma of process
+// variation. The feedback coupler uses it to size uncompensated detuning
+// once the heater saturates.
+func (s TuningSpec) WorstCaseOffsetNm() float64 {
+	return s.TemperatureSpreadK*ResonanceDriftNmPerK + 3*s.ProcessSigmaNm
+}
+
+// CompensableNm returns the resonance shift the capped heater can deliver;
+// +Inf when the spec is uncapped.
+func (s TuningSpec) CompensableNm() float64 {
+	if s.MaxHeaterMw <= 0 {
+		return math.Inf(1)
+	}
+	return s.MaxHeaterMw * s.TuningNmPerMw
 }

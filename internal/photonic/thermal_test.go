@@ -1,6 +1,10 @@
 package photonic
 
-import "testing"
+import (
+	"errors"
+	"math"
+	"testing"
+)
 
 // The Table III/IV heater constants should be consistent with the physical
 // tuning model within a factor of ~2 — this pins the constants to physics
@@ -67,5 +71,84 @@ func TestHeaterPowerScalesWithVariation(t *testing.T) {
 	pb, _ := big.MeanHeaterPower()
 	if pb <= ps {
 		t.Errorf("more variation should need more heater power: %v vs %v", pb, ps)
+	}
+}
+
+func TestWithTemperatureDynamicExcursion(t *testing.T) {
+	base := ModerateTuning()
+	hot := base.WithTemperature(base.TemperatureSpreadK + 6)
+	if base.TemperatureSpreadK != 4 {
+		t.Fatalf("WithTemperature mutated the receiver: %+v", base)
+	}
+	pBase, err := base.MeanHeaterPower()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pHot, err := hot.MeanHeaterPower()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each extra kelvin of excursion costs drift/2/efficiency mean mW.
+	want := float64(pBase) + 6*ResonanceDriftNmPerK/2/base.TuningNmPerMw
+	if got := float64(pHot); got < want-1e-12 || got > want+1e-12 {
+		t.Errorf("hot mean power %v mW, want %v mW", got, want)
+	}
+}
+
+// Error path: the DAC cap turns excess heater demand into ErrHeaterSaturated,
+// and the computed (over-cap) power is still returned so graceful callers
+// can clamp.
+func TestHeaterCapSaturation(t *testing.T) {
+	spec := ModerateTuning()
+	worst, err := spec.WorstCaseHeaterPower()
+	if err != nil {
+		t.Fatalf("uncapped spec errored: %v", err)
+	}
+
+	// Cap above worst case: both figures unaffected.
+	ok := spec.WithHeaterCap(float64(worst) * 1.5)
+	if _, err := ok.MeanHeaterPower(); err != nil {
+		t.Errorf("mean under generous cap: %v", err)
+	}
+	if _, err := ok.WorstCaseHeaterPower(); err != nil {
+		t.Errorf("worst case under generous cap: %v", err)
+	}
+
+	// Cap between mean and worst case: mean fine, worst case saturates.
+	mean, _ := spec.MeanHeaterPower()
+	mid := spec.WithHeaterCap((float64(mean) + float64(worst)) / 2)
+	if _, err := mid.MeanHeaterPower(); err != nil {
+		t.Errorf("mean under mid cap: %v", err)
+	}
+	p, err := mid.WorstCaseHeaterPower()
+	if !errors.Is(err, ErrHeaterSaturated) {
+		t.Fatalf("worst case under mid cap: err = %v, want ErrHeaterSaturated", err)
+	}
+	if p != worst {
+		t.Errorf("saturated call returned %v, want the computed demand %v", p, worst)
+	}
+
+	// Negative cap is a config error, not saturation.
+	if _, err := spec.WithHeaterCap(-1).MeanHeaterPower(); err == nil || errors.Is(err, ErrHeaterSaturated) {
+		t.Errorf("negative cap: err = %v, want plain config error", err)
+	}
+
+	// Zero cap restores the uncapped static behavior (goldens depend on it).
+	if _, err := spec.WithHeaterCap(0).WorstCaseHeaterPower(); err != nil {
+		t.Errorf("zero cap must mean uncapped: %v", err)
+	}
+}
+
+func TestCompensableNm(t *testing.T) {
+	spec := ModerateTuning()
+	if got := spec.CompensableNm(); !math.IsInf(got, 1) {
+		t.Errorf("uncapped CompensableNm = %v, want +Inf", got)
+	}
+	capped := spec.WithHeaterCap(4)
+	if got, want := capped.CompensableNm(), 4*spec.TuningNmPerMw; got != want {
+		t.Errorf("CompensableNm = %v, want %v", got, want)
+	}
+	if got, want := spec.WorstCaseOffsetNm(), spec.TemperatureSpreadK*ResonanceDriftNmPerK+3*spec.ProcessSigmaNm; got != want {
+		t.Errorf("WorstCaseOffsetNm = %v, want %v", got, want)
 	}
 }

@@ -202,3 +202,55 @@ func Engines(w io.Writer, rows []exp.EngineRow) {
 			r.Model, r.AnalyticalSec*1e3, r.DetailedSec*1e3, r.Ratio)
 	}
 }
+
+// Thermal renders a closed-loop thermal replay: the summary, then the time
+// series downsampled to at most 24 rows so a long replay stays readable
+// (the full series is in the JSON report).
+func Thermal(w io.Writer, r *exp.ThermalReport) {
+	fb := "on"
+	if !r.Feedback {
+		fb = "off"
+	}
+	fmt.Fprintf(w, "Thermal replay — %s on %s (%s), profile %s, seed %d, %d x %gs steps, feedback %s\n",
+		r.Model, r.Accel, r.Mode, r.Profile, r.Seed, r.Steps, r.StepSec, fb)
+	fmt.Fprintf(w, "calibration %.2f K, full-load rate %.1f inf/s\n", r.CalibrationK, r.FullLoadPointsPerSec)
+	s := r.Summary
+	fmt.Fprintf(w, "peak chiplet %.2f K, peak tuning %.3f mW/ring, min margin %+.2f dB, min throttle %.3f\n",
+		s.PeakChipletK, s.PeakTuningMwPerRing, s.MinMarginDB, s.MinThrottle)
+	fmt.Fprintf(w, "throttled %d/%d steps, saturated %d/%d; capacity loss %.2f%% (%.0f of %.0f offered inferences)\n",
+		s.ThrottledSteps, r.Steps, s.SaturatedSteps, r.Steps,
+		s.CapacityLossPct, s.AchievedPoints, s.OfferedPoints)
+	fmt.Fprintf(w, "%8s %8s %9s %9s %10s %9s %9s %5s\n",
+		"t(s)", "offered", "achieved", "maxK", "tune(mW)", "margin", "throttle", "sat")
+	stride := (len(r.Series) + 23) / 24
+	if stride < 1 {
+		stride = 1
+	}
+	for i := 0; i < len(r.Series); i += stride {
+		p := r.Series[i]
+		sat := ""
+		if p.Saturated {
+			sat = "SAT"
+		}
+		fmt.Fprintf(w, "%8.1f %8.3f %9.3f %9.2f %10.3f %+9.2f %9.3f %5s\n",
+			p.TimeSec, p.OfferedUtil, p.AchievedUtil, p.MaxChipletK,
+			p.TuningMwPerRing, p.MarginDB, p.Throttle, sat)
+	}
+}
+
+// ThermalCapacity renders the capacity-under-drift table: the thermal
+// equilibrium reached at each constant offered load.
+func ThermalCapacity(w io.Writer, rows []exp.CapacityRow) {
+	fmt.Fprintln(w, "Capacity under thermal drift — steady-state equilibria (SPACX)")
+	fmt.Fprintf(w, "%8s %9s %9s %10s %9s %9s %5s %12s\n",
+		"offered", "achieved", "maxK", "tune(mW)", "margin", "throttle", "sat", "rate(inf/s)")
+	for _, r := range rows {
+		sat := ""
+		if r.Saturated {
+			sat = "SAT"
+		}
+		fmt.Fprintf(w, "%8.2f %9.3f %9.2f %10.3f %+9.2f %9.3f %5s %12.1f\n",
+			r.OfferedUtil, r.AchievedUtil, r.MaxChipletK, r.TuningMwPerRing,
+			r.MarginDB, r.Throttle, sat, r.PointsPerSec)
+	}
+}

@@ -26,6 +26,7 @@ const maxRequestBody = 1 << 20
 func (s *Service) Routes(mux *http.ServeMux) {
 	mux.HandleFunc("/v1/simulate", s.instrument("simulate", s.handleSimulate))
 	mux.HandleFunc("/v1/sweep", s.instrument("sweep", s.handleSweep))
+	mux.HandleFunc("/v1/thermal", s.instrument("thermal", s.handleThermal))
 	mux.HandleFunc("/v1/models", s.instrument("models", s.handleModels))
 	mux.HandleFunc("/v1/accelerators", s.instrument("accelerators", s.handleAccelerators))
 }

@@ -41,6 +41,7 @@ import (
 	"spacx/internal/exp/engine"
 	"spacx/internal/network"
 	"spacx/internal/obs"
+	"spacx/internal/obs/flightrec"
 	"spacx/internal/obs/tracing"
 	"spacx/internal/serve/fabric"
 	"spacx/internal/sim"
@@ -97,6 +98,13 @@ type Options struct {
 	// locally, so a coordinator with an empty fleet is never slower than no
 	// coordinator at all.
 	Fabric *fabric.Coordinator
+	// MaxThermalSteps caps the /v1/thermal replay length, bounding the work
+	// one request can demand (<= 0 means 20000).
+	MaxThermalSteps int
+	// Flight, when non-nil, receives the thermal replay's throttle and
+	// heater-saturation transition events (the same ring /fleet/events
+	// dumps).
+	Flight *flightrec.Recorder
 }
 
 func (o Options) withDefaults() Options {
@@ -126,6 +134,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxSweepPoints <= 0 {
 		o.MaxSweepPoints = 64
+	}
+	if o.MaxThermalSteps <= 0 {
+		o.MaxThermalSteps = 20000
 	}
 	if o.RetryAfter <= 0 {
 		o.RetryAfter = time.Second

@@ -1,0 +1,105 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"spacx/internal/exp"
+	"spacx/internal/obs/flightrec"
+)
+
+func TestDecodeThermalRequest(t *testing.T) {
+	req, err := decodeThermalRequest([]byte(`{"model": "alexnet"}`), 20000)
+	if err != nil {
+		t.Fatalf("minimal request rejected: %v", err)
+	}
+	if req.Mode != "whole" || req.Profile != exp.ProfileStep || req.Steps != 120 || req.StepSec != 1 {
+		t.Fatalf("defaults not applied: %+v", req)
+	}
+	for name, body := range map[string]string{
+		"empty":         `{}`,
+		"unknown model": `{"model": "nope"}`,
+		"unknown mode":  `{"model": "alexnet", "mode": "sideways"}`,
+		"bad profile":   `{"model": "alexnet", "profile": "nope"}`,
+		"steps over":    `{"model": "alexnet", "steps": 50}`,
+		"neg steps":     `{"model": "alexnet", "steps": -1}`,
+		"neg step_sec":  `{"model": "alexnet", "step_sec": -2}`,
+		"unknown field": `{"model": "alexnet", "bogus": 1}`,
+		"trailing":      `{"model": "alexnet"} {}`,
+	} {
+		if _, err := decodeThermalRequest([]byte(body), 40); err == nil {
+			t.Errorf("%s: accepted %s", name, body)
+		}
+	}
+}
+
+// A sustained full-load replay through the HTTP surface must show the
+// closed loop degrading throughput, and drop its throttle and saturation
+// transitions on the mounted flight recorder.
+func TestThermalEndpointThrottlesAndRecords(t *testing.T) {
+	fr := flightrec.New(64)
+	_, _, mux := newService(t, Options{Workers: 2, Flight: fr})
+
+	rr := doReq(mux, http.MethodPost, "/v1/thermal",
+		`{"model": "alexnet", "mode": "layer", "profile": "step", "seed": 1, "steps": 180}`)
+	if rr.Code != http.StatusOK {
+		t.Fatalf("status %d, body %s", rr.Code, rr.Body)
+	}
+	var rep exp.ThermalReport
+	if err := json.Unmarshal(rr.Body.Bytes(), &rep); err != nil {
+		t.Fatalf("decode report: %v", err)
+	}
+	if rep.Schema != exp.ThermalReportSchema {
+		t.Errorf("schema = %q", rep.Schema)
+	}
+	if len(rep.Series) != 180 {
+		t.Fatalf("series length %d", len(rep.Series))
+	}
+	last := rep.Series[len(rep.Series)-1]
+	if !last.Saturated || last.Throttle >= 1 {
+		t.Errorf("full load did not saturate+throttle over HTTP: %+v", last)
+	}
+	if len(fr.Find("thermal:heater-saturated")) == 0 || len(fr.Find("thermal:throttle-on")) == 0 {
+		t.Errorf("flight recorder missed the transitions: %v", fr.Events())
+	}
+
+	if got := doReq(mux, http.MethodGet, "/v1/thermal", ""); got.Code != http.StatusMethodNotAllowed {
+		t.Errorf("GET status = %d", got.Code)
+	}
+	if got := doReq(mux, http.MethodPost, "/v1/thermal", `{"model": "nope"}`); got.Code != http.StatusBadRequest {
+		t.Errorf("bad model status = %d", got.Code)
+	}
+}
+
+// Feedback off over HTTP: same replay, no degradation, and a nil flight
+// recorder is fine.
+func TestThermalEndpointFeedbackOff(t *testing.T) {
+	_, _, mux := newService(t, Options{Workers: 2})
+
+	rr := doReq(mux, http.MethodPost, "/v1/thermal",
+		`{"model": "alexnet", "profile": "step", "seed": 1, "steps": 60, "feedback": false}`)
+	if rr.Code != http.StatusOK {
+		t.Fatalf("status %d, body %s", rr.Code, rr.Body)
+	}
+	var rep exp.ThermalReport
+	if err := json.Unmarshal(rr.Body.Bytes(), &rep); err != nil {
+		t.Fatalf("decode report: %v", err)
+	}
+	for i, pt := range rep.Series {
+		if pt.Throttle != 1 || pt.Saturated || pt.AchievedUtil != pt.OfferedUtil {
+			t.Fatalf("step %d degraded with feedback off: %+v", i, pt)
+		}
+	}
+}
+
+func TestThermalEndpointStepCap(t *testing.T) {
+	_, _, mux := newService(t, Options{Workers: 2, MaxThermalSteps: 10})
+	rr := doReq(mux, http.MethodPost, "/v1/thermal", `{"model": "alexnet", "steps": 11}`)
+	if rr.Code != http.StatusBadRequest {
+		t.Fatalf("over-cap status = %d, body %s", rr.Code, rr.Body)
+	}
+	if rr = doReq(mux, http.MethodPost, "/v1/thermal", `{"model": "alexnet", "steps": 10}`); rr.Code != http.StatusOK {
+		t.Fatalf("at-cap status = %d, body %s", rr.Code, rr.Body)
+	}
+}

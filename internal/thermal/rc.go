@@ -1,0 +1,193 @@
+package thermal
+
+import (
+	"fmt"
+	"math"
+)
+
+// The integrator. Forward Euler with a fixed step: dT_i = dt/C_i *
+// (P_i + sum_j G_ij (T_j - T_i)) for every non-ambient node, the ambient
+// node pinned at Config.AmbientK. Forward Euler is chosen deliberately —
+// it is exactly reproducible across platforms (no adaptive step, no solver
+// iteration counts in the result), and the replay driver's steps are long
+// enough that Advance's internal substepping, not integrator order,
+// bounds the error.
+
+// MaxStableStep returns the largest forward-Euler step (seconds) that keeps
+// the explicit integration stable: min over nodes of C_i / sum_j G_ij. Steps
+// at or above it oscillate; Advance substeps well below it.
+func (n *Network) MaxStableStep() float64 {
+	min := math.Inf(1)
+	for i, c := range n.caps {
+		if i == n.ambient || n.gSum[i] == 0 {
+			continue
+		}
+		if s := c / n.gSum[i]; s < min {
+			min = s
+		}
+	}
+	return min
+}
+
+// Euler advances the network by exactly one forward-Euler step of dt
+// seconds under the given per-node heat sources (watts; indices follow the
+// node order, entries beyond the sources slice are zero). Callers own
+// stability: prefer Advance unless you are the step-halving property test.
+func (n *Network) Euler(sourcesW []float64, dt float64) error {
+	if dt <= 0 {
+		return fmt.Errorf("thermal: step must be positive, got %g", dt)
+	}
+	if len(sourcesW) > len(n.temps) {
+		return fmt.Errorf("thermal: %d sources for %d nodes", len(sourcesW), len(n.temps))
+	}
+	if n.flux == nil {
+		n.flux = make([]float64, len(n.temps))
+	}
+	flux := n.flux
+	for i := range flux {
+		flux[i] = 0
+	}
+	for _, l := range n.links {
+		q := l.g * (n.temps[l.a] - n.temps[l.b]) // W from a to b
+		flux[l.a] -= q
+		flux[l.b] += q
+	}
+	for i, p := range sourcesW {
+		if i == n.ambient && p != 0 {
+			return fmt.Errorf("thermal: heat source on the ambient boundary node")
+		}
+		flux[i] += p
+		n.inputJ += p * dt
+	}
+	// The ambient boundary absorbs its flux instead of integrating it.
+	n.ambientJ += flux[n.ambient] * dt
+	for i := range n.temps {
+		if i == n.ambient {
+			continue
+		}
+		n.temps[i] += flux[i] * dt / n.caps[i]
+	}
+	return nil
+}
+
+// Advance integrates dt seconds of wall time under constant sources,
+// internally substepping at no more than half the stable step. The substep
+// count is a pure function of dt and the network constants, so replays are
+// deterministic at any outer step size.
+func (n *Network) Advance(sourcesW []float64, dt float64) error {
+	if dt <= 0 {
+		return fmt.Errorf("thermal: step must be positive, got %g", dt)
+	}
+	h := n.MaxStableStep() / 2
+	steps := int(math.Ceil(dt / h))
+	if steps < 1 {
+		steps = 1
+	}
+	sub := dt / float64(steps)
+	for s := 0; s < steps; s++ {
+		if err := n.Euler(sourcesW, sub); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// EnergyError returns the conservation residual in joules: injected source
+// heat minus (stored heat relative to ambient + heat delivered to the
+// boundary). For the exact forward-Euler update this is zero up to float
+// rounding; the property suite asserts it stays tiny over long runs.
+func (n *Network) EnergyError() float64 {
+	var stored float64
+	for i, t := range n.temps {
+		if i == n.ambient {
+			continue
+		}
+		stored += n.caps[i] * (t - n.cfg.AmbientK)
+	}
+	return n.inputJ - stored - n.ambientJ
+}
+
+// InputJ reports the cumulative source heat injected since the last Reset.
+func (n *Network) InputJ() float64 { return n.inputJ }
+
+// AmbientJ reports the cumulative heat delivered to the ambient boundary.
+func (n *Network) AmbientJ() float64 { return n.ambientJ }
+
+// SteadyState solves the linear steady-state temperatures under constant
+// sources without touching the network's transient state: G·T = P with the
+// ambient row pinned. The network is a few dozen nodes, so a dense Gaussian
+// elimination is plenty; the solve is deterministic (fixed pivot order, the
+// diagonal is strictly dominant for any valid config).
+func (n *Network) SteadyState(sourcesW []float64) ([]float64, error) {
+	if len(sourcesW) > len(n.temps) {
+		return nil, fmt.Errorf("thermal: %d sources for %d nodes", len(sourcesW), len(n.temps))
+	}
+	size := len(n.temps)
+	// Build the conductance matrix and RHS.
+	a := make([][]float64, size)
+	for i := range a {
+		a[i] = make([]float64, size+1)
+	}
+	for _, l := range n.links {
+		a[l.a][l.a] += l.g
+		a[l.b][l.b] += l.g
+		a[l.a][l.b] -= l.g
+		a[l.b][l.a] -= l.g
+	}
+	for i, p := range sourcesW {
+		if i == n.ambient && p != 0 {
+			return nil, fmt.Errorf("thermal: heat source on the ambient boundary node")
+		}
+		a[i][size] = p
+	}
+	// Pin the ambient boundary: T_amb = AmbientK.
+	for j := 0; j <= size; j++ {
+		a[n.ambient][j] = 0
+	}
+	a[n.ambient][n.ambient] = 1
+	a[n.ambient][size] = n.cfg.AmbientK
+
+	// Gaussian elimination with partial pivoting.
+	for col := 0; col < size; col++ {
+		piv := col
+		for r := col + 1; r < size; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[piv][col]) {
+				piv = r
+			}
+		}
+		if math.Abs(a[piv][col]) < 1e-15 {
+			return nil, fmt.Errorf("thermal: singular conductance matrix (disconnected node %d?)", col)
+		}
+		a[col], a[piv] = a[piv], a[col]
+		for r := col + 1; r < size; r++ {
+			f := a[r][col] / a[col][col]
+			if f == 0 {
+				continue
+			}
+			for j := col; j <= size; j++ {
+				a[r][j] -= f * a[col][j]
+			}
+		}
+	}
+	out := make([]float64, size)
+	for i := size - 1; i >= 0; i-- {
+		v := a[i][size]
+		for j := i + 1; j < size; j++ {
+			v -= a[i][j] * out[j]
+		}
+		out[i] = v / a[i][i]
+	}
+	return out, nil
+}
+
+// SetTemps overwrites the node temperatures (a warm-start convenience for
+// steppers that pre-converge to an idle equilibrium). The slice must cover
+// every node; the ambient entry is forced back to the boundary temperature.
+func (n *Network) SetTemps(t []float64) error {
+	if len(t) != len(n.temps) {
+		return fmt.Errorf("thermal: %d temps for %d nodes", len(t), len(n.temps))
+	}
+	copy(n.temps, t)
+	n.temps[n.ambient] = n.cfg.AmbientK
+	return nil
+}

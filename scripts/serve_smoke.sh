@@ -68,6 +68,18 @@ cmp -s "$OUT/resp.1" "$OUT/resp.2" || { echo "duplicate responses differ"; exit 
 curl -sf -X POST -d '{"models": ["alexnet"], "accels": ["spacx", "simba"]}' \
   "http://$ADDR/v1/sweep" | grep -q '"exec_sec"'
 
+# Thermal co-simulation: a short feedback-on replay answers with the
+# schema-versioned report, and its gauges land on /metrics below.
+curl -sf -X POST -d '{"model": "alexnet", "mode": "layer", "profile": "step", "steps": 60}' \
+  "http://$ADDR/v1/thermal" > "$OUT/thermal.json"
+python3 - "$OUT/thermal.json" <<'PY'
+import json, sys
+r = json.load(open(sys.argv[1]))
+assert r["Schema"] == "spacx.thermal-replay/v1", r["Schema"]
+assert len(r["Series"]) == 60, len(r["Series"])
+assert r["Series"][-1]["MaxChipletK"] > r["CalibrationK"], "no temperature rise"
+PY
+
 # Duplicates collapsed: the cache-hit counter moved, and far fewer engine
 # runs happened than requests were made.
 curl -sf "http://$ADDR/metrics" > "$OUT/metrics.prom"
@@ -76,6 +88,10 @@ hits=$(awk '$1 == "spacx_serve_cache_hits_total" {print $2}' "$OUT/metrics.prom"
 awk -v h="${hits:-0}" 'BEGIN { if (h + 0 <= 0) { print "no cache hits recorded"; exit 1 } }'
 runs=$(awk '$1 == "spacx_serve_engine_runs_total" {print $2}' "$OUT/metrics.prom")
 awk -v r="${runs:-0}" -v n="$n" 'BEGIN { if (r + 0 <= 0 || r + 0 >= n) { printf "engine runs %s out of bounds (0, %d)\n", r, n; exit 1 } }'
+grep -q '^spacx_thermal_max_chiplet_kelvin' "$OUT/metrics.prom" \
+  || { echo "no spacx_thermal_* gauges on /metrics"; exit 1; }
+grep -q '^spacx_thermal_steps_total' "$OUT/metrics.prom" \
+  || { echo "no spacx_thermal_steps_total counter on /metrics"; exit 1; }
 
 # Every /v1 response carries a trace id whose span tree is retrievable.
 trace=$(curl -sf -D - -o /dev/null -X POST -d '{"model": "alexnet", "accel": "spacx"}' \
@@ -273,6 +289,24 @@ print(1 if dead or not any(w["name"] == "w2" for w in f["workers"]) else 0)' || 
   sleep 0.1
 done
 test "$w2dead" = 1 || { echo "/fleet never marked killed worker w2 dead"; exit 1; }
+
+# Thermal replay on the fabric coordinator: a sustained full-load step
+# profile must saturate the heaters and throttle, and both transitions must
+# land on the same flight ring /fleet/events dumps.
+curl -sf -X POST -d '{"model": "alexnet", "mode": "layer", "profile": "step", "steps": 180}' \
+  "http://$FADDR/v1/thermal" > "$OUT/fabric-thermal.json"
+python3 - "$OUT/fabric-thermal.json" <<'PY'
+import json, sys
+r = json.load(open(sys.argv[1]))
+last = r["Series"][-1]
+assert last["Saturated"] and last["Throttle"] < 1, last
+assert r["Summary"]["CapacityLossPct"] > 0, r["Summary"]
+PY
+curl -sf "http://$FADDR/fleet/events" > "$OUT/thermal-events.json"
+grep -q '"thermal:heater-saturated"' "$OUT/thermal-events.json" \
+  || { echo "/fleet/events missing thermal:heater-saturated"; exit 1; }
+grep -q '"thermal:throttle-on"' "$OUT/thermal-events.json" \
+  || { echo "/fleet/events missing thermal:throttle-on"; exit 1; }
 
 kill -9 "$w1" 2>/dev/null || true
 kill -TERM "$server"
