@@ -68,8 +68,8 @@ func (c ThermalReplayConfig) Validate() error {
 	if c.Steps <= 0 {
 		return fmt.Errorf("exp: thermal replay needs positive steps, got %d", c.Steps)
 	}
-	if c.StepSec <= 0 {
-		return fmt.Errorf("exp: thermal replay needs a positive step, got %g s", c.StepSec)
+	if math.IsNaN(c.StepSec) || math.IsInf(c.StepSec, 0) || c.StepSec <= 0 {
+		return fmt.Errorf("exp: thermal replay needs a positive finite step, got %g s", c.StepSec)
 	}
 	return nil
 }

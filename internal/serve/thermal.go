@@ -4,12 +4,20 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"math"
 	"net/http"
 	"strings"
 
 	"spacx/internal/exp"
 	"spacx/internal/sim"
 )
+
+// maxThermalSimSec caps the total simulated time (steps × step_sec) of one
+// /v1/thermal replay at a week. The RC integrator substeps at a fixed rate
+// per simulated second regardless of the outer step size, so without this
+// cap a huge step_sec would let a single request buy unbounded synchronous
+// work no matter how tightly MaxThermalSteps bounds the step count.
+const maxThermalSimSec = 7 * 24 * 3600
 
 // ThermalRequest is the JSON body of POST /v1/thermal: a closed-loop
 // thermal replay of a traffic profile against the SPACX accelerator. The
@@ -79,16 +87,19 @@ func decodeThermalRequest(data []byte, maxSteps int) (ThermalRequest, error) {
 	if req.StepSec == 0 {
 		req.StepSec = 1
 	}
-	if req.StepSec < 0 {
-		return ThermalRequest{}, fmt.Errorf("step_sec must be > 0, got %g", req.StepSec)
+	if math.IsNaN(req.StepSec) || math.IsInf(req.StepSec, 0) || req.StepSec <= 0 {
+		return ThermalRequest{}, fmt.Errorf("step_sec must be a positive finite number, got %g", req.StepSec)
+	}
+	if simSec := float64(req.Steps) * req.StepSec; simSec > maxThermalSimSec {
+		return ThermalRequest{}, fmt.Errorf("steps*step_sec must be <= %d simulated seconds, got %g", maxThermalSimSec, simSec)
 	}
 	return req, nil
 }
 
 // handleThermal answers POST /v1/thermal by running the closed-loop
-// thermal replay synchronously. Replays are bounded (MaxThermalSteps) and
-// cheap — one analytical model evaluation plus an RC integration — so they
-// bypass the admission queue; the layer memoization underneath is shared
+// thermal replay synchronously. Replays are bounded (MaxThermalSteps steps,
+// maxThermalSimSec simulated seconds) and cheap — one analytical model
+// evaluation plus an RC integration — so they bypass the admission queue; the layer memoization underneath is shared
 // and concurrency-safe. Throttle and saturation transitions land on the
 // service's flight recorder when one is mounted (-fabric), so they show up
 // on /fleet/events.

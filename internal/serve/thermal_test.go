@@ -24,13 +24,20 @@ func TestDecodeThermalRequest(t *testing.T) {
 		"bad profile":   `{"model": "alexnet", "profile": "nope"}`,
 		"steps over":    `{"model": "alexnet", "steps": 50}`,
 		"neg steps":     `{"model": "alexnet", "steps": -1}`,
-		"neg step_sec":  `{"model": "alexnet", "step_sec": -2}`,
+		"neg step_sec":  `{"model": "alexnet", "steps": 10, "step_sec": -2}`,
+		"huge step_sec": `{"model": "alexnet", "steps": 10, "step_sec": 1e12}`,
+		"inf step_sec":  `{"model": "alexnet", "steps": 10, "step_sec": 1e999}`,
+		"sim time over": `{"model": "alexnet", "steps": 40, "step_sec": 100000}`,
 		"unknown field": `{"model": "alexnet", "bogus": 1}`,
 		"trailing":      `{"model": "alexnet"} {}`,
 	} {
 		if _, err := decodeThermalRequest([]byte(body), 40); err == nil {
 			t.Errorf("%s: accepted %s", name, body)
 		}
+	}
+	// A long but bounded replay is fine: the cap is on steps*step_sec.
+	if _, err := decodeThermalRequest([]byte(`{"model": "alexnet", "steps": 10, "step_sec": 3600}`), 40); err != nil {
+		t.Errorf("bounded long replay rejected: %v", err)
 	}
 }
 

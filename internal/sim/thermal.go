@@ -30,6 +30,10 @@ type ThermalConfig struct {
 	// MaxHeaterMw caps the per-ring tuning DAC; 0 takes the
 	// thermal.DefaultCouplerConfig provisioning (15% over static worst case).
 	MaxHeaterMw float64
+	// MarginDB is the loss-budget margin at calibration that thermal drift
+	// erodes; 0 takes the SystemMargin of the photonic params family
+	// matching Spec (Aggressive for insulated heaters, Moderate otherwise).
+	MarginDB float64
 	// Feedback closes the loop. With Feedback false the stepper still
 	// integrates temperatures but the coupler stays at its static point:
 	// throttle 1, calibration tuning power — results identical to the
@@ -64,6 +68,13 @@ func (c ThermalConfig) withDefaults() ThermalConfig {
 	}
 	if c.Spec == (photonic.TuningSpec{}) {
 		c.Spec = photonic.ModerateTuning()
+	}
+	if c.MarginDB == 0 {
+		if c.Spec.TuningNmPerMw == photonic.InsulatedTuningNmPerMw {
+			c.MarginDB = float64(photonic.Aggressive().SystemMargin)
+		} else {
+			c.MarginDB = float64(photonic.Moderate().SystemMargin)
+		}
 	}
 	if c.GBFrac == 0 {
 		c.GBFrac = 0.30
@@ -156,7 +167,7 @@ func NewThermalStepper(acc Accelerator, res ModelResult, cfg ThermalConfig) (*Th
 	if cfg.MaxHeaterMw > 0 {
 		ccfg.MaxHeaterMw = cfg.MaxHeaterMw
 	}
-	ccfg.MarginDB = float64(photonic.Moderate().SystemMargin)
+	ccfg.MarginDB = cfg.MarginDB
 	ccfg.StaticHeatingW = static.Heating
 	ccfg.Enabled = cfg.Feedback
 	if sx, ok := acc.Arch.Net.(*spacxnet.Model); ok {
@@ -343,8 +354,10 @@ func (s *ThermalStepper) RunSteady(offeredUtil float64) (ThermalSample, error) {
 
 // ThermalAwareRunner wraps a layer runner so exposed communication derates
 // by the instantaneous feedback throttle: the photonic links carry only a
-// throttle fraction of their calibrated rate, stretching execution and the
-// static-energy integral accordingly. A nil throttle source — or one
+// throttle fraction of their calibrated rate, so the input/output transfer
+// pools stretch by 1/throttle while compute, DRAM, and the serial overheads
+// run at full speed; the critical path and the static-energy integral are
+// rebuilt from the stretched pools. A nil throttle source — or one
 // reporting exactly 1 (feedback off, or margin intact) — returns the base
 // runner's results untouched, bit for bit: the provably-static path.
 func ThermalAwareRunner(base LayerRunner, throttle func() float64) LayerRunner {
@@ -366,10 +379,33 @@ func ThermalAwareRunner(base LayerRunner, throttle func() float64) LayerRunner {
 		if th <= 0 || th > 1 {
 			return r, fmt.Errorf("sim: throttle %g outside (0,1]", th)
 		}
-		r.ExecSec /= th
+		// The base runner built ExecSec as max(pools) + serial overhead;
+		// recover the overhead, stretch only the photonic pools, and rebuild
+		// the critical path.
+		poolMax := func() float64 {
+			m := r.ComputeSec
+			for _, t := range []float64{r.InputSec, r.OutputSec, r.DRAMSec} {
+				if t > m {
+					m = t
+				}
+			}
+			return m
+		}
+		overhead := r.ExecSec - poolMax()
+		oldExec := r.ExecSec
+		r.InputSec /= th
+		r.OutputSec /= th
+		flows := make([]float64, len(r.FlowSecs))
+		for i, t := range r.FlowSecs {
+			flows[i] = t / th
+		}
+		r.FlowSecs = flows
+		r.ExecSec = poolMax() + overhead
 		r.CommSec = r.ExecSec - r.ComputeSec
-		r.NetStaticJ.Laser /= th
-		r.NetStaticJ.Heating /= th
+		// Static power integrates over the stretched execution time.
+		scale := r.ExecSec / oldExec
+		r.NetStaticJ.Laser *= scale
+		r.NetStaticJ.Heating *= scale
 		r.NetworkEnergy = r.NetDynamic.Total() + r.NetStaticJ.Total()
 		r.TotalEnergy = r.ComputeEnergy + r.NetworkEnergy
 		return r, nil

@@ -47,6 +47,43 @@ func TestNewThermalStepperValidation(t *testing.T) {
 	}
 }
 
+// The coupler's calibration margin follows the configured tuning spec's
+// params family, and an explicit MarginDB wins over the derivation.
+func TestThermalConfigMarginFollowsSpec(t *testing.T) {
+	acc := SPACXAccel()
+	res, err := Run(acc, dnn.AlexNet(), LayerByLayer)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for _, tc := range []struct {
+		name string
+		spec photonic.TuningSpec
+		want float64
+	}{
+		{"moderate", photonic.ModerateTuning(), float64(photonic.Moderate().SystemMargin)},
+		{"aggressive", photonic.AggressiveTuning(), float64(photonic.Aggressive().SystemMargin)},
+	} {
+		cfg := DefaultThermalConfig()
+		cfg.Spec = tc.spec
+		st, err := NewThermalStepper(acc, res, cfg)
+		if err != nil {
+			t.Fatalf("%s: NewThermalStepper: %v", tc.name, err)
+		}
+		if got := st.Coupler().Static().MarginDB; got != tc.want {
+			t.Errorf("%s: margin = %g dB, want %g dB", tc.name, got, tc.want)
+		}
+	}
+	cfg := DefaultThermalConfig()
+	cfg.MarginDB = 2.5
+	st, err := NewThermalStepper(acc, res, cfg)
+	if err != nil {
+		t.Fatalf("explicit margin: NewThermalStepper: %v", err)
+	}
+	if got := st.Coupler().Static().MarginDB; got != 2.5 {
+		t.Errorf("explicit margin = %g dB, want 2.5 dB", got)
+	}
+}
+
 func TestThermalStepperCalibratesAtIdle(t *testing.T) {
 	st, _ := thermalFixture(t, true)
 	cal := st.Coupler().CalibrationK()
@@ -206,11 +243,44 @@ func TestThermalAwareRunnerDerates(t *testing.T) {
 	if err != nil {
 		t.Fatalf("RunVia: %v", err)
 	}
-	if got, want := derated.ExecSec, base.ExecSec/th; math.Abs(got-want) > 1e-15*want {
-		t.Errorf("ExecSec = %g, want %g", got, want)
+	// Only the photonic pools stretch by 1/th; compute, DRAM, and the serial
+	// overhead stay put, and the critical path is rebuilt from the pools.
+	poolMax := func(l LayerResult) float64 {
+		max := l.ComputeSec
+		for _, t := range []float64{l.InputSec, l.OutputSec, l.DRAMSec} {
+			if t > max {
+				max = t
+			}
+		}
+		return max
 	}
-	if got, want := derated.NetStaticJ.Laser, base.NetStaticJ.Laser/th; math.Abs(got-want) > 1e-12*want {
-		t.Errorf("static laser energy = %g, want %g", got, want)
+	for i := range base.Layers {
+		b, g := base.Layers[i], derated.Layers[i]
+		if g.ComputeSec != b.ComputeSec || g.DRAMSec != b.DRAMSec {
+			t.Fatalf("layer %d: derate moved compute/DRAM: %+v vs %+v", i, g, b)
+		}
+		if g.InputSec != b.InputSec/th || g.OutputSec != b.OutputSec/th {
+			t.Fatalf("layer %d: photonic pools not stretched by 1/th: %+v vs %+v", i, g, b)
+		}
+		overhead := b.ExecSec - poolMax(b)
+		stretched := b
+		stretched.InputSec, stretched.OutputSec = b.InputSec/th, b.OutputSec/th
+		wantExec := poolMax(stretched) + overhead
+		if math.Abs(g.ExecSec-wantExec) > 1e-15*wantExec {
+			t.Errorf("layer %d: ExecSec = %g, want %g", i, g.ExecSec, wantExec)
+		}
+		scale := wantExec / b.ExecSec
+		if want := b.NetStaticJ.Laser * scale; math.Abs(g.NetStaticJ.Laser-want) > 1e-12*want {
+			t.Errorf("layer %d: static laser energy = %g, want %g", i, g.NetStaticJ.Laser, want)
+		}
+	}
+	if derated.ExecSec <= base.ExecSec {
+		t.Errorf("derate did not stretch execution: %g vs %g", derated.ExecSec, base.ExecSec)
+	}
+	// The serial overheads are not link-rate bound, so the stretch must stay
+	// strictly below the old whole-pipeline 1/th derate.
+	if derated.ExecSec >= base.ExecSec/th {
+		t.Errorf("derate stretched more than the links: %g vs cap %g", derated.ExecSec, base.ExecSec/th)
 	}
 	if derated.ComputeEnergy != base.ComputeEnergy {
 		t.Errorf("compute energy changed under derate: %g vs %g", derated.ComputeEnergy, base.ComputeEnergy)

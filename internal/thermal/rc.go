@@ -75,8 +75,8 @@ func (n *Network) Euler(sourcesW []float64, dt float64) error {
 // count is a pure function of dt and the network constants, so replays are
 // deterministic at any outer step size.
 func (n *Network) Advance(sourcesW []float64, dt float64) error {
-	if dt <= 0 {
-		return fmt.Errorf("thermal: step must be positive, got %g", dt)
+	if math.IsNaN(dt) || math.IsInf(dt, 0) || dt <= 0 {
+		return fmt.Errorf("thermal: step must be positive and finite, got %g", dt)
 	}
 	h := n.MaxStableStep() / 2
 	steps := int(math.Ceil(dt / h))
